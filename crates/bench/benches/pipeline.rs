@@ -1,0 +1,73 @@
+//! End-to-end benchmarks: pipeline construction (Steps 1–4 + indexation)
+//! and per-question latency for QA vs the IR and IE baselines — the
+//! paper's "IR is extremely quick but its precision is quite low" /
+//! "time of analysis spent by users is highly decreased" trade-off,
+//! measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwqa_bench::{build_corpus, monthly_question, FixtureConfig};
+use dwqa_common::Month;
+use dwqa_core::{integrated_schema, IntegrationPipeline, PipelineOptions};
+use dwqa_ir::DocumentStore;
+use dwqa_qa::{IeBaseline, IeTemplate, IrBaseline};
+use dwqa_warehouse::Warehouse;
+
+fn clone_store(store: &DocumentStore) -> DocumentStore {
+    let mut out = DocumentStore::new();
+    for (_, d) in store.iter() {
+        out.add(d.clone());
+    }
+    out
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (store, _) = build_corpus(&FixtureConfig::default());
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("build_steps_1_to_4_plus_indexation", |b| {
+        b.iter_batched(
+            || clone_store(&store),
+            |store| {
+                IntegrationPipeline::build(
+                    Warehouse::new(integrated_schema()),
+                    store,
+                    PipelineOptions::default(),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // QA indexation: sequential vs parallel.
+    let lexicon = dwqa_nlp::Lexicon::english();
+    group.bench_function("qa_indexation_sequential", |b| {
+        b.iter(|| dwqa_qa::QaIndex::build(&lexicon, &store, 8))
+    });
+    group.bench_function("qa_indexation_parallel_4", |b| {
+        b.iter(|| dwqa_qa::QaIndex::build_with_threads(&lexicon, &store, 8, 4))
+    });
+
+    let pipeline = IntegrationPipeline::build(
+        Warehouse::new(integrated_schema()),
+        clone_store(&store),
+        PipelineOptions::default(),
+    );
+    let question = monthly_question("El Prat", 2004, Month::January);
+    group.bench_function("qa_question_latency", |b| {
+        b.iter(|| pipeline.ask(std::hint::black_box(&question)))
+    });
+
+    let ir = IrBaseline::build(&store);
+    group.bench_function("ir_baseline_passage_latency", |b| {
+        b.iter(|| ir.search_passages(std::hint::black_box(&question), 1))
+    });
+
+    let ie = IeBaseline::new(vec![IeTemplate::Temperature]);
+    group.bench_function("ie_baseline_full_corpus_scan", |b| {
+        b.iter(|| ie.scan(std::hint::black_box(&store)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

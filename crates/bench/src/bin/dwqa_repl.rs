@@ -1,0 +1,90 @@
+//! Interactive demo: the integrated system as a console REPL.
+//!
+//! Builds the standard fixture (seeded corpus + correlated sales +
+//! five-step pipeline) and answers questions from stdin. Commands:
+//!
+//! * plain text — ask the QA system, feed valid tuples into the DW;
+//! * `:trace <question>` — print the Table-1 pipeline trace;
+//! * `:bands` — the sales-vs-temperature analysis on current DW contents;
+//! * `:missing` — DW-proposed questions for January 2004;
+//! * `:quit`.
+//!
+//! Run with: `cargo run --release -p dwqa-bench --bin dwqa_repl`
+
+use dwqa_bench::{build_fixture, FixtureConfig};
+use dwqa_common::Month;
+use dwqa_core::{questions_for_missing_weather, sales_by_temperature_band};
+use dwqa_corpus::PageStyle;
+use std::io::{BufRead, Write};
+
+fn main() {
+    println!("Building the integrated pipeline (seeded corpus + DW)…");
+    let mut fx = build_fixture(FixtureConfig {
+        styles: vec![PageStyle::Prose],
+        intranet: true,
+        ..FixtureConfig::default()
+    });
+    println!(
+        "Ready: {} documents indexed, {} ontology instances fed, {} sales rows.\n\
+         Ask a question (e.g. \"What is the temperature on January 15, 2004 in Barcelona?\"),\n\
+         or :trace / :bands / :missing / :quit.",
+        fx.corpus_size,
+        fx.pipeline.enrichment.instances_added,
+        fx.pipeline.warehouse.fact("Last Minute Sales").map(|f| f.len()).unwrap_or(0),
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("dwqa> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":bands" {
+            match sales_by_temperature_band(&fx.pipeline.warehouse, 5.0) {
+                Ok(bands) if bands.is_empty() => {
+                    println!("(no weather rows yet — ask some temperature questions first)")
+                }
+                Ok(bands) => println!("{}", dwqa_core::analysis::render_bands(&bands)),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if line == ":missing" {
+            match questions_for_missing_weather(&fx.pipeline.warehouse, 2004, Month::January) {
+                Ok(qs) if qs.is_empty() => println!("(weather coverage is complete)"),
+                Ok(qs) => {
+                    for q in qs {
+                        println!("  {q}");
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":trace ") {
+            println!("{}", fx.pipeline.trace(q).render());
+            continue;
+        }
+        let (answers, report) = fx.pipeline.ask_and_feed(line);
+        if answers.is_empty() {
+            println!("no answer found");
+            continue;
+        }
+        for a in answers.iter().take(3) {
+            println!("  {}  (score {:.2}, {})", a.tuple_format(), a.score, a.url);
+        }
+        if report.loaded > 0 {
+            println!("  → {} tuple(s) fed into the City Weather star", report.loaded);
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,48 @@
+//! E8 — regenerates the paper's descriptive figures from code:
+//! **Figure 1** (the Last Minute Sales multidimensional model, rendered in
+//! the UML profile's stereotyped notation) and **Figure 2** (the domain
+//! ontology Step 1 derives from it, plus its OWL serialization).
+
+use dwqa_bench::section;
+use dwqa_mdmodel::{last_minute_sales, render_uml};
+use dwqa_ontology::{render_owl, schema_to_ontology, Relation};
+
+fn main() {
+    let schema = last_minute_sales();
+
+    section("Figure 1 — multidimensional model (UML profile)");
+    println!("{}", render_uml(&schema));
+
+    section("Figure 2 — derived domain ontology (Step 1)");
+    let onto = schema_to_ontology(&schema);
+    for (id, c) in onto.iter() {
+        let parts: Vec<String> = onto
+            .related(id, Relation::Meronym)
+            .iter()
+            .map(|&t| onto.concept(t).canonical().to_owned())
+            .collect();
+        let related: Vec<String> = onto
+            .related(id, Relation::RelatedTo)
+            .iter()
+            .map(|&t| onto.concept(t).canonical().to_owned())
+            .collect();
+        let mut line = format!("concept {:?}", c.canonical());
+        if !parts.is_empty() {
+            line.push_str(&format!("  part-of {parts:?}"));
+        }
+        if !related.is_empty() {
+            line.push_str(&format!("  related-to {related:?}"));
+        }
+        println!("{line}");
+    }
+
+    section("Figure 2 in OWL functional syntax (step 1.b)");
+    let owl = render_owl(&onto);
+    println!("{owl}");
+    // Round-trip sanity.
+    let parsed = dwqa_ontology::parse_owl(&owl).expect("OWL round-trip");
+    println!(
+        "(round-trip OK: {} concepts serialized and parsed back)",
+        parsed.len()
+    );
+}

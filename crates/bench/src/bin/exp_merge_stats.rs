@@ -1,0 +1,59 @@
+//! E6 — Step-3 statistics: how the domain ontology lands in the upper
+//! ontology (exact / head-word / new-root placements, instance additions,
+//! synonym enrichments such as "JFK" → Kennedy International Airport),
+//! plus the head-word-fallback ablation and an idempotence check.
+
+use dwqa_bench::{build_fixture, section, FixtureConfig};
+use dwqa_core::PipelineOptions;
+use dwqa_ontology::{MatchKind, MergeOptions};
+
+fn report(title: &str, fx: &dwqa_bench::Fixture) {
+    section(title);
+    let m = &fx.pipeline.merge;
+    println!(
+        "classes: {} exact, {} head-word, {} new-root",
+        m.count(MatchKind::Exact),
+        m.count(MatchKind::HeadWord),
+        m.count(MatchKind::NewRoot)
+    );
+    for (label, kind) in &m.class_matches {
+        let kind = match kind {
+            MatchKind::Exact => "exact   ",
+            MatchKind::HeadWord => "headword",
+            MatchKind::NewRoot => "new root",
+        };
+        println!("  {kind} ← {label}");
+    }
+    println!(
+        "instances: {} added, {} already present, {} synonym enrichments",
+        m.instances_added,
+        m.instances_existing,
+        m.synonyms_enriched.len()
+    );
+    for (term, target) in &m.synonyms_enriched {
+        println!("  synonym: {term:?} joined {target:?}");
+    }
+    println!("enrichment (Step 2) instances fed: {}", fx.pipeline.enrichment.instances_added);
+}
+
+fn main() {
+    let fx = build_fixture(FixtureConfig::default());
+    report("Step 3 merge — default options", &fx);
+
+    let ablated = build_fixture(FixtureConfig {
+        options: PipelineOptions {
+            merge: MergeOptions {
+                head_word_fallback: false,
+                ..MergeOptions::default()
+            },
+            ..PipelineOptions::default()
+        },
+        ..FixtureConfig::default()
+    });
+    report("Ablation — head-word fallback disabled", &ablated);
+
+    section("Shape check vs the paper");
+    println!("Expected: Airport/City/State/Country/Date/… map exactly; 'Last Minute Sales'");
+    println!("hangs under 'sale' via its head word (new root when the fallback is off);");
+    println!("'JFK' enriches Kennedy International Airport as a synonym.");
+}

@@ -1,0 +1,41 @@
+//! E1 — regenerates the paper's **Table 1**: the full pipeline trace for
+//! the query "What is the weather like in January of 2004 in El Prat?".
+
+use dwqa_bench::{build_fixture, monthly_question, section, FixtureConfig};
+use dwqa_common::Month;
+
+fn main() {
+    let fx = build_fixture(FixtureConfig::default());
+    let question = monthly_question("El Prat", 2004, Month::January);
+
+    section("Table 1 — the output of Step 5 for the Figure 4 web page");
+    let trace = fx.pipeline.trace(&question);
+    println!("{}", trace.render());
+
+    section("Generated database rows (temperature – date – city – web page)");
+    let answers = fx.pipeline.ask(&question);
+    for a in &answers {
+        println!("{} – {}", a.tuple_format(), a.url);
+    }
+
+    section("Ground-truth check");
+    let mut correct = 0usize;
+    for a in &answers {
+        if let dwqa_qa::AnswerValue::Temperature { celsius, .. } = a.value {
+            if let (Some(city), Some(date)) = (a.context_location.as_deref(), a.context_date) {
+                if let Some(t) = fx.truth.temperature(city, date) {
+                    let ok = (t - celsius).abs() < 0.51;
+                    println!(
+                        "{} extracted {:.1}ºC, truth {:.1}ºC → {}",
+                        date,
+                        celsius,
+                        t,
+                        if ok { "correct" } else { "WRONG" }
+                    );
+                    correct += usize::from(ok);
+                }
+            }
+        }
+    }
+    println!("{correct}/{} tuples verified against ground truth", answers.len());
+}

@@ -1,0 +1,424 @@
+//! A minimal proleptic-Gregorian calendar.
+//!
+//! Implements the civil-date ↔ day-number conversion of Howard Hinnant's
+//! `days_from_civil` algorithm, which is exact for all representable years.
+//! Only what the reproduction needs is provided: construction, validation,
+//! ordering, day arithmetic, weekday computation and English month/weekday
+//! names (the corpus generator and the temporal entity recogniser both speak
+//! the paper's date formats, e.g. "Monday, January 31, 2004").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A month of the Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Month {
+    January = 1,
+    February = 2,
+    March = 3,
+    April = 4,
+    May = 5,
+    June = 6,
+    July = 7,
+    August = 8,
+    September = 9,
+    October = 10,
+    November = 11,
+    December = 12,
+}
+
+impl Month {
+    /// All months in calendar order.
+    pub const ALL: [Month; 12] = [
+        Month::January,
+        Month::February,
+        Month::March,
+        Month::April,
+        Month::May,
+        Month::June,
+        Month::July,
+        Month::August,
+        Month::September,
+        Month::October,
+        Month::November,
+        Month::December,
+    ];
+
+    /// The month for a 1-based number, if in `1..=12`.
+    pub fn from_number(n: u32) -> Option<Month> {
+        Month::ALL.get(n.checked_sub(1)? as usize).copied()
+    }
+
+    /// The 1-based month number.
+    pub fn number(self) -> u32 {
+        self as u32
+    }
+
+    /// The English name, capitalised ("January").
+    pub fn name(self) -> &'static str {
+        match self {
+            Month::January => "January",
+            Month::February => "February",
+            Month::March => "March",
+            Month::April => "April",
+            Month::May => "May",
+            Month::June => "June",
+            Month::July => "July",
+            Month::August => "August",
+            Month::September => "September",
+            Month::October => "October",
+            Month::November => "November",
+            Month::December => "December",
+        }
+    }
+
+    /// Parses an English month name or common three-letter abbreviation,
+    /// case-insensitively.
+    pub fn parse(s: &str) -> Option<Month> {
+        let lower = s.trim_end_matches('.').to_ascii_lowercase();
+        Month::ALL.iter().copied().find(|m| {
+            let name = m.name().to_ascii_lowercase();
+            name == lower || (lower.len() == 3 && name.starts_with(&lower))
+        })
+    }
+
+    /// Number of days in this month for the given year.
+    pub fn days_in(self, year: i32) -> u32 {
+        match self {
+            Month::January
+            | Month::March
+            | Month::May
+            | Month::July
+            | Month::August
+            | Month::October
+            | Month::December => 31,
+            Month::April | Month::June | Month::September | Month::November => 30,
+            Month::February => {
+                if is_leap_year(year) {
+                    29
+                } else {
+                    28
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A day of the week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday = 0,
+    Tuesday = 1,
+    Wednesday = 2,
+    Thursday = 3,
+    Friday = 4,
+    Saturday = 5,
+    Sunday = 6,
+}
+
+impl Weekday {
+    /// All weekdays, Monday first (ISO order).
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// The English name ("Monday").
+    pub fn name(self) -> &'static str {
+        match self {
+            Weekday::Monday => "Monday",
+            Weekday::Tuesday => "Tuesday",
+            Weekday::Wednesday => "Wednesday",
+            Weekday::Thursday => "Thursday",
+            Weekday::Friday => "Friday",
+            Weekday::Saturday => "Saturday",
+            Weekday::Sunday => "Sunday",
+        }
+    }
+
+    /// Parses an English weekday name, case-insensitively.
+    pub fn parse(s: &str) -> Option<Weekday> {
+        let lower = s.to_ascii_lowercase();
+        Weekday::ALL
+            .iter()
+            .copied()
+            .find(|d| d.name().to_ascii_lowercase() == lower)
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// A calendar date in the proleptic Gregorian calendar.
+///
+/// Internally stored as year / month / day; ordering is chronological.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    year: i32,
+    month: Month,
+    day: u32,
+}
+
+impl Date {
+    /// Constructs a date, validating the day against the month length.
+    pub fn new(year: i32, month: Month, day: u32) -> Option<Date> {
+        if day >= 1 && day <= month.days_in(year) {
+            Some(Date { year, month, day })
+        } else {
+            None
+        }
+    }
+
+    /// Constructs from numeric year/month/day.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Option<Date> {
+        Date::new(year, Month::from_number(month)?, day)
+    }
+
+    /// The year.
+    pub fn year(self) -> i32 {
+        self.year
+    }
+
+    /// The month.
+    pub fn month(self) -> Month {
+        self.month
+    }
+
+    /// The day of month (1-based).
+    pub fn day(self) -> u32 {
+        self.day
+    }
+
+    /// Days since the civil epoch 1970-01-01 (negative before it).
+    ///
+    /// Hinnant's `days_from_civil`, exact over the full `i32` year range we
+    /// use.
+    pub fn days_from_epoch(self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month.number() <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = i64::from(self.month.number());
+        let d = i64::from(self.day);
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146097 + doe - 719468
+    }
+
+    /// The inverse of [`Date::days_from_epoch`].
+    pub fn from_days_from_epoch(days: i64) -> Date {
+        let z = days + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+        let year = (y + i64::from(m <= 2)) as i32;
+        Date::from_ymd(year, m, d).expect("round-trip of a valid day number")
+    }
+
+    /// The weekday of this date.
+    pub fn weekday(self) -> Weekday {
+        // 1970-01-01 was a Thursday (index 3 with Monday = 0).
+        let wd = (self.days_from_epoch() + 3).rem_euclid(7);
+        Weekday::ALL[wd as usize]
+    }
+
+    /// The date `n` days after (`n` may be negative).
+    pub fn add_days(self, n: i64) -> Date {
+        Date::from_days_from_epoch(self.days_from_epoch() + n)
+    }
+
+    /// Signed number of days from `self` to `other`.
+    pub fn days_until(self, other: Date) -> i64 {
+        other.days_from_epoch() - self.days_from_epoch()
+    }
+
+    /// The first day of this date's month.
+    pub fn first_of_month(self) -> Date {
+        Date::new(self.year, self.month, 1).expect("day 1 is always valid")
+    }
+
+    /// Iterates every date of the given month.
+    pub fn month_days(year: i32, month: Month) -> impl Iterator<Item = Date> {
+        (1..=month.days_in(year)).map(move |d| Date::new(year, month, d).expect("in range"))
+    }
+
+    /// Formats as the paper's long form: "Monday, January 31, 2004".
+    pub fn long_format(self) -> String {
+        format!(
+            "{}, {} {}, {}",
+            self.weekday(),
+            self.month,
+            self.day,
+            self.year
+        )
+    }
+
+    /// Formats as ISO-8601: "2004-01-31".
+    pub fn iso_format(self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month.number(), self.day)
+    }
+
+    /// Parses an ISO-8601 `YYYY-MM-DD` string.
+    pub fn parse_iso(s: &str) -> Option<Date> {
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next()?.parse().ok()?;
+        let m: u32 = parts.next()?.parse().ok()?;
+        let d: u32 = parts.next()?.parse().ok()?;
+        Date::from_ymd(y, m, d)
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.iso_format())
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.iso_format())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn month_lengths_respect_leap_years() {
+        assert_eq!(Month::February.days_in(2004), 29);
+        assert_eq!(Month::February.days_in(1900), 28);
+        assert_eq!(Month::February.days_in(2000), 29);
+        assert_eq!(Month::January.days_in(2004), 31);
+        assert_eq!(Month::April.days_in(2004), 30);
+    }
+
+    #[test]
+    fn invalid_dates_are_rejected() {
+        assert!(Date::from_ymd(2004, 2, 30).is_none());
+        assert!(Date::from_ymd(2004, 13, 1).is_none());
+        assert!(Date::from_ymd(2004, 0, 1).is_none());
+        assert!(Date::from_ymd(2004, 4, 31).is_none());
+        assert!(Date::from_ymd(2004, 4, 0).is_none());
+    }
+
+    #[test]
+    fn epoch_is_day_zero_and_a_thursday() {
+        let epoch = Date::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(epoch.days_from_epoch(), 0);
+        assert_eq!(epoch.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn paper_example_date_is_a_saturday_long_formatted() {
+        // The paper's Figure 4 passage claims "Monday, January 31, 2004";
+        // the real Jan 31, 2004 was a Saturday. We reproduce the *format*
+        // faithfully and the calendar correctly.
+        let d = Date::from_ymd(2004, 1, 31).unwrap();
+        assert_eq!(d.weekday(), Weekday::Saturday);
+        assert_eq!(d.long_format(), "Saturday, January 31, 2004");
+    }
+
+    #[test]
+    fn iso_round_trip() {
+        let d = Date::from_ymd(2008, 1, 15).unwrap();
+        assert_eq!(Date::parse_iso(&d.iso_format()), Some(d));
+    }
+
+    #[test]
+    fn month_parse_accepts_names_and_abbreviations() {
+        assert_eq!(Month::parse("january"), Some(Month::January));
+        assert_eq!(Month::parse("Jan"), Some(Month::January));
+        assert_eq!(Month::parse("SEP"), Some(Month::September));
+        assert_eq!(Month::parse("sept"), None);
+        assert_eq!(Month::parse("foo"), None);
+    }
+
+    #[test]
+    fn weekday_parse() {
+        assert_eq!(Weekday::parse("monday"), Some(Weekday::Monday));
+        assert_eq!(Weekday::parse("SUNDAY"), Some(Weekday::Sunday));
+        assert_eq!(Weekday::parse("mon"), None);
+    }
+
+    #[test]
+    fn add_days_crosses_month_and_year_boundaries() {
+        let d = Date::from_ymd(2003, 12, 31).unwrap();
+        assert_eq!(d.add_days(1), Date::from_ymd(2004, 1, 1).unwrap());
+        assert_eq!(d.add_days(31 + 29), Date::from_ymd(2004, 2, 29).unwrap());
+        assert_eq!(d.add_days(-365), Date::from_ymd(2002, 12, 31).unwrap());
+    }
+
+    #[test]
+    fn month_days_enumerates_whole_month() {
+        let days: Vec<Date> = Date::month_days(2004, Month::January).collect();
+        assert_eq!(days.len(), 31);
+        assert_eq!(days[0], Date::from_ymd(2004, 1, 1).unwrap());
+        assert_eq!(days[30], Date::from_ymd(2004, 1, 31).unwrap());
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = Date::from_ymd(2004, 1, 31).unwrap();
+        let b = Date::from_ymd(2004, 2, 1).unwrap();
+        let c = Date::from_ymd(2005, 1, 1).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_day_number_round_trips(days in -1_000_000i64..1_000_000) {
+            let d = Date::from_days_from_epoch(days);
+            prop_assert_eq!(d.days_from_epoch(), days);
+        }
+
+        #[test]
+        fn prop_add_days_is_additive(days in -100_000i64..100_000, a in -500i64..500, b in -500i64..500) {
+            let d = Date::from_days_from_epoch(days);
+            prop_assert_eq!(d.add_days(a).add_days(b), d.add_days(a + b));
+        }
+
+        #[test]
+        fn prop_consecutive_days_cycle_weekdays(days in -100_000i64..100_000) {
+            let d = Date::from_days_from_epoch(days);
+            let today = d.weekday() as i64;
+            let tomorrow = d.add_days(1).weekday() as i64;
+            prop_assert_eq!((today + 1).rem_euclid(7), tomorrow);
+        }
+
+        #[test]
+        fn prop_ymd_round_trips(y in 1800i32..2200, m in 1u32..=12, d in 1u32..=31) {
+            if let Some(date) = Date::from_ymd(y, m, d) {
+                let back = Date::from_days_from_epoch(date.days_from_epoch());
+                prop_assert_eq!(back, date);
+                prop_assert_eq!(Date::parse_iso(&date.iso_format()), Some(date));
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A simple string interner.
+//!
+//! The NLP lexicon, the IR vocabulary and the ontology lexicon all keep
+//! large numbers of repeated strings (lemmas, surface forms, concept
+//! labels). Interning gives each distinct string a small copyable
+//! [`Symbol`] so the rest of the system compares and hashes integers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to an interned string. Cheap to copy, compare and hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of the symbol inside its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Symbols are only meaningful relative to the interner that produced them;
+/// mixing symbols across interners is a logic error (it cannot cause memory
+/// unsafety, only wrong lookups).
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner capacity exceeded"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a previously interned string without interning.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Resolves a symbol if it belongs to this interner.
+    pub fn try_resolve(&self, sym: Symbol) -> Option<&str> {
+        self.strings.get(sym.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates all interned strings with their symbols, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("temperature");
+        let b = i.intern("temperature");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("airport");
+        let b = i.intern("airline");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "airport");
+        assert_eq!(i.resolve(b), "airline");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("weather"), None);
+        let s = i.intern("weather");
+        assert_eq!(i.get("weather"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("c");
+        let strings: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(strings, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn try_resolve_rejects_out_of_range() {
+        let i = Interner::new();
+        assert_eq!(i.try_resolve(Symbol(7)), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(words in proptest::collection::vec("[a-z]{1,12}", 0..64)) {
+            let mut i = Interner::new();
+            let syms: Vec<Symbol> = words.iter().map(|w| i.intern(w)).collect();
+            for (w, s) in words.iter().zip(&syms) {
+                prop_assert_eq!(i.resolve(*s), w.as_str());
+            }
+            let distinct: std::collections::HashSet<&String> = words.iter().collect();
+            prop_assert_eq!(i.len(), distinct.len());
+        }
+    }
+}

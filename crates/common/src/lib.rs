@@ -1,0 +1,25 @@
+//! Shared foundations for the `dwqa` workspace.
+//!
+//! The reproduction of Ferrández & Peral (EDBT 2010) spans several
+//! subsystems (warehouse, ontology, NLP, IR, QA). This crate holds the small
+//! set of primitives they all need so the dependency graph stays acyclic:
+//!
+//! * [`date`] — a proleptic-Gregorian calendar date with weekday/month
+//!   arithmetic. The paper's pipeline is saturated with dates ("Monday,
+//!   January 31, 2004"), and pulling in `chrono` is unnecessary for the
+//!   civil-calendar subset we need.
+//! * [`interner`] — a string interner used by the NLP lexicon, the IR
+//!   vocabulary and the ontology lexicon, where the same lemma is stored
+//!   millions of times.
+//! * [`text`] — ASCII-oriented normalisation and similarity helpers used by
+//!   tokenisation and by the PROMPT-style ontology merge.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod date;
+pub mod interner;
+pub mod text;
+
+pub use date::{Date, Month, Weekday};
+pub use interner::{Interner, Symbol};

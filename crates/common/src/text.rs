@@ -1,0 +1,161 @@
+//! Text normalisation and similarity helpers.
+//!
+//! These are shared between tokenisation (`dwqa-nlp`), indexing (`dwqa-ir`)
+//! and the PROMPT-style concept-name matching of the ontology merge
+//! (`dwqa-ontology`), which needs exact, case-folded and edit-distance
+//! comparisons on multi-word concept labels such as "Last Minute Sales".
+
+/// Lower-cases ASCII letters and maps a few Latin-1 letters the corpus uses
+/// (the paper's examples contain "Ferrández"-style accents and the degree
+/// sign) to unaccented equivalents. Non-alphanumeric characters are kept.
+pub fn fold(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            'á' | 'à' | 'ä' | 'â' | 'Á' | 'À' | 'Ä' | 'Â' => out.push('a'),
+            'é' | 'è' | 'ë' | 'ê' | 'É' | 'È' | 'Ë' | 'Ê' => out.push('e'),
+            'í' | 'ì' | 'ï' | 'î' | 'Í' | 'Ì' | 'Ï' | 'Î' => out.push('i'),
+            'ó' | 'ò' | 'ö' | 'ô' | 'Ó' | 'Ò' | 'Ö' | 'Ô' => out.push('o'),
+            'ú' | 'ù' | 'ü' | 'û' | 'Ú' | 'Ù' | 'Ü' | 'Û' => out.push('u'),
+            'ñ' | 'Ñ' => out.push('n'),
+            'ç' | 'Ç' => out.push('c'),
+            _ => out.extend(c.to_lowercase()),
+        }
+    }
+    out
+}
+
+/// Splits a multi-word label into case-folded words ("Last Minute Sales" →
+/// `["last", "minute", "sales"]`). Underscores and hyphens are separators.
+pub fn label_words(label: &str) -> Vec<String> {
+    fold(label)
+        .split(|c: char| c.is_whitespace() || c == '_' || c == '-')
+        .filter(|w| !w.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Levenshtein edit distance between two strings (by `char`).
+///
+/// Used by the partial-match stage of the ontology merge; inputs are short
+/// labels so the O(len a × len b) dynamic program is fine.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Normalised string similarity in `[0, 1]` based on edit distance, after
+/// case folding. `1.0` means identical (after folding).
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let fa = fold(a);
+    let fb = fold(b);
+    let max_len = fa.chars().count().max(fb.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(&fa, &fb) as f64 / max_len as f64
+}
+
+/// Whether a word looks like a proper-noun surface form: starts with an
+/// uppercase letter and is not fully uppercase punctuation. All-caps tokens
+/// of length ≥ 2 ("JFK") also count — they are the acronym case the paper's
+/// Step 2 is about.
+pub fn looks_proper(word: &str) -> bool {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(c) if c.is_uppercase() => true,
+        _ => false,
+    }
+}
+
+/// Whether the token is entirely uppercase letters of length ≥ 2 (an
+/// acronym/abbreviation such as "JFK").
+pub fn is_acronym(word: &str) -> bool {
+    word.chars().count() >= 2 && word.chars().all(|c| c.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fold_lowercases_and_strips_accents() {
+        assert_eq!(fold("Ferrández"), "ferrandez");
+        assert_eq!(fold("AliQAn"), "aliqan");
+        assert_eq!(fold("ESPAÑA"), "espana");
+    }
+
+    #[test]
+    fn label_words_splits_compounds() {
+        assert_eq!(label_words("Last Minute Sales"), ["last", "minute", "sales"]);
+        assert_eq!(label_words("last_minute-sales"), ["last", "minute", "sales"]);
+        assert!(label_words("   ").is_empty());
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("airport", "airport"), 0);
+    }
+
+    #[test]
+    fn similarity_is_case_insensitive() {
+        assert!((similarity("Airport", "airport") - 1.0).abs() < 1e-12);
+        assert!(similarity("airport", "airline") < 1.0);
+        assert!(similarity("airport", "airline") > 0.4);
+    }
+
+    #[test]
+    fn proper_and_acronym_detection() {
+        assert!(looks_proper("Barcelona"));
+        assert!(looks_proper("JFK"));
+        assert!(!looks_proper("weather"));
+        assert!(is_acronym("JFK"));
+        assert!(!is_acronym("Jfk"));
+        assert!(!is_acronym("J"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_levenshtein_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn prop_levenshtein_identity(a in "[a-zA-Z ]{0,16}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn prop_levenshtein_triangle(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn prop_similarity_bounded(a in "[a-zA-Z]{0,12}", b in "[a-zA-Z]{0,12}") {
+            let s = similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

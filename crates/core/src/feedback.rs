@@ -1,0 +1,271 @@
+//! Step 5: feeding the DW with QA answers.
+//!
+//! "The following database is generated successfully and correctly
+//! (temperature – date – city – web page): (8ºC – Monday, January 31,
+//! 2004 – Barcelona – URL), (7ºC – Sunday, January 30, 2004 – Barcelona –
+//! URL), etc. This database will automatically feed the DW."
+//!
+//! Answers are validated against the Step-4 axioms before loading;
+//! structurally incomplete answers (no date, no city) are recorded as
+//! rejections — but their source URL is still listed, implementing the
+//! paper's robustness rule that the page reference survives even when the
+//! tuple does not.
+
+use crate::axioms::TemperatureAxioms;
+use dwqa_qa::{Answer, AnswerValue};
+use dwqa_warehouse::{EtlReport, FactRowBuilder, Value, Warehouse, WarehouseError};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a feedback load.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FeedReport {
+    /// Rows loaded into the `City Weather` fact.
+    pub loaded: usize,
+    /// `(answer tuple, reason)` pairs that were not loadable.
+    pub rejected: Vec<(String, String)>,
+    /// Source URLs seen (loaded *and* rejected — the robustness rule).
+    pub urls: Vec<String>,
+    /// Tuples skipped because the same (city, date) point was already fed
+    /// (overlapping questions re-extract the same readings).
+    pub duplicates_skipped: usize,
+    /// The underlying warehouse ETL report.
+    pub etl: EtlReport,
+}
+
+impl FeedReport {
+    /// Fraction of answers that became warehouse rows.
+    pub fn load_rate(&self) -> f64 {
+        let total = self.loaded + self.rejected.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.loaded as f64 / total as f64
+        }
+    }
+}
+
+/// Validates and loads temperature answers into the `City Weather` fact.
+///
+/// Equivalent to [`feed_weather_dedup`] with an empty (throw-away)
+/// dedup set.
+pub fn feed_weather(
+    warehouse: &mut Warehouse,
+    answers: &[Answer],
+    axioms: &TemperatureAxioms,
+) -> Result<FeedReport, WarehouseError> {
+    let mut seen = std::collections::HashSet::new();
+    feed_weather_dedup(warehouse, answers, axioms, &mut seen)
+}
+
+/// Like [`feed_weather`], skipping `(city, date)` points already present
+/// in `seen` (and recording the new ones). The pipeline threads one set
+/// across a whole question batch so overlapping questions do not load the
+/// same reading twice.
+pub fn feed_weather_dedup(
+    warehouse: &mut Warehouse,
+    answers: &[Answer],
+    axioms: &TemperatureAxioms,
+    seen: &mut std::collections::HashSet<(String, dwqa_common::Date)>,
+) -> Result<FeedReport, WarehouseError> {
+    let mut report = FeedReport::default();
+    let mut rows = Vec::new();
+    for answer in answers {
+        if !report.urls.contains(&answer.url) {
+            report.urls.push(answer.url.clone());
+        }
+        let AnswerValue::Temperature { raw, unit, .. } = answer.value else {
+            report.rejected.push((
+                answer.tuple_format(),
+                "not a temperature answer".to_owned(),
+            ));
+            continue;
+        };
+        let celsius = match axioms.validate(raw, unit) {
+            Ok(c) => c,
+            Err(why) => {
+                report.rejected.push((answer.tuple_format(), why));
+                continue;
+            }
+        };
+        let Some(date) = answer.context_date else {
+            report.rejected.push((
+                answer.tuple_format(),
+                "no date could be associated with the reading".to_owned(),
+            ));
+            continue;
+        };
+        let Some(city) = answer.context_location.clone() else {
+            report.rejected.push((
+                answer.tuple_format(),
+                "no city could be associated with the reading".to_owned(),
+            ));
+            continue;
+        };
+        if !seen.insert((dwqa_common::text::fold(&city), date)) {
+            report.duplicates_skipped += 1;
+            continue;
+        }
+        let mut b = FactRowBuilder::new();
+        b.measure("temperature_c", Value::Float(celsius))
+            .role_member("City", &[("City.city_name", Value::text(city))])
+            .role_member("Date", &[("date", Value::Date(date))])
+            .role_member("Source", &[("url", Value::text(&answer.url))]);
+        rows.push(b.build());
+        report.loaded += 1;
+    }
+    report.etl = warehouse.load("City Weather", rows)?;
+    // ETL-level rejections demote previously counted loads.
+    report.loaded = report.etl.inserted;
+    for r in &report.etl.rejected {
+        report
+            .rejected
+            .push((format!("row {}", r.row), r.reason.clone()));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::integrated_schema;
+    use dwqa_common::Date;
+    use dwqa_nlp::TempUnit;
+    use dwqa_warehouse::{AggFn, CubeQuery};
+
+    fn answer(
+        celsius: f64,
+        date: Option<Date>,
+        city: Option<&str>,
+        url: &str,
+    ) -> Answer {
+        Answer {
+            value: AnswerValue::Temperature {
+                celsius,
+                raw: celsius,
+                unit: TempUnit::Celsius,
+            },
+            score: 1.0,
+            url: url.to_owned(),
+            sentence: String::new(),
+            context_date: date,
+            context_location: city.map(str::to_owned),
+        }
+    }
+
+    #[test]
+    fn table_1_tuples_load_into_the_dw() {
+        let mut wh = Warehouse::new(integrated_schema());
+        let answers = vec![
+            answer(8.0, Date::from_ymd(2004, 1, 31), Some("Barcelona"), "url1"),
+            answer(7.0, Date::from_ymd(2004, 1, 30), Some("Barcelona"), "url1"),
+        ];
+        let report = feed_weather(&mut wh, &answers, &TemperatureAxioms::default()).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert!(report.rejected.is_empty());
+        assert_eq!(report.load_rate(), 1.0);
+        // The DW can now answer the monthly average.
+        let rs = CubeQuery::on("City Weather")
+            .group_by("City", "City")
+            .group_by("Date", "Month")
+            .aggregate("temperature_c", AggFn::Avg)
+            .run(&wh)
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.f64(0, "avg(temperature_c)"), Some(7.5));
+    }
+
+    #[test]
+    fn incomplete_answers_are_rejected_but_urls_survive() {
+        let mut wh = Warehouse::new(integrated_schema());
+        let answers = vec![
+            answer(8.0, None, Some("Barcelona"), "no-date-url"),
+            answer(8.0, Date::from_ymd(2004, 1, 31), None, "no-city-url"),
+        ];
+        let report = feed_weather(&mut wh, &answers, &TemperatureAxioms::default()).unwrap();
+        assert_eq!(report.loaded, 0);
+        assert_eq!(report.rejected.len(), 2);
+        // Robustness: both pages are still recorded for the analyst.
+        assert!(report.urls.contains(&"no-date-url".to_owned()));
+        assert!(report.urls.contains(&"no-city-url".to_owned()));
+    }
+
+    #[test]
+    fn axiom_violations_are_rejected() {
+        let mut wh = Warehouse::new(integrated_schema());
+        let answers = vec![answer(
+            900.0,
+            Date::from_ymd(2004, 1, 31),
+            Some("Barcelona"),
+            "url",
+        )];
+        let report = feed_weather(&mut wh, &answers, &TemperatureAxioms::default()).unwrap();
+        assert_eq!(report.loaded, 0);
+        assert!(report.rejected[0].1.contains("plausible interval"));
+    }
+
+    #[test]
+    fn fahrenheit_answers_are_normalised() {
+        let mut wh = Warehouse::new(integrated_schema());
+        let a = Answer {
+            value: AnswerValue::Temperature {
+                celsius: 8.0,
+                raw: 46.4,
+                unit: TempUnit::Fahrenheit,
+            },
+            score: 1.0,
+            url: "u".into(),
+            sentence: String::new(),
+            context_date: Date::from_ymd(2004, 1, 31),
+            context_location: Some("Barcelona".into()),
+        };
+        feed_weather(&mut wh, &[a], &TemperatureAxioms::default()).unwrap();
+        let rs = CubeQuery::on("City Weather")
+            .aggregate("temperature_c", AggFn::Avg)
+            .run(&wh)
+            .unwrap();
+        assert!((rs.f64(0, "avg(temperature_c)").unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_are_skipped_across_batches() {
+        let mut wh = Warehouse::new(integrated_schema());
+        let mut seen = std::collections::HashSet::new();
+        let a = answer(8.0, Date::from_ymd(2004, 1, 31), Some("Barcelona"), "url1");
+        let r1 = crate::feedback::feed_weather_dedup(
+            &mut wh,
+            &[a.clone()],
+            &TemperatureAxioms::default(),
+            &mut seen,
+        )
+        .unwrap();
+        assert_eq!(r1.loaded, 1);
+        // Same point from another question/url: skipped, not re-loaded.
+        let b = answer(8.0, Date::from_ymd(2004, 1, 31), Some("barcelona"), "url2");
+        let r2 = crate::feedback::feed_weather_dedup(
+            &mut wh,
+            &[b],
+            &TemperatureAxioms::default(),
+            &mut seen,
+        )
+        .unwrap();
+        assert_eq!(r2.loaded, 0);
+        assert_eq!(r2.duplicates_skipped, 1);
+        assert_eq!(wh.fact("City Weather").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn non_temperature_answers_are_rejected() {
+        let mut wh = Warehouse::new(integrated_schema());
+        let a = Answer {
+            value: AnswerValue::Name("Barcelona".into()),
+            score: 1.0,
+            url: "u".into(),
+            sentence: String::new(),
+            context_date: None,
+            context_location: None,
+        };
+        let report = feed_weather(&mut wh, &[a], &TemperatureAxioms::default()).unwrap();
+        assert_eq!(report.loaded, 0);
+        assert!(report.rejected[0].1.contains("not a temperature"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The five-step integration pipeline.
+
+use crate::axioms::TemperatureAxioms;
+use crate::feedback::{feed_weather_dedup, FeedReport};
+use std::collections::HashSet;
+use dwqa_ir::DocumentStore;
+use dwqa_ontology::{
+    enrich_from_warehouse, merge_into_upper, schema_to_ontology, upper_ontology,
+    EnrichmentReport, MergeOptions, MergeReport, Ontology,
+};
+use dwqa_qa::{temperature_pattern, AliQAn, AliQAnConfig, Answer, PipelineTrace};
+use dwqa_warehouse::Warehouse;
+
+/// Pipeline construction options.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Step-3 merge options.
+    pub merge: MergeOptions,
+    /// QA configuration (passage window etc.).
+    pub qa: AliQAnConfig,
+    /// Step-4 axioms.
+    pub axioms: TemperatureAxioms,
+    /// Skip Step 2 (ontology enrichment) — the E5 ablation.
+    pub skip_enrichment: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            merge: MergeOptions::default(),
+            qa: AliQAnConfig::default(),
+            axioms: TemperatureAxioms::default(),
+            skip_enrichment: false,
+        }
+    }
+}
+
+/// The integrated system: the DW, the tuned QA system over the merged
+/// ontology, and the reports of Steps 1–4.
+pub struct IntegrationPipeline {
+    /// The data warehouse (Step 5 writes into it).
+    pub warehouse: Warehouse,
+    /// The tuned QA system over the merged ontology.
+    pub qa: AliQAn,
+    /// Step-2 report.
+    pub enrichment: EnrichmentReport,
+    /// Step-3 report.
+    pub merge: MergeReport,
+    axioms: TemperatureAxioms,
+    /// (city, date) points already fed, so overlapping questions never
+    /// load the same reading twice.
+    fed_points: HashSet<(String, dwqa_common::Date)>,
+}
+
+impl IntegrationPipeline {
+    /// Runs Steps 1–4 over an already-loaded warehouse and indexes the
+    /// unstructured corpus.
+    ///
+    /// * Step 1 — the warehouse schema becomes the domain ontology;
+    /// * Step 2 — DW members enrich it (unless ablated);
+    /// * Step 3 — merge into the mini-WordNet upper ontology;
+    /// * Step 4 — the temperature question pattern and axioms are tuned in;
+    /// * the corpus is indexed so Step 5 can run via [`Self::ask_and_feed`].
+    pub fn build(
+        warehouse: Warehouse,
+        corpus: DocumentStore,
+        options: PipelineOptions,
+    ) -> IntegrationPipeline {
+        // Step 1.
+        let mut domain: Ontology = schema_to_ontology(warehouse.schema());
+        // Step 2.
+        let enrichment = if options.skip_enrichment {
+            EnrichmentReport::default()
+        } else {
+            enrich_from_warehouse(&mut domain, &warehouse)
+        };
+        // Step 3.
+        let mut upper = upper_ontology();
+        let merge = merge_into_upper(&domain, &mut upper, &options.merge);
+        // Step 4.
+        options.axioms.annotate(&mut upper);
+        let mut qa = AliQAn::new(upper, options.qa);
+        qa.tune(temperature_pattern());
+        // Indexation phase.
+        qa.index_corpus(corpus);
+        IntegrationPipeline {
+            warehouse,
+            qa,
+            enrichment,
+            merge,
+            axioms: options.axioms,
+            fed_points: HashSet::new(),
+        }
+    }
+
+    /// Asks the QA system one question (Steps 1–4 already in place).
+    pub fn ask(&self, question: &str) -> Vec<Answer> {
+        self.qa.answer(question)
+    }
+
+    /// Step 5 for one question: answers are validated and loaded into the
+    /// `City Weather` star.
+    pub fn ask_and_feed(&mut self, question: &str) -> (Vec<Answer>, FeedReport) {
+        let answers = self.qa.answer(question);
+        let report = feed_weather_dedup(
+            &mut self.warehouse,
+            &answers,
+            &self.axioms,
+            &mut self.fed_points,
+        )
+        .expect("the integrated schema has the City Weather fact");
+        (answers, report)
+    }
+
+    /// Step 5 for a batch of questions; returns the merged feed report.
+    pub fn feed_from_questions(&mut self, questions: &[String]) -> FeedReport {
+        let mut merged = FeedReport::default();
+        for q in questions {
+            let (_, report) = self.ask_and_feed(q);
+            merged.loaded += report.loaded;
+            merged.rejected.extend(report.rejected);
+            for url in report.urls {
+                if !merged.urls.contains(&url) {
+                    merged.urls.push(url);
+                }
+            }
+            merged.duplicates_skipped += report.duplicates_skipped;
+            merged.etl.inserted += report.etl.inserted;
+            merged.etl.rejected.extend(report.etl.rejected);
+        }
+        merged
+    }
+
+    /// The Table-1 trace for a question.
+    pub fn trace(&self, question: &str) -> PipelineTrace {
+        self.qa.trace(question)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::sales_by_temperature_band;
+    use crate::schema::integrated_schema;
+    use dwqa_common::Month;
+    use dwqa_corpus::{
+        default_cities, generate_sales, generate_weather_corpus, SalesConfig, WeatherConfig,
+    };
+    use dwqa_qa::AnswerValue;
+
+    fn built_pipeline(skip_enrichment: bool) -> (IntegrationPipeline, dwqa_corpus::GroundTruth) {
+        let corpus =
+            generate_weather_corpus(&WeatherConfig::new(42, 2004, Month::January), &default_cities());
+        let mut wh = Warehouse::new(integrated_schema());
+        let rows = generate_sales(&SalesConfig::default(), &default_cities(), &corpus.truth);
+        wh.load("Last Minute Sales", rows).unwrap();
+        let options = PipelineOptions {
+            skip_enrichment,
+            ..PipelineOptions::default()
+        };
+        let truth = corpus.truth.clone();
+        (IntegrationPipeline::build(wh, corpus.store, options), truth)
+    }
+
+    #[test]
+    fn steps_one_to_four_produce_reports() {
+        let (p, _) = built_pipeline(false);
+        assert!(p.enrichment.instances_added > 0);
+        assert!(p.merge.count(dwqa_ontology::MatchKind::Exact) > 5);
+        // The tuned ontology knows El Prat as an airport.
+        let airport = p.qa.ontology().class_for("airport").unwrap();
+        assert!(p
+            .qa
+            .ontology()
+            .concepts_for("El Prat")
+            .iter()
+            .any(|&id| p.qa.ontology().is_a(id, airport)));
+    }
+
+    #[test]
+    fn paper_question_end_to_end() {
+        let (mut p, truth) = built_pipeline(false);
+        let (answers, report) =
+            p.ask_and_feed("What is the temperature in January of 2004 in El Prat?");
+        assert!(!answers.is_empty());
+        assert!(report.loaded > 0, "rejected: {:?}", report.rejected);
+        // Every loaded tuple matches the generator's ground truth.
+        for a in &answers {
+            if let AnswerValue::Temperature { celsius, .. } = a.value {
+                if let (Some(city), Some(date)) = (a.context_location.as_deref(), a.context_date) {
+                    if let Some(t) = truth.temperature(city, date) {
+                        assert!((t - celsius).abs() < 0.51, "{a:?} vs truth {t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bi_analysis_becomes_answerable_after_feeding() {
+        let (mut p, _) = built_pipeline(false);
+        assert!(sales_by_temperature_band(&p.warehouse, 5.0)
+            .unwrap()
+            .is_empty());
+        let questions: Vec<String> = default_cities()
+            .iter()
+            .map(|c| format!("What is the temperature in January of 2004 in {}?", c.city))
+            .collect();
+        let report = p.feed_from_questions(&questions);
+        assert!(report.loaded > 0);
+        let bands = sales_by_temperature_band(&p.warehouse, 5.0).unwrap();
+        assert!(!bands.is_empty());
+    }
+
+    #[test]
+    fn enrichment_ablation_changes_the_ontology() {
+        let (with, _) = built_pipeline(false);
+        let (without, _) = built_pipeline(true);
+        assert_eq!(without.enrichment.instances_added, 0);
+        // Without Step 2, El Prat never reaches the merged ontology.
+        assert!(without.qa.ontology().concepts_for("El Prat").is_empty());
+        assert!(!with.qa.ontology().concepts_for("El Prat").is_empty());
+    }
+}

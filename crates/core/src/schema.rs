@@ -1,0 +1,139 @@
+//! The integrated warehouse schema: airline sales + fed-back weather.
+//!
+//! Step 5 loads "new data about temperature, date, city or airport …
+//! from the Web page into the DW". The target star is a new fact class
+//! `City Weather` with a semi-additive temperature measure, a city-level
+//! geography dimension, the **conformed** `Date` dimension shared with
+//! `Last Minute Sales`, and a `Source` dimension recording provenance
+//! (the paper's robustness rule: "the web page is also added to the
+//! generated database, in this way, the user can select the more useful
+//! data").
+
+use dwqa_mdmodel::{Additivity, DataType, Schema, SchemaBuilder};
+
+/// The airline schema of Figure 1 extended with the weather star the
+/// feedback ETL fills.
+pub fn integrated_schema() -> Schema {
+    SchemaBuilder::new("Airline DW (integrated)")
+        // --- Figure 1, unchanged -----------------------------------------
+        .dimension("Airport", |d| {
+            d.level("Airport", |l| {
+                l.descriptor("airport_name", DataType::Text)
+                    .attribute("iata_code", DataType::Text)
+            })
+            .level("City", |l| {
+                l.descriptor("city_name", DataType::Text)
+                    .attribute("population", DataType::Int)
+            })
+            .level("State", |l| l.descriptor("state_name", DataType::Text))
+            .level("Country", |l| l.descriptor("country_name", DataType::Text))
+            .rolls_up("Airport", "City")
+            .rolls_up("City", "State")
+            .rolls_up("State", "Country")
+        })
+        .dimension("Customer", |d| {
+            d.level("Customer", |l| {
+                l.descriptor("customer_name", DataType::Text)
+                    .attribute("frequent_flyer", DataType::Bool)
+            })
+            .level("Segment", |l| l.descriptor("segment_name", DataType::Text))
+            .rolls_up("Customer", "Segment")
+        })
+        .dimension("Date", |d| {
+            d.level("Date", |l| l.descriptor("date", DataType::Date))
+                .level("Month", |l| l.descriptor("month", DataType::Text))
+                .level("Quarter", |l| l.descriptor("quarter", DataType::Text))
+                .level("Year", |l| l.descriptor("year", DataType::Int))
+                .rolls_up("Date", "Month")
+                .rolls_up("Month", "Quarter")
+                .rolls_up("Quarter", "Year")
+        })
+        .fact("Last Minute Sales", |f| {
+            f.measure("price", DataType::Float, Additivity::Sum)
+                .measure("miles", DataType::Float, Additivity::Sum)
+                .measure("traveler_rate", DataType::Float, Additivity::None)
+                .uses_dimension("Origin", "Airport")
+                .uses_dimension("Destination", "Airport")
+                .uses_dimension("Customer", "Customer")
+                .uses_dimension("Date", "Date")
+        })
+        // --- The fed-back weather star (Step 5) ----------------------------
+        .dimension("City", |d| {
+            d.level("City", |l| l.descriptor("city_name", DataType::Text))
+                .level("State", |l| l.descriptor("state_name", DataType::Text))
+                .level("Country", |l| l.descriptor("country_name", DataType::Text))
+                .rolls_up("City", "State")
+                .rolls_up("State", "Country")
+        })
+        .dimension("Source", |d| {
+            d.level("Page", |l| {
+                l.descriptor("url", DataType::Text)
+                    .attribute("format", DataType::Text)
+            })
+        })
+        .fact("City Weather", |f| {
+            // Temperatures are semi-additive: AVG/MIN/MAX, never SUM.
+            f.measure("temperature_c", DataType::Float, Additivity::Average)
+                .uses_dimension("City", "City")
+                .uses_dimension("Date", "Date")
+                .uses_dimension("Source", "Source")
+        })
+        .build()
+        .expect("the integrated schema is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwqa_warehouse::{AggFn, CubeQuery, Warehouse};
+
+    #[test]
+    fn integrated_schema_extends_figure_1() {
+        let s = integrated_schema();
+        assert!(s.fact("Last Minute Sales").is_some());
+        let (_, weather) = s.fact("City Weather").unwrap();
+        assert_eq!(weather.measures[0].name, "temperature_c");
+        assert_eq!(weather.measures[0].additivity, Additivity::Average);
+        assert!(s.dimension("City").is_some());
+        assert!(s.dimension("Source").is_some());
+    }
+
+    #[test]
+    fn date_dimension_is_conformed() {
+        let s = integrated_schema();
+        let (_, sales) = s.fact("Last Minute Sales").unwrap();
+        let (_, weather) = s.fact("City Weather").unwrap();
+        let sales_date = sales.role("Date").unwrap().dimension;
+        let weather_date = weather.role("Date").unwrap().dimension;
+        assert_eq!(sales_date, weather_date, "both facts share one Date dimension");
+    }
+
+    #[test]
+    fn sales_and_weather_drill_across_on_date_and_city() {
+        let s = integrated_schema();
+        let coords = s
+            .drill_across_coordinates("Last Minute Sales", "City Weather")
+            .unwrap();
+        // The shared Date dimension (by identity)…
+        assert!(coords
+            .iter()
+            .any(|(a, b, d)| a == "Date" && b == "Date" && d == "Date"));
+        // …and the Airport/City dimensions conformed at the City level.
+        assert!(coords
+            .iter()
+            .any(|(a, b, d)| a == "Destination" && b == "City" && d.contains('≈')));
+    }
+
+    #[test]
+    fn summing_temperatures_is_rejected() {
+        let wh = Warehouse::new(integrated_schema());
+        let err = CubeQuery::on("City Weather")
+            .aggregate("temperature_c", AggFn::Sum)
+            .run(&wh)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            dwqa_warehouse::WarehouseError::IllegalAggregate { .. }
+        ));
+    }
+}

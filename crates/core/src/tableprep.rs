@@ -1,0 +1,186 @@
+//! Future-work extension: pre-processing tabular weather pages.
+//!
+//! The paper's Section 5: "As future projects, we will study the
+//! pre-processing of web pages in order to handle tables correctly (such
+//! as the table in Figure 5)." This module implements that project: it
+//! detects Figure-5-style number grids, recovers the month/year/city
+//! context from the page heading, and rewrites every row as a prose
+//! sentence with explicit units — after which the unmodified QA pipeline
+//! extracts from them as well as from prose pages (measured in E3).
+
+use dwqa_common::{Date, Month};
+use dwqa_ir::{DocFormat, Document, DocumentStore};
+
+/// Parses the "<City …> <Month> <Year> …" heading of a table page.
+fn heading_context(line: &str) -> Option<(String, Month, i32)> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    for (i, w) in words.iter().enumerate() {
+        if let Some(month) = Month::parse(w) {
+            let year: i32 = words.get(i + 1)?.parse().ok()?;
+            if !(1000..=2999).contains(&year) || i == 0 {
+                return None;
+            }
+            let city = words[..i].join(" ");
+            return Some((city, month, year));
+        }
+    }
+    None
+}
+
+/// A parsed table row: day + max/min/avg readings.
+fn parse_row(line: &str) -> Option<(u32, f64, f64, f64)> {
+    let nums: Vec<&str> = line.split_whitespace().collect();
+    if nums.len() != 4 {
+        return None;
+    }
+    let day: u32 = nums[0].parse().ok()?;
+    let max: f64 = nums[1].parse().ok()?;
+    let min: f64 = nums[2].parse().ok()?;
+    let avg: f64 = nums[3].parse().ok()?;
+    if !(1..=31).contains(&day) {
+        return None;
+    }
+    Some((day, max, min, avg))
+}
+
+/// Rewrites one document if it is a Figure-5-style table page; returns
+/// `None` if the document is not tabular.
+pub fn preprocess_document(doc: &Document) -> Option<Document> {
+    let mut lines = doc.text.lines();
+    let heading = lines.next()?;
+    let (city, month, year) = heading_context(heading)?;
+    // Require the Day/Max/Min/Avg header somewhere near the top.
+    let mut saw_header = false;
+    let mut rows = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.split_whitespace().collect::<Vec<_>>() == ["Day", "Max", "Min", "Avg"] {
+            saw_header = true;
+            continue;
+        }
+        if let Some(row) = parse_row(line) {
+            rows.push(row);
+        }
+    }
+    if !saw_header || rows.is_empty() {
+        return None;
+    }
+    let mut text = format!("{} Weather in {} {}\n\n", city, month.name(), year);
+    for (day, max, min, avg) in rows {
+        let Some(date) = Date::new(year, month, day) else {
+            continue;
+        };
+        text.push_str(&format!("{}\n", date.long_format()));
+        text.push_str(&format!(
+            "{city} Weather: Temperature {avg}º C with a maximum of {max}º C and a minimum of {min}º C\n\n"
+        ));
+    }
+    let mut rewritten = Document::new(&doc.url, DocFormat::Plain, &doc.title, &text);
+    rewritten.location = doc.location.clone();
+    rewritten.date = doc.date;
+    Some(rewritten)
+}
+
+/// Pre-processes a whole store: tabular pages are rewritten, everything
+/// else passes through unchanged.
+pub fn preprocess_tables(store: &DocumentStore) -> (DocumentStore, usize) {
+    let mut out = DocumentStore::new();
+    let mut rewritten = 0usize;
+    for (_, doc) in store.iter() {
+        match preprocess_document(doc) {
+            Some(new_doc) => {
+                out.add(new_doc);
+                rewritten += 1;
+            }
+            None => {
+                out.add(doc.clone());
+            }
+        }
+    }
+    (out, rewritten)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_doc() -> Document {
+        Document::new(
+            "http://weather-archive.example.org/barcelona/january-table.html",
+            DocFormat::Plain,
+            "Barcelona weather table",
+            "Barcelona January 2004 Daily Temperatures\n\nDay Max Min Avg\n30 11 3 7\n31 12 4 8\n",
+        )
+    }
+
+    #[test]
+    fn table_rows_become_dated_prose_with_units() {
+        let out = preprocess_document(&table_doc()).expect("is a table page");
+        assert!(out.text.contains("Saturday, January 31, 2004"));
+        assert!(out.text.contains("Barcelona Weather: Temperature 8º C"));
+        assert!(out.text.contains("maximum of 12º C"));
+        assert!(out.text.contains("minimum of 4º C"));
+        assert_eq!(out.url, table_doc().url);
+    }
+
+    #[test]
+    fn prose_pages_pass_through() {
+        let prose = Document::new(
+            "u",
+            DocFormat::Plain,
+            "",
+            "Saturday, January 31, 2004\nBarcelona Weather: Temperature 8º C today",
+        );
+        assert!(preprocess_document(&prose).is_none());
+        let mut store = DocumentStore::new();
+        store.add(prose.clone());
+        store.add(table_doc());
+        let (out, rewritten) = preprocess_tables(&store);
+        assert_eq!(rewritten, 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.get(dwqa_ir::DocId(0)).text, prose.text);
+        assert!(out.get(dwqa_ir::DocId(1)).text.contains("Temperature 8º C"));
+    }
+
+    #[test]
+    fn heading_parsing() {
+        assert_eq!(
+            heading_context("Barcelona January 2004 Daily Temperatures"),
+            Some(("Barcelona".to_owned(), Month::January, 2004))
+        );
+        assert_eq!(
+            heading_context("New York July 1998 Daily Temperatures"),
+            Some(("New York".to_owned(), Month::July, 1998))
+        );
+        assert_eq!(heading_context("No month here 2004"), None);
+        assert_eq!(heading_context("January 2004"), None); // no city
+    }
+
+    #[test]
+    fn malformed_rows_are_skipped_invalid_days_dropped() {
+        let doc = Document::new(
+            "u",
+            DocFormat::Plain,
+            "",
+            "Madrid February 2004 Daily Temperatures\nDay Max Min Avg\nnot a row\n30 9 1 5\n31 9 1 5\n",
+        );
+        let out = preprocess_document(&doc).unwrap();
+        // Feb 30/31 do not exist → no rows survive the date check except none.
+        assert!(!out.text.contains("February 30"));
+        assert!(!out.text.contains("February 31"));
+    }
+
+    #[test]
+    fn generated_corpus_tables_are_recognised() {
+        use dwqa_corpus::{default_cities, generate_weather_corpus, PageStyle, WeatherConfig};
+        let corpus = generate_weather_corpus(
+            &WeatherConfig::new(5, 2004, Month::January).with_styles(&[PageStyle::Table]),
+            &default_cities(),
+        );
+        let (_, rewritten) = preprocess_tables(&corpus.store);
+        assert_eq!(rewritten, corpus.store.len());
+    }
+}

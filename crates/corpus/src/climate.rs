@@ -1,0 +1,130 @@
+//! Per-city climate models.
+
+use dwqa_common::Month;
+
+/// A city with its airport and a simple monthly climate model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityClimate {
+    /// City name ("Barcelona").
+    pub city: &'static str,
+    /// The airport serving it ("El Prat").
+    pub airport: &'static str,
+    /// Administrative region.
+    pub state: &'static str,
+    /// Country.
+    pub country: &'static str,
+    /// Mean daily temperature (°C) per month, January first.
+    pub monthly_mean: [f64; 12],
+    /// Day-to-day standard deviation (°C).
+    pub daily_sigma: f64,
+}
+
+impl CityClimate {
+    /// Mean temperature for a month.
+    pub fn mean_for(&self, month: Month) -> f64 {
+        self.monthly_mean[(month.number() - 1) as usize]
+    }
+}
+
+/// The default city set of the reproduction: the paper's examples
+/// (Barcelona/El Prat, New York/JFK + La Guardia, Costa Mesa/John Wayne)
+/// plus enough others to make retrieval non-trivial.
+pub fn default_cities() -> Vec<CityClimate> {
+    vec![
+        CityClimate {
+            city: "Barcelona",
+            airport: "El Prat",
+            state: "Catalonia",
+            country: "Spain",
+            monthly_mean: [9.0, 10.0, 12.0, 14.0, 17.5, 21.5, 24.5, 25.0, 22.0, 18.0, 13.0, 10.0],
+            daily_sigma: 2.0,
+        },
+        CityClimate {
+            city: "New York",
+            airport: "JFK",
+            state: "New York State",
+            country: "United States",
+            monthly_mean: [0.0, 1.5, 5.5, 11.5, 17.0, 22.0, 25.0, 24.5, 20.5, 14.5, 8.5, 3.0],
+            daily_sigma: 3.5,
+        },
+        CityClimate {
+            city: "New York",
+            airport: "La Guardia",
+            state: "New York State",
+            country: "United States",
+            monthly_mean: [0.5, 2.0, 6.0, 12.0, 17.5, 22.5, 25.5, 25.0, 21.0, 15.0, 9.0, 3.5],
+            daily_sigma: 3.5,
+        },
+        CityClimate {
+            city: "Costa Mesa",
+            airport: "John Wayne",
+            state: "California",
+            country: "United States",
+            monthly_mean: [14.0, 14.5, 15.5, 17.0, 18.5, 20.5, 22.5, 23.0, 22.0, 19.5, 16.5, 14.0],
+            daily_sigma: 2.0,
+        },
+        CityClimate {
+            city: "Madrid",
+            airport: "Barajas",
+            state: "Community of Madrid",
+            country: "Spain",
+            monthly_mean: [6.0, 7.5, 10.5, 13.0, 17.0, 22.5, 26.0, 25.5, 21.0, 15.0, 9.5, 6.5],
+            daily_sigma: 3.0,
+        },
+        CityClimate {
+            city: "Alicante",
+            airport: "El Altet",
+            state: "Valencian Community",
+            country: "Spain",
+            monthly_mean: [11.5, 12.0, 14.0, 16.0, 19.0, 23.0, 25.5, 26.0, 23.5, 19.5, 15.0, 12.0],
+            daily_sigma: 2.0,
+        },
+        CityClimate {
+            city: "Paris",
+            airport: "Charles de Gaulle",
+            state: "Ile-de-France",
+            country: "France",
+            monthly_mean: [4.5, 5.5, 8.5, 11.5, 15.0, 18.5, 20.5, 20.5, 17.0, 13.0, 8.0, 5.0],
+            daily_sigma: 3.0,
+        },
+        CityClimate {
+            city: "London",
+            airport: "Heathrow",
+            state: "Greater London",
+            country: "United Kingdom",
+            monthly_mean: [5.0, 5.5, 7.5, 9.5, 13.0, 16.0, 18.5, 18.0, 15.5, 12.0, 8.0, 5.5],
+            daily_sigma: 2.5,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_set_covers_the_papers_airports() {
+        let cities = default_cities();
+        let airports: Vec<&str> = cities.iter().map(|c| c.airport).collect();
+        for a in ["El Prat", "JFK", "La Guardia", "John Wayne"] {
+            assert!(airports.contains(&a), "missing {a}");
+        }
+    }
+
+    #[test]
+    fn mean_for_picks_the_right_month() {
+        let bcn = &default_cities()[0];
+        assert_eq!(bcn.mean_for(Month::January), 9.0);
+        assert_eq!(bcn.mean_for(Month::August), 25.0);
+    }
+
+    #[test]
+    fn climates_are_plausible() {
+        for c in default_cities() {
+            for m in c.monthly_mean {
+                assert!((-20.0..=40.0).contains(&m), "{}: {m}", c.city);
+            }
+            assert!(c.daily_sigma > 0.0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Distractor documents.
+//!
+//! Precision is only meaningful against a corpus that can fool the
+//! system. These generators produce the ambiguity traps the paper
+//! discusses — "JFK" the assassinated president, "La Guardia" the mayor,
+//! "JFK" the Spanish musical group — plus airline promotions and news
+//! pages whose numbers and dates *look* like answers but are not
+//! temperatures.
+
+use dwqa_common::Date;
+use dwqa_ir::{DocFormat, Document};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn president_page(rng: &mut StdRng) -> (String, String) {
+    let year = 1960 + rng.gen_range(0..4);
+    (
+        "history/jfk-president".to_owned(),
+        format!(
+            "President John F. Kennedy, widely known as JFK, won the election of {year}. \
+             JFK was a politician and statesman. The political temperature in Washington \
+             rose sharply during his term. JFK was assassinated in 1963. Historians still \
+             study the president JFK and his decisions."
+        ),
+    )
+}
+
+fn mayor_page(rng: &mut StdRng) -> (String, String) {
+    let terms = rng.gen_range(2..4);
+    (
+        "history/la-guardia-mayor".to_owned(),
+        format!(
+            "Fiorello La Guardia was the mayor of New York. La Guardia served {terms} terms \
+             as a politician. The mayor La Guardia reformed the city government. People \
+             remember La Guardia as a person of great energy."
+        ),
+    )
+}
+
+fn band_page(rng: &mut StdRng) -> (String, String) {
+    let year = 1995 + rng.gen_range(0..10);
+    (
+        "music/jfk-band".to_owned(),
+        format!(
+            "The Spanish musical group JFK played a concert in Alicante in {year}. The band \
+             JFK released a new record that the musicians presented on stage. Fans of the \
+             group JFK filled the hall."
+        ),
+    )
+}
+
+fn promo_page(rng: &mut StdRng) -> (String, String) {
+    let price = 29 + rng.gen_range(0..8) * 10;
+    let city = ["Barcelona", "Madrid", "Paris", "London"][rng.gen_range(0..4)];
+    (
+        format!("promo/flights-{}", dwqa_common::text::fold(city)),
+        format!(
+            "Last minute flights to {city} from {price} euros. Book your ticket today and \
+             travel tomorrow. The airline offers {price} euros fares for passengers who buy \
+             in the last minutes before the flight."
+        ),
+    )
+}
+
+fn sports_page(rng: &mut StdRng) -> (String, String) {
+    let goals = rng.gen_range(1..9);
+    let day = rng.gen_range(1..29);
+    let date = Date::from_ymd(2004, 1, day).expect("valid January day");
+    (
+        format!("sports/match-{day}"),
+        format!(
+            "On {}, the home team scored {goals} goals in {}. The match report mentioned \
+             the crowd of 46.4 thousand people. It was a great event for the city.",
+            date.long_format(),
+            ["Barcelona", "Madrid", "London"][rng.gen_range(0..3)]
+        ),
+    )
+}
+
+fn database_page(rng: &mut StdRng) -> (String, String) {
+    let n = rng.gen_range(100..999);
+    (
+        format!("tech/data-warehouse-{n}"),
+        format!(
+            "A data warehouse stores data extracted from operational databases. Business \
+             intelligence applications analyze the information. Report {n} describes the \
+             system and its {n} tables."
+        ),
+    )
+}
+
+/// Generates `count` distractor documents, cycling through the templates.
+pub fn generate_distractors(seed: u64, count: usize) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let makers: [fn(&mut StdRng) -> (String, String); 6] = [
+        president_page,
+        mayor_page,
+        band_page,
+        promo_page,
+        sports_page,
+        database_page,
+    ];
+    (0..count)
+        .map(|i| {
+            let (path, text) = makers[i % makers.len()](&mut rng);
+            let format = [DocFormat::Plain, DocFormat::Html][i % 2];
+            let raw = match format {
+                DocFormat::Plain => text.clone(),
+                _ => format!("<html><body><p>{text}</p></body></html>"),
+            };
+            Document::new(
+                &format!("http://news.example.org/{path}-{i}"),
+                format,
+                &path,
+                &raw,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distractors_cover_the_papers_ambiguities() {
+        let docs = generate_distractors(9, 12);
+        assert_eq!(docs.len(), 12);
+        let all_text: String = docs.iter().map(|d| d.text.clone()).collect();
+        assert!(all_text.contains("president"));
+        assert!(all_text.contains("mayor of New York"));
+        assert!(all_text.contains("musical group JFK"));
+        assert!(all_text.contains("Last minute flights"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_distractors(5, 8);
+        let b = generate_distractors(5, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_distractor_contains_a_real_temperature_reading() {
+        // Distractors may mention the word "temperature" (politically) and
+        // numbers, but never a `<number>º C` reading that could pollute
+        // extraction ground truth.
+        for d in generate_distractors(17, 24) {
+            assert!(!d.text.contains("º C"), "{}", d.url);
+            assert!(!d.text.contains("° C"), "{}", d.url);
+        }
+    }
+
+    #[test]
+    fn urls_are_unique() {
+        let docs = generate_distractors(3, 18);
+        let mut urls: Vec<&str> = docs.iter().map(|d| d.url.as_str()).collect();
+        urls.sort_unstable();
+        let n = urls.len();
+        urls.dedup();
+        assert_eq!(urls.len(), n);
+    }
+}

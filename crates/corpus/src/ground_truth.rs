@@ -1,0 +1,104 @@
+//! Ground truth behind the generated corpus.
+
+use dwqa_common::Date;
+use std::collections::HashMap;
+
+/// The true temperatures the weather pages were generated from.
+///
+/// Keys are `(case-folded city, date)`. Having this record is what turns
+/// the paper's narrated precision claims into measurable numbers: every
+/// tuple the QA pipeline extracts can be checked against the value the
+/// generator actually wrote.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    temps: HashMap<(String, Date), f64>,
+}
+
+impl GroundTruth {
+    /// Creates an empty record.
+    pub fn new() -> GroundTruth {
+        GroundTruth::default()
+    }
+
+    /// Records the true temperature (°C) for a city and date.
+    pub fn record(&mut self, city: &str, date: Date, celsius: f64) {
+        self.temps
+            .insert((dwqa_common::text::fold(city), date), celsius);
+    }
+
+    /// The true temperature, if the generator produced one.
+    pub fn temperature(&self, city: &str, date: Date) -> Option<f64> {
+        self.temps
+            .get(&(dwqa_common::text::fold(city), date))
+            .copied()
+    }
+
+    /// Whether an extracted value is correct within `tolerance` °C.
+    pub fn check(&self, city: &str, date: Date, celsius: f64, tolerance: f64) -> Option<bool> {
+        self.temperature(city, date)
+            .map(|truth| (truth - celsius).abs() <= tolerance)
+    }
+
+    /// Number of recorded (city, date) points.
+    pub fn len(&self) -> usize {
+        self.temps.len()
+    }
+
+    /// Whether nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.temps.is_empty()
+    }
+
+    /// Iterates `(city, date, celsius)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Date, f64)> {
+        self.temps
+            .iter()
+            .map(|((city, date), t)| (city.as_str(), *date, *t))
+    }
+
+    /// Merges another record into this one.
+    pub fn extend(&mut self, other: &GroundTruth) {
+        for ((city, date), t) in &other.temps {
+            self.temps.insert((city.clone(), *date), *t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(day: u32) -> Date {
+        Date::from_ymd(2004, 1, day).unwrap()
+    }
+
+    #[test]
+    fn record_and_lookup_fold_city_names() {
+        let mut gt = GroundTruth::new();
+        gt.record("Barcelona", d(31), 8.0);
+        assert_eq!(gt.temperature("barcelona", d(31)), Some(8.0));
+        assert_eq!(gt.temperature("BARCELONA", d(31)), Some(8.0));
+        assert_eq!(gt.temperature("Madrid", d(31)), None);
+        assert_eq!(gt.len(), 1);
+    }
+
+    #[test]
+    fn check_applies_tolerance() {
+        let mut gt = GroundTruth::new();
+        gt.record("Barcelona", d(31), 8.0);
+        assert_eq!(gt.check("Barcelona", d(31), 8.2, 0.5), Some(true));
+        assert_eq!(gt.check("Barcelona", d(31), 10.0, 0.5), Some(false));
+        assert_eq!(gt.check("Madrid", d(31), 8.0, 0.5), None);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = GroundTruth::new();
+        a.record("Barcelona", d(1), 9.0);
+        let mut b = GroundTruth::new();
+        b.record("Madrid", d(1), 5.0);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.temperature("Madrid", d(1)), Some(5.0));
+    }
+}

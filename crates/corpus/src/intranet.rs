@@ -1,0 +1,164 @@
+//! Company-internal unstructured sources.
+//!
+//! The paper stresses that useful unstructured data "comes from both
+//! inside the company (e.g. the reports or emails from the company
+//! personnel stored in the company intranet) and outside (e.g. the Webs
+//! of the company competitors)". This module generates the inside half:
+//! marketing reports and staff emails about last-minute promotions, with
+//! extractable facts (promotion prices, route mentions) and the noisy
+//! phrasing of real intranet mail.
+
+use dwqa_common::{Date, Month};
+use dwqa_ir::{DocFormat, Document};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated internal promotion (the ground truth of the intranet set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Promotion {
+    /// Destination city.
+    pub city: String,
+    /// Promotional fare in euros.
+    pub price_euros: u32,
+    /// The date the promotion starts.
+    pub starts: Date,
+}
+
+/// Generated intranet documents plus their promotion ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct Intranet {
+    /// The report/email documents.
+    pub documents: Vec<Document>,
+    /// The promotions the reports describe.
+    pub promotions: Vec<Promotion>,
+}
+
+fn report(promo: &Promotion, author_id: usize) -> String {
+    format!(
+        "Internal marketing report {author_id}.\n\
+         The marketing department approved a new promotion for flights to {city}.\n\
+         Starting on {date}, last minute tickets to {city} will cost {price} euros.\n\
+         The promotion targets customers who buy in the last minutes before the flight.\n\
+         Staff should report weekly sales numbers for the {city} route.",
+        city = promo.city,
+        date = promo.starts.long_format(),
+        price = promo.price_euros,
+    )
+}
+
+fn email(promo: &Promotion, author_id: usize) -> String {
+    format!(
+        "From: analyst{author_id}@airline.example\n\
+         Subject: {city} promotion question\n\
+         Team, quick question about the {city} campaign.\n\
+         I saw the fare of {price} euros for {city} and the numbers look great.\n\
+         Can somebody confirm the start on {date}?\n\
+         Thanks, Analyst {author_id}",
+        city = promo.city,
+        date = promo.starts.long_format(),
+        price = promo.price_euros,
+    )
+}
+
+/// Generates `per_city` report+email pairs for each city.
+pub fn generate_intranet(seed: u64, cities: &[&str], year: i32, month: Month) -> Intranet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Intranet::default();
+    for (ci, city) in cities.iter().enumerate() {
+        let day = rng.gen_range(1..=month.days_in(year).min(28));
+        let promo = Promotion {
+            city: (*city).to_owned(),
+            price_euros: 29 + rng.gen_range(0..10) * 10,
+            starts: Date::new(year, month, day).expect("day clamped to month length"),
+        };
+        out.documents.push(Document::new(
+            &format!("intranet://reports/{}-promotion-{ci}", dwqa_common::text::fold(city)),
+            DocFormat::Plain,
+            &format!("{city} promotion report"),
+            &report(&promo, ci),
+        ));
+        out.documents.push(Document::new(
+            &format!("intranet://mail/{}-thread-{ci}", dwqa_common::text::fold(city)),
+            DocFormat::Plain,
+            &format!("{city} promotion email"),
+            &email(&promo, ci),
+        ));
+        out.promotions.push(promo);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cities() -> Vec<&'static str> {
+        vec!["Barcelona", "Madrid", "Paris"]
+    }
+
+    #[test]
+    fn every_city_gets_a_report_and_an_email() {
+        let intranet = generate_intranet(3, &cities(), 2004, Month::January);
+        assert_eq!(intranet.documents.len(), 6);
+        assert_eq!(intranet.promotions.len(), 3);
+        for promo in &intranet.promotions {
+            let mentions = intranet
+                .documents
+                .iter()
+                .filter(|d| d.text.contains(&promo.city))
+                .count();
+            assert!(mentions >= 2, "{} under-mentioned", promo.city);
+        }
+    }
+
+    #[test]
+    fn prices_and_dates_are_extractable() {
+        let intranet = generate_intranet(3, &cities(), 2004, Month::January);
+        let lexicon = dwqa_nlp::Lexicon::english();
+        for (doc, promo) in intranet.documents.iter().zip(
+            intranet
+                .promotions
+                .iter()
+                .flat_map(|p| std::iter::repeat(p).take(2)),
+        ) {
+            let sentences = dwqa_nlp::analyze_text(&lexicon, &doc.text);
+            let mut found_price = false;
+            let mut found_date = false;
+            for s in &sentences {
+                for e in &s.entities {
+                    match &e.kind {
+                        dwqa_nlp::EntityKind::Money { amount, currency }
+                            if *amount == f64::from(promo.price_euros)
+                                && currency == "euro" =>
+                        {
+                            found_price = true;
+                        }
+                        dwqa_nlp::EntityKind::FullDate(d) if *d == promo.starts => {
+                            found_date = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            assert!(found_price, "price missing in {}", doc.url);
+            assert!(found_date, "date missing in {}", doc.url);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = generate_intranet(3, &cities(), 2004, Month::January);
+        let b = generate_intranet(3, &cities(), 2004, Month::January);
+        let c = generate_intranet(4, &cities(), 2004, Month::January);
+        assert_eq!(a.promotions, b.promotions);
+        assert_ne!(a.promotions, c.promotions);
+    }
+
+    #[test]
+    fn urls_are_intranet_scoped() {
+        let intranet = generate_intranet(3, &cities(), 2004, Month::January);
+        for d in &intranet.documents {
+            assert!(d.url.starts_with("intranet://"), "{}", d.url);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Synthetic corpus generation: the reproduction's "Web".
+//!
+//! The paper's experiment runs AliQAn against live 2009 web pages
+//! (barcelona-tourist-guide.com weather pages) and feeds an airline DW
+//! from operational sources — neither of which can ship with a
+//! reproduction. This crate builds deterministic, seeded equivalents that
+//! exercise the same code paths *and* come with ground truth, so the
+//! precision the paper only narrates becomes measurable:
+//!
+//! * [`climate`] — per-city monthly climate models;
+//! * [`ground_truth`] — the generated (city, date) → temperature record;
+//! * [`weather`] — weather pages in the paper's two shapes: **prose**
+//!   pages (Figure 4: "Monday, January 31, 2004 — Barcelona Weather:
+//!   Temperature 8º C around 46.4 F Clear skies today") and **table**
+//!   pages (Figure 5: bare number grids where associating a measure with
+//!   its unit is hard), in plain text, HTML or XML;
+//! * [`distractors`] — non-weather documents, including the ambiguity
+//!   traps the paper discusses (JFK the president, La Guardia the
+//!   politician, JFK the Spanish musical group) and "political
+//!   temperature" decoys;
+//! * [`intranet`] — company-internal reports and emails (the paper's
+//!   inside-the-company unstructured sources), with promotion ground
+//!   truth;
+//! * [`sales`] — the operational last-minute-sales source with a
+//!   **planted** temperature → sales correlation, so the end-to-end BI
+//!   analysis of Step 5 has a recoverable signal.
+
+//! ```
+//! use dwqa_corpus::{generate_weather_corpus, default_cities, WeatherConfig};
+//! use dwqa_common::{Date, Month};
+//!
+//! let corpus = generate_weather_corpus(&WeatherConfig::new(42, 2004, Month::January),
+//!                                      &default_cities());
+//! let jan15 = Date::from_ymd(2004, 1, 15).unwrap();
+//! assert!(corpus.truth.temperature("Barcelona", jan15).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod climate;
+pub mod distractors;
+pub mod ground_truth;
+pub mod intranet;
+pub mod sales;
+pub mod weather;
+
+pub use climate::{default_cities, CityClimate};
+pub use distractors::generate_distractors;
+pub use ground_truth::GroundTruth;
+pub use intranet::{generate_intranet, Intranet, Promotion};
+pub use sales::{generate_sales, SalesConfig, SWEET_RANGE_C};
+pub use weather::{generate_weather_corpus, Corruption, PageStyle, WeatherConfig};
+
+use dwqa_ir::DocumentStore;
+
+/// A generated corpus: documents plus the ground truth they encode.
+#[derive(Debug)]
+pub struct Corpus {
+    /// The document store ("the Web").
+    pub store: DocumentStore,
+    /// The true temperatures behind the weather pages.
+    pub truth: GroundTruth,
+    /// Failure-injected `(city, date, corruption)` lines (empty unless
+    /// [`weather::WeatherConfig::with_noise`] was used).
+    pub corrupted: Vec<(String, dwqa_common::Date, weather::Corruption)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwqa_common::Month;
+
+    #[test]
+    fn full_corpus_is_deterministic() {
+        let cfg = WeatherConfig::new(7, 2004, Month::January);
+        let a = generate_weather_corpus(&cfg, &default_cities());
+        let b = generate_weather_corpus(&cfg, &default_cities());
+        assert_eq!(a.store.len(), b.store.len());
+        for ((_, da), (_, db)) in a.store.iter().zip(b.store.iter()) {
+            assert_eq!(da, db);
+        }
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_weather_corpus(
+            &WeatherConfig::new(1, 2004, Month::January),
+            &default_cities(),
+        );
+        let b = generate_weather_corpus(
+            &WeatherConfig::new(2, 2004, Month::January),
+            &default_cities(),
+        );
+        let ta = a
+            .truth
+            .temperature("Barcelona", dwqa_common::Date::from_ymd(2004, 1, 15).unwrap());
+        let tb = b
+            .truth
+            .temperature("Barcelona", dwqa_common::Date::from_ymd(2004, 1, 15).unwrap());
+        assert_ne!(ta, tb);
+    }
+}

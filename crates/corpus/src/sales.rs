@@ -1,0 +1,220 @@
+//! The operational last-minute-sales source, with a planted weather signal.
+//!
+//! The paper's motivating analysis: "the range of temperatures that lead
+//! to increase the last minute sales to that city". The generator plants
+//! exactly that effect — days whose destination-city temperature falls in
+//! [`SWEET_RANGE_C`] receive a sales bonus — so the end-to-end experiment
+//! (E7) can verify that the integrated pipeline *recovers* a known signal.
+
+use crate::climate::CityClimate;
+use crate::ground_truth::GroundTruth;
+use dwqa_warehouse::{FactRow, FactRowBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The planted "pleasant weather" range (°C, inclusive).
+pub const SWEET_RANGE_C: (f64, f64) = (15.0, 25.0);
+
+/// Sales generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalesConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Baseline sales per destination per day.
+    pub base_daily_sales: usize,
+    /// Extra sales on sweet-range days (the planted signal).
+    pub sweet_bonus: usize,
+    /// Number of distinct customers in the pool.
+    pub customers: usize,
+}
+
+impl Default for SalesConfig {
+    fn default() -> SalesConfig {
+        SalesConfig {
+            seed: 99,
+            base_daily_sales: 2,
+            sweet_bonus: 6,
+            customers: 40,
+        }
+    }
+}
+
+/// Whether a temperature lies in the planted sweet range.
+pub fn in_sweet_range(celsius: f64) -> bool {
+    (SWEET_RANGE_C.0..=SWEET_RANGE_C.1).contains(&celsius)
+}
+
+/// Generates last-minute-sales fact rows for every `(city, date)` the
+/// ground truth covers. Rows fit the `Last Minute Sales` fixture schema.
+pub fn generate_sales(
+    config: &SalesConfig,
+    cities: &[CityClimate],
+    truth: &GroundTruth,
+) -> Vec<FactRow> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rows = Vec::new();
+    // Deterministic iteration: sort the truth points.
+    let mut points: Vec<(&str, dwqa_common::Date, f64)> = truth.iter().collect();
+    points.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    for (city_name, date, temp) in points {
+        // Every airport serving the city sells tickets to it.
+        let destinations: Vec<&CityClimate> = cities
+            .iter()
+            .filter(|c| dwqa_common::text::fold(c.city) == city_name)
+            .collect();
+        for dest in destinations {
+            let n = config.base_daily_sales
+                + if in_sweet_range(temp) { config.sweet_bonus } else { 0 }
+                + rng.gen_range(0..2);
+            for _ in 0..n {
+                let oi = rng.gen_range(0..cities.len());
+                let origin = if cities[oi].airport == dest.airport {
+                    cities[(oi + 1) % cities.len()].clone()
+                } else {
+                    cities[oi].clone()
+                };
+                let price = 60.0 + rng.gen_range(0..120) as f64;
+                let miles = 300.0 + rng.gen_range(0..4000) as f64;
+                let customer = format!("Customer {}", rng.gen_range(0..config.customers));
+                let mut b = FactRowBuilder::new();
+                b.measure("price", Value::Float(price))
+                    .measure("miles", Value::Float(miles))
+                    .measure("traveler_rate", Value::Float(rng.gen_range(0.1..1.0)))
+                    .role_member(
+                        "Origin",
+                        &[
+                            ("airport_name", Value::text(origin.airport)),
+                            ("city_name", Value::text(origin.city)),
+                            ("state_name", Value::text(origin.state)),
+                            ("country_name", Value::text(origin.country)),
+                        ],
+                    )
+                    .role_member(
+                        "Destination",
+                        &[
+                            ("airport_name", Value::text(dest.airport)),
+                            ("city_name", Value::text(dest.city)),
+                            ("state_name", Value::text(dest.state)),
+                            ("country_name", Value::text(dest.country)),
+                        ],
+                    )
+                    .role_member("Customer", &[("customer_name", Value::text(&customer))])
+                    .role_member("Date", &[("date", Value::Date(date))]);
+                rows.push(b.build());
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::climate::default_cities;
+    use crate::weather::{generate_weather_corpus, WeatherConfig};
+    use dwqa_common::Month;
+    use dwqa_mdmodel::last_minute_sales;
+    use dwqa_warehouse::Warehouse;
+
+    fn truth_for(month: Month) -> GroundTruth {
+        generate_weather_corpus(&WeatherConfig::new(42, 2004, month), &default_cities()).truth
+    }
+
+    #[test]
+    fn rows_load_cleanly_into_the_fixture_schema() {
+        let truth = truth_for(Month::January);
+        let rows = generate_sales(&SalesConfig::default(), &default_cities(), &truth);
+        assert!(!rows.is_empty());
+        let mut wh = Warehouse::new(last_minute_sales());
+        let report = wh.load("Last Minute Sales", rows).unwrap();
+        assert_eq!(report.rejected.len(), 0, "{:?}", report.rejected);
+        assert!(report.inserted > 300);
+    }
+
+    #[test]
+    fn sweet_range_days_sell_more() {
+        // Use a summer month so Mediterranean cities hit the sweet range.
+        let truth = truth_for(Month::June);
+        let cities = default_cities();
+        let rows = generate_sales(&SalesConfig::default(), &cities, &truth);
+        // Count sales per (destination city, date), compare sweet vs not.
+        use std::collections::HashMap;
+        let mut per: HashMap<(String, String), usize> = HashMap::new();
+        for row in &rows {
+            let dest = row
+                .roles
+                .iter()
+                .find(|(r, _)| r == "Destination")
+                .and_then(|(_, spec)| {
+                    spec.iter()
+                        .find(|(n, _)| n == "city_name")
+                        .and_then(|(_, v)| v.as_text().map(str::to_owned))
+                })
+                .unwrap();
+            let date = row
+                .roles
+                .iter()
+                .find(|(r, _)| r == "Date")
+                .and_then(|(_, spec)| spec[0].1.as_date())
+                .unwrap();
+            *per.entry((dest, date.iso_format())).or_insert(0) += 1;
+        }
+        let mut sweet = Vec::new();
+        let mut plain = Vec::new();
+        for ((city, date), n) in per {
+            let date = dwqa_common::Date::parse_iso(&date).unwrap();
+            let t = truth.temperature(&city, date).unwrap();
+            if in_sweet_range(t) {
+                sweet.push(n);
+            } else {
+                plain.push(n);
+            }
+        }
+        assert!(!sweet.is_empty() && !plain.is_empty());
+        let avg = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+        assert!(
+            avg(&sweet) > avg(&plain) * 2.0,
+            "sweet {} vs plain {}",
+            avg(&sweet),
+            avg(&plain)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let truth = truth_for(Month::January);
+        let a = generate_sales(&SalesConfig::default(), &default_cities(), &truth);
+        let b = generate_sales(&SalesConfig::default(), &default_cities(), &truth);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[a.len() - 1], b[b.len() - 1]);
+    }
+
+    #[test]
+    fn origins_differ_from_destinations() {
+        let truth = truth_for(Month::January);
+        let rows = generate_sales(&SalesConfig::default(), &default_cities(), &truth);
+        for row in &rows {
+            let airport = |role: &str| {
+                row.roles
+                    .iter()
+                    .find(|(r, _)| r == role)
+                    .and_then(|(_, spec)| {
+                        spec.iter()
+                            .find(|(n, _)| n == "airport_name")
+                            .and_then(|(_, v)| v.as_text().map(str::to_owned))
+                    })
+                    .unwrap()
+            };
+            assert_ne!(airport("Origin"), airport("Destination"));
+        }
+    }
+
+    #[test]
+    fn sweet_range_predicate() {
+        assert!(in_sweet_range(15.0));
+        assert!(in_sweet_range(25.0));
+        assert!(!in_sweet_range(14.9));
+        assert!(!in_sweet_range(25.1));
+    }
+}

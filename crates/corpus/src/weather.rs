@@ -1,0 +1,390 @@
+//! Weather-page generation (Figures 4 and 5).
+
+use crate::climate::CityClimate;
+use crate::ground_truth::GroundTruth;
+use crate::Corpus;
+use dwqa_common::{Date, Month};
+use dwqa_ir::{DocFormat, Document, DocumentStore};
+use dwqa_nlp::TempUnit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The two page shapes the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageStyle {
+    /// Figure 4: running prose, one dated heading + weather line per day.
+    /// Temperatures carry explicit units ("8º C around 46.4 F").
+    Prose,
+    /// Figure 5: a bare number grid (Day/Max/Min/Avg) where "the task of
+    /// associating the measure with its corresponding measure unit gets
+    /// more difficult".
+    Table,
+}
+
+/// How a noisy weather line is corrupted (failure injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corruption {
+    /// The unit is dropped ("Temperature 8 today") — unextractable.
+    MissingUnit,
+    /// The value is multiplied by 100 ("Temperature 800º C") — extractable
+    /// but rejected by the Step-4 range axiom.
+    Implausible,
+}
+
+/// Configuration of a weather corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeatherConfig {
+    /// RNG seed (everything downstream is deterministic in it).
+    pub seed: u64,
+    /// Year of the generated month.
+    pub year: i32,
+    /// The month each page covers.
+    pub month: Month,
+    /// Page styles generated per city.
+    pub styles: Vec<PageStyle>,
+    /// Rotate documents through these formats.
+    pub formats: Vec<DocFormat>,
+    /// Probability that a prose weather line is corrupted (0.0 = clean).
+    pub noise: f64,
+}
+
+impl WeatherConfig {
+    /// Default configuration: prose + table pages, mixed formats.
+    pub fn new(seed: u64, year: i32, month: Month) -> WeatherConfig {
+        WeatherConfig {
+            seed,
+            year,
+            month,
+            styles: vec![PageStyle::Prose, PageStyle::Table],
+            formats: vec![DocFormat::Plain, DocFormat::Html, DocFormat::Xml],
+            noise: 0.0,
+        }
+    }
+
+    /// Restricts to one style.
+    pub fn with_styles(mut self, styles: &[PageStyle]) -> WeatherConfig {
+        self.styles = styles.to_vec();
+        self
+    }
+
+    /// Injects corruption into a fraction of prose weather lines.
+    pub fn with_noise(mut self, noise: f64) -> WeatherConfig {
+        self.noise = noise.clamp(0.0, 1.0);
+        self
+    }
+}
+
+fn slug(city: &str) -> String {
+    dwqa_common::text::fold(city).replace(' ', "-")
+}
+
+/// The URL a generated page gets (prose pages mirror the paper's
+/// barcelona-tourist-guide.com shape).
+pub fn page_url(city: &str, style: PageStyle, month: Month) -> String {
+    let month = month.name().to_ascii_lowercase();
+    match style {
+        PageStyle::Prose => format!(
+            "http://www.{}-tourist-guide.com/en/weather/weather-{month}.html",
+            slug(city)
+        ),
+        PageStyle::Table => format!(
+            "http://weather-archive.example.org/{}/{month}-table.html",
+            slug(city)
+        ),
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn condition_for(temp: f64, rng: &mut StdRng) -> &'static str {
+    let wet: &[&str] = &["Light rain", "Cloudy skies", "Morning fog", "Strong wind"];
+    let dry: &[&str] = &["Clear skies", "Sunny spells", "Clear skies", "Cloudy skies"];
+    let pool = if rng.gen_bool(0.35) { wet } else { dry };
+    let i = rng.gen_range(0..pool.len());
+    if temp < 2.0 && pool[i] == "Light rain" {
+        "Light snow"
+    } else {
+        pool[i]
+    }
+}
+
+/// Generates one city's daily temperatures for the configured month.
+fn daily_temperatures(
+    rng: &mut StdRng,
+    city: &CityClimate,
+    year: i32,
+    month: Month,
+) -> Vec<(Date, f64)> {
+    Date::month_days(year, month)
+        .map(|date| {
+            let t = city.mean_for(month) + gauss(rng) * city.daily_sigma;
+            (date, t.round())
+        })
+        .collect()
+}
+
+fn prose_body(
+    city: &CityClimate,
+    temps: &[(Date, f64)],
+    rng: &mut StdRng,
+    noise: f64,
+    corrupted: &mut Vec<(String, Date, Corruption)>,
+) -> String {
+    let mut out = String::new();
+    let month = temps[0].0.month();
+    out.push_str(&format!(
+        "{} Weather in {} {}\n\n",
+        city.city,
+        month.name(),
+        temps[0].0.year()
+    ));
+    out.push_str(&format!(
+        "Daily weather records for travellers flying to {} airport in {}.\n\n",
+        city.airport, city.city
+    ));
+    for (date, t) in temps {
+        let f = (TempUnit::Celsius.to_fahrenheit(*t) * 10.0).round() / 10.0;
+        let condition = condition_for(*t, rng);
+        out.push_str(&format!("{}\n", date.long_format()));
+        let corruption = if noise > 0.0 && rng.gen_bool(noise) {
+            Some(if rng.gen_bool(0.5) {
+                Corruption::MissingUnit
+            } else {
+                Corruption::Implausible
+            })
+        } else {
+            None
+        };
+        match corruption {
+            None => out.push_str(&format!(
+                "{} Weather: Temperature {}º C around {} F {} today\n\n",
+                city.city, t, f, condition
+            )),
+            Some(Corruption::MissingUnit) => out.push_str(&format!(
+                "{} Weather: Temperature {} around {} {} today\n\n",
+                city.city, t, f, condition
+            )),
+            Some(Corruption::Implausible) => out.push_str(&format!(
+                "{} Weather: Temperature {}º C around {} F {} today\n\n",
+                city.city,
+                t * 100.0,
+                f * 100.0,
+                condition
+            )),
+        }
+        if let Some(c) = corruption {
+            corrupted.push((city.city.to_owned(), *date, c));
+        }
+    }
+    out
+}
+
+fn table_body(city: &CityClimate, temps: &[(Date, f64)], rng: &mut StdRng) -> String {
+    let month = temps[0].0.month();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} {} {} Daily Temperatures\n\n",
+        city.city,
+        month.name(),
+        temps[0].0.year()
+    ));
+    out.push_str("Day Max Min Avg\n");
+    for (date, t) in temps {
+        let spread_hi = rng.gen_range(2..6) as f64;
+        let spread_lo = rng.gen_range(2..6) as f64;
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            date.day(),
+            t + spread_hi,
+            t - spread_lo,
+            t
+        ));
+    }
+    out
+}
+
+fn wrap(format: DocFormat, title: &str, body: &str) -> String {
+    match format {
+        DocFormat::Plain => body.to_owned(),
+        DocFormat::Html => {
+            let paragraphs: String = body
+                .split("\n\n")
+                .map(|p| format!("<p>{}</p>", p.trim().replace('\n', "<br>")))
+                .collect();
+            format!("<html><head><title>{title}</title></head><body>{paragraphs}</body></html>")
+        }
+        DocFormat::Xml => {
+            let rows: String = body
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| format!("<row>{l}</row>"))
+                .collect();
+            format!("<page><title>{title}</title>{rows}</page>")
+        }
+    }
+}
+
+/// Generates weather pages (and their ground truth) for every city.
+pub fn generate_weather_corpus(config: &WeatherConfig, cities: &[CityClimate]) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut store = DocumentStore::new();
+    let mut truth = GroundTruth::new();
+    // One temperature series per *city name* per month: two airports of
+    // the same city (JFK / La Guardia) must agree on the city's weather.
+    let mut series: HashMap<String, Vec<(Date, f64)>> = HashMap::new();
+    let mut corrupted: Vec<(String, Date, Corruption)> = Vec::new();
+    let mut page_counter = 0usize;
+    for city in cities {
+        let temps = series
+            .entry(slug(city.city))
+            .or_insert_with(|| daily_temperatures(&mut rng, city, config.year, config.month))
+            .clone();
+        for (date, t) in &temps {
+            truth.record(city.city, *date, *t);
+        }
+        for &style in &config.styles {
+            // One page per (city, style); skip duplicate city entries.
+            let url = page_url(city.city, style, config.month);
+            if store.iter().any(|(_, d)| d.url == url) {
+                continue;
+            }
+            let body = match style {
+                PageStyle::Prose => {
+                    prose_body(city, &temps, &mut rng, config.noise, &mut corrupted)
+                }
+                PageStyle::Table => table_body(city, &temps, &mut rng),
+            };
+            let format = config.formats[page_counter % config.formats.len().max(1)];
+            page_counter += 1;
+            let title = format!(
+                "{} weather in {} {}",
+                city.city,
+                config.month.name(),
+                config.year
+            );
+            let raw = wrap(format, &title, &body);
+            let doc = Document::new(&url, format, &title, &raw)
+                .with_location(city.city)
+                .with_date(Date::new(config.year, config.month, 1).expect("day 1 valid"));
+            store.add(doc);
+        }
+    }
+    Corpus {
+        store,
+        truth,
+        corrupted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::climate::default_cities;
+
+    fn corpus() -> Corpus {
+        generate_weather_corpus(&WeatherConfig::new(42, 2004, Month::January), &default_cities())
+    }
+
+    #[test]
+    fn prose_pages_have_figure_4_shape() {
+        let c = corpus();
+        let (_, bcn) = c
+            .store
+            .iter()
+            .find(|(_, d)| d.url.contains("barcelona-tourist-guide"))
+            .expect("Barcelona prose page");
+        assert!(bcn.text.contains("Barcelona Weather: Temperature"));
+        assert!(bcn.text.contains("º C around"));
+        assert!(bcn.text.contains("January"));
+        // 31 days → 31 weather lines.
+        let lines = bcn
+            .text
+            .lines()
+            .filter(|l| l.contains("Temperature"))
+            .count();
+        assert_eq!(lines, 31);
+    }
+
+    #[test]
+    fn prose_temperatures_match_ground_truth() {
+        let c = corpus();
+        let (_, bcn) = c
+            .store
+            .iter()
+            .find(|(_, d)| d.url.contains("barcelona-tourist-guide"))
+            .unwrap();
+        // Parse day 15's line back and compare to the recorded truth.
+        let date = Date::from_ymd(2004, 1, 15).unwrap();
+        let needle = date.long_format();
+        let mut lines = bcn.text.lines();
+        lines.by_ref().find(|l| l.contains(&needle)).expect("day heading");
+        let weather_line = lines.next().expect("weather line after heading");
+        let truth = c.truth.temperature("Barcelona", date).unwrap();
+        assert!(
+            weather_line.contains(&format!("Temperature {truth}º C")),
+            "{weather_line} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn table_pages_lack_units() {
+        let c = corpus();
+        let (_, table) = c
+            .store
+            .iter()
+            .find(|(_, d)| d.url.contains("weather-archive"))
+            .expect("table page");
+        assert!(table.text.contains("Day Max Min Avg"));
+        assert!(!table.text.contains("º"));
+    }
+
+    #[test]
+    fn formats_rotate_and_extract() {
+        let c = corpus();
+        let formats: std::collections::HashSet<_> =
+            c.store.iter().map(|(_, d)| d.format).collect();
+        assert!(formats.len() >= 2, "expected mixed formats");
+        // HTML/XML documents still expose clean text.
+        for (_, d) in c.store.iter() {
+            assert!(!d.text.contains('<'), "unstripped markup in {}", d.url);
+        }
+    }
+
+    #[test]
+    fn shared_city_weather_is_consistent() {
+        // JFK and La Guardia both serve New York; the truth has a single
+        // series for the city.
+        let c = corpus();
+        let date = Date::from_ymd(2004, 1, 10).unwrap();
+        assert!(c.truth.temperature("New York", date).is_some());
+        // One prose page per distinct city (7 cities, 8 entries).
+        let prose_pages = c
+            .store
+            .iter()
+            .filter(|(_, d)| d.url.contains("tourist-guide"))
+            .count();
+        assert_eq!(prose_pages, 7);
+    }
+
+    #[test]
+    fn metadata_supports_the_mdir_baseline() {
+        let c = corpus();
+        for (_, d) in c.store.iter() {
+            assert!(d.location.is_some());
+            assert_eq!(d.date.unwrap().month(), Month::January);
+        }
+    }
+
+    #[test]
+    fn truth_covers_every_city_and_day() {
+        let c = corpus();
+        // 7 distinct cities × 31 days.
+        assert_eq!(c.truth.len(), 7 * 31);
+    }
+}

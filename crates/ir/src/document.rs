@@ -1,0 +1,256 @@
+//! Documents and the document store.
+
+use dwqa_common::Date;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a document within its store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Source format of an unstructured document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DocFormat {
+    /// Plain text.
+    Plain,
+    /// HTML markup (tags stripped on ingestion).
+    Html,
+    /// XML markup (tags stripped on ingestion).
+    Xml,
+}
+
+/// An unstructured document (a "web page" of the reproduction corpus).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// Source URL (provenance recorded into the DW by Step 5).
+    pub url: String,
+    /// Original markup format.
+    pub format: DocFormat,
+    /// Title (already plain text).
+    pub title: String,
+    /// Extracted plain text.
+    pub text: String,
+    /// Optional location metadata (used by the multidimensional-IR
+    /// baseline's category dimensions).
+    pub location: Option<String>,
+    /// Optional date metadata (same).
+    pub date: Option<Date>,
+}
+
+impl Document {
+    /// Builds a document, extracting plain text from markup if needed.
+    pub fn new(url: &str, format: DocFormat, title: &str, raw: &str) -> Document {
+        let text = match format {
+            DocFormat::Plain => raw.to_owned(),
+            DocFormat::Html | DocFormat::Xml => extract_text(raw),
+        };
+        Document {
+            url: url.to_owned(),
+            format,
+            title: title.to_owned(),
+            text,
+            location: None,
+            date: None,
+        }
+    }
+
+    /// Sets the location metadata.
+    pub fn with_location(mut self, location: &str) -> Document {
+        self.location = Some(location.to_owned());
+        self
+    }
+
+    /// Sets the date metadata.
+    pub fn with_date(mut self, date: Date) -> Document {
+        self.date = Some(date);
+        self
+    }
+}
+
+/// Strips markup tags and resolves the handful of HTML entities the corpus
+/// generator emits, normalising tag boundaries to line breaks so sentence
+/// splitting still sees block structure.
+pub fn extract_text(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '<' => {
+                // Consume the tag; block-level closers become newlines.
+                let mut tag = String::new();
+                for t in chars.by_ref() {
+                    if t == '>' {
+                        break;
+                    }
+                    tag.push(t);
+                }
+                let name = tag
+                    .trim_start_matches('/')
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("")
+                    .to_ascii_lowercase();
+                match name.as_str() {
+                    "p" | "div" | "br" | "tr" | "h1" | "h2" | "h3" | "li" | "table" | "row"
+                    | "entry" | "day" | "title" => out.push('\n'),
+                    "td" | "th" | "cell" | "field" => out.push(' '),
+                    _ => {}
+                }
+            }
+            '&' => {
+                let mut entity = String::new();
+                let mut terminated = false;
+                while let Some(&n) = chars.peek() {
+                    if n == ';' {
+                        chars.next();
+                        terminated = true;
+                        break;
+                    }
+                    if entity.len() > 8 || n.is_whitespace() {
+                        break;
+                    }
+                    entity.push(n);
+                    chars.next();
+                }
+                if terminated {
+                    match entity.as_str() {
+                        "amp" => out.push('&'),
+                        "lt" => out.push('<'),
+                        "gt" => out.push('>'),
+                        "quot" => out.push('"'),
+                        "nbsp" => out.push(' '),
+                        "deg" => out.push('º'),
+                        _ => {}
+                    }
+                } else {
+                    out.push('&');
+                    out.push_str(&entity);
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    // Collapse runs of blank lines and of spaces left by tag stripping.
+    let mut cleaned = String::with_capacity(out.len());
+    for line in out.lines() {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        if !words.is_empty() {
+            if !cleaned.is_empty() {
+                cleaned.push('\n');
+            }
+            cleaned.push_str(&words.join(" "));
+        }
+    }
+    cleaned
+}
+
+/// An append-only collection of documents.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentStore {
+    docs: Vec<Document>,
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    pub fn new() -> DocumentStore {
+        DocumentStore::default()
+    }
+
+    /// Adds a document, returning its id.
+    pub fn add(&mut self, doc: Document) -> DocId {
+        let id = DocId(u32::try_from(self.docs.len()).expect("document store overflow"));
+        self.docs.push(doc);
+        id
+    }
+
+    /// Resolves a document id.
+    pub fn get(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterates `(id, document)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Document)> {
+        self.docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DocId(i as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_documents_keep_text() {
+        let d = Document::new("u", DocFormat::Plain, "t", "Hello world.");
+        assert_eq!(d.text, "Hello world.");
+    }
+
+    #[test]
+    fn html_tags_are_stripped_with_block_breaks() {
+        let d = Document::new(
+            "u",
+            DocFormat::Html,
+            "t",
+            "<html><body><h1>Weather</h1><p>Temperature 8&deg; C</p></body></html>",
+        );
+        assert_eq!(d.text, "Weather\nTemperature 8º C");
+    }
+
+    #[test]
+    fn xml_cells_become_spaces() {
+        let d = Document::new(
+            "u",
+            DocFormat::Xml,
+            "t",
+            "<row><cell>8</cell><cell>46.4</cell></row>",
+        );
+        assert_eq!(d.text, "8 46.4");
+    }
+
+    #[test]
+    fn entities_resolve() {
+        assert_eq!(extract_text("a &amp; b &lt;c&gt;"), "a & b <c>");
+        assert_eq!(extract_text("8&deg;C"), "8ºC");
+        // Unterminated entity survives literally.
+        assert_eq!(extract_text("AT&T works"), "AT&T works");
+    }
+
+    #[test]
+    fn store_assigns_sequential_ids() {
+        let mut s = DocumentStore::new();
+        let a = s.add(Document::new("a", DocFormat::Plain, "", "x"));
+        let b = s.add(Document::new("b", DocFormat::Plain, "", "y"));
+        assert_eq!(a, DocId(0));
+        assert_eq!(b, DocId(1));
+        assert_eq!(s.get(b).url, "b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn metadata_builders() {
+        let d = Document::new("u", DocFormat::Plain, "", "x")
+            .with_location("Barcelona")
+            .with_date(Date::from_ymd(2004, 1, 31).unwrap());
+        assert_eq!(d.location.as_deref(), Some("Barcelona"));
+        assert_eq!(d.date, Date::from_ymd(2004, 1, 31));
+    }
+}

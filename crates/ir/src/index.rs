@@ -1,0 +1,252 @@
+//! The inverted index.
+
+use crate::document::{DocId, DocumentStore};
+use dwqa_common::{Interner, Symbol};
+use dwqa_nlp::{is_stopword, lemmatize_with, tag_sentence, tokenize, Lexicon};
+use std::collections::HashMap;
+
+/// One posting: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// Term frequency.
+    pub tf: u32,
+}
+
+/// An inverted index over lemmatised, stop-word-filtered terms.
+///
+/// This is the "second indexation … used for the IR tool that filters the
+/// quantity of text on which the QA process is applied" of the paper's
+/// Figure 3. Unlike the QA-side linguistic index, it deliberately discards
+/// stop words (difference (1) between IR and QA in the introduction).
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    vocabulary: Interner,
+    postings: HashMap<Symbol, Vec<Posting>>,
+    doc_lengths: Vec<u32>,
+    total_len: u64,
+}
+
+/// Normalises raw text into index terms: tokenize → tag (for lemmas) →
+/// case-fold → drop stop words and punctuation.
+pub fn index_terms(lexicon: &Lexicon, text: &str) -> Vec<String> {
+    let mut terms = Vec::new();
+    for sentence in dwqa_nlp::split_sentences(text) {
+        for t in tag_sentence(lexicon, &tokenize(&sentence)) {
+            if matches!(
+                t.pos,
+                dwqa_nlp::Pos::PUNCT | dwqa_nlp::Pos::SENT | dwqa_nlp::Pos::SYM
+            ) {
+                continue;
+            }
+            let lemma = if t.lemma.is_empty() {
+                lemmatize_with(lexicon, &t.token.text, t.pos)
+            } else {
+                t.lemma.clone()
+            };
+            if is_stopword(&lemma) {
+                continue;
+            }
+            terms.push(lemma);
+        }
+    }
+    terms
+}
+
+impl InvertedIndex {
+    /// Builds the index over a document store, sequentially.
+    pub fn build(lexicon: &Lexicon, store: &DocumentStore) -> InvertedIndex {
+        let per_doc: Vec<Vec<String>> = store
+            .iter()
+            .map(|(_, d)| index_terms(lexicon, &d.text))
+            .collect();
+        Self::assemble(per_doc)
+    }
+
+    /// Builds the index using `threads` worker threads (crossbeam scoped
+    /// threads; document analysis dominates build time and is
+    /// embarrassingly parallel).
+    pub fn build_parallel(
+        lexicon: &Lexicon,
+        store: &DocumentStore,
+        threads: usize,
+    ) -> InvertedIndex {
+        let threads = threads.max(1);
+        let docs: Vec<&str> = store.iter().map(|(_, d)| d.text.as_str()).collect();
+        let chunk = docs.len().div_ceil(threads).max(1);
+        let results = parking_lot::Mutex::new(vec![Vec::new(); docs.len()]);
+        crossbeam::thread::scope(|scope| {
+            for (c, chunk_docs) in docs.chunks(chunk).enumerate() {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let base = c * chunk;
+                    let analysed: Vec<(usize, Vec<String>)> = chunk_docs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, text)| (base + i, index_terms(lexicon, text)))
+                        .collect();
+                    let mut guard = results.lock();
+                    for (i, terms) in analysed {
+                        guard[i] = terms;
+                    }
+                });
+            }
+        })
+        .expect("index worker thread panicked");
+        Self::assemble(results.into_inner())
+    }
+
+    fn assemble(per_doc: Vec<Vec<String>>) -> InvertedIndex {
+        let mut vocabulary = Interner::new();
+        let mut postings: HashMap<Symbol, Vec<Posting>> = HashMap::new();
+        let mut doc_lengths = Vec::with_capacity(per_doc.len());
+        let mut total_len = 0u64;
+        for (i, terms) in per_doc.into_iter().enumerate() {
+            let doc = DocId(i as u32);
+            doc_lengths.push(terms.len() as u32);
+            total_len += terms.len() as u64;
+            let mut counts: HashMap<Symbol, u32> = HashMap::new();
+            for term in &terms {
+                *counts.entry(vocabulary.intern(term)).or_insert(0) += 1;
+            }
+            let mut counts: Vec<(Symbol, u32)> = counts.into_iter().collect();
+            counts.sort_unstable();
+            for (sym, tf) in counts {
+                postings.entry(sym).or_default().push(Posting { doc, tf });
+            }
+        }
+        InvertedIndex {
+            vocabulary,
+            postings,
+            doc_lengths,
+            total_len,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lengths.len()
+    }
+
+    /// Vocabulary size (distinct terms).
+    pub fn num_terms(&self) -> usize {
+        self.vocabulary.len()
+    }
+
+    /// The postings list of a term, if indexed.
+    pub fn postings(&self, term: &str) -> Option<&[Posting]> {
+        let sym = self.vocabulary.get(&dwqa_common::text::fold(term))?;
+        self.postings.get(&sym).map(Vec::as_slice)
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: &str) -> usize {
+        self.postings(term).map_or(0, <[Posting]>::len)
+    }
+
+    /// Length (in index terms) of a document.
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_lengths[doc.index()]
+    }
+
+    /// Mean document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_lengths.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_lengths.len() as f64
+        }
+    }
+
+    /// Smoothed inverse document frequency (BM25 formulation).
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = self.num_docs() as f64;
+        let df = self.df(term) as f64;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{DocFormat, Document};
+
+    fn store(texts: &[&str]) -> DocumentStore {
+        let mut s = DocumentStore::new();
+        for (i, t) in texts.iter().enumerate() {
+            s.add(Document::new(&format!("doc{i}"), DocFormat::Plain, "", t));
+        }
+        s
+    }
+
+    #[test]
+    fn terms_are_lemmatised_and_stopped() {
+        let lx = Lexicon::english();
+        let terms = index_terms(&lx, "The temperatures in the skies were rising.");
+        assert_eq!(terms, ["temperature", "sky", "rise"]);
+    }
+
+    #[test]
+    fn postings_record_frequencies() {
+        let lx = Lexicon::english();
+        let idx = InvertedIndex::build(
+            &lx,
+            &store(&[
+                "temperature temperature weather",
+                "weather in Barcelona",
+                "sales of tickets",
+            ]),
+        );
+        let postings = idx.postings("temperature").unwrap();
+        assert_eq!(postings, &[Posting { doc: DocId(0), tf: 2 }]);
+        assert_eq!(idx.df("weather"), 2);
+        assert_eq!(idx.df("barcelona"), 1);
+        assert_eq!(idx.df("unseen"), 0);
+        assert_eq!(idx.num_docs(), 3);
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let lx = Lexicon::english();
+        let idx = InvertedIndex::build(
+            &lx,
+            &store(&["weather weather", "weather Barcelona", "weather cold"]),
+        );
+        assert!(idx.idf("barcelona") > idx.idf("weather"));
+    }
+
+    #[test]
+    fn doc_lengths_and_average() {
+        let lx = Lexicon::english();
+        let idx = InvertedIndex::build(&lx, &store(&["temperature weather", "Barcelona"]));
+        assert_eq!(idx.doc_len(DocId(0)), 2);
+        assert_eq!(idx.doc_len(DocId(1)), 1);
+        assert!((idx.avg_doc_len() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let lx = Lexicon::english();
+        let texts: Vec<String> = (0..40)
+            .map(|i| format!("weather in city number {i} with temperature {i} degrees"))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let s = store(&refs);
+        let seq = InvertedIndex::build(&lx, &s);
+        let par = InvertedIndex::build_parallel(&lx, &s, 4);
+        assert_eq!(seq.num_docs(), par.num_docs());
+        assert_eq!(seq.num_terms(), par.num_terms());
+        for term in ["weather", "city", "temperature", "degree"] {
+            assert_eq!(seq.postings(term), par.postings(term), "term {term}");
+        }
+    }
+
+    #[test]
+    fn empty_store_yields_empty_index() {
+        let lx = Lexicon::english();
+        let idx = InvertedIndex::build(&lx, &DocumentStore::new());
+        assert_eq!(idx.num_docs(), 0);
+        assert_eq!(idx.avg_doc_len(), 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! IR-n passage retrieval.
+//!
+//! IR-n (the paper's reference [9], AliQAn's Module 2 back end) ranks
+//! *passages* — windows of `n` consecutive sentences — instead of whole
+//! documents, so the QA extractor works on a small, dense piece of text.
+//! The paper's footnote 6 fixes `n = 8` for its experiment; the window
+//! size is a parameter here (and is swept in the benchmark suite).
+
+use crate::document::{DocId, DocumentStore};
+use crate::index::{index_terms, InvertedIndex};
+use dwqa_nlp::Lexicon;
+use std::collections::HashSet;
+
+/// A retrieved passage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Passage {
+    /// The source document.
+    pub doc: DocId,
+    /// Index of the first sentence of the window.
+    pub first_sentence: usize,
+    /// The sentences of the window.
+    pub sentences: Vec<String>,
+    /// Retrieval score.
+    pub score: f64,
+}
+
+impl Passage {
+    /// The passage text (sentences joined).
+    pub fn text(&self) -> String {
+        self.sentences.join(" ")
+    }
+}
+
+/// Precomputed sentence structure for passage retrieval.
+#[derive(Debug, Clone)]
+pub struct PassageRetriever {
+    /// Per document: the sentence list.
+    sentences: Vec<Vec<String>>,
+    /// Per document, per sentence: the set of index terms.
+    terms: Vec<Vec<HashSet<String>>>,
+    /// Window size in sentences (the paper uses 8).
+    window: usize,
+}
+
+impl PassageRetriever {
+    /// Default window size (paper footnote 6).
+    pub const DEFAULT_WINDOW: usize = 8;
+
+    /// Builds the retriever over a document store.
+    pub fn build(lexicon: &Lexicon, store: &DocumentStore, window: usize) -> PassageRetriever {
+        let mut sentences = Vec::with_capacity(store.len());
+        let mut terms = Vec::with_capacity(store.len());
+        for (_, doc) in store.iter() {
+            let sents = dwqa_nlp::split_sentences(&doc.text);
+            let term_sets: Vec<HashSet<String>> = sents
+                .iter()
+                .map(|s| index_terms(lexicon, s).into_iter().collect())
+                .collect();
+            sentences.push(sents);
+            terms.push(term_sets);
+        }
+        PassageRetriever {
+            sentences,
+            terms,
+            window: window.max(1),
+        }
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Retrieves the best passage of each matching document, ranked by
+    /// score; at most `k` passages. Scores are sums of the IDF (from
+    /// `index`) of the distinct query terms present in the window, so rare
+    /// terms ("barcelona") dominate frequent ones.
+    pub fn retrieve(&self, index: &InvertedIndex, terms: &[String], k: usize) -> Vec<Passage> {
+        let weighted: Vec<(String, f64)> =
+            terms.iter().map(|t| (t.clone(), 1.0)).collect();
+        self.retrieve_weighted(index, &weighted, k)
+    }
+
+    /// Like [`PassageRetriever::retrieve`], with a per-term weight
+    /// multiplying the term's IDF. The QA side uses this to make the
+    /// question's *date* terms dominate window selection.
+    pub fn retrieve_weighted(
+        &self,
+        index: &InvertedIndex,
+        terms: &[(String, f64)],
+        k: usize,
+    ) -> Vec<Passage> {
+        let query: Vec<(&str, f64)> = {
+            let mut distinct: Vec<(&str, f64)> = Vec::new();
+            for (t, w) in terms {
+                match distinct.iter_mut().find(|(d, _)| d == t) {
+                    Some(entry) => entry.1 = entry.1.max(*w),
+                    None => distinct.push((t.as_str(), *w)),
+                }
+            }
+            distinct
+                .into_iter()
+                .map(|(t, w)| (t, w * index.idf(t)))
+                .collect()
+        };
+        // Up to this many non-overlapping windows may come from one
+        // document (a month-long weather page has several relevant spots).
+        const PER_DOC: usize = 3;
+        let mut best: Vec<Passage> = Vec::new();
+        for (doc_idx, sents) in self.sentences.iter().enumerate() {
+            let term_sets = &self.terms[doc_idx];
+            let mut candidates: Vec<(f64, usize, usize)> = Vec::new(); // (score, start, len)
+            let n = sents.len();
+            if n == 0 {
+                continue;
+            }
+            let starts = if n > self.window { n - self.window + 1 } else { 1 };
+            for start in 0..starts {
+                let end = (start + self.window).min(n);
+                let mut score = 0.0;
+                for (term, idf) in &query {
+                    if term_sets[start..end].iter().any(|s| s.contains(*term)) {
+                        score += idf;
+                    }
+                }
+                if score <= 0.0 {
+                    continue;
+                }
+                // Proximity bonus: query terms co-occurring in one sentence
+                // are worth more than the same terms scattered over the
+                // window (this is what pins a dated question to the right
+                // day of a month-long weather page).
+                let mut best_sentence = 0.0f64;
+                let mut best_pos = 0usize;
+                for (pos, s) in term_sets[start..end].iter().enumerate() {
+                    let hit: f64 = query
+                        .iter()
+                        .filter(|(t, _)| s.contains(*t))
+                        .map(|(_, idf)| idf)
+                        .sum();
+                    if hit > best_sentence {
+                        best_sentence = hit;
+                        best_pos = pos;
+                    }
+                }
+                score += 0.5 * best_sentence;
+                // Positional tie-break: among windows containing the same
+                // best-matching sentence, prefer the one where it appears
+                // early, so the sentences *after* it (where the answer to
+                // a dated heading lives) stay inside the window.
+                let len = (end - start).max(1) as f64;
+                score += 0.01 * best_sentence * (1.0 - best_pos as f64 / len);
+                candidates.push((score, start, end - start));
+            }
+            // Greedy non-overlapping selection of the doc's best windows.
+            candidates.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
+            let mut taken: Vec<(usize, usize)> = Vec::new();
+            for (score, start, len) in candidates {
+                if taken.len() == PER_DOC {
+                    break;
+                }
+                let overlaps = taken
+                    .iter()
+                    .any(|&(s, l)| start < s + l && s < start + len);
+                if overlaps {
+                    continue;
+                }
+                taken.push((start, len));
+                best.push(Passage {
+                    doc: DocId(doc_idx as u32),
+                    first_sentence: start,
+                    sentences: sents[start..start + len].to_vec(),
+                    score,
+                });
+            }
+        }
+        best.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        best.truncate(k);
+        best
+    }
+
+    /// Convenience: analyse a free-text query with the lexicon, then
+    /// retrieve.
+    pub fn retrieve_text(
+        &self,
+        index: &InvertedIndex,
+        lexicon: &Lexicon,
+        query: &str,
+        k: usize,
+    ) -> Vec<Passage> {
+        self.retrieve(index, &index_terms(lexicon, query), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{DocFormat, Document};
+
+    fn setup(texts: &[&str], window: usize) -> (PassageRetriever, InvertedIndex, Lexicon) {
+        let lx = Lexicon::english();
+        let mut s = DocumentStore::new();
+        for (i, t) in texts.iter().enumerate() {
+            s.add(Document::new(&format!("doc{i}"), DocFormat::Plain, "", t));
+        }
+        let idx = InvertedIndex::build(&lx, &s);
+        (PassageRetriever::build(&lx, &s, window), idx, lx)
+    }
+
+    #[test]
+    fn finds_the_dense_window() {
+        let long_doc = "Filler sentence one. Filler sentence two. Filler sentence three. \
+            Filler sentence four. The temperature in Barcelona was 8 degrees. \
+            January readings were mild. Filler sentence five. Filler sentence six. \
+            Filler sentence seven. Filler sentence eight. Filler sentence nine.";
+        let (pr, idx, lx) = setup(&[long_doc], 2);
+        let passages = pr.retrieve_text(&idx, &lx, "temperature Barcelona January", 3);
+        assert_eq!(passages.len(), 1);
+        let text = passages[0].text();
+        assert!(text.contains("Barcelona"));
+        assert!(text.contains("January"));
+        assert_eq!(passages[0].sentences.len(), 2);
+    }
+
+    #[test]
+    fn window_never_exceeds_document() {
+        let (pr, idx, lx) = setup(&["Only one sentence about weather."], 8);
+        let passages = pr.retrieve_text(&idx, &lx, "weather", 3);
+        assert_eq!(passages.len(), 1);
+        assert_eq!(passages[0].sentences.len(), 1);
+        assert_eq!(passages[0].first_sentence, 0);
+    }
+
+    #[test]
+    fn one_passage_per_document_ranked_across_documents() {
+        let (pr, idx, lx) = setup(
+            &[
+                "The weather is nice. Nothing else here.",
+                "Barcelona weather today. The temperature in Barcelona is 8 degrees.",
+                "Completely unrelated text about databases.",
+            ],
+            8,
+        );
+        let passages = pr.retrieve_text(&idx, &lx, "temperature Barcelona weather", 5);
+        assert_eq!(passages.len(), 2);
+        assert_eq!(passages[0].doc, DocId(1));
+        assert!(passages[0].score > passages[1].score);
+    }
+
+    #[test]
+    fn no_matching_terms_no_passages() {
+        let (pr, idx, lx) = setup(&["The weather is nice."], 8);
+        assert!(pr.retrieve_text(&idx, &lx, "volcano", 3).is_empty());
+    }
+
+    #[test]
+    fn duplicate_query_terms_do_not_double_count() {
+        let (pr, idx, _) = setup(&["weather here. weather there."], 1);
+        let a = pr.retrieve(&idx, &["weather".to_owned()], 1);
+        let b = pr.retrieve(&idx, &["weather".to_owned(), "weather".to_owned()], 1);
+        assert_eq!(a[0].score, b[0].score);
+    }
+
+    #[test]
+    fn default_window_is_paper_setting() {
+        assert_eq!(PassageRetriever::DEFAULT_WINDOW, 8);
+    }
+}

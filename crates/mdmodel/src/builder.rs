@@ -1,0 +1,474 @@
+//! Fluent builders with validation for multidimensional schemas.
+
+use crate::error::{ModelError, Result};
+use crate::schema::{
+    Attribute, Dimension, DimensionId, DimensionRole, Fact, Level, Measure, Schema,
+};
+use crate::types::{Additivity, DataType};
+use std::collections::{HashMap, HashSet};
+
+/// Builds one hierarchy level.
+#[derive(Debug, Default)]
+pub struct LevelBuilder {
+    descriptor: Option<Attribute>,
+    attributes: Vec<Attribute>,
+}
+
+impl LevelBuilder {
+    /// Declares the descriptor (`«D»`) attribute identifying level members.
+    pub fn descriptor(mut self, name: &str, data_type: DataType) -> Self {
+        self.descriptor = Some(Attribute {
+            name: name.to_owned(),
+            data_type,
+        });
+        self
+    }
+
+    /// Adds a dimension attribute (`«DA»`).
+    pub fn attribute(mut self, name: &str, data_type: DataType) -> Self {
+        self.attributes.push(Attribute {
+            name: name.to_owned(),
+            data_type,
+        });
+        self
+    }
+}
+
+/// Builds one dimension with its roll-up hierarchy.
+#[derive(Debug)]
+pub struct DimensionBuilder {
+    name: String,
+    levels: Vec<(String, LevelBuilder)>,
+    rollups: Vec<(String, String)>,
+}
+
+impl DimensionBuilder {
+    fn new(name: &str) -> Self {
+        DimensionBuilder {
+            name: name.to_owned(),
+            levels: Vec::new(),
+            rollups: Vec::new(),
+        }
+    }
+
+    /// Declares a level (`«Base»` class). The first declared level is not
+    /// necessarily the base level: the base is inferred from the roll-up
+    /// chain (a single level is trivially the base).
+    pub fn level(mut self, name: &str, f: impl FnOnce(LevelBuilder) -> LevelBuilder) -> Self {
+        self.levels.push((name.to_owned(), f(LevelBuilder::default())));
+        self
+    }
+
+    /// Declares that `child` rolls up to `parent` (`«Rolls-upTo»`).
+    pub fn rolls_up(mut self, child: &str, parent: &str) -> Self {
+        self.rollups.push((child.to_owned(), parent.to_owned()));
+        self
+    }
+
+    fn build(self) -> Result<Dimension> {
+        let dim_name = self.name.clone();
+        if self.levels.is_empty() {
+            return Err(ModelError::EmptyDimension {
+                dimension: dim_name,
+            });
+        }
+        let mut seen = HashSet::new();
+        for (name, _) in &self.levels {
+            if !seen.insert(name.clone()) {
+                return Err(ModelError::DuplicateName {
+                    kind: "level",
+                    name: name.clone(),
+                });
+            }
+        }
+        // Resolve roll-ups into a parent map, enforcing a linear chain.
+        let mut parent: HashMap<&str, &str> = HashMap::new();
+        let mut has_child: HashSet<&str> = HashSet::new();
+        for (child, par) in &self.rollups {
+            for endpoint in [child, par] {
+                if !seen.contains(endpoint.as_str()) {
+                    return Err(ModelError::UnknownLevel {
+                        dimension: dim_name,
+                        level: endpoint.clone(),
+                    });
+                }
+            }
+            if parent.insert(child, par).is_some() {
+                return Err(ModelError::MultipleParents {
+                    dimension: dim_name,
+                    level: child.clone(),
+                });
+            }
+            if !has_child.insert(par.as_str()) {
+                // Two children rolling into the same parent would make the
+                // hierarchy a tree, not a chain; the profile we implement
+                // (like the paper's Figure 1) uses linear hierarchies.
+                return Err(ModelError::DisconnectedHierarchy {
+                    dimension: dim_name,
+                });
+            }
+        }
+        // Find the base: the unique level that is nobody's parent.
+        let bases: Vec<&str> = self
+            .levels
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| !has_child.contains(n))
+            .collect();
+        if bases.len() != 1 {
+            return Err(ModelError::DisconnectedHierarchy {
+                dimension: dim_name,
+            });
+        }
+        // Walk the chain base → top, detecting cycles / disconnection.
+        let mut order: Vec<&str> = Vec::with_capacity(self.levels.len());
+        let mut cursor = Some(bases[0]);
+        let mut visited = HashSet::new();
+        while let Some(level) = cursor {
+            if !visited.insert(level) {
+                return Err(ModelError::CyclicHierarchy {
+                    dimension: dim_name,
+                });
+            }
+            order.push(level);
+            cursor = parent.get(level).copied();
+        }
+        if order.len() != self.levels.len() {
+            return Err(ModelError::DisconnectedHierarchy {
+                dimension: dim_name,
+            });
+        }
+        // Materialise levels in base-first order.
+        let order: Vec<String> = order.into_iter().map(str::to_owned).collect();
+        let mut by_name: HashMap<String, LevelBuilder> = self.levels.into_iter().collect();
+        let mut levels = Vec::with_capacity(order.len());
+        for name in &order {
+            let lb = by_name.remove(name).expect("level exists by construction");
+            let descriptor = lb.descriptor.ok_or_else(|| ModelError::MissingDescriptor {
+                dimension: self.name.clone(),
+                level: name.to_owned(),
+            })?;
+            levels.push(Level {
+                name: name.to_owned(),
+                descriptor,
+                attributes: lb.attributes,
+            });
+        }
+        Ok(Dimension {
+            name: self.name,
+            levels,
+        })
+    }
+}
+
+/// Builds one fact class.
+#[derive(Debug)]
+pub struct FactBuilder {
+    name: String,
+    measures: Vec<Measure>,
+    roles: Vec<(String, String)>,
+}
+
+impl FactBuilder {
+    fn new(name: &str) -> Self {
+        FactBuilder {
+            name: name.to_owned(),
+            measures: Vec::new(),
+            roles: Vec::new(),
+        }
+    }
+
+    /// Adds a measure (`«FA»`).
+    pub fn measure(mut self, name: &str, data_type: DataType, additivity: Additivity) -> Self {
+        self.measures.push(Measure {
+            name: name.to_owned(),
+            data_type,
+            additivity,
+        });
+        self
+    }
+
+    /// Links the fact to a dimension under a role name.
+    pub fn uses_dimension(mut self, role: &str, dimension: &str) -> Self {
+        self.roles.push((role.to_owned(), dimension.to_owned()));
+        self
+    }
+}
+
+/// Builds and validates a complete [`Schema`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    dimensions: Vec<DimensionBuilder>,
+    facts: Vec<FactBuilder>,
+}
+
+impl SchemaBuilder {
+    /// Starts a schema with the given name.
+    pub fn new(name: &str) -> Self {
+        SchemaBuilder {
+            name: name.to_owned(),
+            dimensions: Vec::new(),
+            facts: Vec::new(),
+        }
+    }
+
+    /// Declares a dimension.
+    pub fn dimension(
+        mut self,
+        name: &str,
+        f: impl FnOnce(DimensionBuilder) -> DimensionBuilder,
+    ) -> Self {
+        self.dimensions.push(f(DimensionBuilder::new(name)));
+        self
+    }
+
+    /// Declares a fact.
+    pub fn fact(mut self, name: &str, f: impl FnOnce(FactBuilder) -> FactBuilder) -> Self {
+        self.facts.push(f(FactBuilder::new(name)));
+        self
+    }
+
+    /// Validates everything and produces the immutable [`Schema`].
+    pub fn build(self) -> Result<Schema> {
+        let mut dim_names = HashSet::new();
+        let mut dimensions = Vec::with_capacity(self.dimensions.len());
+        for db in self.dimensions {
+            if !dim_names.insert(db.name.clone()) {
+                return Err(ModelError::DuplicateName {
+                    kind: "dimension",
+                    name: db.name,
+                });
+            }
+            dimensions.push(db.build()?);
+        }
+
+        let dim_index: HashMap<&str, DimensionId> = dimensions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.as_str(), DimensionId(i)))
+            .collect();
+
+        let mut fact_names = HashSet::new();
+        let mut facts = Vec::with_capacity(self.facts.len());
+        for fb in self.facts {
+            if !fact_names.insert(fb.name.clone()) {
+                return Err(ModelError::DuplicateName {
+                    kind: "fact",
+                    name: fb.name,
+                });
+            }
+            for m in &fb.measures {
+                if !m.data_type.is_numeric() {
+                    return Err(ModelError::NonNumericMeasure {
+                        fact: fb.name.clone(),
+                        measure: m.name.clone(),
+                    });
+                }
+            }
+            if fb.roles.is_empty() {
+                return Err(ModelError::FactWithoutDimensions { fact: fb.name });
+            }
+            let mut role_names = HashSet::new();
+            let mut roles = Vec::with_capacity(fb.roles.len());
+            for (role, dim) in fb.roles {
+                if !role_names.insert(role.clone()) {
+                    return Err(ModelError::DuplicateRole {
+                        fact: fb.name.clone(),
+                        role,
+                    });
+                }
+                let dimension =
+                    *dim_index
+                        .get(dim.as_str())
+                        .ok_or_else(|| ModelError::UnknownDimension {
+                            fact: fb.name.clone(),
+                            dimension: dim.clone(),
+                        })?;
+                roles.push(DimensionRole { role, dimension });
+            }
+            facts.push(Fact {
+                name: fb.name,
+                measures: fb.measures,
+                roles,
+            });
+        }
+
+        Ok(Schema {
+            name: self.name,
+            dimensions,
+            facts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_level(d: DimensionBuilder) -> DimensionBuilder {
+        d.level("Only", |l| l.descriptor("id", DataType::Text))
+    }
+
+    #[test]
+    fn minimal_schema_builds() {
+        let s = SchemaBuilder::new("S")
+            .dimension("D", one_level)
+            .fact("F", |f| {
+                f.measure("m", DataType::Float, Additivity::Sum)
+                    .uses_dimension("d", "D")
+            })
+            .build()
+            .unwrap();
+        assert_eq!(s.name(), "S");
+        assert_eq!(s.dimensions().len(), 1);
+    }
+
+    #[test]
+    fn levels_are_ordered_base_first_regardless_of_declaration_order() {
+        let s = SchemaBuilder::new("S")
+            .dimension("Geo", |d| {
+                d.level("Country", |l| l.descriptor("name", DataType::Text))
+                    .level("City", |l| l.descriptor("name", DataType::Text))
+                    .level("State", |l| l.descriptor("name", DataType::Text))
+                    .rolls_up("City", "State")
+                    .rolls_up("State", "Country")
+            })
+            .dimension("D", one_level)
+            .fact("F", |f| {
+                f.measure("m", DataType::Int, Additivity::Sum)
+                    .uses_dimension("d", "D")
+            })
+            .build()
+            .unwrap();
+        let (_, geo) = s.dimension("Geo").unwrap();
+        let names: Vec<&str> = geo.levels.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, ["City", "State", "Country"]);
+    }
+
+    #[test]
+    fn duplicate_dimension_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", one_level)
+            .dimension("D", one_level)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateName { kind: "dimension", .. }));
+    }
+
+    #[test]
+    fn unknown_dimension_in_fact_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", one_level)
+            .fact("F", |f| {
+                f.measure("m", DataType::Int, Additivity::Sum)
+                    .uses_dimension("x", "Ghost")
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownDimension { .. }));
+    }
+
+    #[test]
+    fn cyclic_hierarchy_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", |d| {
+                d.level("A", |l| l.descriptor("a", DataType::Text))
+                    .level("B", |l| l.descriptor("b", DataType::Text))
+                    .rolls_up("A", "B")
+                    .rolls_up("B", "A")
+            })
+            .build()
+            .unwrap_err();
+        // A cycle leaves no base level, reported as disconnection.
+        assert!(matches!(
+            err,
+            ModelError::DisconnectedHierarchy { .. } | ModelError::CyclicHierarchy { .. }
+        ));
+    }
+
+    #[test]
+    fn multiple_parents_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", |d| {
+                d.level("A", |l| l.descriptor("a", DataType::Text))
+                    .level("B", |l| l.descriptor("b", DataType::Text))
+                    .level("C", |l| l.descriptor("c", DataType::Text))
+                    .rolls_up("A", "B")
+                    .rolls_up("A", "C")
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::MultipleParents { .. }));
+    }
+
+    #[test]
+    fn disconnected_levels_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", |d| {
+                d.level("A", |l| l.descriptor("a", DataType::Text))
+                    .level("B", |l| l.descriptor("b", DataType::Text))
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DisconnectedHierarchy { .. }));
+    }
+
+    #[test]
+    fn non_numeric_measure_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", one_level)
+            .fact("F", |f| {
+                f.measure("label", DataType::Text, Additivity::None)
+                    .uses_dimension("d", "D")
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NonNumericMeasure { .. }));
+    }
+
+    #[test]
+    fn fact_without_dimensions_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", one_level)
+            .fact("F", |f| f.measure("m", DataType::Int, Additivity::Sum))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::FactWithoutDimensions { .. }));
+    }
+
+    #[test]
+    fn duplicate_role_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", one_level)
+            .fact("F", |f| {
+                f.measure("m", DataType::Int, Additivity::Sum)
+                    .uses_dimension("r", "D")
+                    .uses_dimension("r", "D")
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateRole { .. }));
+    }
+
+    #[test]
+    fn missing_descriptor_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", |d| d.level("A", |l| l.attribute("x", DataType::Int)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::MissingDescriptor { .. }));
+    }
+
+    #[test]
+    fn unknown_level_in_rollup_rejected() {
+        let err = SchemaBuilder::new("S")
+            .dimension("D", |d| {
+                d.level("A", |l| l.descriptor("a", DataType::Text))
+                    .rolls_up("A", "Ghost")
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownLevel { .. }));
+    }
+}

@@ -1,0 +1,127 @@
+//! Validation errors for multidimensional schemas.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// A structural error detected while building or validating a [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Two facts or two dimensions share a name.
+    DuplicateName {
+        /// The kind of element ("fact", "dimension", "level", …).
+        kind: &'static str,
+        /// The clashing name.
+        name: String,
+    },
+    /// A fact references a dimension that does not exist.
+    UnknownDimension {
+        /// The referencing fact.
+        fact: String,
+        /// The missing dimension name.
+        dimension: String,
+    },
+    /// A roll-up names a level that does not exist in the dimension.
+    UnknownLevel {
+        /// The dimension being built.
+        dimension: String,
+        /// The missing level name.
+        level: String,
+    },
+    /// A level would roll up to more than one parent (hierarchies must be
+    /// linear paths in this profile).
+    MultipleParents {
+        /// The dimension.
+        dimension: String,
+        /// The child level with two parents.
+        level: String,
+    },
+    /// The roll-up relation contains a cycle.
+    CyclicHierarchy {
+        /// The dimension with a cyclic roll-up graph.
+        dimension: String,
+    },
+    /// A dimension has no levels.
+    EmptyDimension {
+        /// The empty dimension.
+        dimension: String,
+    },
+    /// A dimension's levels do not form a single connected chain.
+    DisconnectedHierarchy {
+        /// The dimension.
+        dimension: String,
+    },
+    /// A measure was declared with a non-numeric type.
+    NonNumericMeasure {
+        /// The fact holding the measure.
+        fact: String,
+        /// The offending measure.
+        measure: String,
+    },
+    /// A fact has no dimension references at all.
+    FactWithoutDimensions {
+        /// The isolated fact.
+        fact: String,
+    },
+    /// Two dimension roles on one fact share a role name.
+    DuplicateRole {
+        /// The fact.
+        fact: String,
+        /// The duplicated role name.
+        role: String,
+    },
+    /// A level was declared without a descriptor attribute.
+    MissingDescriptor {
+        /// The dimension.
+        dimension: String,
+        /// The level lacking a `«D»` descriptor.
+        level: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name: {name:?}")
+            }
+            ModelError::UnknownDimension { fact, dimension } => {
+                write!(f, "fact {fact:?} references unknown dimension {dimension:?}")
+            }
+            ModelError::UnknownLevel { dimension, level } => {
+                write!(f, "dimension {dimension:?} has no level {level:?}")
+            }
+            ModelError::MultipleParents { dimension, level } => write!(
+                f,
+                "level {level:?} of dimension {dimension:?} rolls up to more than one parent"
+            ),
+            ModelError::CyclicHierarchy { dimension } => {
+                write!(f, "dimension {dimension:?} has a cyclic roll-up hierarchy")
+            }
+            ModelError::EmptyDimension { dimension } => {
+                write!(f, "dimension {dimension:?} declares no levels")
+            }
+            ModelError::DisconnectedHierarchy { dimension } => write!(
+                f,
+                "the levels of dimension {dimension:?} do not form one roll-up chain"
+            ),
+            ModelError::NonNumericMeasure { fact, measure } => write!(
+                f,
+                "measure {measure:?} of fact {fact:?} must be numeric (int or float)"
+            ),
+            ModelError::FactWithoutDimensions { fact } => {
+                write!(f, "fact {fact:?} is not linked to any dimension")
+            }
+            ModelError::DuplicateRole { fact, role } => {
+                write!(f, "fact {fact:?} uses role name {role:?} twice")
+            }
+            ModelError::MissingDescriptor { dimension, level } => write!(
+                f,
+                "level {level:?} of dimension {dimension:?} has no descriptor attribute"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,130 @@
+//! Canonical example schemas.
+//!
+//! [`last_minute_sales`] is the paper's running example (Figure 1); the
+//! whole workspace — warehouse tests, the ontology transform, the corpus
+//! generator and the experiment harness — builds on it, so it lives here as
+//! the single authoritative definition.
+
+use crate::builder::SchemaBuilder;
+use crate::schema::Schema;
+use crate::types::{Additivity, DataType};
+
+/// The paper's Figure 1: the **Last Minute Sales** multidimensional model of
+/// an airline's marketing department.
+///
+/// * Fact `Last Minute Sales` with measures `price` (additive), `miles`
+///   (additive) and `traveler_rate` (non-additive) — tickets bought in the
+///   last minutes before a flight.
+/// * Dimension `Airport` with hierarchy Airport → City → State → Country,
+///   referenced under the roles `Origin` and `Destination`.
+/// * Dimension `Customer` (Customer → Segment).
+/// * Dimension `Date` (Date → Month → Quarter → Year).
+pub fn last_minute_sales() -> Schema {
+    SchemaBuilder::new("Airline DW")
+        .dimension("Airport", |d| {
+            d.level("Airport", |l| {
+                l.descriptor("airport_name", DataType::Text)
+                    .attribute("iata_code", DataType::Text)
+            })
+            .level("City", |l| {
+                l.descriptor("city_name", DataType::Text)
+                    .attribute("population", DataType::Int)
+            })
+            .level("State", |l| l.descriptor("state_name", DataType::Text))
+            .level("Country", |l| l.descriptor("country_name", DataType::Text))
+            .rolls_up("Airport", "City")
+            .rolls_up("City", "State")
+            .rolls_up("State", "Country")
+        })
+        .dimension("Customer", |d| {
+            d.level("Customer", |l| {
+                l.descriptor("customer_name", DataType::Text)
+                    .attribute("frequent_flyer", DataType::Bool)
+            })
+            .level("Segment", |l| l.descriptor("segment_name", DataType::Text))
+            .rolls_up("Customer", "Segment")
+        })
+        .dimension("Date", |d| {
+            d.level("Date", |l| l.descriptor("date", DataType::Date))
+                .level("Month", |l| l.descriptor("month", DataType::Text))
+                .level("Quarter", |l| l.descriptor("quarter", DataType::Text))
+                .level("Year", |l| l.descriptor("year", DataType::Int))
+                .rolls_up("Date", "Month")
+                .rolls_up("Month", "Quarter")
+                .rolls_up("Quarter", "Year")
+        })
+        .fact("Last Minute Sales", |f| {
+            f.measure("price", DataType::Float, Additivity::Sum)
+                .measure("miles", DataType::Float, Additivity::Sum)
+                .measure("traveler_rate", DataType::Float, Additivity::None)
+                .uses_dimension("Origin", "Airport")
+                .uses_dimension("Destination", "Airport")
+                .uses_dimension("Customer", "Customer")
+                .uses_dimension("Date", "Date")
+        })
+        .build()
+        .expect("the Last Minute Sales fixture is statically valid")
+}
+
+/// A second, unrelated schema — "treatments of patients", the other fact
+/// example the paper's Section 3 mentions — used to test that nothing in
+/// the pipeline is hard-wired to the airline domain.
+pub fn patient_treatments() -> Schema {
+    SchemaBuilder::new("Hospital DW")
+        .dimension("Patient", |d| {
+            d.level("Patient", |l| {
+                l.descriptor("patient_name", DataType::Text)
+                    .attribute("age", DataType::Int)
+            })
+            .level("AgeGroup", |l| l.descriptor("age_group", DataType::Text))
+            .rolls_up("Patient", "AgeGroup")
+        })
+        .dimension("Treatment", |d| {
+            d.level("Treatment", |l| l.descriptor("treatment_name", DataType::Text))
+                .level("Specialty", |l| l.descriptor("specialty_name", DataType::Text))
+                .rolls_up("Treatment", "Specialty")
+        })
+        .dimension("Date", |d| {
+            d.level("Date", |l| l.descriptor("date", DataType::Date))
+                .level("Month", |l| l.descriptor("month", DataType::Text))
+                .level("Year", |l| l.descriptor("year", DataType::Int))
+                .rolls_up("Date", "Month")
+                .rolls_up("Month", "Year")
+        })
+        .fact("Treatments", |f| {
+            f.measure("cost", DataType::Float, Additivity::Sum)
+                .measure("duration_days", DataType::Int, Additivity::Average)
+                .uses_dimension("Patient", "Patient")
+                .uses_dimension("Treatment", "Treatment")
+                .uses_dimension("Date", "Date")
+        })
+        .build()
+        .expect("the patient treatments fixture is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_minute_sales_shape_matches_figure_1() {
+        let s = last_minute_sales();
+        assert_eq!(s.facts().len(), 1);
+        assert_eq!(s.dimensions().len(), 3);
+        let (_, fact) = s.fact("Last Minute Sales").unwrap();
+        assert_eq!(fact.measures.len(), 3);
+        assert_eq!(fact.roles.len(), 4);
+        let (_, airport) = s.dimension("Airport").unwrap();
+        assert_eq!(airport.depth(), 4);
+        let (_, date) = s.dimension("Date").unwrap();
+        assert_eq!(date.depth(), 4);
+    }
+
+    #[test]
+    fn patient_treatments_is_valid_and_distinct() {
+        let s = patient_treatments();
+        assert_eq!(s.facts().len(), 1);
+        assert!(s.dimension("Patient").is_some());
+        assert!(s.dimension("Airport").is_none());
+    }
+}

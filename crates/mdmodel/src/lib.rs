@@ -1,0 +1,61 @@
+//! Multidimensional modelling for the `dwqa` data warehouse.
+//!
+//! This crate implements the conceptual layer the paper builds on: the UML
+//! profile for multidimensional modelling of Luján-Mora, Trujillo & Song
+//! (Data & Knowledge Engineering 59(3), 2006) — the reference the paper's
+//! Figure 1 ("Excerpt of the multidimensional model for our example on Last
+//! Minute Sales") is drawn with.
+//!
+//! A [`Schema`] contains:
+//!
+//! * **fact classes** (`«Fact»`) with **measures** (`«FA»`, fact
+//!   attributes) — events of interest such as a last-minute ticket sale
+//!   with its `Price` and `Miles`;
+//! * **dimension classes** (`«Dimension»`) whose **hierarchies of levels**
+//!   (`«Base»` classes connected by `«Rolls-upTo»` associations) let BI
+//!   queries aggregate at different granularities (Airport → City → State →
+//!   Country; Date → Month → Quarter → Year);
+//! * **role-named associations** between facts and dimensions (the same
+//!   `Airport` dimension plays both the `Origin` and `Destination` roles).
+//!
+//! The schema is the single source of truth for the rest of the system:
+//! `dwqa-warehouse` materialises it as tables, and `dwqa-ontology`
+//! transforms it into the domain ontology (Step 1 of the paper's model).
+//!
+//! ```
+//! use dwqa_mdmodel::{SchemaBuilder, DataType, Additivity};
+//!
+//! let schema = SchemaBuilder::new("Tiny")
+//!     .dimension("Date", |d| {
+//!         d.level("Day", |l| l.descriptor("date", DataType::Date))
+//!          .level("Month", |l| l.descriptor("month", DataType::Text))
+//!          .rolls_up("Day", "Month")
+//!     })
+//!     .fact("Sales", |f| {
+//!         f.measure("price", DataType::Float, Additivity::Sum)
+//!          .uses_dimension("Date", "Date")
+//!     })
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(schema.facts().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod error;
+mod fixtures;
+mod schema;
+mod types;
+mod uml;
+
+pub use builder::{DimensionBuilder, FactBuilder, LevelBuilder, SchemaBuilder};
+pub use error::{ModelError, Result};
+pub use fixtures::{last_minute_sales, patient_treatments};
+pub use schema::{
+    Attribute, Dimension, DimensionId, DimensionRole, Fact, FactId, Level, LevelId, Measure,
+    Schema,
+};
+pub use types::{Additivity, DataType};
+pub use uml::{render_uml, Stereotype};

@@ -1,0 +1,404 @@
+//! The validated multidimensional schema model.
+
+use crate::types::{Additivity, DataType};
+use serde::{Deserialize, Serialize};
+
+/// Index of a fact class within its schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FactId(pub(crate) usize);
+
+/// Index of a dimension within its schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimensionId(pub(crate) usize);
+
+/// Index of a level within its dimension (0 = finest / base level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LevelId(pub(crate) usize);
+
+impl FactId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+impl DimensionId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+impl LevelId {
+    /// The raw index (0 is the base level).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A non-descriptor attribute of a level (`«DA»` dimension attribute).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, e.g. `population`.
+    pub name: String,
+    /// Scalar type.
+    pub data_type: DataType,
+}
+
+/// A level (`«Base»` class) of a dimension hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Level {
+    /// Level name, e.g. `Airport`, `City`.
+    pub name: String,
+    /// The descriptor (`«D»`): the attribute that identifies members of the
+    /// level ("JFK", "Barcelona").
+    pub descriptor: Attribute,
+    /// Additional attributes.
+    pub attributes: Vec<Attribute>,
+}
+
+/// A dimension class with its linear hierarchy of levels.
+///
+/// Levels are stored base-first: `levels[0]` is the finest granularity and
+/// `levels[i]` rolls up to `levels[i + 1]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dimension {
+    /// Dimension name, e.g. `Airport`.
+    pub name: String,
+    /// Levels, base level first.
+    pub levels: Vec<Level>,
+}
+
+impl Dimension {
+    /// The finest-granularity level.
+    pub fn base_level(&self) -> &Level {
+        &self.levels[0]
+    }
+
+    /// Looks up a level by name (case-sensitive).
+    pub fn level(&self, name: &str) -> Option<(LevelId, &Level)> {
+        self.levels
+            .iter()
+            .position(|l| l.name == name)
+            .map(|i| (LevelId(i), &self.levels[i]))
+    }
+
+    /// The parent (`Rolls-upTo` target) of a level, if any.
+    pub fn parent_of(&self, level: LevelId) -> Option<(LevelId, &Level)> {
+        let next = level.0 + 1;
+        self.levels.get(next).map(|l| (LevelId(next), l))
+    }
+
+    /// Iterates `(child, parent)` roll-up pairs base-first.
+    pub fn rollups(&self) -> impl Iterator<Item = (&Level, &Level)> {
+        self.levels.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// Depth of the hierarchy (number of levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels this dimension shares with `other` as a common *upper*
+    /// (coarse) chain — the granularities at which facts over the two
+    /// dimensions can be drilled across (Kimball's conformed dimensions).
+    /// Levels match when both name and descriptor agree. Returned
+    /// fine-first, like [`Dimension::levels`].
+    pub fn conformed_levels<'a>(&'a self, other: &Dimension) -> Vec<&'a Level> {
+        let mut shared = Vec::new();
+        for (a, b) in self.levels.iter().rev().zip(other.levels.iter().rev()) {
+            if a.name == b.name && a.descriptor == b.descriptor {
+                shared.push(a);
+            } else {
+                break;
+            }
+        }
+        shared.reverse();
+        shared
+    }
+}
+
+/// A measure (`«FA»` fact attribute) of a fact class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Measure {
+    /// Measure name, e.g. `price`.
+    pub name: String,
+    /// Numeric type.
+    pub data_type: DataType,
+    /// How the measure may be aggregated.
+    pub additivity: Additivity,
+}
+
+/// A role-named reference from a fact to a dimension.
+///
+/// The Last Minute Sales fact references the `Airport` dimension twice,
+/// under the roles `Origin` and `Destination`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimensionRole {
+    /// Role name unique within the fact (e.g. `Destination`).
+    pub role: String,
+    /// The referenced dimension.
+    pub dimension: DimensionId,
+}
+
+/// A fact class (`«Fact»`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fact {
+    /// Fact name, e.g. `Last Minute Sales`.
+    pub name: String,
+    /// Measures of the fact.
+    pub measures: Vec<Measure>,
+    /// Dimension references with role names.
+    pub roles: Vec<DimensionRole>,
+}
+
+impl Fact {
+    /// Looks up a measure by name.
+    pub fn measure(&self, name: &str) -> Option<&Measure> {
+        self.measures.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a dimension role by role name.
+    pub fn role(&self, role: &str) -> Option<&DimensionRole> {
+        self.roles.iter().find(|r| r.role == role)
+    }
+}
+
+/// A validated multidimensional schema: the star/snowflake-shaped model of
+/// the data warehouse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    pub(crate) name: String,
+    pub(crate) dimensions: Vec<Dimension>,
+    pub(crate) facts: Vec<Fact>,
+}
+
+impl Schema {
+    /// The schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All dimensions.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// All facts.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Looks up a dimension by name.
+    pub fn dimension(&self, name: &str) -> Option<(DimensionId, &Dimension)> {
+        self.dimensions
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| (DimensionId(i), &self.dimensions[i]))
+    }
+
+    /// Resolves a dimension id.
+    pub fn dimension_by_id(&self, id: DimensionId) -> &Dimension {
+        &self.dimensions[id.0]
+    }
+
+    /// Looks up a fact by name.
+    pub fn fact(&self, name: &str) -> Option<(FactId, &Fact)> {
+        self.facts
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| (FactId(i), &self.facts[i]))
+    }
+
+    /// Resolves a fact id.
+    pub fn fact_by_id(&self, id: FactId) -> &Fact {
+        &self.facts[id.0]
+    }
+
+    /// The dimension coordinates two facts share, as
+    /// `(role_a, role_b, dimension name)` triples: either literally the
+    /// same dimension (conformed by identity, like the integrated schema's
+    /// `Date`) or two dimensions with a non-empty conformed upper chain.
+    pub fn drill_across_coordinates(
+        &self,
+        fact_a: &str,
+        fact_b: &str,
+    ) -> Option<Vec<(String, String, String)>> {
+        let (_, fa) = self.fact(fact_a)?;
+        let (_, fb) = self.fact(fact_b)?;
+        let mut out = Vec::new();
+        for ra in &fa.roles {
+            for rb in &fb.roles {
+                if ra.dimension == rb.dimension {
+                    out.push((
+                        ra.role.clone(),
+                        rb.role.clone(),
+                        self.dimension_by_id(ra.dimension).name.clone(),
+                    ));
+                    continue;
+                }
+                let da = self.dimension_by_id(ra.dimension);
+                let db = self.dimension_by_id(rb.dimension);
+                if !da.conformed_levels(db).is_empty() {
+                    out.push((ra.role.clone(), rb.role.clone(), format!("{}≈{}", da.name, db.name)));
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Every class name in the schema (facts, dimensions, levels), in a
+    /// deterministic order. This is the concept inventory Step 1 of the
+    /// paper turns into an ontology.
+    pub fn class_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for f in &self.facts {
+            names.push(&f.name);
+        }
+        for d in &self.dimensions {
+            names.push(&d.name);
+            for l in &d.levels {
+                if l.name != d.name {
+                    names.push(&l.name);
+                }
+            }
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+
+    fn schema() -> Schema {
+        crate::fixtures::last_minute_sales()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert!(s.fact("Last Minute Sales").is_some());
+        let (_, airport) = s.dimension("Airport").unwrap();
+        assert_eq!(airport.base_level().name, "Airport");
+        assert!(s.dimension("Nope").is_none());
+    }
+
+    #[test]
+    fn rollups_follow_level_order() {
+        let s = schema();
+        let (_, airport) = s.dimension("Airport").unwrap();
+        let pairs: Vec<(&str, &str)> = airport
+            .rollups()
+            .map(|(c, p)| (c.name.as_str(), p.name.as_str()))
+            .collect();
+        assert_eq!(
+            pairs,
+            [("Airport", "City"), ("City", "State"), ("State", "Country")]
+        );
+    }
+
+    #[test]
+    fn role_playing_dimensions_are_distinct_roles() {
+        let s = schema();
+        let (_, fact) = s.fact("Last Minute Sales").unwrap();
+        let origin = fact.role("Origin").unwrap();
+        let dest = fact.role("Destination").unwrap();
+        assert_eq!(origin.dimension, dest.dimension);
+        assert_ne!(origin.role, dest.role);
+    }
+
+    #[test]
+    fn class_names_cover_facts_dimensions_levels() {
+        let s = schema();
+        let names = s.class_names();
+        for expected in [
+            "Last Minute Sales",
+            "Airport",
+            "City",
+            "State",
+            "Country",
+            "Customer",
+            "Date",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = schema();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn parent_of_walks_up_and_stops_at_top() {
+        let s = SchemaBuilder::new("T")
+            .dimension("D", |d| {
+                d.level("A", |l| l.descriptor("a", DataType::Text))
+                    .level("B", |l| l.descriptor("b", DataType::Text))
+                    .rolls_up("A", "B")
+            })
+            .fact("F", |f| {
+                f.measure("m", DataType::Int, Additivity::Sum)
+                    .uses_dimension("d", "D")
+            })
+            .build()
+            .unwrap();
+        let (_, d) = s.dimension("D").unwrap();
+        let (a_id, _) = d.level("A").unwrap();
+        let (b_id, b) = d.parent_of(a_id).unwrap();
+        assert_eq!(b.name, "B");
+        assert!(d.parent_of(b_id).is_none());
+    }
+
+    use crate::types::{Additivity, DataType};
+
+    #[test]
+    fn conformed_levels_find_the_shared_upper_chain() {
+        let s = SchemaBuilder::new("T")
+            .dimension("Airport", |d| {
+                d.level("Airport", |l| l.descriptor("airport_name", DataType::Text))
+                    .level("City", |l| l.descriptor("city_name", DataType::Text))
+                    .level("Country", |l| l.descriptor("country_name", DataType::Text))
+                    .rolls_up("Airport", "City")
+                    .rolls_up("City", "Country")
+            })
+            .dimension("City", |d| {
+                d.level("City", |l| l.descriptor("city_name", DataType::Text))
+                    .level("Country", |l| l.descriptor("country_name", DataType::Text))
+                    .rolls_up("City", "Country")
+            })
+            .dimension("Customer", |d| {
+                d.level("Customer", |l| l.descriptor("customer_name", DataType::Text))
+            })
+            .fact("A", |f| {
+                f.measure("m", DataType::Int, Additivity::Sum)
+                    .uses_dimension("Where", "Airport")
+            })
+            .fact("B", |f| {
+                f.measure("n", DataType::Int, Additivity::Sum)
+                    .uses_dimension("City", "City")
+                    .uses_dimension("Customer", "Customer")
+            })
+            .build()
+            .unwrap();
+        let (_, airport) = s.dimension("Airport").unwrap();
+        let (_, city) = s.dimension("City").unwrap();
+        let (_, customer) = s.dimension("Customer").unwrap();
+        let shared: Vec<&str> = airport
+            .conformed_levels(city)
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
+        assert_eq!(shared, ["City", "Country"]);
+        assert!(airport.conformed_levels(customer).is_empty());
+        // Drill-across coordinates between the facts.
+        let coords = s.drill_across_coordinates("A", "B").unwrap();
+        assert_eq!(coords.len(), 1);
+        assert_eq!(coords[0].0, "Where");
+        assert_eq!(coords[0].1, "City");
+        assert!(coords[0].2.contains('≈'));
+    }
+}

@@ -1,0 +1,112 @@
+//! Scalar data types and measure additivity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scalar type of an attribute or measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text (dictionary-encoded in the warehouse).
+    Text,
+    /// Calendar date.
+    Date,
+    /// Boolean flag.
+    Bool,
+}
+
+impl DataType {
+    /// Whether values of this type can be summed/averaged.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Short lowercase name ("int", "float", …) used in renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+            DataType::Date => "date",
+            DataType::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a measure may be aggregated along dimensions.
+///
+/// The UML profile annotates fact attributes with their additivity so BI
+/// tools know which roll-ups are meaningful (summing prices is fine;
+/// summing temperatures is not — they are semi-additive and only AVG/MIN/
+/// MAX make sense, which matters once Step 5 feeds weather facts back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Additivity {
+    /// Fully additive: SUM along every dimension (e.g. `Price`).
+    Sum,
+    /// Semi-additive: only AVG/MIN/MAX are meaningful (e.g. `Temperature`).
+    Average,
+    /// Non-additive: only COUNT/derived stats (e.g. rates).
+    None,
+}
+
+impl Additivity {
+    /// Whether SUM is a legal aggregate for this measure.
+    pub fn allows_sum(self) -> bool {
+        matches!(self, Additivity::Sum)
+    }
+
+    /// Whether AVG is a legal aggregate for this measure.
+    pub fn allows_avg(self) -> bool {
+        matches!(self, Additivity::Sum | Additivity::Average)
+    }
+}
+
+impl fmt::Display for Additivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Additivity::Sum => "additive",
+            Additivity::Average => "semi-additive",
+            Additivity::None => "non-additive",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_types() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Text.is_numeric());
+        assert!(!DataType::Date.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn additivity_rules() {
+        assert!(Additivity::Sum.allows_sum());
+        assert!(Additivity::Sum.allows_avg());
+        assert!(!Additivity::Average.allows_sum());
+        assert!(Additivity::Average.allows_avg());
+        assert!(!Additivity::None.allows_sum());
+        assert!(!Additivity::None.allows_avg());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Date.to_string(), "date");
+        assert_eq!(Additivity::Average.to_string(), "semi-additive");
+    }
+}

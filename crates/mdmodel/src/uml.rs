@@ -1,0 +1,141 @@
+//! Textual rendering of the UML profile (regenerates Figure 1).
+//!
+//! The paper's Figure 1 is a class diagram in the Luján-Mora/Trujillo/Song
+//! profile. We render the same information as stereotyped text, which is
+//! what the `exp_fig1_fig2_models` experiment binary prints.
+
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Stereotypes of the multidimensional UML profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stereotype {
+    /// `«Fact»` — a fact class.
+    Fact,
+    /// `«Dimension»` — a dimension class.
+    Dimension,
+    /// `«Base»` — a hierarchy level class.
+    Base,
+    /// `«FA»` — fact attribute (measure).
+    FactAttribute,
+    /// `«D»` — descriptor attribute of a level.
+    Descriptor,
+    /// `«DA»` — dimension attribute of a level.
+    DimensionAttribute,
+    /// `«Rolls-upTo»` — association between levels.
+    RollsUpTo,
+}
+
+impl Stereotype {
+    /// The guillemet-quoted label used in the profile.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stereotype::Fact => "«Fact»",
+            Stereotype::Dimension => "«Dimension»",
+            Stereotype::Base => "«Base»",
+            Stereotype::FactAttribute => "«FA»",
+            Stereotype::Descriptor => "«D»",
+            Stereotype::DimensionAttribute => "«DA»",
+            Stereotype::RollsUpTo => "«Rolls-upTo»",
+        }
+    }
+}
+
+impl fmt::Display for Stereotype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Renders the schema as a stereotyped textual class diagram.
+pub fn render_uml(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "model {} {{", schema.name());
+    for fact in schema.facts() {
+        let _ = writeln!(out, "  {} {} {{", Stereotype::Fact, fact.name);
+        for m in &fact.measures {
+            let _ = writeln!(
+                out,
+                "    {} {}: {} [{}]",
+                Stereotype::FactAttribute,
+                m.name,
+                m.data_type,
+                m.additivity
+            );
+        }
+        for r in &fact.roles {
+            let dim = schema.dimension_by_id(r.dimension);
+            let _ = writeln!(out, "    role {} -> {}", r.role, dim.name);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for dim in schema.dimensions() {
+        let _ = writeln!(out, "  {} {} {{", Stereotype::Dimension, dim.name);
+        for level in &dim.levels {
+            let _ = writeln!(out, "    {} {} {{", Stereotype::Base, level.name);
+            let _ = writeln!(
+                out,
+                "      {} {}: {}",
+                Stereotype::Descriptor,
+                level.descriptor.name,
+                level.descriptor.data_type
+            );
+            for a in &level.attributes {
+                let _ = writeln!(
+                    out,
+                    "      {} {}: {}",
+                    Stereotype::DimensionAttribute,
+                    a.name,
+                    a.data_type
+                );
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        for (child, parent) in dim.rollups() {
+            let _ = writeln!(
+                out,
+                "    {} {} -> {}",
+                Stereotype::RollsUpTo,
+                child.name,
+                parent.name
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::last_minute_sales;
+
+    #[test]
+    fn rendering_mentions_every_class_and_stereotype() {
+        let text = render_uml(&last_minute_sales());
+        for needle in [
+            "«Fact» Last Minute Sales",
+            "«FA» price: float [additive]",
+            "«FA» traveler_rate: float [non-additive]",
+            "«Dimension» Airport",
+            "«Base» City",
+            "«D» city_name: text",
+            "«DA» iata_code: text",
+            "«Rolls-upTo» Airport -> City",
+            "role Destination -> Airport",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(
+            render_uml(&last_minute_sales()),
+            render_uml(&last_minute_sales())
+        );
+    }
+}

@@ -1,0 +1,602 @@
+//! The shallow parser: Syntactic Blocks (SBs).
+//!
+//! AliQAn's modules operate on SBs elicited by the SUPAR shallow parser:
+//! noun phrases (`NP`), prepositional phrases (`PP`) and verbal heads
+//! (`VBC`), annotated with features (`comun`, `properNoun`, `date`,
+//! `numeral`, `day`) and grammatical roles (`subject`, `compl`). This
+//! module reproduces that layer, including the paper's textual annotation
+//! format (Table 1):
+//!
+//! ```text
+//! <@NP,compl,comun,,> the DT the weather NN weather <@/NP,compl,comun,,>
+//! ```
+
+use crate::lexicon::Pos;
+use crate::tagger::TaggedToken;
+use dwqa_common::{Month, Weekday};
+
+/// The kind of a syntactic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SbKind {
+    /// Noun phrase.
+    Np,
+    /// Prepositional phrase (preposition + NP child).
+    Pp,
+    /// Verbal head (verb chain).
+    Vbc,
+}
+
+/// Semantic feature of an NP, as annotated in the paper's traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NpFeature {
+    /// Common-noun phrase ("the weather").
+    Comun,
+    /// Proper-noun phrase ("El Prat", "8º C" — contains a proper token).
+    ProperNoun,
+    /// A calendar date phrase ("January of 2004", "January 31, 2004").
+    Date,
+    /// A weekday phrase ("Monday, January 31, 2004").
+    Day,
+    /// A bare numeral ("2004").
+    Numeral,
+}
+
+impl NpFeature {
+    /// The label used in annotations.
+    pub fn label(self) -> &'static str {
+        match self {
+            NpFeature::Comun => "comun",
+            NpFeature::ProperNoun => "properNoun",
+            NpFeature::Date => "date",
+            NpFeature::Day => "day",
+            NpFeature::Numeral => "numeral",
+        }
+    }
+}
+
+/// Grammatical role of an NP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SbRole {
+    /// Subject position.
+    Subject,
+    /// Complement position.
+    Compl,
+    /// Unassigned.
+    None,
+}
+
+impl SbRole {
+    /// The label used in annotations (empty for [`SbRole::None`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            SbRole::Subject => "subject",
+            SbRole::Compl => "compl",
+            SbRole::None => "",
+        }
+    }
+}
+
+/// A syntactic block over a token range `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntacticBlock {
+    /// Block kind.
+    pub kind: SbKind,
+    /// First token index (inclusive).
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+    /// NP feature (NPs only).
+    pub feature: Option<NpFeature>,
+    /// Grammatical role (NPs only).
+    pub role: SbRole,
+    /// Nested blocks (a PP's NP; a day-NP's date-NP).
+    pub children: Vec<SyntacticBlock>,
+}
+
+impl SyntacticBlock {
+    /// The surface text of the block.
+    pub fn text(&self, tokens: &[TaggedToken]) -> String {
+        tokens[self.start..self.end]
+            .iter()
+            .map(|t| t.token.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The lemmas of the block's word/number tokens.
+    pub fn lemmas(&self, tokens: &[TaggedToken]) -> Vec<String> {
+        tokens[self.start..self.end]
+            .iter()
+            .filter(|t| !matches!(t.pos, Pos::PUNCT | Pos::SENT))
+            .map(|t| t.lemma.clone())
+            .collect()
+    }
+
+    /// The head lemma: the last nominal token's lemma (skipping numbers and
+    /// symbols), e.g. "sales" → `sale` in "Last Minute Sales".
+    pub fn head_lemma(&self, tokens: &[TaggedToken]) -> Option<String> {
+        tokens[self.start..self.end]
+            .iter()
+            .rev()
+            .find(|t| t.pos.is_noun())
+            .map(|t| t.lemma.clone())
+    }
+
+    /// Depth-first iteration over this block and its descendants.
+    pub fn walk(&self) -> Vec<&SyntacticBlock> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.walk());
+        }
+        out
+    }
+}
+
+fn is_month_lemma(lemma: &str) -> bool {
+    Month::parse(lemma).is_some()
+}
+
+fn is_weekday_lemma(lemma: &str) -> bool {
+    Weekday::parse(lemma).is_some()
+}
+
+fn np_feature(tokens: &[TaggedToken], start: usize, end: usize) -> NpFeature {
+    let slice = &tokens[start..end];
+    if slice.iter().any(|t| is_weekday_lemma(&t.lemma)) {
+        return NpFeature::Day;
+    }
+    if slice.iter().any(|t| is_month_lemma(&t.lemma)) {
+        return NpFeature::Date;
+    }
+    let content: Vec<&TaggedToken> = slice
+        .iter()
+        .filter(|t| !matches!(t.pos, Pos::PUNCT | Pos::SENT))
+        .collect();
+    if !content.is_empty() && content.iter().all(|t| matches!(t.pos, Pos::CD | Pos::SYM)) {
+        return NpFeature::Numeral;
+    }
+    if content
+        .iter()
+        .any(|t| t.pos == Pos::NP && !is_month_lemma(&t.lemma) && !is_weekday_lemma(&t.lemma))
+    {
+        return NpFeature::ProperNoun;
+    }
+    NpFeature::Comun
+}
+
+/// Parses one NP starting at `i`; returns `(block, next index)` or `None`.
+fn parse_np(tokens: &[TaggedToken], mut i: usize) -> Option<(SyntacticBlock, usize)> {
+    let start = i;
+    // Optional determiner.
+    if matches!(tokens.get(i).map(|t| t.pos), Some(Pos::DT)) {
+        i += 1;
+    }
+    // Adjectives.
+    while matches!(tokens.get(i).map(|t| t.pos), Some(Pos::JJ) | Some(Pos::JJS)) {
+        i += 1;
+    }
+    // Core: nouns, numbers, symbols. A number right after a common noun
+    // starts a *new* chunk ("Temperature | 8º C"), matching the paper's
+    // segmentation.
+    let core_start = i;
+    while let Some(t) = tokens.get(i) {
+        match t.pos {
+            Pos::NN | Pos::NNS | Pos::NP => {
+                // A noun directly after a number starts a new chunk
+                // ("2004 | Barcelona Weather") — unless a symbol sits in
+                // between ("8 º C" stays one block).
+                if i > core_start && tokens[i - 1].pos == Pos::CD {
+                    break;
+                }
+                i += 1;
+            }
+            Pos::CD => {
+                let prev_is_common = i > core_start
+                    && matches!(tokens[i - 1].pos, Pos::NN | Pos::NNS);
+                if prev_is_common {
+                    break;
+                }
+                i += 1;
+            }
+            Pos::SYM if i > core_start => i += 1,
+            _ => break,
+        }
+    }
+    if i == core_start {
+        return None; // no core: not an NP after all
+    }
+    Some((
+        SyntacticBlock {
+            kind: SbKind::Np,
+            start,
+            end: i,
+            feature: Some(np_feature(tokens, start, i)),
+            role: SbRole::None,
+            children: Vec::new(),
+        },
+        i,
+    ))
+}
+
+/// Base chunking pass: VBCs, PPs (with NP child) and NPs.
+fn base_chunks(tokens: &[TaggedToken]) -> Vec<SyntacticBlock> {
+    let mut blocks = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let pos = tokens[i].pos;
+        // Verb chain (including "will not rain").
+        if pos.is_verb() {
+            let start = i;
+            while i < tokens.len()
+                && (tokens[i].pos.is_verb()
+                    || (tokens[i].pos == Pos::RB && tokens[i].lemma == "not"))
+            {
+                i += 1;
+            }
+            blocks.push(SyntacticBlock {
+                kind: SbKind::Vbc,
+                start,
+                end: i,
+                feature: None,
+                role: SbRole::None,
+                children: Vec::new(),
+            });
+            continue;
+        }
+        // Prepositional phrase.
+        if pos.is_preposition() {
+            if let Some((np, next)) = parse_np(tokens, i + 1) {
+                blocks.push(SyntacticBlock {
+                    kind: SbKind::Pp,
+                    start: i,
+                    end: next,
+                    feature: np.feature,
+                    role: SbRole::None,
+                    children: vec![np],
+                });
+                i = next;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Noun phrase.
+        if matches!(pos, Pos::DT | Pos::JJ | Pos::JJS | Pos::NN | Pos::NNS | Pos::NP | Pos::CD) {
+            if let Some((np, next)) = parse_np(tokens, i) {
+                blocks.push(np);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    blocks
+}
+
+/// Whether exactly one comma separates token ranges `a_end..b_start`.
+fn comma_between(tokens: &[TaggedToken], a_end: usize, b_start: usize) -> bool {
+    b_start == a_end + 1
+        && matches!(tokens.get(a_end), Some(t) if t.pos == Pos::PUNCT && t.token.text == ",")
+}
+
+fn looks_like_year(tokens: &[TaggedToken], b: &SyntacticBlock) -> bool {
+    let content: Vec<&TaggedToken> = tokens[b.start..b.end]
+        .iter()
+        .filter(|t| t.pos != Pos::PUNCT)
+        .collect();
+    content.len() == 1
+        && content[0].pos == Pos::CD
+        && content[0].lemma.len() == 4
+        && content[0].lemma.chars().all(|c| c.is_ascii_digit())
+}
+
+/// Merge pass: "January 31" + "," + "2004" → one date NP; "Monday" + "," +
+/// date NP → a day NP nesting the date NP (the paper's nested annotation).
+fn merge_dates(tokens: &[TaggedToken], blocks: Vec<SyntacticBlock>) -> Vec<SyntacticBlock> {
+    // Year absorption.
+    let mut merged: Vec<SyntacticBlock> = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        if let Some(prev) = merged.last_mut() {
+            let prev_is_date = prev.kind == SbKind::Np && prev.feature == Some(NpFeature::Date);
+            if prev_is_date
+                && b.kind == SbKind::Np
+                && comma_between(tokens, prev.end, b.start)
+                && looks_like_year(tokens, &b)
+            {
+                prev.end = b.end;
+                continue;
+            }
+        }
+        merged.push(b);
+    }
+    // Day nesting.
+    let mut out: Vec<SyntacticBlock> = Vec::with_capacity(merged.len());
+    for b in merged {
+        if let Some(prev) = out.last_mut() {
+            let prev_is_day = prev.kind == SbKind::Np && prev.feature == Some(NpFeature::Day);
+            if prev_is_day
+                && b.kind == SbKind::Np
+                && b.feature == Some(NpFeature::Date)
+                && comma_between(tokens, prev.end, b.start)
+            {
+                prev.end = b.end;
+                prev.children.push(b);
+                continue;
+            }
+        }
+        out.push(b);
+    }
+    out
+}
+
+/// Role pass: the NP immediately after a VBC is a complement; NPs before
+/// the first VBC — or all plain NPs when the sentence has no verb (typical
+/// of web headings) — are subjects. Date/day/numeral NPs carry no role.
+fn assign_roles(blocks: &mut [SyntacticBlock]) {
+    let first_vbc = blocks.iter().position(|b| b.kind == SbKind::Vbc);
+    let mut prev_was_vbc = false;
+    for (idx, b) in blocks.iter_mut().enumerate() {
+        if b.kind == SbKind::Np {
+            let eligible = matches!(
+                b.feature,
+                Some(NpFeature::Comun) | Some(NpFeature::ProperNoun)
+            );
+            if eligible {
+                b.role = match first_vbc {
+                    Some(v) if idx < v => SbRole::Subject,
+                    Some(_) if prev_was_vbc => SbRole::Compl,
+                    Some(_) => SbRole::None,
+                    None => SbRole::Subject,
+                };
+            }
+        }
+        prev_was_vbc = b.kind == SbKind::Vbc;
+    }
+}
+
+/// Shallow-parses a tagged sentence into syntactic blocks.
+pub fn chunk(tokens: &[TaggedToken]) -> Vec<SyntacticBlock> {
+    let blocks = base_chunks(tokens);
+    let mut blocks = merge_dates(tokens, blocks);
+    assign_roles(&mut blocks);
+    blocks
+}
+
+fn open_tag(b: &SyntacticBlock) -> String {
+    match b.kind {
+        SbKind::Np => format!(
+            "<@NP,{},{},,>",
+            b.role.label(),
+            b.feature.map_or("", NpFeature::label)
+        ),
+        SbKind::Pp => "<@PP>".to_owned(),
+        SbKind::Vbc => "<@VBC>".to_owned(),
+    }
+}
+
+fn close_tag(b: &SyntacticBlock) -> String {
+    match b.kind {
+        SbKind::Np => format!(
+            "<@/NP,{},{},,>",
+            b.role.label(),
+            b.feature.map_or("", NpFeature::label)
+        ),
+        SbKind::Pp => "<@/PP>".to_owned(),
+        SbKind::Vbc => "<@/VBC>".to_owned(),
+    }
+}
+
+fn render_block(
+    tokens: &[TaggedToken],
+    b: &SyntacticBlock,
+    out: &mut Vec<String>,
+) {
+    out.push(open_tag(b));
+    let mut pos = b.start;
+    // Children are disjoint sub-ranges in order.
+    for child in &b.children {
+        for t in &tokens[pos..child.start] {
+            out.push(t.render());
+        }
+        render_block(tokens, child, out);
+        pos = child.end;
+    }
+    for t in &tokens[pos..b.end] {
+        out.push(t.render());
+    }
+    out.push(close_tag(b));
+}
+
+/// Renders a tagged, chunked sentence in the paper's annotation format.
+pub fn render_annotated(tokens: &[TaggedToken], blocks: &[SyntacticBlock]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let mut pos = 0usize;
+    for b in blocks {
+        for t in &tokens[pos..b.start] {
+            out.push(t.render());
+        }
+        render_block(tokens, b, &mut out);
+        pos = b.end;
+    }
+    for t in &tokens[pos..] {
+        out.push(t.render());
+    }
+    out.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+    use crate::tagger::tag_sentence;
+    use crate::tokenizer::tokenize;
+
+    fn analyze(s: &str) -> (Vec<TaggedToken>, Vec<SyntacticBlock>) {
+        let lx = Lexicon::english();
+        let tokens = tag_sentence(&lx, &tokenize(s));
+        let blocks = chunk(&tokens);
+        (tokens, blocks)
+    }
+
+    fn block_texts(tokens: &[TaggedToken], blocks: &[SyntacticBlock]) -> Vec<(SbKind, String)> {
+        blocks
+            .iter()
+            .map(|b| (b.kind, b.text(tokens)))
+            .collect()
+    }
+
+    #[test]
+    fn question_chunking_matches_table_1_shape() {
+        let (tokens, blocks) = analyze("What is the weather like in January of 2004 in El Prat?");
+        let texts = block_texts(&tokens, &blocks);
+        assert!(texts.contains(&(SbKind::Vbc, "is".to_owned())));
+        assert!(texts.contains(&(SbKind::Np, "the weather".to_owned())));
+        assert!(texts.contains(&(SbKind::Pp, "in January".to_owned())));
+        assert!(texts.contains(&(SbKind::Pp, "of 2004".to_owned())));
+        assert!(texts.contains(&(SbKind::Pp, "in El Prat".to_owned())));
+        // "the weather" is the complement of "is".
+        let weather = blocks
+            .iter()
+            .find(|b| b.text(&tokens) == "the weather")
+            .unwrap();
+        assert_eq!(weather.role, SbRole::Compl);
+        assert_eq!(weather.feature, Some(NpFeature::Comun));
+        // "El Prat" inside its PP is a proper noun.
+        let el_prat_pp = blocks
+            .iter()
+            .find(|b| b.text(&tokens) == "in El Prat")
+            .unwrap();
+        assert_eq!(el_prat_pp.children[0].feature, Some(NpFeature::ProperNoun));
+    }
+
+    #[test]
+    fn passage_chunking_matches_table_1_shape() {
+        let (tokens, blocks) =
+            analyze("Monday, January 31, 2004 Barcelona Weather: Temperature 8º C around 46.4 F");
+        // Day NP nests the date NP and spans the whole date expression.
+        let day = blocks
+            .iter()
+            .find(|b| b.feature == Some(NpFeature::Day))
+            .expect("day NP");
+        assert_eq!(day.text(&tokens), "Monday , January 31 , 2004");
+        assert_eq!(day.children.len(), 1);
+        assert_eq!(day.children[0].feature, Some(NpFeature::Date));
+        assert_eq!(day.children[0].text(&tokens), "January 31 , 2004");
+        // "Barcelona Weather" is a proper-noun subject (no verb in heading).
+        let bw = blocks
+            .iter()
+            .find(|b| b.text(&tokens) == "Barcelona Weather")
+            .expect("Barcelona Weather NP");
+        assert_eq!(bw.feature, Some(NpFeature::ProperNoun));
+        assert_eq!(bw.role, SbRole::Subject);
+        // "Temperature" and "8º C" are separate chunks.
+        assert!(blocks.iter().any(|b| b.text(&tokens) == "Temperature"));
+        let temp_value = blocks
+            .iter()
+            .find(|b| b.text(&tokens) == "8 º C")
+            .expect("temperature value NP");
+        assert_eq!(temp_value.feature, Some(NpFeature::ProperNoun));
+    }
+
+    #[test]
+    fn numeral_np() {
+        let (tokens, blocks) = analyze("in 1990");
+        let pp = &blocks[0];
+        assert_eq!(pp.kind, SbKind::Pp);
+        assert_eq!(pp.children[0].feature, Some(NpFeature::Numeral));
+        assert_eq!(pp.children[0].text(&tokens), "1990");
+    }
+
+    #[test]
+    fn subject_before_verb_and_head_lemma() {
+        let (tokens, blocks) = analyze("The last minute sales increased");
+        let np = &blocks[0];
+        assert_eq!(np.kind, SbKind::Np);
+        assert_eq!(np.role, SbRole::Subject);
+        assert_eq!(np.head_lemma(&tokens), Some("sale".to_owned()));
+        assert_eq!(blocks[1].kind, SbKind::Vbc);
+    }
+
+    #[test]
+    fn clef_question_shape() {
+        // "Which country did Iraq invade in 1990?" (the paper's CLEF 2006
+        // example): SBs [Iraq] [to invade] [in 1990].
+        let (tokens, blocks) = analyze("Which country did Iraq invade in 1990?");
+        let texts = block_texts(&tokens, &blocks);
+        assert!(texts.contains(&(SbKind::Np, "country".to_owned())));
+        assert!(texts.contains(&(SbKind::Np, "Iraq".to_owned())));
+        assert!(texts.contains(&(SbKind::Pp, "in 1990".to_owned())));
+        assert!(texts
+            .iter()
+            .any(|(k, t)| *k == SbKind::Vbc && t.contains("invade")));
+    }
+
+    #[test]
+    fn render_matches_paper_format() {
+        let (tokens, blocks) = analyze("the weather");
+        let rendered = render_annotated(&tokens, &blocks);
+        assert_eq!(
+            rendered,
+            "<@NP,subject,comun,,> the DT the weather NN weather <@/NP,subject,comun,,>"
+        );
+    }
+
+    #[test]
+    fn render_nested_day_date() {
+        let (tokens, blocks) = analyze("Monday, January 31, 2004");
+        let rendered = render_annotated(&tokens, &blocks);
+        assert!(rendered.starts_with("<@NP,,day,,> Monday NP monday , PUNCT ,"));
+        assert!(rendered.contains("<@NP,,date,,> January NP january 31 CD 31"));
+        assert!(rendered.ends_with("<@/NP,,date,,> <@/NP,,day,,>"));
+    }
+
+    #[test]
+    fn walk_visits_descendants() {
+        let (_, blocks) = analyze("Monday, January 31, 2004");
+        let day = &blocks[0];
+        assert_eq!(day.walk().len(), 2);
+    }
+
+    #[test]
+    fn pp_without_np_is_skipped_gracefully() {
+        // "like in January": "like" has no NP directly after it.
+        let (tokens, blocks) = analyze("like in January");
+        let pps: Vec<String> = blocks
+            .iter()
+            .filter(|b| b.kind == SbKind::Pp)
+            .map(|b| b.text(&tokens))
+            .collect();
+        assert_eq!(pps, ["in January"]);
+    }
+
+    #[test]
+    fn lemmas_skip_punctuation() {
+        let (tokens, blocks) = analyze("Monday, January 31, 2004");
+        let day = &blocks[0];
+        let lemmas = day.lemmas(&tokens);
+        assert!(!lemmas.contains(&",".to_owned()));
+        assert!(lemmas.contains(&"monday".to_owned()));
+        assert!(lemmas.contains(&"2004".to_owned()));
+    }
+
+    #[test]
+    fn empty_input_yields_no_blocks() {
+        let (tokens, blocks) = analyze("");
+        assert!(tokens.is_empty());
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn determiner_without_core_is_not_an_np() {
+        // "the of" — DT followed by a preposition: no NP core.
+        let (_, blocks) = analyze("the of");
+        assert!(blocks.iter().all(|b| b.kind != SbKind::Np));
+    }
+
+    #[test]
+    fn vbc_absorbs_negation() {
+        let (tokens, blocks) = analyze("it will not rain");
+        let vbc = blocks.iter().find(|b| b.kind == SbKind::Vbc).unwrap();
+        assert_eq!(vbc.text(&tokens), "will not rain");
+    }
+}

@@ -1,0 +1,455 @@
+//! Typed entity recognition.
+//!
+//! The QA answer taxonomy (person, place, temporal, numerical …) needs
+//! typed values extracted from token streams: temperatures ("8º C",
+//! "46.4 F", "minus 3 degrees Celsius"), calendar dates in the paper's
+//! formats ("Monday, January 31, 2004", "the 12th of May, 1997"),
+//! month/year references ("January of 2004"), bare years, percentages and
+//! money. These recognisers run over tagged tokens and are shared by the
+//! QA extraction module and the question analyser.
+
+use crate::lexicon::Pos;
+use crate::tagger::TaggedToken;
+use dwqa_common::{Date, Month};
+
+/// Temperature scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TempUnit {
+    /// Degrees Celsius.
+    Celsius,
+    /// Degrees Fahrenheit.
+    Fahrenheit,
+}
+
+impl TempUnit {
+    /// Converts a value in this unit to Celsius (the axiom the paper's
+    /// Step 4 adds to the "temperature" concept).
+    pub fn to_celsius(self, value: f64) -> f64 {
+        match self {
+            TempUnit::Celsius => value,
+            TempUnit::Fahrenheit => (value - 32.0) * 5.0 / 9.0,
+        }
+    }
+
+    /// Converts a value in this unit to Fahrenheit.
+    pub fn to_fahrenheit(self, value: f64) -> f64 {
+        match self {
+            TempUnit::Celsius => value * 9.0 / 5.0 + 32.0,
+            TempUnit::Fahrenheit => value,
+        }
+    }
+
+    /// The conventional symbol ("ºC" / "F").
+    pub fn symbol(self) -> &'static str {
+        match self {
+            TempUnit::Celsius => "ºC",
+            TempUnit::Fahrenheit => "F",
+        }
+    }
+}
+
+/// A typed entity found in a sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EntityKind {
+    /// A temperature reading.
+    Temperature {
+        /// Numeric value in the stated unit.
+        value: f64,
+        /// The stated unit.
+        unit: TempUnit,
+    },
+    /// A complete calendar date.
+    FullDate(Date),
+    /// A month + year reference ("January of 2004").
+    MonthYear {
+        /// The month.
+        month: Month,
+        /// The year.
+        year: i32,
+    },
+    /// A bare year.
+    Year(i32),
+    /// A percentage value.
+    Percentage(f64),
+    /// A money amount with a currency word/symbol.
+    Money {
+        /// The amount.
+        amount: f64,
+        /// Currency label ("$", "euro").
+        currency: String,
+    },
+}
+
+/// An entity with its token span `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    /// The typed content.
+    pub kind: EntityKind,
+    /// First token index.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+}
+
+fn as_number(t: &TaggedToken) -> Option<f64> {
+    if t.pos == Pos::CD {
+        t.lemma.parse::<f64>().ok()
+    } else {
+        None
+    }
+}
+
+fn as_day(t: &TaggedToken) -> Option<u32> {
+    let n = as_number(t)?;
+    let d = n as u32;
+    if (1..=31).contains(&d) && (n - d as f64).abs() < f64::EPSILON {
+        Some(d)
+    } else {
+        None
+    }
+}
+
+fn as_year(t: &TaggedToken) -> Option<i32> {
+    if t.pos == Pos::CD && t.lemma.len() == 4 {
+        let y: i32 = t.lemma.parse().ok()?;
+        if (1000..=2999).contains(&y) {
+            return Some(y);
+        }
+    }
+    None
+}
+
+fn as_month(t: &TaggedToken) -> Option<Month> {
+    Month::parse(&t.lemma)
+}
+
+fn is_comma(t: &TaggedToken) -> bool {
+    t.pos == Pos::PUNCT && t.token.text == ","
+}
+
+fn unit_at(tokens: &[TaggedToken], i: usize) -> Option<(TempUnit, usize)> {
+    // "º C" / "° F" (symbol + letter), bare letter "C"/"F", or the words
+    // "degrees [celsius|fahrenheit]" / "celsius" / "fahrenheit".
+    match tokens.get(i) {
+        Some(t) if t.pos == Pos::SYM && (t.token.text == "º" || t.token.text == "°") => {
+            match tokens.get(i + 1) {
+                Some(n) if n.lemma == "c" => Some((TempUnit::Celsius, i + 2)),
+                Some(n) if n.lemma == "f" => Some((TempUnit::Fahrenheit, i + 2)),
+                // A degree sign with no letter defaults to Celsius (the
+                // format of the paper's Figure 5 table pages).
+                _ => Some((TempUnit::Celsius, i + 1)),
+            }
+        }
+        Some(t) if t.lemma == "c" && t.pos == Pos::NP => Some((TempUnit::Celsius, i + 1)),
+        Some(t) if t.lemma == "f" && t.pos == Pos::NP => Some((TempUnit::Fahrenheit, i + 1)),
+        Some(t) if t.lemma == "degree" => match tokens.get(i + 1) {
+            Some(n) if n.lemma == "celsius" => Some((TempUnit::Celsius, i + 2)),
+            Some(n) if n.lemma == "fahrenheit" => Some((TempUnit::Fahrenheit, i + 2)),
+            _ => Some((TempUnit::Celsius, i + 1)),
+        },
+        Some(t) if t.lemma == "celsius" => Some((TempUnit::Celsius, i + 1)),
+        Some(t) if t.lemma == "fahrenheit" => Some((TempUnit::Fahrenheit, i + 1)),
+        _ => None,
+    }
+}
+
+fn try_temperature(tokens: &[TaggedToken], i: usize) -> Option<(Entity, usize)> {
+    // "-3" is a signed token; "minus three" is an adverb + number word.
+    let (start, value_idx, sign) = if tokens.get(i)?.lemma == "minus" {
+        (i, i + 1, -1.0)
+    } else {
+        (i, i, 1.0)
+    };
+    let value = sign * as_number(tokens.get(value_idx)?)?;
+    let (unit, end) = unit_at(tokens, value_idx + 1)?;
+    Some((
+        Entity {
+            kind: EntityKind::Temperature { value, unit },
+            start,
+            end,
+        },
+        end,
+    ))
+}
+
+fn try_date(tokens: &[TaggedToken], i: usize) -> Option<(Entity, usize)> {
+    // Pattern A: Month day [,] year   ("January 31, 2004")
+    if let Some(month) = as_month(tokens.get(i)?) {
+        if let Some(day) = tokens.get(i + 1).and_then(as_day) {
+            let mut j = i + 2;
+            if matches!(tokens.get(j), Some(t) if is_comma(t)) {
+                j += 1;
+            }
+            if let Some(year) = tokens.get(j).and_then(as_year) {
+                if let Some(date) = Date::new(year, month, day) {
+                    return Some((
+                        Entity {
+                            kind: EntityKind::FullDate(date),
+                            start: i,
+                            end: j + 1,
+                        },
+                        j + 1,
+                    ));
+                }
+            }
+        }
+        // Pattern B: Month ["of"] year   ("January of 2004", "January 2004")
+        let mut j = i + 1;
+        if matches!(tokens.get(j), Some(t) if t.pos == Pos::OF) {
+            j += 1;
+        }
+        if let Some(year) = tokens.get(j).and_then(as_year) {
+            return Some((
+                Entity {
+                    kind: EntityKind::MonthYear { month, year },
+                    start: i,
+                    end: j + 1,
+                },
+                j + 1,
+            ));
+        }
+        return None;
+    }
+    // Pattern C: day "of" Month [,] [year]   ("the 12th of May, 1997")
+    if let Some(day) = as_day(tokens.get(i)?) {
+        if matches!(tokens.get(i + 1), Some(t) if t.pos == Pos::OF) {
+            if let Some(month) = tokens.get(i + 2).and_then(as_month) {
+                let mut j = i + 3;
+                if matches!(tokens.get(j), Some(t) if is_comma(t)) {
+                    j += 1;
+                }
+                if let Some(year) = tokens.get(j).and_then(as_year) {
+                    if let Some(date) = Date::new(year, month, day) {
+                        return Some((
+                            Entity {
+                                kind: EntityKind::FullDate(date),
+                                start: i,
+                                end: j + 1,
+                            },
+                            j + 1,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn try_percentage(tokens: &[TaggedToken], i: usize) -> Option<(Entity, usize)> {
+    let value = as_number(tokens.get(i)?)?;
+    match tokens.get(i + 1) {
+        Some(t) if t.token.text == "%" || t.lemma == "percent" || t.lemma == "percentage" => {
+            Some((
+                Entity {
+                    kind: EntityKind::Percentage(value),
+                    start: i,
+                    end: i + 2,
+                },
+                i + 2,
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn try_money(tokens: &[TaggedToken], i: usize) -> Option<(Entity, usize)> {
+    let t = tokens.get(i)?;
+    // "$ 100" / "€ 100"
+    if t.pos == Pos::SYM && ["$", "€", "£"].contains(&t.token.text.as_str()) {
+        let amount = as_number(tokens.get(i + 1)?)?;
+        return Some((
+            Entity {
+                kind: EntityKind::Money {
+                    amount,
+                    currency: t.token.text.clone(),
+                },
+                start: i,
+                end: i + 2,
+            },
+            i + 2,
+        ));
+    }
+    // "100 euros" / "100 dollars"
+    let amount = as_number(t)?;
+    match tokens.get(i + 1) {
+        Some(n) if n.lemma == "euro" || n.lemma == "dollar" => Some((
+            Entity {
+                kind: EntityKind::Money {
+                    amount,
+                    currency: n.lemma.clone(),
+                },
+                start: i,
+                end: i + 2,
+            },
+            i + 2,
+        )),
+        _ => None,
+    }
+}
+
+/// Extracts all typed entities from a tagged sentence, greedily left to
+/// right (entities never overlap).
+pub fn extract_entities(tokens: &[TaggedToken]) -> Vec<Entity> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Order matters: dates before years (a year inside a date must not
+        // be reported twice), temperatures before bare numbers.
+        if let Some((e, next)) = try_date(tokens, i) {
+            out.push(e);
+            i = next;
+            continue;
+        }
+        if let Some((e, next)) = try_temperature(tokens, i) {
+            out.push(e);
+            i = next;
+            continue;
+        }
+        if let Some((e, next)) = try_percentage(tokens, i) {
+            out.push(e);
+            i = next;
+            continue;
+        }
+        if let Some((e, next)) = try_money(tokens, i) {
+            out.push(e);
+            i = next;
+            continue;
+        }
+        if let Some(year) = as_year(&tokens[i]) {
+            out.push(Entity {
+                kind: EntityKind::Year(year),
+                start: i,
+                end: i + 1,
+            });
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+    use crate::tagger::tag_sentence;
+    use crate::tokenizer::tokenize;
+
+    fn entities(s: &str) -> Vec<EntityKind> {
+        let lx = Lexicon::english();
+        let tokens = tag_sentence(&lx, &tokenize(s));
+        extract_entities(&tokens).into_iter().map(|e| e.kind).collect()
+    }
+
+    #[test]
+    fn paper_passage_yields_temperatures_and_date() {
+        let es = entities("Monday, January 31, 2004 Barcelona Weather: Temperature 8º C around 46.4 F Clear skies today");
+        assert!(es.contains(&EntityKind::FullDate(Date::from_ymd(2004, 1, 31).unwrap())));
+        assert!(es.contains(&EntityKind::Temperature {
+            value: 8.0,
+            unit: TempUnit::Celsius
+        }));
+        assert!(es.contains(&EntityKind::Temperature {
+            value: 46.4,
+            unit: TempUnit::Fahrenheit
+        }));
+    }
+
+    #[test]
+    fn month_year_patterns() {
+        assert!(entities("in January of 2004").contains(&EntityKind::MonthYear {
+            month: Month::January,
+            year: 2004
+        }));
+        assert!(entities("in January 2004").contains(&EntityKind::MonthYear {
+            month: Month::January,
+            year: 2004
+        }));
+    }
+
+    #[test]
+    fn day_of_month_pattern() {
+        assert!(
+            entities("on the 12th of May, 1997").contains(&EntityKind::FullDate(
+                Date::from_ymd(1997, 5, 12).unwrap()
+            ))
+        );
+        assert!(entities("on the 3 of June 2001").contains(&EntityKind::FullDate(
+            Date::from_ymd(2001, 6, 3).unwrap()
+        )));
+    }
+
+    #[test]
+    fn invalid_dates_are_not_extracted() {
+        let es = entities("on February 30, 2004 it rained");
+        assert!(!es.iter().any(|e| matches!(e, EntityKind::FullDate(_))));
+    }
+
+    #[test]
+    fn bare_year_only_outside_dates() {
+        let es = entities("Iraq invaded Kuwait in 1990");
+        assert_eq!(es, vec![EntityKind::Year(1990)]);
+        // Year inside a full date is not double-reported.
+        let es = entities("January 31, 2004");
+        assert_eq!(es.len(), 1);
+    }
+
+    #[test]
+    fn temperature_variants() {
+        assert!(entities("It was 21 degrees Celsius").contains(&EntityKind::Temperature {
+            value: 21.0,
+            unit: TempUnit::Celsius
+        }));
+        assert!(entities("a low of -3 degrees").contains(&EntityKind::Temperature {
+            value: -3.0,
+            unit: TempUnit::Celsius
+        }));
+        assert!(entities("around 70 fahrenheit").contains(&EntityKind::Temperature {
+            value: 70.0,
+            unit: TempUnit::Fahrenheit
+        }));
+    }
+
+    #[test]
+    fn number_words_and_minus() {
+        assert!(entities("It was five degrees celsius").contains(&EntityKind::Temperature {
+            value: 5.0,
+            unit: TempUnit::Celsius
+        }));
+        assert!(entities("a low of minus three degrees").contains(&EntityKind::Temperature {
+            value: -3.0,
+            unit: TempUnit::Celsius
+        }));
+        assert!(entities("twenty degrees fahrenheit today").contains(&EntityKind::Temperature {
+            value: 20.0,
+            unit: TempUnit::Fahrenheit
+        }));
+    }
+
+    #[test]
+    fn percentage_and_money() {
+        assert!(entities("sales rose 12 %").contains(&EntityKind::Percentage(12.0)));
+        assert!(entities("a ticket for 99 euros").contains(&EntityKind::Money {
+            amount: 99.0,
+            currency: "euro".into()
+        }));
+        assert!(entities("it cost $ 45").contains(&EntityKind::Money {
+            amount: 45.0,
+            currency: "$".into()
+        }));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((TempUnit::Fahrenheit.to_celsius(46.4) - 8.0).abs() < 1e-9);
+        assert!((TempUnit::Celsius.to_fahrenheit(8.0) - 46.4).abs() < 1e-9);
+        assert_eq!(TempUnit::Celsius.to_celsius(5.0), 5.0);
+    }
+
+    #[test]
+    fn no_entities_in_plain_text() {
+        assert!(entities("the weather is nice").is_empty());
+    }
+}

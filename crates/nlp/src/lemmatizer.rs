@@ -1,0 +1,221 @@
+//! Rule-based inflectional morphology.
+//!
+//! Given a surface form and a coarse part of speech, [`lemmatize`] strips
+//! regular English inflection (plural `-s`/`-es`/`-ies`, verbal `-s`,
+//! `-ed`, `-ing`) with the usual orthographic repairs (consonant doubling,
+//! silent `e`). Irregular forms are handled upstream by lexicon entries;
+//! this module is the fallback for regular morphology, exactly the split a
+//! tool like TreeTagger makes.
+
+use crate::lexicon::Pos;
+
+/// Strips regular noun plural morphology; returns the singular candidate.
+pub fn singularize(form: &str) -> String {
+    let f = form.to_ascii_lowercase();
+    if let Some(stem) = f.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    for suffix in ["ches", "shes", "xes", "sses", "zes"] {
+        if let Some(stem) = f.strip_suffix("es") {
+            if f.ends_with(suffix) {
+                return stem.to_owned();
+            }
+        }
+    }
+    if let Some(stem) = f.strip_suffix('s') {
+        if !stem.is_empty() && !stem.ends_with('s') && !stem.ends_with('u') {
+            return stem.to_owned();
+        }
+    }
+    f
+}
+
+/// Candidate base forms for a regularly inflected verb.
+///
+/// Returns candidates in preference order; the tagger keeps the first one
+/// the lexicon knows as a base verb.
+pub fn verb_bases(form: &str) -> Vec<String> {
+    let f = form.to_ascii_lowercase();
+    let mut out = Vec::new();
+    // -ies → -y ("flies" → "fly")
+    if let Some(stem) = f.strip_suffix("ies") {
+        if !stem.is_empty() {
+            out.push(format!("{stem}y"));
+        }
+    }
+    // -es → base ("reaches" → "reach", "analyzes" → "analyze")
+    if let Some(stem) = f.strip_suffix("es") {
+        if !stem.is_empty() {
+            out.push(stem.to_owned());
+            out.push(format!("{stem}e"));
+        }
+    }
+    // -s → base
+    if let Some(stem) = f.strip_suffix('s') {
+        if !stem.is_empty() && !stem.ends_with('s') {
+            out.push(stem.to_owned());
+        }
+    }
+    // -ied → -y ("carried" → "carry")
+    if let Some(stem) = f.strip_suffix("ied") {
+        if !stem.is_empty() {
+            out.push(format!("{stem}y"));
+        }
+    }
+    // -ed → base / base+e / dedoubled ("landed" → "land", "increased" →
+    // "increase", "dropped" → "drop")
+    if let Some(stem) = f.strip_suffix("ed") {
+        if !stem.is_empty() {
+            out.push(stem.to_owned());
+            out.push(format!("{stem}e"));
+            if stem.len() >= 2 {
+                let b = stem.as_bytes();
+                if b[b.len() - 1] == b[b.len() - 2] {
+                    out.push(stem[..stem.len() - 1].to_owned());
+                }
+            }
+        }
+    }
+    // -ing → base / base+e / dedoubled
+    if let Some(stem) = f.strip_suffix("ing") {
+        if !stem.is_empty() {
+            out.push(stem.to_owned());
+            out.push(format!("{stem}e"));
+            if stem.len() >= 2 {
+                let b = stem.as_bytes();
+                if b[b.len() - 1] == b[b.len() - 2] {
+                    out.push(stem[..stem.len() - 1].to_owned());
+                }
+            }
+        }
+    }
+    out.dedup();
+    out
+}
+
+/// The inflection class a verb form ending implies.
+pub fn verb_tag_for_suffix(form: &str) -> Option<Pos> {
+    let f = form.to_ascii_lowercase();
+    if f.ends_with("ing") {
+        Some(Pos::VBG)
+    } else if f.ends_with("ed") {
+        Some(Pos::VBD)
+    } else if f.ends_with('s') {
+        Some(Pos::VBZ)
+    } else {
+        None
+    }
+}
+
+/// Lemmatises a form given its (already decided) part of speech, without a
+/// lexicon. Verb bases are a best-effort guess: prefer
+/// [`lemmatize_with`] when a lexicon is available (the tagger always uses
+/// the lexicon-aware path).
+pub fn lemmatize(form: &str, pos: Pos) -> String {
+    let lower = form.to_ascii_lowercase();
+    match pos {
+        Pos::NNS => singularize(&lower),
+        Pos::VBZ | Pos::VBD | Pos::VBG | Pos::VBN => {
+            verb_bases(&lower).into_iter().next().unwrap_or(lower)
+        }
+        Pos::NP => lower,
+        _ => lower,
+    }
+}
+
+/// Lemmatises with a lexicon: verb candidates are filtered to bases the
+/// lexicon actually knows, and plurals to known singulars, falling back to
+/// the lexicon-free guess.
+pub fn lemmatize_with(lexicon: &crate::lexicon::Lexicon, form: &str, pos: Pos) -> String {
+    let lower = form.to_ascii_lowercase();
+    match pos {
+        Pos::VBZ | Pos::VBD | Pos::VBG | Pos::VBN | Pos::VBP | Pos::VB => {
+            if lexicon.has_base_verb(&lower) {
+                return lower;
+            }
+            for candidate in verb_bases(&lower) {
+                if lexicon.has_base_verb(&candidate) {
+                    return candidate;
+                }
+            }
+            lemmatize(form, pos)
+        }
+        Pos::NNS => {
+            let sing = singularize(&lower);
+            if lexicon.lookup_pos(&sing, Pos::NN).is_some() {
+                sing
+            } else {
+                lemmatize(form, pos)
+            }
+        }
+        _ => lemmatize(form, pos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singularize_regular_patterns() {
+        assert_eq!(singularize("temperatures"), "temperature");
+        assert_eq!(singularize("cities"), "city");
+        assert_eq!(singularize("beaches"), "beach");
+        assert_eq!(singularize("boxes"), "box");
+        assert_eq!(singularize("classes"), "class");
+        assert_eq!(singularize("degree"), "degree");
+        // 's' that is not plural morphology survives.
+        assert_eq!(singularize("celsius"), "celsius");
+    }
+
+    #[test]
+    fn verb_bases_cover_orthographic_repairs() {
+        assert!(verb_bases("lands").contains(&"land".to_owned()));
+        assert!(verb_bases("flies").contains(&"fly".to_owned()));
+        assert!(verb_bases("increased").contains(&"increase".to_owned()));
+        assert!(verb_bases("dropped").contains(&"drop".to_owned()));
+        assert!(verb_bases("carrying").contains(&"carry".to_owned()));
+        assert!(verb_bases("carried").contains(&"carry".to_owned()));
+        assert!(verb_bases("hovering").contains(&"hover".to_owned()));
+        assert!(verb_bases("reaches").contains(&"reach".to_owned()));
+    }
+
+    #[test]
+    fn suffix_tags() {
+        assert_eq!(verb_tag_for_suffix("landing"), Some(Pos::VBG));
+        assert_eq!(verb_tag_for_suffix("landed"), Some(Pos::VBD));
+        assert_eq!(verb_tag_for_suffix("lands"), Some(Pos::VBZ));
+        assert_eq!(verb_tag_for_suffix("land"), None);
+    }
+
+    #[test]
+    fn lemmatize_dispatches_by_pos() {
+        assert_eq!(lemmatize("temperatures", Pos::NNS), "temperature");
+        assert_eq!(
+            lemmatize_with(&crate::lexicon::Lexicon::english(), "increased", Pos::VBD),
+            "increase"
+        );
+        assert_eq!(lemmatize("landed", Pos::VBD), "land");
+        assert_eq!(lemmatize("Barcelona", Pos::NP), "barcelona");
+        assert_eq!(lemmatize("clear", Pos::JJ), "clear");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lemmas_are_lowercase_and_nonempty(w in "[a-zA-Z]{1,12}") {
+            for pos in [Pos::NN, Pos::NNS, Pos::VBD, Pos::VBG, Pos::NP, Pos::JJ] {
+                let lemma = lemmatize(&w, pos);
+                prop_assert!(!lemma.is_empty());
+                prop_assert_eq!(lemma.clone(), lemma.to_ascii_lowercase());
+            }
+        }
+
+        #[test]
+        fn prop_singularize_never_longer(w in "[a-z]{1,14}") {
+            prop_assert!(singularize(&w).len() <= w.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Part-of-speech inventory and the built-in English lexicon.
+//!
+//! The tagset is the Penn-style subset the paper's Table 1 footnote lists:
+//! `NP` proper noun, `NN`/`NNS` common noun, `CD` number, `IN`/`OF`
+//! preposition, `DT` determiner — plus the verb, adjective, adverb and
+//! wh-word tags the question patterns need.
+
+use std::collections::HashMap;
+
+/// Part-of-speech tags (paper tagset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Pos {
+    /// Common noun, singular.
+    NN,
+    /// Common noun, plural.
+    NNS,
+    /// Proper noun.
+    NP,
+    /// Cardinal number.
+    CD,
+    /// Determiner.
+    DT,
+    /// Preposition.
+    IN,
+    /// The preposition "of" (kept distinct, as in the paper's traces).
+    OF,
+    /// Verb, base form.
+    VB,
+    /// Verb, 3rd person singular present.
+    VBZ,
+    /// Verb, non-3rd person present.
+    VBP,
+    /// Verb, past tense.
+    VBD,
+    /// Verb, gerund.
+    VBG,
+    /// Verb, past participle.
+    VBN,
+    /// Modal.
+    MD,
+    /// Adjective.
+    JJ,
+    /// Adjective, superlative.
+    JJS,
+    /// Adverb.
+    RB,
+    /// Wh-pronoun (what, who).
+    WP,
+    /// Wh-adverb (when, where, how).
+    WRB,
+    /// Wh-determiner (which, whose).
+    WDT,
+    /// Coordinating conjunction.
+    CC,
+    /// Personal/possessive pronoun.
+    PRP,
+    /// Infinitival "to".
+    TO,
+    /// Symbol (º, %, currency).
+    SYM,
+    /// Sentence-final punctuation.
+    SENT,
+    /// Other punctuation.
+    PUNCT,
+}
+
+impl Pos {
+    /// The tag's surface label as printed in analyses ("NN", "VBZ", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Pos::NN => "NN",
+            Pos::NNS => "NNS",
+            Pos::NP => "NP",
+            Pos::CD => "CD",
+            Pos::DT => "DT",
+            Pos::IN => "IN",
+            Pos::OF => "OF",
+            Pos::VB => "VB",
+            Pos::VBZ => "VBZ",
+            Pos::VBP => "VBP",
+            Pos::VBD => "VBD",
+            Pos::VBG => "VBG",
+            Pos::VBN => "VBN",
+            Pos::MD => "MD",
+            Pos::JJ => "JJ",
+            Pos::JJS => "JJS",
+            Pos::RB => "RB",
+            Pos::WP => "WP",
+            Pos::WRB => "WRB",
+            Pos::WDT => "WDT",
+            Pos::CC => "CC",
+            Pos::PRP => "PRP",
+            Pos::TO => "TO",
+            Pos::SYM => "SYM",
+            Pos::SENT => "SENT",
+            Pos::PUNCT => "PUNCT",
+        }
+    }
+
+    /// Whether the tag is nominal (feeds NP chunks).
+    pub fn is_noun(self) -> bool {
+        matches!(self, Pos::NN | Pos::NNS | Pos::NP)
+    }
+
+    /// Whether the tag is verbal (feeds VBC chunks).
+    pub fn is_verb(self) -> bool {
+        matches!(
+            self,
+            Pos::VB | Pos::VBZ | Pos::VBP | Pos::VBD | Pos::VBG | Pos::VBN | Pos::MD
+        )
+    }
+
+    /// Whether the tag is a preposition.
+    pub fn is_preposition(self) -> bool {
+        matches!(self, Pos::IN | Pos::OF | Pos::TO)
+    }
+
+    /// Whether the tag is a wh-word.
+    pub fn is_wh(self) -> bool {
+        matches!(self, Pos::WP | Pos::WRB | Pos::WDT)
+    }
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One lexicon reading of a surface form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexEntry {
+    /// Part of speech.
+    pub pos: Pos,
+    /// The lemma of this reading.
+    pub lemma: String,
+}
+
+/// A form → readings lexicon, keyed by case-folded surface form.
+#[derive(Debug, Clone, Default)]
+pub struct Lexicon {
+    entries: HashMap<String, Vec<LexEntry>>,
+}
+
+impl Lexicon {
+    /// Creates an empty lexicon.
+    pub fn new() -> Lexicon {
+        Lexicon::default()
+    }
+
+    /// Adds a reading for a form. Duplicate `(pos, lemma)` pairs are
+    /// ignored.
+    pub fn add(&mut self, form: &str, pos: Pos, lemma: &str) {
+        let key = dwqa_common::text::fold(form);
+        let readings = self.entries.entry(key).or_default();
+        if !readings.iter().any(|e| e.pos == pos && e.lemma == lemma) {
+            readings.push(LexEntry {
+                pos,
+                lemma: lemma.to_owned(),
+            });
+        }
+    }
+
+    /// All readings of a form (case-insensitive).
+    pub fn lookup(&self, form: &str) -> &[LexEntry] {
+        self.entries
+            .get(&dwqa_common::text::fold(form))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The first reading with a given part of speech, if any.
+    pub fn lookup_pos(&self, form: &str, pos: Pos) -> Option<&LexEntry> {
+        self.lookup(form).iter().find(|e| e.pos == pos)
+    }
+
+    /// Whether the form is known at all.
+    pub fn contains(&self, form: &str) -> bool {
+        !self.lookup(form).is_empty()
+    }
+
+    /// Whether the form has a verbal reading.
+    pub fn has_verb(&self, form: &str) -> bool {
+        self.lookup(form).iter().any(|e| e.pos.is_verb())
+    }
+
+    /// Whether a *base* verb with this lemma exists (used by the tagger to
+    /// accept regularly inflected forms of known verbs).
+    pub fn has_base_verb(&self, lemma: &str) -> bool {
+        self.lookup(lemma).iter().any(|e| e.pos == Pos::VB)
+    }
+
+    /// Number of distinct forms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the lexicon is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The built-in English lexicon covering closed classes and the
+    /// airline / weather / business vocabulary of the reproduction corpus.
+    pub fn english() -> Lexicon {
+        let mut lx = Lexicon::new();
+
+        // --- Wh-words -----------------------------------------------------
+        for w in ["what", "who", "whom"] {
+            lx.add(w, Pos::WP, w);
+        }
+        for w in ["which", "whose"] {
+            lx.add(w, Pos::WDT, w);
+        }
+        for w in ["when", "where", "how", "why"] {
+            lx.add(w, Pos::WRB, w);
+        }
+
+        // --- Determiners --------------------------------------------------
+        for w in [
+            "the", "a", "an", "this", "that", "these", "those", "each", "every", "all", "some",
+            "any", "no", "both", "either", "neither", "another", "such",
+        ] {
+            lx.add(w, Pos::DT, w);
+        }
+
+        // --- Prepositions (OF is its own tag, as in the paper) -------------
+        lx.add("of", Pos::OF, "of");
+        lx.add("to", Pos::TO, "to");
+        for w in [
+            "in", "on", "at", "by", "for", "with", "from", "about", "around", "during", "between",
+            "under", "over", "near", "like", "after", "before", "since", "until", "within",
+            "without", "per", "above", "below", "across", "into", "through", "against", "among",
+            "towards", "toward", "despite", "except",
+        ] {
+            lx.add(w, Pos::IN, w);
+        }
+
+        // --- Conjunctions ---------------------------------------------------
+        for w in ["and", "or", "but", "nor", "so", "yet"] {
+            lx.add(w, Pos::CC, w);
+        }
+
+        // --- Pronouns -------------------------------------------------------
+        for w in [
+            "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "its",
+            "his", "their", "our", "your", "my", "mine", "yours", "theirs", "ours",
+        ] {
+            lx.add(w, Pos::PRP, w);
+        }
+
+        // --- Modals ---------------------------------------------------------
+        for w in [
+            "will", "would", "can", "could", "may", "might", "must", "shall", "should",
+        ] {
+            lx.add(w, Pos::MD, w);
+        }
+
+        // --- Irregular verb paradigms ----------------------------------------
+        lx.add("be", Pos::VB, "be");
+        lx.add("am", Pos::VBP, "be");
+        lx.add("is", Pos::VBZ, "be");
+        lx.add("are", Pos::VBP, "be");
+        lx.add("was", Pos::VBD, "be");
+        lx.add("were", Pos::VBD, "be");
+        lx.add("been", Pos::VBN, "be");
+        lx.add("being", Pos::VBG, "be");
+        lx.add("have", Pos::VB, "have");
+        lx.add("have", Pos::VBP, "have");
+        lx.add("has", Pos::VBZ, "have");
+        lx.add("had", Pos::VBD, "have");
+        lx.add("having", Pos::VBG, "have");
+        lx.add("do", Pos::VB, "do");
+        lx.add("do", Pos::VBP, "do");
+        lx.add("does", Pos::VBZ, "do");
+        lx.add("did", Pos::VBD, "do");
+        lx.add("done", Pos::VBN, "do");
+        lx.add("doing", Pos::VBG, "do");
+        let irregular_past: &[(&str, &str, &str)] = &[
+            // (base, past, participle)
+            ("buy", "bought", "bought"),
+            ("sell", "sold", "sold"),
+            ("fly", "flew", "flown"),
+            ("rise", "rose", "risen"),
+            ("fall", "fell", "fallen"),
+            ("go", "went", "gone"),
+            ("come", "came", "come"),
+            ("see", "saw", "seen"),
+            ("know", "knew", "known"),
+            ("say", "said", "said"),
+            ("tell", "told", "told"),
+            ("find", "found", "found"),
+            ("make", "made", "made"),
+            ("take", "took", "taken"),
+            ("get", "got", "gotten"),
+            ("give", "gave", "given"),
+            ("blow", "blew", "blown"),
+            ("shine", "shone", "shone"),
+            ("feed", "fed", "fed"),
+            ("leave", "left", "left"),
+            ("pay", "paid", "paid"),
+            ("mean", "meant", "meant"),
+            ("feel", "felt", "felt"),
+            ("keep", "kept", "kept"),
+            ("lead", "led", "led"),
+        ];
+        for (base, past, part) in irregular_past {
+            lx.add(base, Pos::VB, base);
+            lx.add(past, Pos::VBD, base);
+            lx.add(part, Pos::VBN, base);
+        }
+
+        // --- Regular verbs (base forms; inflections derived by the tagger) --
+        for w in [
+            "travel", "arrive", "depart", "land", "increase", "decrease", "rain", "snow",
+            "forecast", "expect", "report", "record", "reach", "drop", "stay", "remain",
+            "analyze", "invade", "visit", "book", "cost", "want", "need", "return", "extract",
+            "look", "seem", "become", "show", "start", "end", "open", "close", "offer", "happen",
+            "change", "cool", "warm", "average", "measure", "predict", "publish", "search",
+            "answer", "ask", "live", "work", "move", "plan", "help", "cause", "affect", "improve",
+            "climb", "dip", "hover", "peak", "settle", "stand", "assassinate", "elect",
+            "win", "score", "play", "release", "present", "fill", "serve", "reform",
+            "remember", "join", "study", "describe", "mention",
+        ] {
+            lx.add(w, Pos::VB, w);
+        }
+
+        // --- Weather vocabulary ----------------------------------------------
+        for w in [
+            "weather", "temperature", "degree", "celsius", "fahrenheit", "sky", "wind", "rain",
+            "snow", "sun", "cloud", "humidity", "forecast", "storm", "fog", "frost", "heat",
+            "cold", "climate", "condition", "precipitation", "breeze", "shower", "sunshine",
+            "reading", "thermometer", "average", "maximum", "minimum", "high", "low",
+        ] {
+            lx.add(w, Pos::NN, w);
+        }
+        lx.add("skies", Pos::NNS, "sky");
+
+        // --- Airline / business vocabulary -----------------------------------
+        for w in [
+            "airport", "airline", "flight", "ticket", "sale", "price", "mile", "customer",
+            "passenger", "traveler", "traveller", "city", "state", "country", "capital", "month",
+            "year", "day", "week", "quarter", "date", "company", "benefit", "promotion",
+            "marketing", "department", "seat", "destination", "origin", "rate", "discount",
+            "revenue", "percent", "percentage", "fare", "route", "booking", "trip", "terminal",
+            "runway", "crew", "pilot", "gate", "luggage", "bargain", "deal", "offer", "euro",
+            "dollar", "business", "economy",
+        ] {
+            lx.add(w, Pos::NN, w);
+        }
+
+        // --- General nouns -----------------------------------------------------
+        for w in [
+            "person", "man", "woman", "group", "object", "place", "event", "star", "universe",
+            "night", "morning", "afternoon", "evening", "report", "email", "web", "page",
+            "document", "information", "data", "system", "question", "answer", "database",
+            "warehouse", "number", "figure", "table", "unit", "scale", "value", "range", "time",
+            "period", "profession", "abbreviation", "definition", "musician", "singer", "band",
+            "mayor", "politician", "history", "record", "home", "family", "part", "area",
+            "region", "world", "tourist", "guide", "visitor", "resident", "winter", "summer",
+            "spring", "autumn", "season", "holiday", "museum", "beach", "street",
+        ] {
+            lx.add(w, Pos::NN, w);
+        }
+        lx.add("minute", Pos::NN, "minute");
+        lx.add("minute", Pos::JJ, "minute");
+        lx.add("last", Pos::JJ, "last");
+        lx.add("people", Pos::NNS, "person");
+        lx.add("children", Pos::NNS, "child");
+        lx.add("men", Pos::NNS, "man");
+        lx.add("women", Pos::NNS, "woman");
+        lx.add("feet", Pos::NNS, "foot");
+
+        // --- Adjectives ----------------------------------------------------------
+        for w in [
+            "clear", "sunny", "cloudy", "rainy", "snowy", "windy", "foggy", "hot", "warm",
+            "mild", "cool", "dry", "wet", "chilly", "freezing", "pleasant", "bright", "visible",
+            "big", "small", "new", "old", "good", "great", "late", "early", "cheap", "expensive",
+            "average", "typical", "daily", "monthly", "annual", "possible", "useful", "several",
+            "strong", "weak", "heavy", "light", "gentle", "severe", "extreme", "moderate",
+            "many", "few", "cross-lingual", "international", "national", "local", "crowded",
+            "popular", "famous", "beautiful", "historic",
+        ] {
+            lx.add(w, Pos::JJ, w);
+        }
+        for (sup, base) in [("brightest", "bright"), ("best", "good"), ("coldest", "cold"),
+                            ("hottest", "hot"), ("highest", "high"), ("lowest", "low"),
+                            ("warmest", "warm"), ("largest", "large"), ("cheapest", "cheap")] {
+            lx.add(sup, Pos::JJS, base);
+        }
+
+        // --- Adverbs ----------------------------------------------------------------
+        for w in [
+            "today", "yesterday", "tomorrow", "very", "quite", "approximately", "roughly",
+            "usually", "currently", "now", "then", "here", "there", "also", "only", "just",
+            "still", "already", "often", "never", "always", "sometimes", "partly", "mostly",
+            "slightly", "nearly", "almost", "again", "too", "well", "not",
+        ] {
+            lx.add(w, Pos::RB, w);
+        }
+
+        // --- Number words (tagged CD with the digit string as lemma, so
+        // the entity recognisers treat "five degrees" like "5 degrees") ---
+        let units: &[(&str, u32)] = &[
+            ("zero", 0), ("one", 1), ("two", 2), ("three", 3), ("four", 4), ("five", 5),
+            ("six", 6), ("seven", 7), ("eight", 8), ("nine", 9), ("ten", 10), ("eleven", 11),
+            ("twelve", 12), ("thirteen", 13), ("fourteen", 14), ("fifteen", 15),
+            ("sixteen", 16), ("seventeen", 17), ("eighteen", 18), ("nineteen", 19),
+            ("twenty", 20), ("thirty", 30), ("forty", 40), ("fifty", 50), ("sixty", 60),
+            ("seventy", 70), ("eighty", 80), ("ninety", 90), ("hundred", 100),
+            ("thousand", 1000),
+        ];
+        for (word, n) in units {
+            lx.add(word, Pos::CD, &n.to_string());
+        }
+        // "minus" negates the following number ("minus five degrees").
+        lx.add("minus", Pos::RB, "minus");
+
+        // --- Calendar proper nouns (tagged NP with lowercase lemma, as in
+        // the paper's trace: "January NP january") ---------------------------------
+        for m in dwqa_common::Month::ALL {
+            lx.add(m.name(), Pos::NP, &m.name().to_ascii_lowercase());
+        }
+        for d in dwqa_common::Weekday::ALL {
+            lx.add(d.name(), Pos::NP, &d.name().to_ascii_lowercase());
+        }
+
+        lx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_classes_present() {
+        let lx = Lexicon::english();
+        assert_eq!(lx.lookup_pos("what", Pos::WP).unwrap().lemma, "what");
+        assert_eq!(lx.lookup_pos("of", Pos::OF).unwrap().lemma, "of");
+        assert_eq!(lx.lookup_pos("the", Pos::DT).unwrap().lemma, "the");
+        assert_eq!(lx.lookup_pos("is", Pos::VBZ).unwrap().lemma, "be");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let lx = Lexicon::english();
+        assert!(lx.contains("The"));
+        assert!(lx.contains("WEATHER"));
+        assert_eq!(lx.lookup_pos("January", Pos::NP).unwrap().lemma, "january");
+    }
+
+    #[test]
+    fn ambiguous_forms_have_multiple_readings() {
+        let lx = Lexicon::english();
+        let readings = lx.lookup("rain");
+        assert!(readings.iter().any(|e| e.pos == Pos::NN));
+        assert!(readings.iter().any(|e| e.pos == Pos::VB));
+        let minute = lx.lookup("minute");
+        assert!(minute.iter().any(|e| e.pos == Pos::JJ));
+    }
+
+    #[test]
+    fn irregular_plurals_map_to_singular_lemma() {
+        let lx = Lexicon::english();
+        assert_eq!(lx.lookup_pos("skies", Pos::NNS).unwrap().lemma, "sky");
+        assert_eq!(lx.lookup_pos("people", Pos::NNS).unwrap().lemma, "person");
+    }
+
+    #[test]
+    fn irregular_verbs_map_to_base() {
+        let lx = Lexicon::english();
+        assert_eq!(lx.lookup_pos("bought", Pos::VBD).unwrap().lemma, "buy");
+        assert_eq!(lx.lookup_pos("flown", Pos::VBN).unwrap().lemma, "fly");
+        assert!(lx.has_base_verb("invade"));
+        assert!(!lx.has_base_verb("weather"));
+    }
+
+    #[test]
+    fn add_deduplicates() {
+        let mut lx = Lexicon::new();
+        lx.add("x", Pos::NN, "x");
+        lx.add("x", Pos::NN, "x");
+        assert_eq!(lx.lookup("x").len(), 1);
+        lx.add("x", Pos::VB, "x");
+        assert_eq!(lx.lookup("x").len(), 2);
+    }
+
+    #[test]
+    fn pos_classifiers() {
+        assert!(Pos::NP.is_noun());
+        assert!(Pos::VBZ.is_verb());
+        assert!(Pos::OF.is_preposition());
+        assert!(Pos::WRB.is_wh());
+        assert!(!Pos::JJ.is_noun());
+    }
+}

@@ -1,0 +1,126 @@
+//! The natural-language-processing toolchain of the reproduction.
+//!
+//! AliQAn's indexation and question-analysis phases rest on a stack of NLP
+//! tools the paper takes from elsewhere: a morphological analyser (Maco+ /
+//! TreeTagger), a shallow parser (SUPAR) and a word-sense-disambiguation
+//! module over WordNet. None of those ship with the paper, so this crate
+//! implements the stack from scratch:
+//!
+//! * [`tokenizer`] — sentence splitting and tokenisation, including the
+//!   numeric/symbol shapes of weather pages (`8º C`, `46.4 F`);
+//! * [`lexicon`] — a hand-built English lexicon with part-of-speech entries
+//!   and irregular forms, covering the closed classes plus the airline /
+//!   weather / business vocabulary of the corpus;
+//! * [`lemmatizer`] — rule-based inflectional morphology with an
+//!   irregular-form table;
+//! * [`tagger`] — a lexicon-driven part-of-speech tagger with suffix
+//!   heuristics and contextual repair rules, emitting the paper's tagset
+//!   (`NP`, `NN`/`NNS`, `CD`, `IN`/`OF`, `DT`, `VBZ`…, `WP`, `SENT`);
+//! * [`chunker`] — the shallow parser eliciting **Syntactic Blocks** (SBs):
+//!   `NP`, `PP` and `VBC` chunks annotated with the paper's features
+//!   (`properNoun`, `comun`, `date`, `numeral`, `day`; `subject`/`compl`),
+//!   rendered in Table 1's exact textual format;
+//! * [`entities`] — recognisers for the typed values the QA answer
+//!   taxonomy needs: temperatures, dates, years, percentages, quantities;
+//! * [`wsd`] — a simplified-Lesk word-sense disambiguator, generic over a
+//!   [`wsd::SenseInventory`] so the ontology crate can plug in without a
+//!   dependency cycle;
+//! * [`stopwords`] — the stop-word list the IR side discards (difference
+//!   (1) between IR and QA in the paper's introduction).
+//!
+//! ```
+//! use dwqa_nlp::{analyze_sentence, Lexicon, EntityKind, TempUnit};
+//!
+//! let lexicon = Lexicon::english();
+//! let s = analyze_sentence(&lexicon, "Barcelona Weather: Temperature 8º C today");
+//! assert!(s.entities.iter().any(|e| matches!(
+//!     e.kind,
+//!     EntityKind::Temperature { value, unit: TempUnit::Celsius } if value == 8.0
+//! )));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chunker;
+pub mod entities;
+pub mod lemmatizer;
+pub mod lexicon;
+pub mod stopwords;
+pub mod tagger;
+pub mod tokenizer;
+pub mod wsd;
+
+pub use chunker::{chunk, render_annotated, NpFeature, SbKind, SbRole, SyntacticBlock};
+pub use entities::{extract_entities, Entity, EntityKind, TempUnit};
+pub use lemmatizer::{lemmatize, lemmatize_with};
+pub use lexicon::{Lexicon, Pos};
+pub use stopwords::is_stopword;
+pub use tagger::{tag_sentence, TaggedToken};
+pub use tokenizer::{split_sentences, tokenize, Token, TokenKind};
+
+/// A fully analysed sentence: tokens, tags, lemmas and syntactic blocks.
+///
+/// This is the unit the QA indexation phase stores per corpus sentence and
+/// the question-analysis module produces for a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedSentence {
+    /// The raw sentence text.
+    pub text: String,
+    /// Tagged tokens (with lemmas).
+    pub tokens: Vec<TaggedToken>,
+    /// Shallow-parsed syntactic blocks over `tokens`.
+    pub blocks: Vec<SyntacticBlock>,
+    /// Typed entities found in the sentence.
+    pub entities: Vec<Entity>,
+}
+
+/// Runs the full pipeline (tokenise → tag → chunk → entities) on one
+/// sentence using the given lexicon.
+pub fn analyze_sentence(lexicon: &Lexicon, sentence: &str) -> AnalyzedSentence {
+    let tokens = tokenize(sentence);
+    let tagged = tag_sentence(lexicon, &tokens);
+    let blocks = chunk(&tagged);
+    let entities = extract_entities(&tagged);
+    AnalyzedSentence {
+        text: sentence.to_owned(),
+        tokens: tagged,
+        blocks,
+        entities,
+    }
+}
+
+/// Splits a document into sentences and analyses each one.
+pub fn analyze_text(lexicon: &Lexicon, text: &str) -> Vec<AnalyzedSentence> {
+    split_sentences(text)
+        .into_iter()
+        .map(|s| analyze_sentence(lexicon, &s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_produces_blocks_and_entities() {
+        let lex = Lexicon::english();
+        let s = analyze_sentence(
+            &lex,
+            "Barcelona Weather: Temperature 8º C around 46.4 F Clear skies today",
+        );
+        assert!(!s.tokens.is_empty());
+        assert!(!s.blocks.is_empty());
+        assert!(s
+            .entities
+            .iter()
+            .any(|e| matches!(e.kind, EntityKind::Temperature { .. })));
+    }
+
+    #[test]
+    fn analyze_text_splits_sentences() {
+        let lex = Lexicon::english();
+        let out = analyze_text(&lex, "The sky is clear. The temperature is 8º C.");
+        assert_eq!(out.len(), 2);
+    }
+}

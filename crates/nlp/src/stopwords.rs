@@ -1,0 +1,54 @@
+//! The stop-word list.
+//!
+//! The paper's first IR/QA difference: "IR systems … usually discard what
+//! is known as stop-words", while QA keeps the full question. The IR index
+//! uses this list; the QA analysis never does.
+
+/// English stop words (closed-class function words).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "some", "any", "no", "each", "every",
+    "all", "both", "either", "neither", "such", "and", "or", "but", "nor", "so", "yet", "in",
+    "on", "at", "by", "for", "with", "from", "to", "of", "about", "around", "during", "between",
+    "under", "over", "near", "like", "after", "before", "since", "until", "within", "without",
+    "per", "above", "below", "across", "into", "through", "against", "among", "towards",
+    "toward", "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them",
+    "its", "his", "their", "our", "your", "my", "is", "am", "are", "was", "were", "be", "been",
+    "being", "have", "has", "had", "having", "do", "does", "did", "done", "doing", "will",
+    "would", "can", "could", "may", "might", "must", "shall", "should", "what", "who", "whom",
+    "which", "whose", "when", "where", "how", "why", "not", "very", "too", "also", "only",
+    "just", "than", "then", "there", "here", "as", "if", "because", "while", "once",
+];
+
+/// Whether a (case-folded) token is a stop word.
+pub fn is_stopword(word: &str) -> bool {
+    let folded = dwqa_common::text::fold(word);
+    STOPWORDS.contains(&folded.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_words_are_stopwords() {
+        for w in ["the", "The", "of", "is", "what", "IN"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["temperature", "Barcelona", "weather", "airport", "8"] {
+            assert!(!is_stopword(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn list_has_no_duplicates() {
+        let mut sorted: Vec<&str> = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(before, sorted.len());
+    }
+}

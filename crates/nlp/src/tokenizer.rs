@@ -1,0 +1,310 @@
+//! Sentence splitting and tokenisation.
+
+/// Lexical class of a raw token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An alphabetic word (may contain internal apostrophes/hyphens).
+    Word,
+    /// A number, possibly with a decimal point or sign ("8", "46.4", "-3").
+    Number,
+    /// An ordinal like "12th", "1st".
+    Ordinal,
+    /// Sentence-internal punctuation (",", ":", "(", …).
+    Punct,
+    /// Sentence-final punctuation (".", "?", "!").
+    SentenceEnd,
+    /// Other symbols ("º", "%", "$", "°").
+    Symbol,
+}
+
+/// A raw token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The surface text as it appeared.
+    pub text: String,
+    /// Byte offset of the token start in the sentence.
+    pub start: usize,
+    /// The lexical class.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Case-folded surface form.
+    pub fn lower(&self) -> String {
+        dwqa_common::text::fold(&self.text)
+    }
+}
+
+/// Abbreviations that do not end a sentence even when followed by a period.
+const ABBREVIATIONS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "prof", "st", "vs", "etc", "e.g", "i.e", "jan", "feb", "mar", "apr",
+    "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec", "no", "dept",
+];
+
+/// Splits text into sentences.
+///
+/// A sentence ends at `.`, `?` or `!` followed by whitespace and an
+/// uppercase letter, digit or end-of-text — unless the period terminates a
+/// decimal number ("46.4 F") or a known abbreviation. Newlines that
+/// separate blocks (blank lines, or a line break where the next line starts
+/// a new heading-like segment) also split, because web pages (Figure 4)
+/// carry headings without final punctuation.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let mut sentences = Vec::new();
+    for block in text.split("\n\n") {
+        let block = block.trim();
+        if block.is_empty() {
+            continue;
+        }
+        let chars: Vec<char> = block.chars().collect();
+        let mut start = 0usize;
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '?' || c == '!' || c == '.' {
+                let prev_word: String = {
+                    let mut j = i;
+                    while j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '.') {
+                        j -= 1;
+                    }
+                    chars[j..i].iter().collect::<String>().to_ascii_lowercase()
+                };
+                let next_nonspace = chars[i + 1..].iter().find(|c| !c.is_whitespace());
+                let decimal = c == '.'
+                    && i > 0
+                    && chars[i - 1].is_ascii_digit()
+                    && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit());
+                let abbreviation = c == '.' && ABBREVIATIONS.contains(&prev_word.as_str());
+                let boundary = !decimal
+                    && !abbreviation
+                    && match next_nonspace {
+                        None => true,
+                        Some(n) => {
+                            n.is_uppercase() || n.is_ascii_digit() || *n == '"' || *n == '('
+                        }
+                    };
+                if boundary {
+                    let sentence: String = chars[start..=i].iter().collect();
+                    let sentence = sentence.trim().replace('\n', " ");
+                    if !sentence.is_empty() {
+                        sentences.push(sentence);
+                    }
+                    start = i + 1;
+                }
+            }
+            i += 1;
+        }
+        let tail: String = chars[start..].iter().collect();
+        for line in tail.split('\n') {
+            let line = line.trim();
+            if !line.is_empty() {
+                sentences.push(line.to_owned());
+            }
+        }
+    }
+    sentences
+}
+
+/// Tokenises one sentence.
+pub fn tokenize(sentence: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<(usize, char)> = sentence.char_indices().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let (off, c) = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Numbers: optional sign, digits, optional decimal part, optional
+        // ordinal suffix.
+        if c.is_ascii_digit()
+            || ((c == '-' || c == '+')
+                && matches!(bytes.get(i + 1), Some((_, d)) if d.is_ascii_digit()))
+        {
+            let start = i;
+            i += 1; // sign or first digit
+            while i < bytes.len() && bytes[i].1.is_ascii_digit() {
+                i += 1;
+            }
+            if i + 1 < bytes.len() && bytes[i].1 == '.' && bytes[i + 1].1.is_ascii_digit() {
+                i += 1;
+                while i < bytes.len() && bytes[i].1.is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // Ordinal suffix st/nd/rd/th.
+            let mut kind = TokenKind::Number;
+            if i + 1 < bytes.len() {
+                let suffix: String = bytes[i..(i + 2).min(bytes.len())]
+                    .iter()
+                    .map(|(_, c)| *c)
+                    .collect::<String>()
+                    .to_ascii_lowercase();
+                if ["st", "nd", "rd", "th"].contains(&suffix.as_str())
+                    && !matches!(bytes.get(i + 2), Some((_, c)) if c.is_alphanumeric())
+                {
+                    i += 2;
+                    kind = TokenKind::Ordinal;
+                }
+            }
+            let text: String = bytes[start..i].iter().map(|(_, c)| *c).collect();
+            tokens.push(Token {
+                text,
+                start: off,
+                kind,
+            });
+            continue;
+        }
+        // Words (letters with internal apostrophes or hyphens). The degree
+        // signs 'º'/'°' are Unicode-alphabetic but must stay symbols.
+        let is_letter = |ch: char| ch.is_alphabetic() && ch != 'º' && ch != '°';
+        if is_letter(c) {
+            let start = i;
+            i += 1;
+            while i < bytes.len() {
+                let ch = bytes[i].1;
+                if is_letter(ch)
+                    || ((ch == '\'' || ch == '-')
+                        && matches!(bytes.get(i + 1), Some((_, n)) if is_letter(*n)))
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = bytes[start..i].iter().map(|(_, c)| *c).collect();
+            tokens.push(Token {
+                text,
+                start: off,
+                kind: TokenKind::Word,
+            });
+            continue;
+        }
+        // Single-character tokens.
+        let kind = match c {
+            '.' | '?' | '!' => TokenKind::SentenceEnd,
+            'º' | '°' | '%' | '$' | '€' | '£' => TokenKind::Symbol,
+            _ => TokenKind::Punct,
+        };
+        tokens.push(Token {
+            text: c.to_string(),
+            start: off,
+            kind,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn texts(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn splits_basic_sentences() {
+        let s = split_sentences("The sky is clear. The temperature is low.");
+        assert_eq!(
+            s,
+            ["The sky is clear.", "The temperature is low."]
+        );
+    }
+
+    #[test]
+    fn decimal_points_do_not_split() {
+        let s = split_sentences("Temperature 8º C around 46.4 F. Clear skies.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("46.4 F"));
+    }
+
+    #[test]
+    fn question_marks_split() {
+        let s = split_sentences("What is the temperature? It is 8 degrees.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].ends_with('?'));
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = split_sentences("Dr. Smith landed in Barcelona. He was cold.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].starts_with("Dr. Smith"));
+    }
+
+    #[test]
+    fn headings_on_their_own_lines_become_sentences() {
+        let s = split_sentences("Monday, January 31, 2004\nBarcelona Weather: Temperature 8º C");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], "Monday, January 31, 2004");
+    }
+
+    #[test]
+    fn tokenize_weather_line() {
+        let toks = tokenize("Barcelona Weather: Temperature 8º C around 46.4 F");
+        assert_eq!(
+            texts(&toks),
+            ["Barcelona", "Weather", ":", "Temperature", "8", "º", "C", "around", "46.4", "F"]
+        );
+        assert_eq!(toks[4].kind, TokenKind::Number);
+        assert_eq!(toks[5].kind, TokenKind::Symbol);
+        assert_eq!(toks[8].kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn tokenize_ordinals_and_dates() {
+        let toks = tokenize("on the 12th of May, 1997?");
+        assert_eq!(
+            texts(&toks),
+            ["on", "the", "12th", "of", "May", ",", "1997", "?"]
+        );
+        assert_eq!(toks[2].kind, TokenKind::Ordinal);
+        assert_eq!(toks[6].kind, TokenKind::Number);
+        assert_eq!(toks[7].kind, TokenKind::SentenceEnd);
+    }
+
+    #[test]
+    fn tokenize_negative_and_signed_numbers() {
+        let toks = tokenize("It was -3 degrees");
+        assert_eq!(texts(&toks), ["It", "was", "-3", "degrees"]);
+        assert_eq!(toks[2].kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn hyphenated_and_apostrophe_words_stay_joined() {
+        let toks = tokenize("the company's cross-lingual tools");
+        assert_eq!(
+            texts(&toks),
+            ["the", "company's", "cross-lingual", "tools"]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = "Temperature 8º C";
+        for t in tokenize(src) {
+            assert!(src[t.start..].starts_with(&t.text));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tokenize_never_panics_and_spans_valid(s in "\\PC{0,80}") {
+            for t in tokenize(&s) {
+                prop_assert!(s[t.start..].starts_with(&t.text));
+                prop_assert!(!t.text.is_empty());
+            }
+        }
+
+        #[test]
+        fn prop_split_sentences_preserves_nonspace_chars(s in "[a-zA-Z0-9,.?! ]{0,120}") {
+            let joined: String = split_sentences(&s).concat();
+            let count = |t: &str| t.chars().filter(|c| !c.is_whitespace()).count();
+            prop_assert_eq!(count(&joined), count(&s));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Step 2: feeding the ontology with DW contents.
+//!
+//! "The ontology is fed by the contents of the DW system … the ontological
+//! concept 'Airport' will have instances like 'JFK', 'John Wayne' or 'La
+//! Guardia'; therefore, if we ask the QA system for the temperature in
+//! 'JFK' … the system will know that the previous entities mean airports
+//! instead of a person or a Spanish musical group."
+//!
+//! Every textual descriptor value of every hierarchy level becomes an
+//! instance of that level's concept, annotated with `source = dw` (the
+//! WSD prior consults that annotation — that is the measurable
+//! precision-improvement mechanism).
+
+use crate::graph::{ConceptKind, OntoPos, Ontology, Relation};
+use dwqa_warehouse::{Value, Warehouse};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of an enrichment run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnrichmentReport {
+    /// Instances created, per `(level concept, count)`.
+    pub per_level: Vec<(String, usize)>,
+    /// Total instances created.
+    pub instances_added: usize,
+    /// Members skipped because their level has no concept in the ontology.
+    pub skipped_unknown_level: usize,
+}
+
+/// Enriches `ontology` (typically the Step-1 domain ontology, or the
+/// already-merged upper ontology) with the members of every dimension of
+/// the warehouse.
+pub fn enrich_from_warehouse(ontology: &mut Ontology, warehouse: &Warehouse) -> EnrichmentReport {
+    let mut report = EnrichmentReport::default();
+    let schema = warehouse.schema().clone();
+    for dim in schema.dimensions() {
+        let table = warehouse
+            .dimension(&dim.name)
+            .expect("schema dimension has a table");
+        // Coarsest level first, so a member's parent instance (the city of
+        // an airport) already exists when the part-of link is made.
+        for (level_idx, level) in dim.levels.iter().enumerate().rev() {
+            let Some(level_concept) = ontology.class_for(&level.name) else {
+                report.skipped_unknown_level += table.len();
+                continue;
+            };
+            let mut added_here = 0usize;
+            for key in table.keys() {
+                let value = table
+                    .level_value(key, &level.name)
+                    .expect("level exists on its own dimension");
+                let Value::Text(label) = value else {
+                    continue; // dates/numbers are not lexical instances
+                };
+                // Deduplicate: same member may appear under many keys once
+                // we look at coarser levels (many airports share a city).
+                let exists = ontology.concepts_for(&label).iter().any(|id| {
+                    ontology.concept(*id).kind == ConceptKind::Instance
+                        && ontology.is_a(*id, level_concept)
+                });
+                if exists {
+                    continue;
+                }
+                let parent_name = dim
+                    .levels
+                    .get(level_idx + 1)
+                    .map(|l| l.name.to_lowercase());
+                let gloss = match &parent_name {
+                    Some(p) => format!(
+                        "a {} from the data warehouse, in its {}",
+                        level.name.to_lowercase(),
+                        p
+                    ),
+                    None => format!("a {} from the data warehouse", level.name.to_lowercase()),
+                };
+                let id = ontology.add_concept(
+                    &[&label],
+                    &gloss,
+                    OntoPos::Noun,
+                    ConceptKind::Instance,
+                );
+                ontology.relate(id, Relation::InstanceOf, level_concept);
+                ontology.annotate(id, "source", "dw");
+                // Geographic containment: link to the parent level member.
+                if level_idx + 1 < dim.levels.len() {
+                    let parent_level = &dim.levels[level_idx + 1];
+                    if let Ok(Value::Text(parent_label)) =
+                        table.level_value(key, &parent_level.name)
+                    {
+                        if let Some(parent_id) = ontology
+                            .concepts_for(&parent_label)
+                            .iter()
+                            .copied()
+                            .find(|c| ontology.concept(*c).kind == ConceptKind::Instance)
+                        {
+                            ontology.relate(id, Relation::Meronym, parent_id);
+                        }
+                    }
+                }
+                added_here += 1;
+            }
+            if added_here > 0 {
+                report.per_level.push((level.name.clone(), added_here));
+                report.instances_added += added_here;
+            }
+        }
+    }
+    report.per_level.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::schema_to_ontology;
+    use dwqa_mdmodel::last_minute_sales;
+    use dwqa_warehouse::FactRowBuilder;
+
+    fn loaded_warehouse() -> Warehouse {
+        let mut wh = Warehouse::new(last_minute_sales());
+        let mut rows = Vec::new();
+        for (airport, city, state, country) in [
+            ("El Prat", "Barcelona", "Catalonia", "Spain"),
+            ("JFK", "New York", "New York State", "United States"),
+            ("La Guardia", "New York", "New York State", "United States"),
+            ("John Wayne", "Costa Mesa", "California", "United States"),
+        ] {
+            let mut b = FactRowBuilder::new();
+            b.measure("price", Value::Float(100.0))
+                .measure("miles", Value::Float(500.0))
+                .measure("traveler_rate", Value::Float(0.5))
+                .role_member("Origin", &[("airport_name", Value::text("Alicante"))])
+                .role_member(
+                    "Destination",
+                    &[
+                        ("airport_name", Value::text(airport)),
+                        ("city_name", Value::text(city)),
+                        ("state_name", Value::text(state)),
+                        ("country_name", Value::text(country)),
+                    ],
+                )
+                .role_member("Customer", &[("customer_name", Value::text("Ann"))])
+                .role_member("Date", &[("date", Value::date(2004, 1, 31).unwrap())]);
+            rows.push(b.build());
+        }
+        wh.load("Last Minute Sales", rows).unwrap();
+        wh
+    }
+
+    #[test]
+    fn airports_become_instances_of_the_airport_concept() {
+        let wh = loaded_warehouse();
+        let mut onto = schema_to_ontology(wh.schema());
+        let report = enrich_from_warehouse(&mut onto, &wh);
+        let airport = onto.class_for("Airport").unwrap();
+        for name in ["JFK", "La Guardia", "John Wayne", "El Prat", "Alicante"] {
+            let ids = onto.concepts_for(name);
+            assert!(
+                ids.iter().any(|id| onto.is_a(*id, airport)),
+                "{name} should be an airport instance"
+            );
+        }
+        assert!(report.instances_added >= 10);
+        assert!(report
+            .per_level
+            .iter()
+            .any(|(level, n)| level == "Airport" && *n == 5));
+    }
+
+    #[test]
+    fn city_members_are_deduplicated() {
+        let wh = loaded_warehouse();
+        let mut onto = schema_to_ontology(wh.schema());
+        enrich_from_warehouse(&mut onto, &wh);
+        // Two airports in New York → one New York city instance.
+        let city = onto.class_for("City").unwrap();
+        let ny: Vec<_> = onto
+            .concepts_for("New York")
+            .iter()
+            .copied()
+            .filter(|id| onto.is_a(*id, city))
+            .collect();
+        assert_eq!(ny.len(), 1);
+    }
+
+    #[test]
+    fn instances_carry_dw_provenance_and_geography() {
+        let wh = loaded_warehouse();
+        let mut onto = schema_to_ontology(wh.schema());
+        enrich_from_warehouse(&mut onto, &wh);
+        let airport = onto.class_for("Airport").unwrap();
+        let el_prat = onto
+            .concepts_for("El Prat")
+            .iter()
+            .copied()
+            .find(|id| onto.is_a(*id, airport))
+            .unwrap();
+        assert_eq!(onto.annotation(el_prat, "source"), vec!["dw"]);
+        // El Prat is part of Barcelona.
+        let bcn_parts = onto.related(el_prat, Relation::Meronym);
+        assert_eq!(bcn_parts.len(), 1);
+        assert_eq!(onto.concept(bcn_parts[0]).canonical(), "Barcelona");
+    }
+
+    #[test]
+    fn enrichment_is_idempotent() {
+        let wh = loaded_warehouse();
+        let mut onto = schema_to_ontology(wh.schema());
+        let first = enrich_from_warehouse(&mut onto, &wh);
+        let size = onto.len();
+        let second = enrich_from_warehouse(&mut onto, &wh);
+        assert_eq!(onto.len(), size);
+        assert_eq!(second.instances_added, 0);
+        assert!(first.instances_added > 0);
+    }
+
+    #[test]
+    fn unknown_levels_are_counted_not_crashed() {
+        let wh = loaded_warehouse();
+        let mut onto = Ontology::new("empty");
+        let report = enrich_from_warehouse(&mut onto, &wh);
+        assert_eq!(report.instances_added, 0);
+        assert!(report.skipped_unknown_level > 0);
+    }
+
+    #[test]
+    fn dates_do_not_become_instances() {
+        let wh = loaded_warehouse();
+        let mut onto = schema_to_ontology(wh.schema());
+        enrich_from_warehouse(&mut onto, &wh);
+        // The Date level descriptor is a date value → no lexical instance;
+        // but Month/Year *text* levels do become instances.
+        let date_level = onto.class_for("Date").unwrap();
+        assert!(onto.related(date_level, Relation::HasInstance).is_empty());
+        let month = onto.class_for("Month").unwrap();
+        assert_eq!(onto.related(month, Relation::HasInstance).len(), 1); // "2004-01"
+    }
+}

@@ -1,0 +1,552 @@
+//! The ontology data structure.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Identifier of a concept within its ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConceptId(pub(crate) u32);
+
+impl ConceptId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Grammatical category of a concept (WordNet keeps noun and verb
+/// hierarchies separate; so do we).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OntoPos {
+    /// Noun synset.
+    Noun,
+    /// Verb synset.
+    Verb,
+}
+
+/// Whether a concept is a class or an individual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConceptKind {
+    /// A class/synset ("airport").
+    Class,
+    /// A named individual ("JFK", "Barcelona").
+    Instance,
+}
+
+/// Typed, directed relations. Each has a maintained inverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `a Hypernym b`: b is the more general concept (a IS-A b).
+    Hypernym,
+    /// Inverse of [`Relation::Hypernym`].
+    Hyponym,
+    /// `a Meronym b`: a is part of b (airport part-of city).
+    Meronym,
+    /// Inverse of [`Relation::Meronym`].
+    Holonym,
+    /// Opposition (symmetric).
+    Antonym,
+    /// `a InstanceOf b`: a is an individual of class b.
+    InstanceOf,
+    /// Inverse of [`Relation::InstanceOf`].
+    HasInstance,
+    /// Untyped domain association (fact ↔ dimension, fact ↔ measure).
+    RelatedTo,
+}
+
+impl Relation {
+    /// The inverse relation (RelatedTo and Antonym are symmetric).
+    pub fn inverse(self) -> Relation {
+        match self {
+            Relation::Hypernym => Relation::Hyponym,
+            Relation::Hyponym => Relation::Hypernym,
+            Relation::Meronym => Relation::Holonym,
+            Relation::Holonym => Relation::Meronym,
+            Relation::Antonym => Relation::Antonym,
+            Relation::InstanceOf => Relation::HasInstance,
+            Relation::HasInstance => Relation::InstanceOf,
+            Relation::RelatedTo => Relation::RelatedTo,
+        }
+    }
+
+    /// All relation variants (used by serialization).
+    pub const ALL: [Relation; 8] = [
+        Relation::Hypernym,
+        Relation::Hyponym,
+        Relation::Meronym,
+        Relation::Holonym,
+        Relation::Antonym,
+        Relation::InstanceOf,
+        Relation::HasInstance,
+        Relation::RelatedTo,
+    ];
+
+    /// Stable name for serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            Relation::Hypernym => "Hypernym",
+            Relation::Hyponym => "Hyponym",
+            Relation::Meronym => "Meronym",
+            Relation::Holonym => "Holonym",
+            Relation::Antonym => "Antonym",
+            Relation::InstanceOf => "InstanceOf",
+            Relation::HasInstance => "HasInstance",
+            Relation::RelatedTo => "RelatedTo",
+        }
+    }
+}
+
+/// A concept: a set of synonym labels with a gloss (a WordNet synset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concept {
+    /// Synonym labels; the first is canonical. Stored as given, matched
+    /// case-folded.
+    pub labels: Vec<String>,
+    /// Short definition (the Lesk signature source).
+    pub gloss: String,
+    /// Noun or verb.
+    pub pos: OntoPos,
+    /// Class or instance.
+    pub kind: ConceptKind,
+}
+
+impl Concept {
+    /// The canonical (first) label.
+    pub fn canonical(&self) -> &str {
+        &self.labels[0]
+    }
+}
+
+/// Summary counters returned by [`Ontology::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OntologyStats {
+    /// Class (synset) concepts.
+    pub classes: usize,
+    /// Instance concepts.
+    pub instances: usize,
+    /// Undirected relation edges (forward+inverse counted once).
+    pub edges: usize,
+    /// Distinct case-folded labels in the lexical index.
+    pub lexical_entries: usize,
+}
+
+/// An ontology: concepts, typed relations, annotations and a lexical index.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    name: String,
+    concepts: Vec<Concept>,
+    edges: HashMap<(ConceptId, Relation), Vec<ConceptId>>,
+    lexical: HashMap<String, Vec<ConceptId>>,
+    annotations: HashMap<ConceptId, Vec<(String, String)>>,
+}
+
+impl Ontology {
+    /// Creates an empty ontology.
+    pub fn new(name: &str) -> Ontology {
+        Ontology {
+            name: name.to_owned(),
+            ..Ontology::default()
+        }
+    }
+
+    /// The ontology's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether there are no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Adds a concept; the first label is canonical.
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty.
+    pub fn add_concept(
+        &mut self,
+        labels: &[&str],
+        gloss: &str,
+        pos: OntoPos,
+        kind: ConceptKind,
+    ) -> ConceptId {
+        assert!(!labels.is_empty(), "a concept needs at least one label");
+        let id = ConceptId(u32::try_from(self.concepts.len()).expect("ontology overflow"));
+        self.concepts.push(Concept {
+            labels: labels.iter().map(|l| (*l).to_owned()).collect(),
+            gloss: gloss.to_owned(),
+            pos,
+            kind,
+        });
+        for label in labels {
+            self.lexical
+                .entry(dwqa_common::text::fold(label))
+                .or_default()
+                .push(id);
+        }
+        id
+    }
+
+    /// Adds a synonym label to an existing concept (Step 3's "enriched as
+    /// synonym of the new term").
+    pub fn add_label(&mut self, id: ConceptId, label: &str) {
+        let folded = dwqa_common::text::fold(label);
+        let entry = self.lexical.entry(folded).or_default();
+        if !entry.contains(&id) {
+            entry.push(id);
+        }
+        let c = &mut self.concepts[id.index()];
+        if !c
+            .labels
+            .iter()
+            .any(|l| dwqa_common::text::fold(l) == dwqa_common::text::fold(label))
+        {
+            c.labels.push(label.to_owned());
+        }
+    }
+
+    /// Resolves a concept.
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.index()]
+    }
+
+    /// Iterates `(id, concept)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ConceptId, &Concept)> {
+        self.concepts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ConceptId(i as u32), c))
+    }
+
+    /// All concepts bearing a label (case-folded lookup).
+    pub fn concepts_for(&self, label: &str) -> &[ConceptId] {
+        self.lexical
+            .get(&dwqa_common::text::fold(label))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The first *class* concept with the label, if any.
+    pub fn class_for(&self, label: &str) -> Option<ConceptId> {
+        self.concepts_for(label)
+            .iter()
+            .copied()
+            .find(|id| self.concept(*id).kind == ConceptKind::Class)
+    }
+
+    /// Adds a typed relation; the inverse edge is maintained automatically.
+    pub fn relate(&mut self, from: ConceptId, rel: Relation, to: ConceptId) {
+        let fwd = self.edges.entry((from, rel)).or_default();
+        if !fwd.contains(&to) {
+            fwd.push(to);
+        }
+        let bwd = self.edges.entry((to, rel.inverse())).or_default();
+        if !bwd.contains(&from) {
+            bwd.push(from);
+        }
+    }
+
+    /// The targets of a relation from a concept.
+    pub fn related(&self, from: ConceptId, rel: Relation) -> &[ConceptId] {
+        self.edges.get(&(from, rel)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Walks hypernyms from `id` to a root, returning the path (excluding
+    /// `id`). Instances first hop through `InstanceOf`.
+    pub fn hypernym_path(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut path = Vec::new();
+        let mut seen = HashSet::new();
+        seen.insert(id);
+        let mut cursor = if self.concept(id).kind == ConceptKind::Instance {
+            self.related(id, Relation::InstanceOf).first().copied()
+        } else {
+            self.related(id, Relation::Hypernym).first().copied()
+        };
+        while let Some(c) = cursor {
+            if !seen.insert(c) {
+                break; // defensive: cycles cannot hang the walk
+            }
+            path.push(c);
+            cursor = self.related(c, Relation::Hypernym).first().copied();
+        }
+        path
+    }
+
+    /// Whether `a` IS-A `b` (transitively; instances hop through
+    /// `InstanceOf` first). `a == b` counts.
+    pub fn is_a(&self, a: ConceptId, b: ConceptId) -> bool {
+        a == b || self.hypernym_path(a).contains(&b)
+    }
+
+    /// All hyponyms and instances below a class (transitive closure,
+    /// breadth-first, deterministic order).
+    pub fn descendants(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(id);
+        seen.insert(id);
+        while let Some(c) = queue.pop_front() {
+            for rel in [Relation::Hyponym, Relation::HasInstance] {
+                for &child in self.related(c, rel) {
+                    if seen.insert(child) {
+                        out.push(child);
+                        queue.push_back(child);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Class concepts with no hypernym (tree roots).
+    pub fn roots(&self) -> Vec<ConceptId> {
+        self.iter()
+            .filter(|(id, c)| {
+                c.kind == ConceptKind::Class && self.related(*id, Relation::Hypernym).is_empty()
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Attaches a key/value annotation to a concept (Step 4 stores its
+    /// axioms this way, e.g. `("unit", "celsius|fahrenheit")`).
+    pub fn annotate(&mut self, id: ConceptId, key: &str, value: &str) {
+        self.annotations
+            .entry(id)
+            .or_default()
+            .push((key.to_owned(), value.to_owned()));
+    }
+
+    /// All values annotated under a key.
+    pub fn annotation(&self, id: ConceptId, key: &str) -> Vec<&str> {
+        self.annotations
+            .get(&id)
+            .map(|v| {
+                v.iter()
+                    .filter(|(k, _)| k == key)
+                    .map(|(_, val)| val.as_str())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All annotations of a concept in insertion order.
+    pub fn annotations(&self, id: ConceptId) -> &[(String, String)] {
+        self.annotations.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Count of concepts by kind.
+    pub fn count_kind(&self, kind: ConceptKind) -> usize {
+        self.concepts.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// A summary of the ontology: classes, instances, relation-edge count
+    /// and lexical entries.
+    pub fn stats(&self) -> OntologyStats {
+        OntologyStats {
+            classes: self.count_kind(ConceptKind::Class),
+            instances: self.count_kind(ConceptKind::Instance),
+            edges: self.edges.values().map(Vec::len).sum::<usize>() / 2,
+            lexical_entries: self.lexical.len(),
+        }
+    }
+
+    /// Checks structural invariants, returning human-readable violations:
+    ///
+    /// * the hypernym relation is acyclic;
+    /// * instances have no hyponyms and are not hypernyms of anything;
+    /// * every lexical-index entry points at a concept carrying the label;
+    /// * inverse edges are consistent.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        // Hypernym acyclicity via the safe walk: hypernym_path() breaks on
+        // revisits, so a cycle shows as a path containing the start.
+        for (id, _) in self.iter() {
+            let path = self.hypernym_path(id);
+            if path.contains(&id) {
+                problems.push(format!(
+                    "hypernym cycle through {:?}",
+                    self.concept(id).canonical()
+                ));
+            }
+        }
+        // Instances are taxonomy leaves.
+        for (id, c) in self.iter() {
+            if c.kind == ConceptKind::Instance {
+                if !self.related(id, Relation::Hyponym).is_empty() {
+                    problems.push(format!("instance {:?} has hyponyms", c.canonical()));
+                }
+                if !self.related(id, Relation::Hypernym).is_empty() {
+                    problems.push(format!(
+                        "instance {:?} uses Hypernym instead of InstanceOf",
+                        c.canonical()
+                    ));
+                }
+            }
+        }
+        // Lexical index integrity.
+        for (label, ids) in &self.lexical {
+            for &id in ids {
+                let carried = self.concepts[id.index()]
+                    .labels
+                    .iter()
+                    .any(|l| &dwqa_common::text::fold(l) == label);
+                if !carried {
+                    problems.push(format!(
+                        "lexical entry {label:?} points at {:?} which lacks the label",
+                        self.concept(id).canonical()
+                    ));
+                }
+            }
+        }
+        // Inverse-edge consistency.
+        for ((from, rel), targets) in &self.edges {
+            for to in targets {
+                if !self.related(*to, rel.inverse()).contains(from) {
+                    problems.push(format!(
+                        "missing inverse {:?} edge for {:?} → {:?}",
+                        rel.inverse(),
+                        self.concept(*from).canonical(),
+                        self.concept(*to).canonical()
+                    ));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Ontology, ConceptId, ConceptId, ConceptId, ConceptId) {
+        let mut o = Ontology::new("tiny");
+        let entity = o.add_concept(&["entity"], "that which exists", OntoPos::Noun, ConceptKind::Class);
+        let location = o.add_concept(&["location"], "a place", OntoPos::Noun, ConceptKind::Class);
+        let city = o.add_concept(&["city", "metropolis"], "an urban area", OntoPos::Noun, ConceptKind::Class);
+        let barcelona = o.add_concept(&["Barcelona"], "a city in Spain", OntoPos::Noun, ConceptKind::Instance);
+        o.relate(location, Relation::Hypernym, entity);
+        o.relate(city, Relation::Hypernym, location);
+        o.relate(barcelona, Relation::InstanceOf, city);
+        (o, entity, location, city, barcelona)
+    }
+
+    #[test]
+    fn lexical_lookup_is_case_folded_and_synonym_aware() {
+        let (o, _, _, city, _) = tiny();
+        assert_eq!(o.concepts_for("CITY"), &[city]);
+        assert_eq!(o.concepts_for("Metropolis"), &[city]);
+        assert!(o.concepts_for("village").is_empty());
+    }
+
+    #[test]
+    fn inverse_edges_are_maintained() {
+        let (o, _, location, city, barcelona) = tiny();
+        assert_eq!(o.related(location, Relation::Hyponym), &[city]);
+        assert_eq!(o.related(city, Relation::HasInstance), &[barcelona]);
+    }
+
+    #[test]
+    fn hypernym_path_and_is_a() {
+        let (o, entity, location, city, barcelona) = tiny();
+        assert_eq!(o.hypernym_path(barcelona), vec![city, location, entity]);
+        assert!(o.is_a(barcelona, location));
+        assert!(o.is_a(city, entity));
+        assert!(!o.is_a(entity, city));
+        assert!(o.is_a(city, city));
+    }
+
+    #[test]
+    fn descendants_closure() {
+        let (o, entity, ..) = tiny();
+        assert_eq!(o.descendants(entity).len(), 3);
+    }
+
+    #[test]
+    fn roots_are_hypernym_free_classes() {
+        let (o, entity, ..) = tiny();
+        assert_eq!(o.roots(), vec![entity]);
+    }
+
+    #[test]
+    fn add_label_enriches_synonyms() {
+        let (mut o, .., barcelona) = tiny();
+        o.add_label(barcelona, "BCN");
+        assert_eq!(o.concepts_for("bcn"), &[barcelona]);
+        assert_eq!(o.concept(barcelona).labels, vec!["Barcelona", "BCN"]);
+        // Idempotent.
+        o.add_label(barcelona, "bcn");
+        assert_eq!(o.concept(barcelona).labels.len(), 2);
+    }
+
+    #[test]
+    fn annotations_round_trip() {
+        let (mut o, _, _, city, _) = tiny();
+        o.annotate(city, "source", "uml");
+        o.annotate(city, "source", "dw");
+        assert_eq!(o.annotation(city, "source"), vec!["uml", "dw"]);
+        assert!(o.annotation(city, "missing").is_empty());
+    }
+
+    #[test]
+    fn relation_inverses_are_involutive() {
+        for r in Relation::ALL {
+            assert_eq!(r.inverse().inverse(), r);
+        }
+    }
+
+    #[test]
+    fn relate_deduplicates() {
+        let (mut o, _, location, city, _) = tiny();
+        o.relate(city, Relation::Hypernym, location);
+        assert_eq!(o.related(city, Relation::Hypernym).len(), 1);
+    }
+
+    #[test]
+    fn class_for_skips_instances() {
+        let mut o = Ontology::new("t");
+        let inst = o.add_concept(&["x"], "", OntoPos::Noun, ConceptKind::Instance);
+        assert_eq!(o.class_for("x"), None);
+        let class = o.add_concept(&["x"], "", OntoPos::Noun, ConceptKind::Class);
+        assert_eq!(o.class_for("x"), Some(class));
+        assert_ne!(inst, class);
+    }
+
+    #[test]
+    fn stats_count_the_tiny_graph() {
+        let (o, ..) = tiny();
+        let stats = o.stats();
+        assert_eq!(stats.classes, 3);
+        assert_eq!(stats.instances, 1);
+        assert_eq!(stats.edges, 3);
+        assert_eq!(stats.lexical_entries, 5); // entity location city metropolis barcelona
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_graphs() {
+        let (o, ..) = tiny();
+        assert!(o.validate().is_empty(), "{:?}", o.validate());
+    }
+
+    #[test]
+    fn validate_flags_instances_with_hypernyms() {
+        let mut o = Ontology::new("bad");
+        let class = o.add_concept(&["c"], "", OntoPos::Noun, ConceptKind::Class);
+        let inst = o.add_concept(&["i"], "", OntoPos::Noun, ConceptKind::Instance);
+        o.relate(inst, Relation::Hypernym, class);
+        let problems = o.validate();
+        assert!(problems.iter().any(|p| p.contains("InstanceOf")), "{problems:?}");
+    }
+
+    #[test]
+    fn count_kind() {
+        let (o, ..) = tiny();
+        assert_eq!(o.count_kind(ConceptKind::Class), 3);
+        assert_eq!(o.count_kind(ConceptKind::Instance), 1);
+    }
+}

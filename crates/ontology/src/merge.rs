@@ -1,0 +1,433 @@
+//! Step 3: merging the domain ontology into the upper ontology.
+//!
+//! The paper adopts a PROMPT-style matching algorithm (Fridman & Musen
+//! 2000; McGuinness et al. 2000) on class names:
+//!
+//! 1. every domain concept is looked up in WordNet — an **exact** match
+//!    maps the concept onto the existing synset;
+//! 2. otherwise the syntactic **head** of the compound is looked up
+//!    ("Last Minute Sales" → "sale") and the domain concept is added as a
+//!    new hyponym of the head's synset;
+//! 3. otherwise the concept is added with no hypernym, "getting a new
+//!    ontological tree" (**new root**).
+//!
+//! Instances are added as hyponyms of their mapped class; instances the
+//! upper ontology already knows under another name enrich the existing
+//! synset with a **synonym** ("JFK" joins "Kennedy International
+//! Airport"). Alias annotations and a Levenshtein similarity threshold
+//! drive that (WordNet's own entry listed JFK as a synonym; our
+//! mini-WordNet records it as an alias annotation).
+
+use crate::graph::{ConceptId, ConceptKind, OntoPos, Ontology, Relation};
+use dwqa_common::text::{label_words, similarity};
+use dwqa_nlp::lemmatizer::singularize;
+use std::collections::HashMap;
+
+/// How a domain class was placed in the upper ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchKind {
+    /// Found by exact (case-folded, number-normalised) label match.
+    Exact,
+    /// Added as a hyponym of its head word's synset.
+    HeadWord,
+    /// Added as a new root tree.
+    NewRoot,
+}
+
+/// Tuning knobs for the merge (ablated in experiment E6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOptions {
+    /// Enable step 2 (head-word fallback). Disabling it sends every
+    /// non-exact concept to a new root.
+    pub head_word_fallback: bool,
+    /// Similarity threshold above which an instance label is treated as a
+    /// synonym of an existing instance instead of a new one.
+    pub synonym_similarity: f64,
+}
+
+impl Default for MergeOptions {
+    fn default() -> MergeOptions {
+        MergeOptions {
+            head_word_fallback: true,
+            synonym_similarity: 0.85,
+        }
+    }
+}
+
+/// Outcome of a merge.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MergeReport {
+    /// Per domain class: how it was placed.
+    pub class_matches: Vec<(String, MatchKind)>,
+    /// New instances created in the upper ontology.
+    pub instances_added: usize,
+    /// `(new term, enriched existing concept)` synonym enrichments.
+    pub synonyms_enriched: Vec<(String, String)>,
+    /// Instances skipped because already present under the mapped class.
+    pub instances_existing: usize,
+    /// Domain → upper concept mapping (by domain concept id index).
+    pub mapping: HashMap<u32, ConceptId>,
+}
+
+impl MergeReport {
+    /// Count of classes placed with the given match kind.
+    pub fn count(&self, kind: MatchKind) -> usize {
+        self.class_matches.iter().filter(|(_, k)| *k == kind).count()
+    }
+}
+
+fn head_word(label: &str) -> Option<String> {
+    let words = label_words(label);
+    // The head is the last *contentful* word: unit-style one/two-letter
+    // suffixes ("temperature_c") are skipped.
+    words
+        .iter()
+        .rev()
+        .find(|w| w.len() >= 3)
+        .or_else(|| words.last())
+        .map(|w| singularize(w))
+}
+
+/// Digit-bearing labels are only similar when their digit sequences agree:
+/// "Customer 2" and "Customer 12" are different individuals no matter how
+/// close their spellings are.
+fn labels_similar(a: &str, b: &str, threshold: f64) -> bool {
+    let digits = |s: &str| s.chars().filter(char::is_ascii_digit).collect::<String>();
+    digits(a) == digits(b) && similarity(a, b) >= threshold
+}
+
+/// Merges `domain` into `upper`, returning the report.
+pub fn merge_into_upper(
+    domain: &Ontology,
+    upper: &mut Ontology,
+    options: &MergeOptions,
+) -> MergeReport {
+    let mut report = MergeReport::default();
+    let mut mapping: HashMap<ConceptId, ConceptId> = HashMap::new();
+
+    // Pass 1: place classes.
+    for (id, concept) in domain.iter() {
+        if concept.kind != ConceptKind::Class {
+            continue;
+        }
+        let label = concept.canonical();
+        // Exact match, tolerating plural class names ("Treatments").
+        let target = upper
+            .class_for(label)
+            .or_else(|| upper.class_for(&singularize(label)));
+        let (upper_id, kind) = if let Some(existing) = target {
+            (existing, MatchKind::Exact)
+        } else if options.head_word_fallback {
+            let head = head_word(label).and_then(|h| upper.class_for(&h));
+            match head {
+                Some(parent) => {
+                    let new_id =
+                        upper.add_concept(&[label], &concept.gloss, concept.pos, concept.kind);
+                    upper.relate(new_id, Relation::Hypernym, parent);
+                    (new_id, MatchKind::HeadWord)
+                }
+                None => {
+                    let new_id =
+                        upper.add_concept(&[label], &concept.gloss, concept.pos, concept.kind);
+                    (new_id, MatchKind::NewRoot)
+                }
+            }
+        } else {
+            let new_id = upper.add_concept(&[label], &concept.gloss, concept.pos, concept.kind);
+            (new_id, MatchKind::NewRoot)
+        };
+        // Every domain label — canonical and synonyms — enriches the
+        // target synset.
+        for l in &concept.labels {
+            upper.add_label(upper_id, l);
+        }
+        // Carry the domain annotations (descriptor names, roles, …).
+        for (k, v) in domain.annotations(id) {
+            upper.annotate(upper_id, k, v);
+        }
+        mapping.insert(id, upper_id);
+        report.class_matches.push((label.to_owned(), kind));
+    }
+
+    // Pass 2: transfer class-level relations among mapped concepts.
+    for (id, concept) in domain.iter() {
+        if concept.kind != ConceptKind::Class {
+            continue;
+        }
+        let Some(&from) = mapping.get(&id) else { continue };
+        for rel in [Relation::Meronym, Relation::RelatedTo] {
+            for &to_domain in domain.related(id, rel) {
+                if let Some(&to) = mapping.get(&to_domain) {
+                    if from != to {
+                        upper.relate(from, rel, to);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: place instances.
+    for (id, concept) in domain.iter() {
+        if concept.kind != ConceptKind::Instance {
+            continue;
+        }
+        let label = concept.canonical().to_owned();
+        let Some(&class_id) = domain
+            .related(id, Relation::InstanceOf)
+            .first()
+            .and_then(|c| mapping.get(c))
+        else {
+            continue;
+        };
+        // Already known under this class?
+        let folded = dwqa_common::text::fold(&label);
+        let existing_same = upper.concepts_for(&label).iter().copied().find(|c| {
+            upper.concept(*c).kind == ConceptKind::Instance && upper.is_a(*c, class_id)
+        });
+        if let Some(existing) = existing_same {
+            report.instances_existing += 1;
+            for (k, v) in domain.annotations(id) {
+                upper.annotate(existing, k, v);
+            }
+            mapping.insert(id, existing);
+            continue;
+        }
+        // Alias or near-duplicate of an existing instance of the class?
+        let siblings: Vec<ConceptId> = upper
+            .descendants(class_id)
+            .into_iter()
+            .filter(|c| upper.concept(*c).kind == ConceptKind::Instance)
+            .collect();
+        let mut enriched: Option<ConceptId> = None;
+        for sib in siblings {
+            let alias_hit = upper
+                .annotation(sib, "alias")
+                .iter()
+                .any(|a| dwqa_common::text::fold(a) == folded);
+            let near = upper
+                .concept(sib)
+                .labels
+                .iter()
+                .any(|l| labels_similar(l, &label, options.synonym_similarity));
+            if alias_hit || near {
+                enriched = Some(sib);
+                break;
+            }
+        }
+        if let Some(sib) = enriched {
+            let canonical = upper.concept(sib).canonical().to_owned();
+            upper.add_label(sib, &label);
+            for (k, v) in domain.annotations(id) {
+                upper.annotate(sib, k, v);
+            }
+            report.synonyms_enriched.push((label, canonical));
+            mapping.insert(id, sib);
+            continue;
+        }
+        // New instance under the mapped class.
+        let new_id = upper.add_concept(&[&label], &concept.gloss, OntoPos::Noun, concept.kind);
+        upper.relate(new_id, Relation::InstanceOf, class_id);
+        for (k, v) in domain.annotations(id) {
+            upper.annotate(new_id, k, v);
+        }
+        mapping.insert(id, new_id);
+        report.instances_added += 1;
+    }
+
+    // Pass 4: transfer instance meronymy (El Prat part-of Barcelona).
+    for (id, concept) in domain.iter() {
+        if concept.kind != ConceptKind::Instance {
+            continue;
+        }
+        let Some(&from) = mapping.get(&id) else { continue };
+        for &to_domain in domain.related(id, Relation::Meronym) {
+            if let Some(&to) = mapping.get(&to_domain) {
+                if from != to {
+                    upper.relate(from, Relation::Meronym, to);
+                }
+            }
+        }
+    }
+
+    report.mapping = mapping.into_iter().map(|(k, v)| (k.0, v)).collect();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enrich::enrich_from_warehouse;
+    use crate::transform::schema_to_ontology;
+    use crate::upper::upper_ontology;
+    use dwqa_mdmodel::last_minute_sales;
+    use dwqa_warehouse::{FactRowBuilder, Value, Warehouse};
+
+    fn domain_with_instances() -> Ontology {
+        let mut wh = Warehouse::new(last_minute_sales());
+        let mut rows = Vec::new();
+        for (airport, city, state, country) in [
+            ("El Prat", "Barcelona", "Catalonia", "Spain"),
+            ("JFK", "New York", "New York State", "United States"),
+            ("La Guardia", "New York", "New York State", "United States"),
+            ("John Wayne", "Costa Mesa", "California", "United States"),
+        ] {
+            let mut b = FactRowBuilder::new();
+            b.measure("price", Value::Float(100.0))
+                .measure("miles", Value::Float(500.0))
+                .measure("traveler_rate", Value::Float(0.5))
+                .role_member("Origin", &[("airport_name", Value::text("Alicante"))])
+                .role_member(
+                    "Destination",
+                    &[
+                        ("airport_name", Value::text(airport)),
+                        ("city_name", Value::text(city)),
+                        ("state_name", Value::text(state)),
+                        ("country_name", Value::text(country)),
+                    ],
+                )
+                .role_member("Customer", &[("customer_name", Value::text("Ann"))])
+                .role_member("Date", &[("date", Value::date(2004, 1, 31).unwrap())]);
+            rows.push(b.build());
+        }
+        wh.load("Last Minute Sales", rows).unwrap();
+        let mut onto = schema_to_ontology(wh.schema());
+        enrich_from_warehouse(&mut onto, &wh);
+        onto
+    }
+
+    #[test]
+    fn exact_matches_map_onto_existing_synsets() {
+        let domain = domain_with_instances();
+        let mut upper = upper_ontology();
+        let before = upper.len();
+        let report = merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        // Airport, City, State, Country, Customer, Date, Month, Quarter,
+        // Year, price, miles all exist (directly or singularised).
+        assert!(report.count(MatchKind::Exact) >= 9, "{:?}", report.class_matches);
+        // Exact matches add no new class concepts for those labels.
+        let airport_concepts = upper.concepts_for("airport");
+        assert_eq!(airport_concepts.len(), 1);
+        assert!(upper.len() > before); // but instances were added
+    }
+
+    #[test]
+    fn last_minute_sales_hangs_under_sale_by_head_word() {
+        let domain = domain_with_instances();
+        let mut upper = upper_ontology();
+        let report = merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        assert!(report
+            .class_matches
+            .contains(&("Last Minute Sales".to_owned(), MatchKind::HeadWord)));
+        let lms = upper.class_for("Last Minute Sales").unwrap();
+        let sale = upper.class_for("sale").unwrap();
+        assert!(upper.is_a(lms, sale));
+    }
+
+    #[test]
+    fn jfk_becomes_synonym_of_kennedy_airport() {
+        let domain = domain_with_instances();
+        let mut upper = upper_ontology();
+        let report = merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        assert!(report
+            .synonyms_enriched
+            .iter()
+            .any(|(term, target)| term == "JFK" && target == "Kennedy International Airport"));
+        // "JFK" now resolves to an airport sense too.
+        let airport = upper.class_for("airport").unwrap();
+        let senses = upper.concepts_for("JFK");
+        assert!(senses.iter().any(|s| upper.is_a(*s, airport)));
+        // The person senses survive (the ambiguity WSD resolves).
+        let person = upper.class_for("person").unwrap();
+        assert!(senses.iter().any(|s| upper.is_a(*s, person)));
+    }
+
+    #[test]
+    fn new_airports_are_added_as_instances() {
+        let domain = domain_with_instances();
+        let mut upper = upper_ontology();
+        merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        let airport = upper.class_for("airport").unwrap();
+        for name in ["El Prat", "John Wayne", "La Guardia"] {
+            let ids = upper.concepts_for(name);
+            assert!(
+                ids.iter().any(|id| upper.is_a(*id, airport)),
+                "{name} should be an airport instance after merge"
+            );
+        }
+        // "La Guardia" is *also* still a person — a new airport instance
+        // was created rather than corrupting the politician synset.
+        let person = upper.class_for("person").unwrap();
+        assert!(upper
+            .concepts_for("La Guardia")
+            .iter()
+            .any(|id| upper.is_a(*id, person)));
+    }
+
+    #[test]
+    fn existing_cities_are_not_duplicated() {
+        let domain = domain_with_instances();
+        let mut upper = upper_ontology();
+        let report = merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        let city = upper.class_for("city").unwrap();
+        let bcn: Vec<_> = upper
+            .concepts_for("Barcelona")
+            .iter()
+            .copied()
+            .filter(|id| upper.is_a(*id, city))
+            .collect();
+        assert_eq!(bcn.len(), 1);
+        assert!(report.instances_existing > 0);
+    }
+
+    #[test]
+    fn disabling_head_word_fallback_creates_new_roots() {
+        let domain = domain_with_instances();
+        let mut upper = upper_ontology();
+        let options = MergeOptions {
+            head_word_fallback: false,
+            ..MergeOptions::default()
+        };
+        let report = merge_into_upper(&domain, &mut upper, &options);
+        assert!(report
+            .class_matches
+            .contains(&("Last Minute Sales".to_owned(), MatchKind::NewRoot)));
+        let lms = upper.class_for("Last Minute Sales").unwrap();
+        assert!(upper.related(lms, Relation::Hypernym).is_empty());
+    }
+
+    #[test]
+    fn merge_is_idempotent_on_second_run() {
+        let domain = domain_with_instances();
+        let mut upper = upper_ontology();
+        merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        let size = upper.len();
+        let second = merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        assert_eq!(upper.len(), size, "second merge must not grow the ontology");
+        assert_eq!(second.instances_added, 0);
+    }
+
+    #[test]
+    fn instance_meronymy_is_transferred() {
+        let domain = domain_with_instances();
+        let mut upper = upper_ontology();
+        merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        let airport = upper.class_for("airport").unwrap();
+        let el_prat = upper
+            .concepts_for("El Prat")
+            .iter()
+            .copied()
+            .find(|id| upper.is_a(*id, airport))
+            .unwrap();
+        let parts_of = upper.related(el_prat, Relation::Meronym);
+        assert!(parts_of
+            .iter()
+            .any(|id| upper.concept(*id).canonical() == "Barcelona"));
+    }
+
+    #[test]
+    fn head_word_extraction() {
+        assert_eq!(head_word("Last Minute Sales"), Some("sale".to_owned()));
+        assert_eq!(head_word("AgeGroup"), Some("agegroup".to_owned()));
+        assert_eq!(head_word(""), None);
+    }
+}

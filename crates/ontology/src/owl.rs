@@ -1,0 +1,358 @@
+//! OWL serialization (functional-style syntax subset).
+//!
+//! Step 1.b of the paper: "the generation of the ontology in some of the
+//! ontology representation languages. For instance, we can use the most
+//! extended ontology language, OWL". We emit a deterministic subset of the
+//! OWL 2 functional-style syntax — declarations, `SubClassOf`,
+//! `ClassAssertion`, annotation assertions for glosses/synonyms and a
+//! custom object property per non-taxonomic relation — and can parse it
+//! back, so ontologies can be exchanged with other tools.
+
+use crate::graph::{ConceptId, ConceptKind, OntoPos, Ontology, Relation};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Turns a label into an OWL local name (`Last Minute Sales` →
+/// `Last_Minute_Sales`).
+fn iri(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn unquote(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Renders an ontology as OWL functional-style syntax.
+pub fn render_owl(o: &Ontology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Prefix(:=<http://dwqa.example.org/{}#>)", iri(o.name()));
+    let _ = writeln!(out, "Ontology(<http://dwqa.example.org/{}>", iri(o.name()));
+    // Give every concept a unique local name (labels can collide across
+    // synsets — "JFK" the president vs. the band).
+    let mut names: HashMap<ConceptId, String> = HashMap::new();
+    let mut used: HashMap<String, usize> = HashMap::new();
+    for (id, c) in o.iter() {
+        let base = iri(c.canonical());
+        let n = used.entry(base.clone()).or_insert(0);
+        let name = if *n == 0 { base.clone() } else { format!("{base}_{n}") };
+        *n += 1;
+        names.insert(id, name);
+    }
+    for (id, c) in o.iter() {
+        let name = &names[&id];
+        match c.kind {
+            ConceptKind::Class => {
+                let _ = writeln!(out, "Declaration(Class(:{name}))");
+            }
+            ConceptKind::Instance => {
+                let _ = writeln!(out, "Declaration(NamedIndividual(:{name}))");
+            }
+        }
+        let pos = match c.pos {
+            OntoPos::Noun => "noun",
+            OntoPos::Verb => "verb",
+        };
+        let _ = writeln!(
+            out,
+            "AnnotationAssertion(:pos :{name} {})",
+            quote(pos)
+        );
+        if !c.gloss.is_empty() {
+            let _ = writeln!(
+                out,
+                "AnnotationAssertion(rdfs:comment :{name} {})",
+                quote(&c.gloss)
+            );
+        }
+        for label in &c.labels {
+            let _ = writeln!(
+                out,
+                "AnnotationAssertion(rdfs:label :{name} {})",
+                quote(label)
+            );
+        }
+        for (k, v) in o.annotations(id) {
+            let _ = writeln!(
+                out,
+                "AnnotationAssertion(:{} :{name} {})",
+                iri(k),
+                quote(v)
+            );
+        }
+    }
+    // Only forward relations are serialized; inverses are rebuilt on parse.
+    for (id, _) in o.iter() {
+        let name = &names[&id];
+        for &t in o.related(id, Relation::Hypernym) {
+            let _ = writeln!(out, "SubClassOf(:{name} :{})", names[&t]);
+        }
+        for &t in o.related(id, Relation::InstanceOf) {
+            let _ = writeln!(out, "ClassAssertion(:{} :{name})", names[&t]);
+        }
+        for &t in o.related(id, Relation::Meronym) {
+            let _ = writeln!(
+                out,
+                "ObjectPropertyAssertion(:partOf :{name} :{})",
+                names[&t]
+            );
+        }
+        for &t in o.related(id, Relation::Antonym) {
+            if id < t {
+                let _ = writeln!(
+                    out,
+                    "ObjectPropertyAssertion(:antonymOf :{name} :{})",
+                    names[&t]
+                );
+            }
+        }
+        for &t in o.related(id, Relation::RelatedTo) {
+            if id < t {
+                let _ = writeln!(
+                    out,
+                    "ObjectPropertyAssertion(:relatedTo :{name} :{})",
+                    names[&t]
+                );
+            }
+        }
+    }
+    out.push_str(")\n");
+    out
+}
+
+/// Parses the subset emitted by [`render_owl`] back into an [`Ontology`].
+///
+/// Returns `None` on any structural problem (unknown construct, reference
+/// to an undeclared name, missing header).
+pub fn parse_owl(text: &str) -> Option<Ontology> {
+    let mut lines = text.lines();
+    let _prefix = lines.next()?.strip_prefix("Prefix(")?;
+    let header = lines.next()?;
+    let name = header
+        .strip_prefix("Ontology(<http://dwqa.example.org/")?
+        .strip_suffix('>')?
+        .replace('_', " ");
+    // First pass: declarations + annotations, building concepts.
+    #[derive(Default)]
+    struct Pending {
+        kind: Option<ConceptKind>,
+        pos: Option<OntoPos>,
+        labels: Vec<String>,
+        gloss: String,
+        annotations: Vec<(String, String)>,
+        order: usize,
+    }
+    let mut pending: HashMap<String, Pending> = HashMap::new();
+    let mut order = 0usize;
+    let mut relations: Vec<(String, Relation, String)> = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line == ")" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("Declaration(Class(:") {
+            let name = rest.strip_suffix("))")?;
+            let e = pending.entry(name.to_owned()).or_default();
+            e.kind = Some(ConceptKind::Class);
+            e.order = order;
+            order += 1;
+        } else if let Some(rest) = line.strip_prefix("Declaration(NamedIndividual(:") {
+            let name = rest.strip_suffix("))")?;
+            let e = pending.entry(name.to_owned()).or_default();
+            e.kind = Some(ConceptKind::Instance);
+            e.order = order;
+            order += 1;
+        } else if let Some(rest) = line.strip_prefix("AnnotationAssertion(") {
+            let rest = rest.strip_suffix(')')?;
+            let (prop, rest) = rest.split_once(" :")?;
+            let (subject, value) = rest.split_once(' ')?;
+            let value = unquote(value)?;
+            let e = pending.get_mut(subject)?;
+            match prop {
+                "rdfs:label" => e.labels.push(value),
+                "rdfs:comment" => e.gloss = value,
+                ":pos" => {
+                    e.pos = Some(if value == "verb" { OntoPos::Verb } else { OntoPos::Noun });
+                }
+                other => {
+                    let key = other.strip_prefix(':').unwrap_or(other);
+                    e.annotations.push((key.to_owned(), value));
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("SubClassOf(:") {
+            let rest = rest.strip_suffix(')')?;
+            let (a, b) = rest.split_once(" :")?;
+            relations.push((a.to_owned(), Relation::Hypernym, b.to_owned()));
+        } else if let Some(rest) = line.strip_prefix("ClassAssertion(:") {
+            let rest = rest.strip_suffix(')')?;
+            let (class, individual) = rest.split_once(" :")?;
+            relations.push((individual.to_owned(), Relation::InstanceOf, class.to_owned()));
+        } else if let Some(rest) = line.strip_prefix("ObjectPropertyAssertion(:") {
+            let rest = rest.strip_suffix(')')?;
+            let mut parts = rest.splitn(3, ' ');
+            let prop = parts.next()?;
+            let a = parts.next()?.strip_prefix(':')?;
+            let b = parts.next()?.strip_prefix(':')?;
+            let rel = match prop {
+                "partOf" => Relation::Meronym,
+                "antonymOf" => Relation::Antonym,
+                "relatedTo" => Relation::RelatedTo,
+                _ => return None,
+            };
+            relations.push((a.to_owned(), rel, b.to_owned()));
+        } else {
+            return None;
+        }
+    }
+    // Materialise in declaration order so ids are stable.
+    let mut entries: Vec<(String, Pending)> = pending.into_iter().collect();
+    entries.sort_by_key(|(_, p)| p.order);
+    let mut o = Ontology::new(&name);
+    let mut ids: HashMap<String, ConceptId> = HashMap::new();
+    for (owl_name, p) in entries {
+        let kind = p.kind?;
+        let labels: Vec<&str> = if p.labels.is_empty() {
+            vec![owl_name.as_str()]
+        } else {
+            p.labels.iter().map(String::as_str).collect()
+        };
+        let id = o.add_concept(&labels, &p.gloss, p.pos.unwrap_or(OntoPos::Noun), kind);
+        for (k, v) in &p.annotations {
+            o.annotate(id, k, v);
+        }
+        ids.insert(owl_name, id);
+    }
+    for (a, rel, b) in relations {
+        let &fa = ids.get(&a)?;
+        let &fb = ids.get(&b)?;
+        o.relate(fa, rel, fb);
+    }
+    Some(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upper::upper_ontology;
+
+    fn tiny() -> Ontology {
+        let mut o = Ontology::new("tiny demo");
+        let loc = o.add_concept(&["location"], "a place", OntoPos::Noun, ConceptKind::Class);
+        let city = o.add_concept(
+            &["city", "metropolis"],
+            "an urban area",
+            OntoPos::Noun,
+            ConceptKind::Class,
+        );
+        let bcn = o.add_concept(
+            &["Barcelona"],
+            "a city in Spain",
+            OntoPos::Noun,
+            ConceptKind::Instance,
+        );
+        o.relate(city, Relation::Hypernym, loc);
+        o.relate(bcn, Relation::InstanceOf, city);
+        o.annotate(bcn, "source", "dw");
+        o
+    }
+
+    #[test]
+    fn render_emits_expected_constructs() {
+        let owl = render_owl(&tiny());
+        for needle in [
+            "Declaration(Class(:city))",
+            "Declaration(NamedIndividual(:Barcelona))",
+            "SubClassOf(:city :location)",
+            "ClassAssertion(:city :Barcelona)",
+            "AnnotationAssertion(rdfs:label :city \"metropolis\")",
+            "AnnotationAssertion(rdfs:comment :Barcelona \"a city in Spain\")",
+            "AnnotationAssertion(:source :Barcelona \"dw\")",
+        ] {
+            assert!(owl.contains(needle), "missing {needle} in:\n{owl}");
+        }
+    }
+
+    #[test]
+    fn tiny_round_trip() {
+        let original = tiny();
+        let parsed = parse_owl(&render_owl(&original)).expect("parse back");
+        assert_eq!(parsed.name(), original.name());
+        assert_eq!(parsed.len(), original.len());
+        let city = parsed.class_for("city").unwrap();
+        let loc = parsed.class_for("location").unwrap();
+        assert!(parsed.is_a(city, loc));
+        let bcn = parsed.concepts_for("Barcelona")[0];
+        assert!(parsed.is_a(bcn, city));
+        assert_eq!(parsed.annotation(bcn, "source"), vec!["dw"]);
+        assert_eq!(parsed.concept(city).labels, vec!["city", "metropolis"]);
+    }
+
+    #[test]
+    fn upper_ontology_round_trips() {
+        let original = upper_ontology();
+        let owl = render_owl(&original);
+        let parsed = parse_owl(&owl).expect("upper ontology parses back");
+        assert_eq!(parsed.len(), original.len());
+        // Spot checks: taxonomy, instances, aliases, antonyms.
+        let airport = parsed.class_for("airport").unwrap();
+        let artifact = parsed.class_for("artifact").unwrap();
+        assert!(parsed.is_a(airport, artifact));
+        let kennedy = parsed
+            .concepts_for("Kennedy International Airport")
+            .first()
+            .copied()
+            .unwrap();
+        assert_eq!(parsed.annotation(kennedy, "alias"), vec!["JFK"]);
+        let inc = parsed
+            .concepts_for("increase")
+            .iter()
+            .copied()
+            .find(|c| parsed.concept(*c).pos == OntoPos::Verb)
+            .unwrap();
+        assert!(!parsed.related(inc, Relation::Antonym).is_empty());
+    }
+
+    #[test]
+    fn duplicate_labels_get_distinct_names() {
+        let mut o = Ontology::new("dup");
+        let cls = o.add_concept(&["JFK"], "president", OntoPos::Noun, ConceptKind::Instance);
+        let cls2 = o.add_concept(&["JFK"], "band", OntoPos::Noun, ConceptKind::Instance);
+        assert_ne!(cls, cls2);
+        let owl = render_owl(&o);
+        assert!(owl.contains(":JFK"));
+        assert!(owl.contains(":JFK_1"));
+        let parsed = parse_owl(&owl).unwrap();
+        assert_eq!(parsed.concepts_for("JFK").len(), 2);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(parse_owl("").is_none());
+        assert!(parse_owl("Prefix(x)\nOntology(<http://dwqa.example.org/x>\ngarbage\n)").is_none());
+        assert!(parse_owl(
+            "Prefix(x)\nOntology(<http://dwqa.example.org/x>\nSubClassOf(:a :b)\n)"
+        )
+        .is_none()); // undeclared names
+    }
+
+    #[test]
+    fn quoting_survives_special_characters() {
+        let mut o = Ontology::new("q");
+        o.add_concept(
+            &["odd \"label\""],
+            "gloss with \\ backslash",
+            OntoPos::Noun,
+            ConceptKind::Class,
+        );
+        let parsed = parse_owl(&render_owl(&o)).unwrap();
+        assert_eq!(parsed.concept(ConceptId(0)).canonical(), "odd \"label\"");
+        assert_eq!(parsed.concept(ConceptId(0)).gloss, "gloss with \\ backslash");
+    }
+}

@@ -1,0 +1,131 @@
+//! The ontology as a WSD sense inventory.
+//!
+//! Implements [`dwqa_nlp::wsd::SenseInventory`] for [`Ontology`]: the
+//! senses of a lemma are the concepts bearing it as a label; a sense's
+//! Lesk signature is its gloss plus the labels of its taxonomic
+//! neighbourhood; and concepts fed from the data warehouse (Step 2,
+//! annotation `source = dw`) receive a prior boost — the concrete
+//! mechanism behind the paper's claim that enrichment makes the QA system
+//! "more precise" ("the system will know that the previous entities mean
+//! airports instead of a person or a Spanish musical group").
+
+use crate::graph::{ConceptId, Ontology, Relation};
+use dwqa_nlp::wsd::SenseInventory;
+
+/// Prior boost for DW-fed senses.
+pub const DW_PRIOR: f64 = 0.5;
+
+impl SenseInventory for Ontology {
+    type Sense = ConceptId;
+
+    fn senses(&self, lemma: &str) -> Vec<ConceptId> {
+        self.concepts_for(lemma).to_vec()
+    }
+
+    fn signature(&self, sense: ConceptId) -> Vec<String> {
+        let mut words: Vec<String> = Vec::new();
+        let concept = self.concept(sense);
+        words.extend(dwqa_common::text::label_words(&concept.gloss));
+        for label in &concept.labels {
+            words.extend(dwqa_common::text::label_words(label));
+        }
+        // Taxonomic neighbourhood: the class (for instances), hypernyms,
+        // and part-of targets all contribute signature words.
+        let mut neighbours: Vec<ConceptId> = Vec::new();
+        neighbours.extend(self.related(sense, Relation::InstanceOf));
+        neighbours.extend(self.hypernym_path(sense).into_iter().take(3));
+        neighbours.extend(self.related(sense, Relation::Meronym));
+        neighbours.extend(self.related(sense, Relation::RelatedTo));
+        for n in neighbours {
+            for label in &self.concept(n).labels {
+                words.extend(dwqa_common::text::label_words(label));
+            }
+        }
+        words.sort();
+        words.dedup();
+        words
+    }
+
+    fn prior(&self, sense: ConceptId) -> f64 {
+        if self.annotation(sense, "source").contains(&"dw") {
+            DW_PRIOR
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ConceptKind, OntoPos};
+    use crate::merge::{merge_into_upper, MergeOptions};
+    use crate::upper::upper_ontology;
+    use dwqa_nlp::wsd::disambiguate;
+
+    fn ctx(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| (*w).to_owned()).collect()
+    }
+
+    #[test]
+    fn signatures_include_gloss_and_taxonomy() {
+        let o = upper_ontology();
+        let airport = o.class_for("airport").unwrap();
+        let sig = o.signature(airport);
+        assert!(sig.contains(&"terminals".to_owned()) || sig.contains(&"terminal".to_owned()));
+        assert!(sig.contains(&"facility".to_owned()));
+    }
+
+    #[test]
+    fn before_enrichment_jfk_resolves_to_the_president() {
+        let o = upper_ontology();
+        let sense = disambiguate(&o, "jfk", &ctx(&["president"])).unwrap();
+        let person = o.class_for("person").unwrap();
+        assert!(o.is_a(sense, person));
+    }
+
+    #[test]
+    fn after_enrichment_jfk_prefers_the_airport_in_weather_context() {
+        // Build a domain ontology with a DW-sourced JFK airport instance
+        // and merge it in; the DW prior then tips neutral contexts.
+        let mut upper = upper_ontology();
+        let mut domain = crate::graph::Ontology::new("d");
+        let airport = domain.add_concept(&["Airport"], "", OntoPos::Noun, ConceptKind::Class);
+        let jfk = domain.add_concept(
+            &["JFK"],
+            "an airport from the data warehouse",
+            OntoPos::Noun,
+            ConceptKind::Instance,
+        );
+        domain.relate(jfk, Relation::InstanceOf, airport);
+        domain.annotate(jfk, "source", "dw");
+        merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+
+        let airport_class = upper.class_for("airport").unwrap();
+        // Weather/flight context → airport sense.
+        let sense = disambiguate(&upper, "jfk", &ctx(&["temperature", "flight", "airport"]))
+            .unwrap();
+        assert!(upper.is_a(sense, airport_class));
+        // Even an empty context now prefers the DW-boosted sense.
+        let sense = disambiguate(&upper, "jfk", &[]).unwrap();
+        assert!(upper.is_a(sense, airport_class));
+        // A strong presidential context still selects the person.
+        let sense = disambiguate(
+            &upper,
+            "jfk",
+            &ctx(&["president", "assassinated", "politician"]),
+        )
+        .unwrap();
+        let person = upper.class_for("person").unwrap();
+        assert!(upper.is_a(sense, person));
+    }
+
+    #[test]
+    fn dw_prior_is_applied() {
+        let mut o = upper_ontology();
+        let c = o.add_concept(&["xyzzy"], "", OntoPos::Noun, ConceptKind::Instance);
+        assert_eq!(o.prior(c), 0.0);
+        o.annotate(c, "source", "dw");
+        assert_eq!(o.prior(c), DW_PRIOR);
+    }
+}

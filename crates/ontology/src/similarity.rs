@@ -1,0 +1,165 @@
+//! Taxonomic similarity measures.
+//!
+//! WordNet-based QA systems routinely use path-based similarity for
+//! semantic preference (the paper's Module 3 prefers "hyponyms of
+//! country"). This module provides the standard measures over the
+//! hypernym taxonomy: the **least common subsumer** (LCS), path length,
+//! and **Wu–Palmer** similarity
+//! `wup(a, b) = 2·depth(lcs) / (depth(a) + depth(b))`.
+
+use crate::graph::{ConceptId, Ontology};
+use std::collections::HashMap;
+
+/// Depth of a concept: distance to its taxonomy root (a root has depth 0;
+/// instances hop through `InstanceOf` first, like
+/// [`Ontology::hypernym_path`]).
+pub fn depth(ontology: &Ontology, id: ConceptId) -> usize {
+    ontology.hypernym_path(id).len()
+}
+
+/// Ancestors of a concept with their distance from it (the concept itself
+/// is included at distance 0 — every concept subsumes itself).
+fn ancestors(ontology: &Ontology, id: ConceptId) -> HashMap<ConceptId, usize> {
+    let mut out = HashMap::new();
+    out.insert(id, 0);
+    for (i, a) in ontology.hypernym_path(id).into_iter().enumerate() {
+        out.entry(a).or_insert(i + 1);
+    }
+    out
+}
+
+/// The least common subsumer of two concepts, with the path distances
+/// from each; `None` when they share no ancestor (different trees — e.g.
+/// a noun and a verb, or a new-root concept).
+pub fn least_common_subsumer(
+    ontology: &Ontology,
+    a: ConceptId,
+    b: ConceptId,
+) -> Option<(ConceptId, usize, usize)> {
+    let anc_a = ancestors(ontology, a);
+    let anc_b = ancestors(ontology, b);
+    anc_a
+        .iter()
+        .filter_map(|(id, da)| anc_b.get(id).map(|db| (*id, *da, *db)))
+        .min_by_key(|(_, da, db)| da + db)
+}
+
+/// Shortest path length between two concepts through their LCS; `None`
+/// when unrelated.
+pub fn path_length(ontology: &Ontology, a: ConceptId, b: ConceptId) -> Option<usize> {
+    least_common_subsumer(ontology, a, b).map(|(_, da, db)| da + db)
+}
+
+/// Wu–Palmer similarity in `(0, 1]`; `None` when the concepts share no
+/// subsumer. Identical concepts score 1.
+pub fn wup_similarity(ontology: &Ontology, a: ConceptId, b: ConceptId) -> Option<f64> {
+    let (lcs, _, _) = least_common_subsumer(ontology, a, b)?;
+    let d_lcs = depth(ontology, lcs) as f64;
+    let d_a = depth(ontology, a) as f64;
+    let d_b = depth(ontology, b) as f64;
+    if d_a + d_b == 0.0 {
+        // Both are the same root (the LCS exists, so a == b == root).
+        return Some(1.0);
+    }
+    Some(2.0 * d_lcs / (d_a + d_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConceptKind;
+    use crate::upper::upper_ontology;
+
+    fn class(o: &Ontology, label: &str) -> ConceptId {
+        o.class_for(label).unwrap_or_else(|| panic!("{label} missing"))
+    }
+
+    fn instance(o: &Ontology, label: &str) -> ConceptId {
+        o.concepts_for(label)
+            .iter()
+            .copied()
+            .find(|&id| o.concept(id).kind == ConceptKind::Instance)
+            .unwrap_or_else(|| panic!("instance {label} missing"))
+    }
+
+    #[test]
+    fn depth_increases_down_the_taxonomy() {
+        let o = upper_ontology();
+        let entity = class(&o, "entity");
+        let artifact = class(&o, "artifact");
+        let airport = class(&o, "airport");
+        assert_eq!(depth(&o, entity), 0);
+        assert_eq!(depth(&o, artifact), 1);
+        assert!(depth(&o, airport) > depth(&o, artifact));
+    }
+
+    #[test]
+    fn lcs_of_siblings_is_their_parent_region() {
+        let o = upper_ontology();
+        let city = class(&o, "city");
+        let country = class(&o, "country");
+        let (lcs, da, db) = least_common_subsumer(&o, city, country).unwrap();
+        assert_eq!(o.concept(lcs).canonical(), "region");
+        assert_eq!(da, 1);
+        assert_eq!(db, 1);
+        assert_eq!(path_length(&o, city, country), Some(2));
+    }
+
+    #[test]
+    fn lcs_is_reflexive_and_symmetric() {
+        let o = upper_ontology();
+        let city = class(&o, "city");
+        let airport = class(&o, "airport");
+        assert_eq!(
+            least_common_subsumer(&o, city, city).map(|(l, ..)| l),
+            Some(city)
+        );
+        let ab = least_common_subsumer(&o, city, airport).map(|(l, ..)| l);
+        let ba = least_common_subsumer(&o, airport, city).map(|(l, ..)| l);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn wup_orders_related_above_unrelated() {
+        let o = upper_ontology();
+        let city = class(&o, "city");
+        let capital = class(&o, "capital");
+        let airport = class(&o, "airport");
+        let wup_city_capital = wup_similarity(&o, city, capital).unwrap();
+        let wup_city_airport = wup_similarity(&o, city, airport).unwrap();
+        assert!(wup_city_capital > wup_city_airport);
+        assert_eq!(wup_similarity(&o, city, city), Some(1.0));
+        for v in [wup_city_capital, wup_city_airport] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nouns_and_verbs_share_no_subsumer() {
+        let o = upper_ontology();
+        let city = class(&o, "city");
+        let rain_verb = o
+            .concepts_for("rain")
+            .iter()
+            .copied()
+            .find(|&id| o.concept(id).pos == crate::graph::OntoPos::Verb)
+            .unwrap();
+        assert_eq!(least_common_subsumer(&o, city, rain_verb), None);
+        assert_eq!(wup_similarity(&o, city, rain_verb), None);
+        assert_eq!(path_length(&o, city, rain_verb), None);
+    }
+
+    #[test]
+    fn instances_measure_through_their_class() {
+        let o = upper_ontology();
+        let bcn = instance(&o, "Barcelona");
+        let madrid = instance(&o, "Madrid");
+        // Barcelona is a city, Madrid a capital (city's child): LCS = city.
+        let (lcs, ..) = least_common_subsumer(&o, bcn, madrid).unwrap();
+        assert_eq!(o.concept(lcs).canonical(), "city");
+        // Barcelona: depth 4 (city→region→location→entity); Madrid:
+        // depth 5 (capital→city→…); LCS city at depth 3 → wup = 6/9.
+        let sim = wup_similarity(&o, bcn, madrid).unwrap();
+        assert!((sim - 2.0 / 3.0).abs() < 1e-9, "{sim}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Step 1: the ad-hoc UML → ontology transformation.
+//!
+//! The paper compares two strategies — XMI/XSLT rule transformation vs. an
+//! ad-hoc direct transformation of the class diagram — and picks the
+//! second as simpler and computationally cheaper. We implement exactly
+//! that: "the classes are converted into ontological concepts and the
+//! relations are converted into relations between the concepts" (producing
+//! the paper's Figure 2 for the Last Minute Sales model):
+//!
+//! * every fact class, dimension and hierarchy level becomes a noun
+//!   concept, annotated with its UML origin;
+//! * `«Rolls-upTo»` associations become part-of (meronym) relations — an
+//!   airport is located in its city, a city in its state;
+//! * fact ↔ dimension associations and fact ↦ measure attributes become
+//!   `RelatedTo` edges with role annotations.
+
+use crate::graph::{ConceptKind, OntoPos, Ontology, Relation};
+use dwqa_mdmodel::Schema;
+
+/// Transforms a multidimensional schema into its domain ontology.
+pub fn schema_to_ontology(schema: &Schema) -> Ontology {
+    let mut o = Ontology::new(&format!("{} ontology", schema.name()));
+
+    // Dimensions and their levels.
+    for dim in schema.dimensions() {
+        for level in &dim.levels {
+            // The dimension class and its base level often share a name
+            // (dimension "Airport", level "Airport"); one concept suffices.
+            if o.class_for(&level.name).is_none() {
+                let id = o.add_concept(
+                    &[&level.name],
+                    &format!(
+                        "level of the {} dimension, identified by {}",
+                        dim.name, level.descriptor.name
+                    ),
+                    OntoPos::Noun,
+                    ConceptKind::Class,
+                );
+                o.annotate(id, "uml", "level");
+                o.annotate(id, "dimension", &dim.name);
+                o.annotate(id, "descriptor", &level.descriptor.name);
+                for a in &level.attributes {
+                    o.annotate(id, "attribute", &a.name);
+                }
+            }
+        }
+        // A dimension named differently from all of its levels still
+        // deserves a lexical entry: it aliases the base-level concept.
+        if o.class_for(&dim.name).is_none() {
+            let base = o
+                .class_for(&dim.base_level().name)
+                .expect("base level concept was just created");
+            o.add_label(base, &dim.name);
+        }
+        // Roll-ups become part-of: a member of the child level belongs to
+        // a member of the parent level.
+        for (child, parent) in dim.rollups() {
+            let c = o.class_for(&child.name).expect("level concept exists");
+            let p = o.class_for(&parent.name).expect("level concept exists");
+            o.relate(c, Relation::Meronym, p);
+        }
+    }
+
+    // Facts, their measures and dimension roles.
+    for fact in schema.facts() {
+        let fid = o.add_concept(
+            &[&fact.name],
+            &format!("fact class recording {} events", fact.name.to_lowercase()),
+            OntoPos::Noun,
+            ConceptKind::Class,
+        );
+        o.annotate(fid, "uml", "fact");
+        for m in &fact.measures {
+            let mid = if let Some(existing) = o.class_for(&m.name) {
+                existing
+            } else {
+                let id = o.add_concept(
+                    &[&m.name],
+                    &format!("measure of the {} fact", fact.name.to_lowercase()),
+                    OntoPos::Noun,
+                    ConceptKind::Class,
+                );
+                o.annotate(id, "uml", "measure");
+                id
+            };
+            o.relate(fid, Relation::RelatedTo, mid);
+        }
+        for role in &fact.roles {
+            let dim = schema.dimension_by_id(role.dimension);
+            let base = o
+                .class_for(&dim.base_level().name)
+                .expect("dimension base concept exists");
+            o.relate(fid, Relation::RelatedTo, base);
+            o.annotate(fid, "role", &format!("{}={}", role.role, dim.name));
+        }
+    }
+
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwqa_mdmodel::{last_minute_sales, patient_treatments};
+
+    #[test]
+    fn figure_2_concepts_exist() {
+        let o = schema_to_ontology(&last_minute_sales());
+        for label in [
+            "Last Minute Sales",
+            "Airport",
+            "City",
+            "State",
+            "Country",
+            "Customer",
+            "Date",
+            "Month",
+            "Quarter",
+            "Year",
+            "price",
+            "miles",
+        ] {
+            assert!(o.class_for(label).is_some(), "missing concept {label}");
+        }
+    }
+
+    #[test]
+    fn rollups_become_part_of() {
+        let o = schema_to_ontology(&last_minute_sales());
+        let airport = o.class_for("Airport").unwrap();
+        let city = o.class_for("City").unwrap();
+        let state = o.class_for("State").unwrap();
+        assert_eq!(o.related(airport, Relation::Meronym), &[city]);
+        assert_eq!(o.related(city, Relation::Meronym), &[state]);
+        assert!(o.related(city, Relation::Holonym).contains(&airport));
+    }
+
+    #[test]
+    fn fact_is_related_to_dimensions_and_measures() {
+        let o = schema_to_ontology(&last_minute_sales());
+        let fact = o.class_for("Last Minute Sales").unwrap();
+        let related = o.related(fact, Relation::RelatedTo);
+        for label in ["Airport", "Customer", "Date", "price", "miles", "traveler_rate"] {
+            let id = o.class_for(label).unwrap();
+            assert!(related.contains(&id), "fact should relate to {label}");
+        }
+        // Role annotations keep the role names (Origin/Destination).
+        let roles = o.annotation(fact, "role");
+        assert!(roles.contains(&"Origin=Airport"));
+        assert!(roles.contains(&"Destination=Airport"));
+    }
+
+    #[test]
+    fn annotations_record_uml_origin() {
+        let o = schema_to_ontology(&last_minute_sales());
+        let city = o.class_for("City").unwrap();
+        assert_eq!(o.annotation(city, "uml"), vec!["level"]);
+        assert_eq!(o.annotation(city, "descriptor"), vec!["city_name"]);
+        assert_eq!(o.annotation(city, "attribute"), vec!["population"]);
+        let fact = o.class_for("Last Minute Sales").unwrap();
+        assert_eq!(o.annotation(fact, "uml"), vec!["fact"]);
+    }
+
+    #[test]
+    fn transform_is_schema_generic() {
+        let o = schema_to_ontology(&patient_treatments());
+        assert!(o.class_for("Treatments").is_some());
+        assert!(o.class_for("Patient").is_some());
+        assert!(o.class_for("Airport").is_none());
+        let patient = o.class_for("Patient").unwrap();
+        let age_group = o.class_for("AgeGroup").unwrap();
+        assert_eq!(o.related(patient, Relation::Meronym), &[age_group]);
+    }
+
+    #[test]
+    fn shared_level_names_are_not_duplicated() {
+        // "Date" appears in both fixtures' Date dimension; within one
+        // schema the dimension name and base level share one concept.
+        let o = schema_to_ontology(&last_minute_sales());
+        assert_eq!(o.concepts_for("Date").len(), 1);
+    }
+}

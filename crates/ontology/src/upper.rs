@@ -1,0 +1,465 @@
+//! The upper ontology: a from-scratch mini-WordNet.
+//!
+//! The paper merges its domain ontology into WordNet, "a lexical database
+//! near to an upper ontology", using its "main level of ontological
+//! concepts": 25 unique beginners for nouns and 15 for verbs. WordNet
+//! itself cannot be shipped here, so this module builds a structurally
+//! faithful miniature: the same 25 + 15 beginners, a few hundred synsets
+//! covering the geography / aviation / weather / commerce vocabulary the
+//! reproduction corpus uses, instances (including "Kennedy International
+//! Airport", which the paper's Step 3 enriches with the synonym "JFK"),
+//! and the ambiguous person readings ("JFK" the president, "La Guardia"
+//! the politician) whose disambiguation the Step-2 enrichment experiment
+//! measures.
+
+use crate::graph::{ConceptKind, OntoPos, Ontology, Relation};
+
+/// WordNet's 25 noun unique beginners (lexicographer files).
+pub const NOUN_BEGINNERS: [&str; 25] = [
+    "act", "animal", "artifact", "attribute", "body", "cognition", "communication", "event",
+    "feeling", "food", "group", "location", "motive", "object", "person", "phenomenon", "plant",
+    "possession", "process", "quantity", "relation", "shape", "state", "substance", "time",
+];
+
+/// WordNet's 15 verb unique beginners.
+pub const VERB_BEGINNERS: [&str; 15] = [
+    "body", "change", "cognition", "communication", "competition", "consumption", "contact",
+    "creation", "emotion", "motion", "perception", "possession", "social", "stative", "weather",
+];
+
+/// Noun synsets below the beginners: `(labels, gloss, parent label)`.
+/// Parents must appear earlier in the table (or be a beginner).
+const NOUN_SYNSETS: &[(&[&str], &str, &str)] = &[
+    // --- Geography -------------------------------------------------------
+    (&["region"], "a large area of land", "location"),
+    (&["country", "nation"], "a politically organized territory with its own government", "region"),
+    (&["state", "province"], "an administrative district of a country", "region"),
+    (&["city", "metropolis"], "a large urban settlement where people live and work", "region"),
+    (&["capital"], "the city that is the seat of government of a country", "city"),
+    (&["town"], "an urban area smaller than a city", "region"),
+    (&["continent"], "one of the large landmasses of the earth", "region"),
+    (&["coast", "shore"], "the land along the edge of a sea", "location"),
+    // --- Artifacts / aviation ---------------------------------------------
+    (&["structure", "construction"], "a thing constructed from parts", "artifact"),
+    (&["building"], "a structure with a roof and walls", "structure"),
+    (&["facility"], "a building or place that provides a service", "structure"),
+    (&["airport", "airfield", "aerodrome"], "an airfield with terminals where passenger flights land and depart", "facility"),
+    (&["terminal"], "a building at an airport where passengers board flights", "building"),
+    (&["runway"], "a strip where aircraft take off and land", "facility"),
+    (&["vehicle"], "a conveyance that transports people or goods", "artifact"),
+    (&["aircraft", "airplane", "plane"], "a vehicle that can fly", "vehicle"),
+    (&["instrument", "device"], "a tool made for a purpose", "artifact"),
+    (&["thermometer"], "an instrument that measures temperature", "instrument"),
+    (&["document"], "a writing that provides information", "artifact"),
+    (&["web page", "page"], "a document on the world wide web", "document"),
+    (&["report"], "a document describing findings", "document"),
+    (&["email"], "an electronic message document", "document"),
+    (&["ticket"], "a document entitling the holder to travel or entry", "document"),
+    (&["database"], "an organized collection of data", "artifact"),
+    (&["data warehouse", "warehouse"], "a database that integrates historical data for analysis", "database"),
+    // --- People ------------------------------------------------------------
+    (&["professional"], "a person engaged in an occupation", "person"),
+    (&["politician"], "a person active in government and politics", "professional"),
+    (&["president"], "the politician who heads a republic", "politician"),
+    (&["mayor"], "the politician who heads a city government", "politician"),
+    (&["musician"], "a person who plays music", "professional"),
+    (&["traveler", "traveller", "passenger"], "a person who travels, for example on a flight", "person"),
+    (&["customer", "client"], "a person who buys goods or services", "person"),
+    (&["pilot"], "a professional who flies aircraft", "professional"),
+    (&["profession", "occupation"], "the principal activity a person does to earn money", "act"),
+    // --- Groups / organizations ---------------------------------------------
+    (&["organization", "organisation"], "a group of people with a purpose", "group"),
+    (&["company", "firm"], "a business organization", "organization"),
+    (&["airline", "carrier"], "a company that operates passenger flights between airports", "company"),
+    (&["band", "musical group"], "a group of musicians who play together", "group"),
+    (&["government"], "the organization that governs a state", "organization"),
+    // --- Acts / events / commerce -------------------------------------------
+    (&["transaction"], "an act of buying, selling or exchanging", "act"),
+    (&["sale"], "a transaction in which goods are exchanged for money", "transaction"),
+    (&["purchase"], "a transaction in which something is bought", "transaction"),
+    (&["promotion"], "an act of publicizing goods to increase sales", "act"),
+    (&["travel", "trip", "journey"], "the act of going from one place to another", "act"),
+    (&["flight"], "a trip on an aircraft between airports", "travel"),
+    (&["analysis"], "the act of studying something carefully", "act"),
+    (&["decision"], "the act of making up your mind", "act"),
+    (&["invasion"], "the event of an army entering a country by force", "event"),
+    (&["storm"], "a violent weather event with wind and rain", "event"),
+    // --- Attributes / quantities ----------------------------------------------
+    (&["property", "quality"], "an attribute of a thing", "attribute"),
+    (&["temperature"], "the degree of hotness or coldness of the weather or a body, measured in degrees celsius or fahrenheit", "property"),
+    (&["humidity"], "the amount of water vapour in the air", "property"),
+    (&["price", "cost"], "the quantity of money required to buy something", "possession"),
+    (&["fare"], "the price charged to transport a passenger", "price"),
+    (&["money"], "a medium of exchange", "possession"),
+    (&["measure", "quantity unit"], "a quantity ascertained by measurement", "quantity"),
+    (&["degree"], "a unit on a temperature scale such as celsius or fahrenheit", "measure"),
+    (&["percentage", "percent"], "a proportion expressed per hundred", "quantity"),
+    (&["rate"], "a quantity considered relative to another quantity", "quantity"),
+    (&["number"], "a mathematical quantity", "quantity"),
+    (&["mile"], "a unit of length used for flight distances", "measure"),
+    (&["distance"], "the amount of space between places", "quantity"),
+    // --- Phenomena (weather) -----------------------------------------------------
+    (&["natural phenomenon"], "a phenomenon arising in nature", "phenomenon"),
+    (&["atmospheric phenomenon", "weather", "weather condition"], "the state of the atmosphere: temperature, wind, clouds and precipitation", "natural phenomenon"),
+    (&["precipitation"], "weather in which water falls from the sky", "atmospheric phenomenon"),
+    (&["rain"], "precipitation of liquid water drops", "precipitation"),
+    (&["snow"], "precipitation of ice crystals", "precipitation"),
+    (&["wind"], "air moving across the surface of the earth", "atmospheric phenomenon"),
+    (&["fog"], "droplets suspended near the ground reducing visibility", "atmospheric phenomenon"),
+    (&["cloud"], "visible condensed water vapour in the sky", "atmospheric phenomenon"),
+    (&["sunshine"], "the light and heat of the sun in clear weather", "atmospheric phenomenon"),
+    (&["sky"], "the apparent dome over the earth where weather is seen", "natural phenomenon"),
+    // --- Cognition / communication -------------------------------------------------
+    (&["information"], "knowledge communicated about facts", "cognition"),
+    (&["question", "query"], "a sentence that asks for information", "communication"),
+    (&["answer", "reply"], "a statement made in response to a question", "communication"),
+    (&["definition"], "a statement of the meaning of a word", "communication"),
+    (&["abbreviation", "acronym"], "a shortened form of a word or phrase", "communication"),
+    (&["name"], "a word by which an entity is known", "communication"),
+    (&["forecast", "prediction"], "a statement about what will happen, for example about the weather", "communication"),
+    // --- Time ------------------------------------------------------------------------
+    (&["time period", "period"], "an amount of time", "time"),
+    (&["season"], "a quarter of the year with characteristic weather", "time period"),
+    (&["winter"], "the coldest season of the year", "season"),
+    (&["summer"], "the warmest season of the year", "season"),
+    (&["spring"], "the season between winter and summer", "season"),
+    (&["autumn", "fall season"], "the season between summer and winter", "season"),
+    (&["year"], "a period of twelve months", "time period"),
+    (&["quarter"], "a period of three months", "time period"),
+    (&["month"], "one of the twelve divisions of a year", "time period"),
+    (&["week"], "a period of seven days", "time period"),
+    (&["day", "date"], "a single day of the calendar, such as january 31 2004", "time period"),
+    (&["morning"], "the early part of the day", "time period"),
+    (&["night"], "the dark part of the day", "time period"),
+    // --- Medical (the paper's other fact example: "treatments of patients") --
+    (&["hospital"], "a facility where patients receive medical treatment", "facility"),
+    (&["doctor", "physician"], "a professional licensed to practice medicine", "professional"),
+    (&["nurse"], "a professional who cares for patients", "professional"),
+    (&["patient"], "a person receiving medical treatment", "person"),
+    (&["treatment", "therapy"], "the act of caring for a patient medically", "act"),
+    (&["surgery", "operation"], "a medical treatment performed by cutting", "treatment"),
+    (&["medicine", "drug"], "a substance used to treat disease", "substance"),
+    (&["disease", "illness"], "an impairment of health", "state"),
+    (&["specialty", "speciality"], "a branch of medicine a doctor focuses on", "cognition"),
+    (&["diagnosis"], "the identification of a disease from its signs", "cognition"),
+    // --- Objects (celestial, for the paper's Sirius example) -----------------------------
+    (&["celestial body", "heavenly body"], "a natural object visible in the sky", "object"),
+    (&["star"], "a celestial body that shines by its own light, visible at night", "celestial body"),
+    (&["sun"], "the star that the earth orbits", "star"),
+    (&["universe", "cosmos"], "everything that exists anywhere", "object"),
+];
+
+/// Month and weekday instances live under "month" / "day".
+const CALENDAR_CLASSES: () = ();
+
+/// Noun instances: `(labels, gloss, class, aliases)`.
+/// Aliases are recorded as annotations; the merge's synonym-enrichment step
+/// consults them (WordNet likewise listed "JFK" under Kennedy International
+/// Airport).
+const NOUN_INSTANCES: &[(&[&str], &str, &str, &[&str])] = &[
+    (&["Spain"], "a country in southwestern europe", "country", &[]),
+    (&["France"], "a country in western europe", "country", &[]),
+    (&["United States", "USA"], "a country in north america", "country", &["US"]),
+    (&["Iraq"], "a country in the middle east", "country", &[]),
+    (&["Kuwait"], "a country on the persian gulf invaded by iraq in 1990", "country", &[]),
+    (&["Catalonia"], "an autonomous region of spain", "state", &[]),
+    (&["New York State"], "a state of the united states", "state", &[]),
+    (&["California"], "a state of the united states on the pacific coast", "state", &[]),
+    (&["Barcelona"], "a city in catalonia spain on the mediterranean coast", "city", &[]),
+    (&["Madrid"], "the capital city of spain", "capital", &[]),
+    (&["New York", "New York City"], "the largest city of the united states", "city", &["NYC"]),
+    (&["Paris"], "the capital city of france", "capital", &[]),
+    (&["London"], "the capital city of the united kingdom", "capital", &[]),
+    (&["Costa Mesa"], "a city in california", "city", &[]),
+    (&["Alicante"], "a city in southeastern spain", "city", &[]),
+    (
+        &["Kennedy International Airport", "Kennedy Airport"],
+        "the major international airport of new york city",
+        "airport",
+        &["JFK"],
+    ),
+    (
+        &["JFK", "John Fitzgerald Kennedy", "John F. Kennedy"],
+        "the american president assassinated in 1963, a politician and person",
+        "president",
+        &[],
+    ),
+    (
+        &["La Guardia", "Fiorello La Guardia"],
+        "the american politician who was mayor of new york city, a person",
+        "mayor",
+        &[],
+    ),
+    (
+        &["JFK", "JFK Band"],
+        "a spanish musical group of musicians",
+        "band",
+        &[],
+    ),
+    (&["Sirius", "Dog Star"], "the brightest star visible in the night sky", "star", &[]),
+    (&["Kennedy Airport Terminal 4"], "a terminal of kennedy international airport", "terminal", &[]),
+];
+
+/// Verb synsets: `(labels, gloss, beginner)`.
+const VERB_SYNSETS: &[(&[&str], &str, &str)] = &[
+    (&["be", "exist"], "have the quality of being", "stative"),
+    (&["remain", "stay"], "continue in a state", "stative"),
+    (&["rain"], "precipitate as liquid water", "weather"),
+    (&["snow"], "precipitate as ice crystals", "weather"),
+    (&["shine"], "emit light, as the sun in clear weather", "weather"),
+    (&["blow"], "move, as the wind", "weather"),
+    (&["freeze"], "change to ice in cold weather", "weather"),
+    (&["fly", "travel by air"], "move through the air, as on a flight", "motion"),
+    (&["travel", "go"], "move from one place to another", "motion"),
+    (&["arrive", "land"], "reach a destination", "motion"),
+    (&["depart", "leave"], "go away from a place", "motion"),
+    (&["rise", "climb"], "move or increase upward", "motion"),
+    (&["fall", "drop"], "move or decrease downward", "motion"),
+    (&["buy", "purchase"], "obtain in exchange for money", "possession"),
+    (&["sell"], "exchange goods for money", "possession"),
+    (&["pay"], "give money in exchange for goods", "possession"),
+    (&["cost"], "require a payment of", "possession"),
+    (&["increase", "grow"], "become greater in size or amount", "change"),
+    (&["decrease", "diminish"], "become smaller in size or amount", "change"),
+    (&["change", "alter"], "become different", "change"),
+    (&["warm"], "become warmer in temperature", "change"),
+    (&["cool"], "become cooler in temperature", "change"),
+    (&["ask", "inquire"], "put a question to", "communication"),
+    (&["answer", "reply"], "respond to a question", "communication"),
+    (&["report"], "announce information", "communication"),
+    (&["forecast", "predict"], "state what will happen, for example about the weather", "communication"),
+    (&["know"], "have knowledge of", "cognition"),
+    (&["analyze", "study"], "consider in detail", "cognition"),
+    (&["decide"], "reach a decision", "cognition"),
+    (&["invade"], "march aggressively into another country", "social"),
+    (&["visit"], "go to see a place or person", "social"),
+    (&["see", "perceive"], "perceive by sight", "perception"),
+    (&["measure"], "determine the size or degree of", "perception"),
+];
+
+/// Builds the mini-WordNet upper ontology.
+pub fn upper_ontology() -> Ontology {
+    let _ = CALENDAR_CLASSES;
+    let mut o = Ontology::new("mini-wordnet");
+    // Root and noun beginners.
+    let entity = o.add_concept(
+        &["entity"],
+        "that which is perceived or known to have its own existence",
+        OntoPos::Noun,
+        ConceptKind::Class,
+    );
+    for b in NOUN_BEGINNERS {
+        let id = o.add_concept(
+            &[b],
+            &format!("wordnet noun unique beginner: {b}"),
+            OntoPos::Noun,
+            ConceptKind::Class,
+        );
+        o.relate(id, Relation::Hypernym, entity);
+    }
+    // Noun synsets (parents appear earlier).
+    for (labels, gloss, parent) in NOUN_SYNSETS {
+        let parent_id = o
+            .class_for(parent)
+            .unwrap_or_else(|| panic!("upper ontology: parent {parent:?} not yet defined"));
+        let id = o.add_concept(labels, gloss, OntoPos::Noun, ConceptKind::Class);
+        o.relate(id, Relation::Hypernym, parent_id);
+    }
+    // Month and weekday instances.
+    let month = o.class_for("month").expect("month synset exists");
+    for m in dwqa_common::Month::ALL {
+        let id = o.add_concept(
+            &[m.name()],
+            &format!("the month of {}", m.name().to_ascii_lowercase()),
+            OntoPos::Noun,
+            ConceptKind::Instance,
+        );
+        o.relate(id, Relation::InstanceOf, month);
+    }
+    let day = o.class_for("day").expect("day synset exists");
+    for d in dwqa_common::Weekday::ALL {
+        let id = o.add_concept(
+            &[d.name()],
+            &format!("the day of the week {}", d.name().to_ascii_lowercase()),
+            OntoPos::Noun,
+            ConceptKind::Instance,
+        );
+        o.relate(id, Relation::InstanceOf, day);
+    }
+    // Named instances with aliases.
+    for (labels, gloss, class, aliases) in NOUN_INSTANCES {
+        let class_id = o
+            .class_for(class)
+            .unwrap_or_else(|| panic!("upper ontology: class {class:?} not yet defined"));
+        let id = o.add_concept(labels, gloss, OntoPos::Noun, ConceptKind::Instance);
+        o.relate(id, Relation::InstanceOf, class_id);
+        for alias in *aliases {
+            o.annotate(id, "alias", alias);
+        }
+    }
+    // Geographic part-of structure (used by "the city of that airport").
+    for (part, whole) in [
+        ("Kennedy International Airport", "New York"),
+        ("Barcelona", "Catalonia"),
+        ("Catalonia", "Spain"),
+        ("Madrid", "Spain"),
+        ("Alicante", "Spain"),
+        ("New York", "New York State"),
+        ("Costa Mesa", "California"),
+    ] {
+        let p = first_instance(&o, part);
+        let w = first_instance(&o, whole);
+        o.relate(p, Relation::Meronym, w);
+    }
+    // Verb beginners (separate roots, as in WordNet) and verb synsets.
+    for b in VERB_BEGINNERS {
+        let labels = format!("{b} (verb)");
+        let id = o.add_concept(
+            &[&labels],
+            &format!("wordnet verb unique beginner: {b}"),
+            OntoPos::Verb,
+            ConceptKind::Class,
+        );
+        o.annotate(id, "beginner", b);
+    }
+    for (labels, gloss, beginner) in VERB_SYNSETS {
+        let parent = o
+            .concepts_for(&format!("{beginner} (verb)"))
+            .first()
+            .copied()
+            .unwrap_or_else(|| panic!("verb beginner {beginner:?} missing"));
+        let id = o.add_concept(labels, gloss, OntoPos::Verb, ConceptKind::Class);
+        o.relate(id, Relation::Hypernym, parent);
+    }
+    // A couple of antonym pairs exercise the symmetric relation.
+    for (a, b) in [("increase", "decrease"), ("arrive", "depart"), ("buy", "sell")] {
+        let ca = verb_class(&o, a);
+        let cb = verb_class(&o, b);
+        o.relate(ca, Relation::Antonym, cb);
+    }
+    o
+}
+
+fn first_instance(o: &Ontology, label: &str) -> crate::graph::ConceptId {
+    o.concepts_for(label)
+        .iter()
+        .copied()
+        .find(|id| o.concept(*id).kind == ConceptKind::Instance)
+        .unwrap_or_else(|| panic!("instance {label:?} missing from upper ontology"))
+}
+
+fn verb_class(o: &Ontology, label: &str) -> crate::graph::ConceptId {
+    o.concepts_for(label)
+        .iter()
+        .copied()
+        .find(|id| o.concept(*id).pos == OntoPos::Verb)
+        .unwrap_or_else(|| panic!("verb {label:?} missing from upper ontology"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beginners_are_present_and_rooted() {
+        let o = upper_ontology();
+        let entity = o.class_for("entity").unwrap();
+        for b in NOUN_BEGINNERS {
+            let id = o.class_for(b).expect(b);
+            assert!(o.is_a(id, entity), "{b} should be under entity");
+        }
+        // 15 verb beginners are roots of their own trees.
+        let verb_roots: Vec<_> = o
+            .roots()
+            .into_iter()
+            .filter(|id| o.concept(*id).pos == OntoPos::Verb)
+            .collect();
+        assert_eq!(verb_roots.len(), VERB_BEGINNERS.len());
+    }
+
+    #[test]
+    fn domain_chains_exist() {
+        let o = upper_ontology();
+        let airport = o.class_for("airport").unwrap();
+        let facility = o.class_for("facility").unwrap();
+        let artifact = o.class_for("artifact").unwrap();
+        assert!(o.is_a(airport, facility));
+        assert!(o.is_a(airport, artifact));
+        let temperature = o.class_for("temperature").unwrap();
+        let attribute = o.class_for("attribute").unwrap();
+        assert!(o.is_a(temperature, attribute));
+    }
+
+    #[test]
+    fn kennedy_airport_has_jfk_alias() {
+        let o = upper_ontology();
+        let k = first_instance(&o, "Kennedy International Airport");
+        assert_eq!(o.annotation(k, "alias"), vec!["JFK"]);
+        let airport = o.class_for("airport").unwrap();
+        assert!(o.is_a(k, airport));
+    }
+
+    #[test]
+    fn jfk_is_ambiguous_before_enrichment() {
+        let o = upper_ontology();
+        let senses = o.concepts_for("JFK");
+        // The president and the musical group — but *not* the airport
+        // (the airport synset is "Kennedy International Airport").
+        assert_eq!(senses.len(), 2);
+        let airport = o.class_for("airport").unwrap();
+        assert!(senses.iter().all(|s| !o.is_a(*s, airport)));
+    }
+
+    #[test]
+    fn la_guardia_is_a_person_not_an_airport() {
+        let o = upper_ontology();
+        let lg = first_instance(&o, "La Guardia");
+        let person = o.class_for("person").unwrap();
+        assert!(o.is_a(lg, person));
+    }
+
+    #[test]
+    fn months_and_weekdays_are_instances() {
+        let o = upper_ontology();
+        let january = first_instance(&o, "January");
+        let month = o.class_for("month").unwrap();
+        assert!(o.is_a(january, month));
+        let monday = first_instance(&o, "Monday");
+        let day = o.class_for("day").unwrap();
+        assert!(o.is_a(monday, day));
+    }
+
+    #[test]
+    fn meronymy_links_geography() {
+        let o = upper_ontology();
+        let bcn = first_instance(&o, "Barcelona");
+        let cat = first_instance(&o, "Catalonia");
+        assert_eq!(o.related(bcn, Relation::Meronym), &[cat]);
+        assert!(o.related(cat, Relation::Holonym).contains(&bcn));
+    }
+
+    #[test]
+    fn antonyms_are_symmetric() {
+        let o = upper_ontology();
+        let inc = verb_class(&o, "increase");
+        let dec = verb_class(&o, "decrease");
+        assert!(o.related(inc, Relation::Antonym).contains(&dec));
+        assert!(o.related(dec, Relation::Antonym).contains(&inc));
+    }
+
+    #[test]
+    fn ontology_is_reasonably_sized() {
+        let o = upper_ontology();
+        assert!(o.len() > 150, "got {}", o.len());
+        assert!(o.count_kind(ConceptKind::Instance) > 30);
+    }
+
+    #[test]
+    fn sirius_supports_the_papers_qa_example() {
+        let o = upper_ontology();
+        let sirius = first_instance(&o, "Sirius");
+        let star = o.class_for("star").unwrap();
+        assert!(o.is_a(sirius, star));
+        assert!(o.concept(sirius).gloss.contains("brightest"));
+    }
+}

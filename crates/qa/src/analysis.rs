@@ -1,0 +1,495 @@
+//! Module 1: question analysis.
+//!
+//! Produces the same artefacts as AliQAn's first module: the
+//! morpho-syntactic analysis of the question, the matched question
+//! pattern, the *expected answer type*, and the question's **main
+//! Syntactic Blocks** — the SBs handed to the IR-n passage retrieval
+//! (Table 1's "Main SBs passed to the IR-n passage retrieval system").
+//! The focus noun itself is *excluded* from the main SBs, exactly as the
+//! paper argues ("the SB 'country' is not used in Module 2 because it is
+//! not usual to find a country description in the form of 'the country of
+//! Kuwait'"). Location SBs are expanded through the ontology: "El Prat"
+//! resolves to an airport instance whose part-of city is Barcelona, so
+//! "Barcelona" joins the retrieval terms.
+
+use crate::patterns::QuestionPattern;
+use crate::taxonomy::AnswerType;
+use dwqa_common::{Date, Month};
+use dwqa_nlp::{
+    analyze_sentence, AnalyzedSentence, EntityKind, Lexicon, NpFeature, SbKind,
+};
+use dwqa_ontology::{ConceptKind, Ontology, Relation};
+
+/// One main Syntactic Block elected by the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MainSb {
+    /// Surface text ("El Prat", "January of 2004", "to invade").
+    pub text: String,
+    /// Content lemmas (stop words removed).
+    pub lemmas: Vec<String>,
+    /// Whether the block is a temporal expression.
+    pub is_temporal: bool,
+    /// Whether the block names a location (per the ontology).
+    pub is_location: bool,
+}
+
+/// The full outcome of Module 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuestionAnalysis {
+    /// The question as asked.
+    pub question: String,
+    /// The NLP analysis of the question.
+    pub sentence: AnalyzedSentence,
+    /// The interrogative lemma, if any.
+    pub wh: Option<String>,
+    /// The focus noun's lemma ("weather", "country").
+    pub focus: Option<String>,
+    /// Name of the matched pattern.
+    pub pattern_name: String,
+    /// Paper-style rendering of the matched pattern.
+    pub pattern_description: String,
+    /// The expected answer type.
+    pub answer_type: AnswerType,
+    /// The elected main SBs.
+    pub main_sbs: Vec<MainSb>,
+    /// Month/year constraint from the question ("January of 2004").
+    pub month_year: Option<(Month, i32)>,
+    /// Full-date constraint ("the 12th of May, 1997").
+    pub full_date: Option<Date>,
+    /// Bare-year constraint.
+    pub year: Option<i32>,
+    /// Location terms (SB texts plus ontology expansions).
+    pub locations: Vec<String>,
+}
+
+impl QuestionAnalysis {
+    /// The retrieval terms for Module 2: content lemmas of the main SBs.
+    pub fn retrieval_terms(&self) -> Vec<String> {
+        self.retrieval_terms_weighted()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Retrieval terms with weights: numeric parts of temporal SBs (the
+    /// day of a dated question) are weighted up so passage selection pins
+    /// the right portion of a long page, not just the right page.
+    pub fn retrieval_terms_weighted(&self) -> Vec<(String, f64)> {
+        let mut terms: Vec<(String, f64)> = Vec::new();
+        for sb in &self.main_sbs {
+            for lemma in &sb.lemmas {
+                let weight = if sb.is_temporal
+                    && lemma.chars().all(|c| c.is_ascii_digit())
+                    && lemma.len() <= 2
+                {
+                    3.0
+                } else {
+                    1.0
+                };
+                match terms.iter_mut().find(|(t, _)| t == lemma) {
+                    Some(entry) => entry.1 = entry.1.max(weight),
+                    None => terms.push((lemma.clone(), weight)),
+                }
+            }
+        }
+        terms
+    }
+}
+
+fn is_location_sb(ontology: &Ontology, text: &str) -> bool {
+    let location = ontology.class_for("location");
+    let facility = ontology.class_for("facility");
+    ontology.concepts_for(text).iter().any(|&id| {
+        let c = ontology.concept(id);
+        if c.kind != ConceptKind::Instance {
+            return false;
+        }
+        location.map(|l| ontology.is_a(id, l)).unwrap_or(false)
+            || facility.map(|f| ontology.is_a(id, f)).unwrap_or(false)
+    })
+}
+
+/// Part-of expansion: the *cities* an instance (airport) belongs to. The
+/// paper expands "El Prat" to Barcelona; coarser levels (states,
+/// countries) are deliberately not used as retrieval terms — their labels
+/// only add noise to the passage search.
+fn location_expansions(ontology: &Ontology, text: &str) -> Vec<String> {
+    let city_class = ontology.class_for("city");
+    let mut out = Vec::new();
+    for &id in ontology.concepts_for(text) {
+        if ontology.concept(id).kind != ConceptKind::Instance {
+            continue;
+        }
+        for &holder in ontology.related(id, Relation::Meronym) {
+            let is_city = city_class.is_none_or(|c| ontology.is_a(holder, c));
+            if !is_city {
+                continue;
+            }
+            let label = ontology.concept(holder).canonical().to_owned();
+            if !out.contains(&label) {
+                out.push(label);
+            }
+        }
+    }
+    out
+}
+
+/// Runs Module 1.
+pub fn analyze_question(
+    lexicon: &Lexicon,
+    ontology: &Ontology,
+    patterns: &[QuestionPattern],
+    question: &str,
+) -> QuestionAnalysis {
+    let sentence = analyze_sentence(lexicon, question);
+    let tokens = &sentence.tokens;
+
+    // Interrogative.
+    let wh = tokens
+        .iter()
+        .find(|t| t.pos.is_wh())
+        .map(|t| t.lemma.clone());
+
+    // Copula: a VBC whose lemmas include "be".
+    let has_copula = sentence.blocks.iter().any(|b| {
+        b.kind == SbKind::Vbc && tokens[b.start..b.end].iter().any(|t| t.lemma == "be")
+    });
+
+    // Focus: head of the first common/proper NP.
+    let focus_block = sentence.blocks.iter().find(|b| {
+        b.kind == SbKind::Np
+            && matches!(b.feature, Some(NpFeature::Comun) | Some(NpFeature::ProperNoun))
+    });
+    let focus = focus_block.and_then(|b| b.head_lemma(tokens));
+
+    // Pattern selection (priority order, first full match wins).
+    let mut ordered: Vec<&QuestionPattern> = patterns.iter().collect();
+    ordered.sort_by_key(|p| -p.priority);
+    let verb_lemmas: Vec<&str> = sentence
+        .blocks
+        .iter()
+        .filter(|b| b.kind == SbKind::Vbc)
+        .flat_map(|b| tokens[b.start..b.end].iter().map(|t| t.lemma.as_str()))
+        .collect();
+    let matched = ordered
+        .iter()
+        .find(|p| {
+            p.wh_matches(wh.as_deref())
+                && (!p.copula || has_copula)
+                && p.verb_lemma
+                    .as_deref()
+                    .is_none_or(|v| verb_lemmas.contains(&v))
+                && p.focus_matches(focus.as_deref(), ontology)
+        })
+        .copied()
+        .or_else(|| ordered.last().copied());
+    let (pattern_name, pattern_description, answer_type) = match matched {
+        Some(p) => (p.name.clone(), p.describe(), p.answer_type),
+        None => ("none".to_owned(), String::new(), AnswerType::Object),
+    };
+
+    // Main SBs: every NP (and PP-child NP) except the focus block — but
+    // only when the matched pattern actually consumed the focus ("the SB
+    // 'country' is not used in Module 2"); a focus the pattern ignored
+    // ("Iraq" in "When did Iraq invade Kuwait?") stays a retrieval term.
+    let mut main_sbs: Vec<MainSb> = Vec::new();
+    let focus_consumed = matched.is_some_and(|p| p.needs_focus);
+    let focus_range = if focus_consumed {
+        focus_block.map(|b| (b.start, b.end))
+    } else {
+        None
+    };
+    for block in &sentence.blocks {
+        let candidates = match block.kind {
+            SbKind::Np => vec![block],
+            SbKind::Pp => block.children.iter().collect(),
+            SbKind::Vbc => {
+                let lemmas: Vec<String> = tokens[block.start..block.end]
+                    .iter()
+                    .filter(|t| !matches!(t.lemma.as_str(), "be" | "do" | "have" | "not"))
+                    .filter(|t| t.pos.is_verb())
+                    .map(|t| t.lemma.clone())
+                    .collect();
+                if !lemmas.is_empty() {
+                    main_sbs.push(MainSb {
+                        text: format!("to {}", lemmas.join(" ")),
+                        lemmas,
+                        is_temporal: false,
+                        is_location: false,
+                    });
+                }
+                continue;
+            }
+        };
+        for np in candidates {
+            if Some((np.start, np.end)) == focus_range {
+                continue; // the focus is not used for retrieval
+            }
+            let text = np.text(tokens);
+            let lemmas: Vec<String> = np
+                .lemmas(tokens)
+                .into_iter()
+                .filter(|l| !dwqa_nlp::is_stopword(l))
+                .collect();
+            if lemmas.is_empty() {
+                continue;
+            }
+            let is_temporal = matches!(
+                np.feature,
+                Some(NpFeature::Date) | Some(NpFeature::Day) | Some(NpFeature::Numeral)
+            );
+            let is_location = is_location_sb(ontology, &text);
+            main_sbs.push(MainSb {
+                text,
+                lemmas,
+                is_temporal,
+                is_location,
+            });
+        }
+    }
+
+    // Ontology expansion of location SBs ("El Prat" → "Barcelona").
+    let mut locations: Vec<String> = Vec::new();
+    let mut expansions: Vec<MainSb> = Vec::new();
+    for sb in &main_sbs {
+        if sb.is_location {
+            if !locations.contains(&sb.text) {
+                locations.push(sb.text.clone());
+            }
+            for city in location_expansions(ontology, &sb.text) {
+                if !locations.contains(&city) {
+                    locations.push(city.clone());
+                    expansions.push(MainSb {
+                        lemmas: dwqa_common::text::label_words(&city),
+                        text: city,
+                        is_temporal: false,
+                        is_location: true,
+                    });
+                }
+            }
+        }
+    }
+    main_sbs.extend(expansions);
+
+    // Temporal constraints from the question's entities.
+    let mut month_year = None;
+    let mut full_date = None;
+    let mut year = None;
+    for e in &sentence.entities {
+        match e.kind {
+            EntityKind::MonthYear { month, year: y } => month_year = Some((month, y)),
+            EntityKind::FullDate(d) => full_date = Some(d),
+            EntityKind::Year(y) => year = Some(y),
+            _ => {}
+        }
+    }
+
+    QuestionAnalysis {
+        question: question.to_owned(),
+        sentence,
+        wh,
+        focus,
+        pattern_name,
+        pattern_description,
+        answer_type,
+        main_sbs,
+        month_year,
+        full_date,
+        year,
+        locations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{default_patterns, temperature_pattern};
+    use dwqa_ontology::{merge_into_upper, schema_to_ontology, upper_ontology, MergeOptions};
+    use dwqa_ontology::enrich_from_warehouse;
+    use dwqa_mdmodel::last_minute_sales;
+    use dwqa_warehouse::{FactRowBuilder, Value, Warehouse};
+
+    fn merged_ontology() -> Ontology {
+        let mut wh = Warehouse::new(last_minute_sales());
+        let mut b = FactRowBuilder::new();
+        b.measure("price", Value::Float(100.0))
+            .measure("miles", Value::Float(500.0))
+            .measure("traveler_rate", Value::Float(0.5))
+            .role_member("Origin", &[("airport_name", Value::text("JFK"))])
+            .role_member(
+                "Destination",
+                &[
+                    ("airport_name", Value::text("El Prat")),
+                    ("city_name", Value::text("Barcelona")),
+                ],
+            )
+            .role_member("Customer", &[("customer_name", Value::text("Ann"))])
+            .role_member("Date", &[("date", Value::date(2004, 1, 31).unwrap())]);
+        wh.load("Last Minute Sales", vec![b.build()]).unwrap();
+        let mut domain = schema_to_ontology(wh.schema());
+        enrich_from_warehouse(&mut domain, &wh);
+        let mut upper = upper_ontology();
+        merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        upper
+    }
+
+    fn bank() -> Vec<QuestionPattern> {
+        let mut b = default_patterns();
+        b.push(temperature_pattern());
+        b
+    }
+
+    #[test]
+    fn paper_question_analysis_matches_table_1() {
+        let lx = Lexicon::english();
+        let onto = merged_ontology();
+        let qa = analyze_question(
+            &lx,
+            &onto,
+            &bank(),
+            "What is the weather like in January of 2004 in El Prat?",
+        );
+        assert_eq!(qa.wh.as_deref(), Some("what"));
+        assert_eq!(qa.focus.as_deref(), Some("weather"));
+        assert_eq!(qa.pattern_name, "weather-temperature");
+        assert_eq!(qa.answer_type, AnswerType::NumericalTemperature);
+        // Main SBs: [January of 2004] [El Prat] [Barcelona] — not "weather".
+        let texts: Vec<&str> = qa.main_sbs.iter().map(|s| s.text.as_str()).collect();
+        assert!(texts.contains(&"January"), "{texts:?}"); // date SB
+        assert!(texts.contains(&"El Prat"), "{texts:?}");
+        assert!(texts.contains(&"Barcelona"), "{texts:?}");
+        assert!(!texts.contains(&"the weather"));
+        assert_eq!(qa.month_year, Some((Month::January, 2004)));
+        assert!(qa.locations.contains(&"El Prat".to_owned()));
+        assert!(qa.locations.contains(&"Barcelona".to_owned()));
+    }
+
+    #[test]
+    fn temperature_variant_also_matches() {
+        let lx = Lexicon::english();
+        let onto = merged_ontology();
+        let qa = analyze_question(
+            &lx,
+            &onto,
+            &bank(),
+            "What is the temperature in JFK in January of 2008?",
+        );
+        assert_eq!(qa.answer_type, AnswerType::NumericalTemperature);
+        assert_eq!(qa.month_year, Some((Month::January, 2008)));
+        assert!(qa.locations.contains(&"JFK".to_owned()));
+        // JFK (airport, via DW) expands to its city through the merged
+        // Kennedy International Airport instance.
+        assert!(qa.locations.iter().any(|l| l.contains("New York")));
+    }
+
+    #[test]
+    fn clef_question_matches_country_pattern() {
+        let lx = Lexicon::english();
+        let onto = merged_ontology();
+        let qa = analyze_question(&lx, &onto, &bank(), "Which country did Iraq invade in 1990?");
+        assert_eq!(qa.answer_type, AnswerType::PlaceCountry);
+        assert_eq!(qa.focus.as_deref(), Some("country"));
+        let texts: Vec<&str> = qa.main_sbs.iter().map(|s| s.text.as_str()).collect();
+        assert!(texts.contains(&"Iraq"), "{texts:?}");
+        assert!(texts.contains(&"to invade"), "{texts:?}");
+        assert!(texts.contains(&"1990"), "{texts:?}");
+        assert!(!texts.contains(&"country"));
+        assert_eq!(qa.year, Some(1990));
+    }
+
+    #[test]
+    fn retrieval_terms_are_deduplicated_content_lemmas() {
+        let lx = Lexicon::english();
+        let onto = merged_ontology();
+        let qa = analyze_question(
+            &lx,
+            &onto,
+            &bank(),
+            "What is the weather like in January of 2004 in El Prat?",
+        );
+        let terms = qa.retrieval_terms();
+        assert!(terms.contains(&"january".to_owned()));
+        assert!(terms.contains(&"prat".to_owned()));
+        assert!(terms.contains(&"barcelona".to_owned()));
+        assert!(!terms.contains(&"the".to_owned()));
+    }
+
+    #[test]
+    fn who_when_where_questions() {
+        let lx = Lexicon::english();
+        let onto = merged_ontology();
+        let b = bank();
+        assert_eq!(
+            analyze_question(&lx, &onto, &b, "Who was the mayor of New York?").answer_type,
+            AnswerType::Person
+        );
+        assert_eq!(
+            analyze_question(&lx, &onto, &b, "When did Iraq invade Kuwait?").answer_type,
+            AnswerType::TemporalDate
+        );
+        assert_eq!(
+            analyze_question(&lx, &onto, &b, "Where did the band play?").answer_type,
+            AnswerType::Place
+        );
+    }
+
+    #[test]
+    fn definition_fallback_for_unknown_focus() {
+        let lx = Lexicon::english();
+        let onto = merged_ontology();
+        let qa = analyze_question(&lx, &onto, &bank(), "What is Sirius?");
+        assert_eq!(qa.answer_type, AnswerType::Definition);
+    }
+
+    #[test]
+    fn taxonomy_classification_breadth() {
+        let lx = Lexicon::english();
+        let onto = merged_ontology();
+        let b = bank();
+        let cases: &[(&str, AnswerType)] = &[
+            ("Who bought the ticket?", AnswerType::Person),
+            ("What was the profession of La Guardia?", AnswerType::Profession),
+            ("Which group played in Alicante?", AnswerType::Group),
+            ("Which city has the biggest airport?", AnswerType::PlaceCity),
+            ("Which country did Iraq invade in 1990?", AnswerType::PlaceCountry),
+            ("What is the capital of Spain?", AnswerType::PlaceCapital),
+            ("Where did the flight land?", AnswerType::Place),
+            ("Which star is brightest?", AnswerType::Object),
+            ("What is the price of the ticket?", AnswerType::NumericalEconomic),
+            ("What percentage of sales increased?", AnswerType::NumericalPercentage),
+            ("How many tickets were sold?", AnswerType::NumericalQuantity),
+            ("Which year was the airport built?", AnswerType::TemporalYear),
+            ("Which month is warmest in Barcelona?", AnswerType::TemporalMonth),
+            ("What date did the promotion start?", AnswerType::TemporalDate),
+            ("When did the promotion start?", AnswerType::TemporalDate),
+            ("What is Sirius?", AnswerType::Definition),
+            (
+                "What is the temperature in Barcelona?",
+                AnswerType::NumericalTemperature,
+            ),
+        ];
+        for (question, expected) in cases {
+            let qa = analyze_question(&lx, &onto, &b, question);
+            assert_eq!(
+                qa.answer_type, *expected,
+                "{question:?} classified as {} via {}",
+                qa.answer_type, qa.pattern_name
+            );
+        }
+    }
+
+    #[test]
+    fn without_enrichment_el_prat_is_not_a_location() {
+        // On the bare upper ontology (no DW enrichment/merge), "El Prat"
+        // is unknown → no location constraint, no Barcelona expansion.
+        let lx = Lexicon::english();
+        let onto = upper_ontology();
+        let qa = analyze_question(
+            &lx,
+            &onto,
+            &bank(),
+            "What is the weather like in January of 2004 in El Prat?",
+        );
+        assert!(!qa.locations.contains(&"Barcelona".to_owned()));
+    }
+}

@@ -1,0 +1,204 @@
+//! The expected-answer-type taxonomy.
+//!
+//! "AliQAn's taxonomy consists of the following categories: person,
+//! profession, group, object, place city, place country, place capital,
+//! place, abbreviation, event, numerical economic, numerical age,
+//! numerical measure, numerical period, numerical percentage, numerical
+//! quantity, temporal year, temporal month, temporal date and definition."
+//!
+//! [`AnswerType::NumericalTemperature`] is not in the stock list: it is the
+//! type the paper's Step 4 *tunes in* for the weather queries ("the answer
+//! type implies that the AliQAn system is searching for a number lexical
+//! type followed by the unit-measure (ºC or F)").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Expected answer types (the paper's 20 stock classes + the tuned
+/// temperature class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnswerType {
+    /// A person's proper name.
+    Person,
+    /// A profession or occupation.
+    Profession,
+    /// A group/organization name.
+    Group,
+    /// A concrete object.
+    Object,
+    /// A city name.
+    PlaceCity,
+    /// A country name.
+    PlaceCountry,
+    /// A capital-city name.
+    PlaceCapital,
+    /// Any other location.
+    Place,
+    /// An abbreviation/acronym expansion.
+    Abbreviation,
+    /// A named event.
+    Event,
+    /// A money amount.
+    NumericalEconomic,
+    /// An age in years.
+    NumericalAge,
+    /// A measured magnitude with a unit.
+    NumericalMeasure,
+    /// A duration.
+    NumericalPeriod,
+    /// A percentage.
+    NumericalPercentage,
+    /// A bare count/quantity.
+    NumericalQuantity,
+    /// A year.
+    TemporalYear,
+    /// A month (possibly with year).
+    TemporalMonth,
+    /// A full calendar date.
+    TemporalDate,
+    /// A definition ("X is …").
+    Definition,
+    /// Tuned (Step 4): a temperature — number + ºC/F unit.
+    NumericalTemperature,
+}
+
+impl AnswerType {
+    /// The paper's 20 stock classes (without the tuned temperature type).
+    pub const STOCK: [AnswerType; 20] = [
+        AnswerType::Person,
+        AnswerType::Profession,
+        AnswerType::Group,
+        AnswerType::Object,
+        AnswerType::PlaceCity,
+        AnswerType::PlaceCountry,
+        AnswerType::PlaceCapital,
+        AnswerType::Place,
+        AnswerType::Abbreviation,
+        AnswerType::Event,
+        AnswerType::NumericalEconomic,
+        AnswerType::NumericalAge,
+        AnswerType::NumericalMeasure,
+        AnswerType::NumericalPeriod,
+        AnswerType::NumericalPercentage,
+        AnswerType::NumericalQuantity,
+        AnswerType::TemporalYear,
+        AnswerType::TemporalMonth,
+        AnswerType::TemporalDate,
+        AnswerType::Definition,
+    ];
+
+    /// Human-readable label ("place city", as the paper spells them).
+    pub fn label(self) -> &'static str {
+        match self {
+            AnswerType::Person => "person",
+            AnswerType::Profession => "profession",
+            AnswerType::Group => "group",
+            AnswerType::Object => "object",
+            AnswerType::PlaceCity => "place city",
+            AnswerType::PlaceCountry => "place country",
+            AnswerType::PlaceCapital => "place capital",
+            AnswerType::Place => "place",
+            AnswerType::Abbreviation => "abbreviation",
+            AnswerType::Event => "event",
+            AnswerType::NumericalEconomic => "numerical economic",
+            AnswerType::NumericalAge => "numerical age",
+            AnswerType::NumericalMeasure => "numerical measure",
+            AnswerType::NumericalPeriod => "numerical period",
+            AnswerType::NumericalPercentage => "numerical percentage",
+            AnswerType::NumericalQuantity => "numerical quantity",
+            AnswerType::TemporalYear => "temporal year",
+            AnswerType::TemporalMonth => "temporal month",
+            AnswerType::TemporalDate => "temporal date",
+            AnswerType::Definition => "definition",
+            AnswerType::NumericalTemperature => "numerical temperature",
+        }
+    }
+
+    /// What the extractor must find, phrased as in the paper's Table 1
+    /// ("Number + [ºC | F]").
+    pub fn expectation(self) -> &'static str {
+        match self {
+            AnswerType::Person | AnswerType::Group | AnswerType::Object => "Proper noun",
+            AnswerType::Profession => "Common noun (occupation)",
+            AnswerType::PlaceCity
+            | AnswerType::PlaceCountry
+            | AnswerType::PlaceCapital
+            | AnswerType::Place => "Proper noun (location)",
+            AnswerType::Abbreviation => "Acronym or expansion",
+            AnswerType::Event => "Proper noun (event)",
+            AnswerType::NumericalEconomic => "Number + currency",
+            AnswerType::NumericalAge => "Number (years of age)",
+            AnswerType::NumericalMeasure => "Number + unit",
+            AnswerType::NumericalPeriod => "Number + time unit",
+            AnswerType::NumericalPercentage => "Number + %",
+            AnswerType::NumericalQuantity => "Number",
+            AnswerType::TemporalYear => "Year",
+            AnswerType::TemporalMonth => "Month",
+            AnswerType::TemporalDate => "Date",
+            AnswerType::Definition => "Defining phrase",
+            AnswerType::NumericalTemperature => "Number + [ºC | F]",
+        }
+    }
+
+    /// Whether candidates of this type are numeric entities.
+    pub fn is_numerical(self) -> bool {
+        matches!(
+            self,
+            AnswerType::NumericalEconomic
+                | AnswerType::NumericalAge
+                | AnswerType::NumericalMeasure
+                | AnswerType::NumericalPeriod
+                | AnswerType::NumericalPercentage
+                | AnswerType::NumericalQuantity
+                | AnswerType::NumericalTemperature
+        )
+    }
+
+    /// Whether candidates of this type are temporal.
+    pub fn is_temporal(self) -> bool {
+        matches!(
+            self,
+            AnswerType::TemporalYear | AnswerType::TemporalMonth | AnswerType::TemporalDate
+        )
+    }
+}
+
+impl fmt::Display for AnswerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_taxonomy_has_twenty_classes() {
+        assert_eq!(AnswerType::STOCK.len(), 20);
+        assert!(!AnswerType::STOCK.contains(&AnswerType::NumericalTemperature));
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(AnswerType::PlaceCity.label(), "place city");
+        assert_eq!(AnswerType::NumericalEconomic.label(), "numerical economic");
+        assert_eq!(AnswerType::TemporalDate.label(), "temporal date");
+    }
+
+    #[test]
+    fn temperature_expectation_matches_table_1() {
+        assert_eq!(
+            AnswerType::NumericalTemperature.expectation(),
+            "Number + [ºC | F]"
+        );
+    }
+
+    #[test]
+    fn classifiers() {
+        assert!(AnswerType::NumericalTemperature.is_numerical());
+        assert!(AnswerType::TemporalDate.is_temporal());
+        assert!(!AnswerType::Person.is_numerical());
+        assert!(!AnswerType::Person.is_temporal());
+    }
+}

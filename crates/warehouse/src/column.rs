@@ -1,0 +1,236 @@
+//! Typed columnar storage.
+//!
+//! Each column stores its values natively (no per-cell boxing); text
+//! columns are dictionary-encoded, which matters because dimension
+//! descriptors ("Barcelona", "El Prat") repeat across millions of fact
+//! rows. Nulls are represented with `Option` slots.
+
+use crate::error::{Result, WarehouseError};
+use crate::value::Value;
+use dwqa_common::Date;
+use dwqa_mdmodel::DataType;
+use std::collections::HashMap;
+
+/// A dictionary-encoded string column.
+#[derive(Debug, Clone, Default)]
+pub struct DictColumn {
+    dict: Vec<String>,
+    lookup: HashMap<String, u32>,
+    codes: Vec<Option<u32>>,
+}
+
+impl DictColumn {
+    fn encode(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.lookup.get(s) {
+            return c;
+        }
+        let code = u32::try_from(self.dict.len()).expect("dictionary overflow");
+        self.dict.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), code);
+        code
+    }
+
+    /// The distinct strings stored, in first-seen order.
+    pub fn dictionary(&self) -> &[String] {
+        &self.dict
+    }
+
+    fn get(&self, row: usize) -> Option<&str> {
+        self.codes[row].map(|c| self.dict[c as usize].as_str())
+    }
+}
+
+/// A typed column of the engine.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<Option<i64>>),
+    /// 64-bit floats.
+    Float(Vec<Option<f64>>),
+    /// Dictionary-encoded text.
+    Text(DictColumn),
+    /// Dates stored as day numbers from the civil epoch.
+    Date(Vec<Option<i64>>),
+    /// Booleans.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(ty: DataType) -> Column {
+        match ty {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Text => Column::Text(DictColumn::default()),
+            DataType::Date => Column::Date(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Text(_) => DataType::Text,
+            Column::Date(_) => DataType::Date,
+            Column::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Text(d) => d.codes.len(),
+            Column::Date(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value, enforcing type conformance (ints widen into float
+    /// columns).
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        if !value.conforms_to(self.data_type()) {
+            return Err(WarehouseError::TypeMismatch {
+                expected: self.data_type(),
+                got: value.clone(),
+            });
+        }
+        match (self, value) {
+            (Column::Int(v), Value::Int(i)) => v.push(Some(*i)),
+            (Column::Int(v), Value::Null) => v.push(None),
+            (Column::Float(v), Value::Float(f)) => v.push(Some(*f)),
+            (Column::Float(v), Value::Int(i)) => v.push(Some(*i as f64)),
+            (Column::Float(v), Value::Null) => v.push(None),
+            (Column::Text(d), Value::Text(s)) => {
+                let code = d.encode(s);
+                d.codes.push(Some(code));
+            }
+            (Column::Text(d), Value::Null) => d.codes.push(None),
+            (Column::Date(v), Value::Date(date)) => v.push(Some(date.days_from_epoch())),
+            (Column::Date(v), Value::Null) => v.push(None),
+            (Column::Bool(v), Value::Bool(b)) => v.push(Some(*b)),
+            (Column::Bool(v), Value::Null) => v.push(None),
+            _ => unreachable!("conforms_to covered all combinations"),
+        }
+        Ok(())
+    }
+
+    /// Reads a row back as a [`Value`].
+    ///
+    /// # Panics
+    /// Panics if `row >= self.len()`.
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => v[row].map_or(Value::Null, Value::Int),
+            Column::Float(v) => v[row].map_or(Value::Null, Value::Float),
+            Column::Text(d) => d
+                .get(row)
+                .map_or(Value::Null, |s| Value::Text(s.to_owned())),
+            Column::Date(v) => {
+                v[row].map_or(Value::Null, |days| Value::Date(Date::from_days_from_epoch(days)))
+            }
+            Column::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
+        }
+    }
+
+    /// Fast numeric view for aggregation; `None` for null or non-numeric.
+    pub fn get_f64(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int(v) => v[row].map(|i| i as f64),
+            Column::Float(v) => v[row],
+            _ => None,
+        }
+    }
+
+    /// The dictionary of a text column, if this is one.
+    pub fn as_dict(&self) -> Option<&DictColumn> {
+        match self {
+            Column::Text(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_and_get_round_trip_all_types() {
+        let cases = vec![
+            (DataType::Int, Value::Int(42)),
+            (DataType::Float, Value::Float(2.5)),
+            (DataType::Text, Value::text("Barcelona")),
+            (DataType::Date, Value::date(2004, 1, 31).unwrap()),
+            (DataType::Bool, Value::Bool(true)),
+        ];
+        for (ty, v) in cases {
+            let mut c = Column::new(ty);
+            c.push(&v).unwrap();
+            c.push(&Value::Null).unwrap();
+            assert_eq!(c.get(0), v);
+            assert_eq!(c.get(1), Value::Null);
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut c = Column::new(DataType::Float);
+        c.push(&Value::Int(7)).unwrap();
+        assert_eq!(c.get(0), Value::Float(7.0));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut c = Column::new(DataType::Int);
+        let err = c.push(&Value::text("oops")).unwrap_err();
+        assert!(matches!(err, WarehouseError::TypeMismatch { .. }));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn dictionary_deduplicates() {
+        let mut c = Column::new(DataType::Text);
+        for s in ["Barcelona", "Madrid", "Barcelona", "Barcelona"] {
+            c.push(&Value::text(s)).unwrap();
+        }
+        let dict = c.as_dict().unwrap();
+        assert_eq!(dict.dictionary(), ["Barcelona", "Madrid"]);
+        assert_eq!(c.get(2), Value::text("Barcelona"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_int_column_round_trips(values in proptest::collection::vec(proptest::option::of(any::<i64>()), 0..100)) {
+            let mut c = Column::new(DataType::Int);
+            for v in &values {
+                let val = v.map_or(Value::Null, Value::Int);
+                c.push(&val).unwrap();
+            }
+            for (i, v) in values.iter().enumerate() {
+                prop_assert_eq!(c.get(i), v.map_or(Value::Null, Value::Int));
+            }
+        }
+
+        #[test]
+        fn prop_text_column_round_trips(values in proptest::collection::vec("[a-zA-Z ]{0,10}", 0..100)) {
+            let mut c = Column::new(DataType::Text);
+            for v in &values {
+                c.push(&Value::text(v.clone())).unwrap();
+            }
+            for (i, v) in values.iter().enumerate() {
+                prop_assert_eq!(c.get(i), Value::text(v.clone()));
+            }
+        }
+    }
+}

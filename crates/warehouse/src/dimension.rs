@@ -1,0 +1,285 @@
+//! Denormalised dimension tables with surrogate keys.
+
+use crate::column::Column;
+use crate::error::{Result, WarehouseError};
+use crate::value::Value;
+use dwqa_mdmodel::Dimension;
+use std::collections::HashMap;
+
+/// Surrogate key of a dimension member (index into the dimension table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemberKey(pub(crate) u32);
+
+impl MemberKey {
+    /// The raw row index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A star-schema dimension table.
+///
+/// One row per member of the *base* level; every hierarchy level
+/// contributes its descriptor and attributes as columns (e.g. the Airport
+/// dimension has columns `Airport.airport_name`, `Airport.iata_code`,
+/// `City.city_name`, `City.population`, `State.state_name`,
+/// `Country.country_name`). Members are deduplicated by their base
+/// descriptor value.
+#[derive(Debug, Clone)]
+pub struct DimensionTable {
+    model: Dimension,
+    /// Parallel to the flattened (level, attribute) layout below.
+    columns: Vec<Column>,
+    /// Flattened layout: (level index, qualified name).
+    layout: Vec<(usize, String)>,
+    /// base descriptor value → key.
+    index: HashMap<Value, MemberKey>,
+}
+
+impl DimensionTable {
+    /// Creates an empty table for a dimension model.
+    pub fn new(model: &Dimension) -> DimensionTable {
+        let mut columns = Vec::new();
+        let mut layout = Vec::new();
+        for (li, level) in model.levels.iter().enumerate() {
+            columns.push(Column::new(level.descriptor.data_type));
+            layout.push((li, format!("{}.{}", level.name, level.descriptor.name)));
+            for a in &level.attributes {
+                columns.push(Column::new(a.data_type));
+                layout.push((li, format!("{}.{}", level.name, a.name)));
+            }
+        }
+        DimensionTable {
+            model: model.clone(),
+            columns,
+            layout,
+            index: HashMap::new(),
+        }
+    }
+
+    /// The dimension model this table materialises.
+    pub fn model(&self) -> &Dimension {
+        &self.model
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Whether the table has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves the position of an unqualified attribute name by searching
+    /// descriptors first, then attributes, base level outward.
+    fn position_of(&self, name: &str) -> Option<usize> {
+        // Exact qualified match ("City.city_name") wins.
+        if let Some(pos) = self.layout.iter().position(|(_, q)| q == name) {
+            return Some(pos);
+        }
+        self.layout
+            .iter()
+            .position(|(_, q)| q.split('.').nth(1) == Some(name))
+    }
+
+    /// Column position of a level's descriptor.
+    fn descriptor_position(&self, level_idx: usize) -> usize {
+        self.layout
+            .iter()
+            .position(|(li, q)| {
+                *li == level_idx
+                    && q.split('.').nth(1) == Some(self.model.levels[level_idx].descriptor.name.as_str())
+            })
+            .expect("every level has a descriptor column")
+    }
+
+    /// Looks up a member by its base descriptor value.
+    pub fn lookup(&self, base_descriptor: &Value) -> Option<MemberKey> {
+        self.index.get(base_descriptor).copied()
+    }
+
+    /// Inserts a member described by `(attribute name, value)` pairs, or
+    /// returns the existing key if the base descriptor is already present.
+    ///
+    /// Attribute names may be unqualified (`"city_name"`) or qualified
+    /// (`"City.city_name"`). The base level descriptor is mandatory; other
+    /// slots default to `Null`.
+    pub fn lookup_or_insert(&mut self, values: &[(String, Value)]) -> Result<MemberKey> {
+        let base_pos = self.descriptor_position(0);
+        let mut row: Vec<Value> = vec![Value::Null; self.columns.len()];
+        for (name, value) in values {
+            let pos = self
+                .position_of(name)
+                .ok_or_else(|| WarehouseError::UnknownAttribute {
+                    level: self.model.name.clone(),
+                    attribute: name.clone(),
+                })?;
+            row[pos] = value.clone();
+        }
+        let base = row[base_pos].clone();
+        if base.is_null() {
+            return Err(WarehouseError::IncompleteRow(format!(
+                "dimension {:?}: base descriptor {:?} missing",
+                self.model.name, self.model.levels[0].descriptor.name
+            )));
+        }
+        if let Some(key) = self.index.get(&base) {
+            return Ok(*key);
+        }
+        // Validate all cells before mutating any column so a failed insert
+        // leaves the table unchanged.
+        for (pos, v) in row.iter().enumerate() {
+            if !v.conforms_to(self.columns[pos].data_type()) {
+                return Err(WarehouseError::TypeMismatch {
+                    expected: self.columns[pos].data_type(),
+                    got: v.clone(),
+                });
+            }
+        }
+        for (pos, v) in row.iter().enumerate() {
+            self.columns[pos]
+                .push(v)
+                .expect("validated before pushing");
+        }
+        let key = MemberKey(u32::try_from(self.len() - 1).expect("dimension overflow"));
+        self.index.insert(base, key);
+        Ok(key)
+    }
+
+    /// The descriptor value of `key` at the named level (how roll-up reads
+    /// a member at coarser granularity).
+    pub fn level_value(&self, key: MemberKey, level: &str) -> Result<Value> {
+        let (level_id, _) =
+            self.model
+                .level(level)
+                .ok_or_else(|| WarehouseError::UnknownLevel {
+                    dimension: self.model.name.clone(),
+                    level: level.to_owned(),
+                })?;
+        let pos = self.descriptor_position(level_id.index());
+        Ok(self.columns[pos].get(key.index()))
+    }
+
+    /// An arbitrary attribute value of a member (qualified or unqualified
+    /// attribute name).
+    pub fn attribute_value(&self, key: MemberKey, attribute: &str) -> Result<Value> {
+        let pos = self
+            .position_of(attribute)
+            .ok_or_else(|| WarehouseError::UnknownAttribute {
+                level: self.model.name.clone(),
+                attribute: attribute.to_owned(),
+            })?;
+        Ok(self.columns[pos].get(key.index()))
+    }
+
+    /// Iterates all member keys.
+    pub fn keys(&self) -> impl Iterator<Item = MemberKey> {
+        (0..self.len() as u32).map(MemberKey)
+    }
+
+    /// The qualified column names, in storage order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.layout.iter().map(|(_, q)| q.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwqa_mdmodel::last_minute_sales;
+
+    fn airport_table() -> DimensionTable {
+        let schema = last_minute_sales();
+        let (_, dim) = schema.dimension("Airport").unwrap();
+        DimensionTable::new(dim)
+    }
+
+    fn el_prat() -> Vec<(String, Value)> {
+        vec![
+            ("airport_name".into(), Value::text("El Prat")),
+            ("iata_code".into(), Value::text("BCN")),
+            ("city_name".into(), Value::text("Barcelona")),
+            ("state_name".into(), Value::text("Catalonia")),
+            ("country_name".into(), Value::text("Spain")),
+        ]
+    }
+
+    #[test]
+    fn insert_and_lookup_round_trip() {
+        let mut t = airport_table();
+        let key = t.lookup_or_insert(&el_prat()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&Value::text("El Prat")), Some(key));
+        assert_eq!(t.level_value(key, "City").unwrap(), Value::text("Barcelona"));
+        assert_eq!(t.level_value(key, "Country").unwrap(), Value::text("Spain"));
+        assert_eq!(
+            t.attribute_value(key, "iata_code").unwrap(),
+            Value::text("BCN")
+        );
+    }
+
+    #[test]
+    fn duplicate_base_descriptor_is_deduplicated() {
+        let mut t = airport_table();
+        let a = t.lookup_or_insert(&el_prat()).unwrap();
+        let b = t.lookup_or_insert(&el_prat()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn missing_base_descriptor_is_rejected() {
+        let mut t = airport_table();
+        let err = t
+            .lookup_or_insert(&[("city_name".into(), Value::text("Barcelona"))])
+            .unwrap_err();
+        assert!(matches!(err, WarehouseError::IncompleteRow(_)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected() {
+        let mut t = airport_table();
+        let err = t
+            .lookup_or_insert(&[("runway_count".into(), Value::Int(2))])
+            .unwrap_err();
+        assert!(matches!(err, WarehouseError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_leaves_table_unchanged() {
+        let mut t = airport_table();
+        let err = t
+            .lookup_or_insert(&[
+                ("airport_name".into(), Value::text("JFK")),
+                ("population".into(), Value::text("lots")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, WarehouseError::TypeMismatch { .. }));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn qualified_names_disambiguate() {
+        let mut t = airport_table();
+        let key = t
+            .lookup_or_insert(&[
+                ("Airport.airport_name".into(), Value::text("JFK")),
+                ("City.city_name".into(), Value::text("New York")),
+            ])
+            .unwrap();
+        assert_eq!(t.level_value(key, "City").unwrap(), Value::text("New York"));
+        assert_eq!(t.level_value(key, "State").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn column_names_are_qualified() {
+        let t = airport_table();
+        let names: Vec<&str> = t.column_names().collect();
+        assert!(names.contains(&"Airport.airport_name"));
+        assert!(names.contains(&"City.population"));
+        assert!(names.contains(&"Country.country_name"));
+    }
+}

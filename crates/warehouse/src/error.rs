@@ -1,0 +1,93 @@
+//! Errors reported by the warehouse engine.
+
+use crate::value::Value;
+use dwqa_mdmodel::DataType;
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, WarehouseError>;
+
+/// An error from storage, ETL or query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarehouseError {
+    /// A value did not conform to its column type.
+    TypeMismatch {
+        /// The column's declared type.
+        expected: DataType,
+        /// The offending value.
+        got: Value,
+    },
+    /// A fact name was not found in the schema.
+    UnknownFact(String),
+    /// A dimension name was not found in the schema.
+    UnknownDimension(String),
+    /// A role name was not found on the fact.
+    UnknownRole {
+        /// The fact queried.
+        fact: String,
+        /// The missing role.
+        role: String,
+    },
+    /// A level name was not found in the dimension.
+    UnknownLevel {
+        /// The dimension.
+        dimension: String,
+        /// The missing level.
+        level: String,
+    },
+    /// A measure name was not found on the fact.
+    UnknownMeasure {
+        /// The fact queried.
+        fact: String,
+        /// The missing measure.
+        measure: String,
+    },
+    /// An attribute name was not found on a level.
+    UnknownAttribute {
+        /// The level searched.
+        level: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// The requested aggregate is illegal for the measure's additivity
+    /// (e.g. SUM over a non-additive rate, or SUM over semi-additive
+    /// temperatures).
+    IllegalAggregate {
+        /// The measure.
+        measure: String,
+        /// Why the aggregate was refused.
+        reason: String,
+    },
+    /// An ETL row was structurally incomplete.
+    IncompleteRow(String),
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: column is {expected}, value is {got:?}")
+            }
+            WarehouseError::UnknownFact(name) => write!(f, "unknown fact {name:?}"),
+            WarehouseError::UnknownDimension(name) => write!(f, "unknown dimension {name:?}"),
+            WarehouseError::UnknownRole { fact, role } => {
+                write!(f, "fact {fact:?} has no role {role:?}")
+            }
+            WarehouseError::UnknownLevel { dimension, level } => {
+                write!(f, "dimension {dimension:?} has no level {level:?}")
+            }
+            WarehouseError::UnknownMeasure { fact, measure } => {
+                write!(f, "fact {fact:?} has no measure {measure:?}")
+            }
+            WarehouseError::UnknownAttribute { level, attribute } => {
+                write!(f, "level {level:?} has no attribute {attribute:?}")
+            }
+            WarehouseError::IllegalAggregate { measure, reason } => {
+                write!(f, "illegal aggregate on measure {measure:?}: {reason}")
+            }
+            WarehouseError::IncompleteRow(why) => write!(f, "incomplete ETL row: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {}

@@ -1,0 +1,215 @@
+//! ETL row model and load reports.
+//!
+//! A [`FactRow`] is the unit the loader consumes: measure values plus, for
+//! each dimension role, a member specification (attribute/value pairs).
+//! [`Warehouse::load`](crate::Warehouse::load) resolves members (creating
+//! them on first sight), appends the fact row, and reports per-row
+//! [`Rejection`]s instead of aborting the batch — the paper's Step 5 feeds
+//! Web-extracted data, where individual dirty rows are expected.
+
+use crate::value::Value;
+use dwqa_common::Date;
+use dwqa_mdmodel::{DataType, Dimension};
+use serde::{Deserialize, Serialize};
+
+/// One incoming fact row.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FactRow {
+    /// `(measure name, value)` pairs.
+    pub measures: Vec<(String, Value)>,
+    /// `(role name, member spec)` pairs; each member spec is a list of
+    /// `(attribute name, value)` pairs as accepted by
+    /// [`crate::DimensionTable::lookup_or_insert`].
+    pub roles: Vec<(String, Vec<(String, Value)>)>,
+}
+
+/// Fluent builder for [`FactRow`].
+#[derive(Debug, Default)]
+pub struct FactRowBuilder {
+    row: FactRow,
+}
+
+impl FactRowBuilder {
+    /// Starts an empty row.
+    pub fn new() -> FactRowBuilder {
+        FactRowBuilder::default()
+    }
+
+    /// Sets a measure value.
+    pub fn measure(&mut self, name: &str, value: Value) -> &mut Self {
+        self.row.measures.push((name.to_owned(), value));
+        self
+    }
+
+    /// Sets the member for a dimension role.
+    pub fn role_member(&mut self, role: &str, spec: &[(&str, Value)]) -> &mut Self {
+        self.row.roles.push((
+            role.to_owned(),
+            spec.iter()
+                .map(|(n, v)| ((*n).to_owned(), v.clone()))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Finishes the row.
+    pub fn build(&mut self) -> FactRow {
+        std::mem::take(&mut self.row)
+    }
+}
+
+/// Why a row was rejected during a load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rejection {
+    /// Zero-based position of the row in the batch.
+    pub row: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Outcome of a batch load.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EtlReport {
+    /// Rows appended to the fact table.
+    pub inserted: usize,
+    /// Rows skipped, with reasons.
+    pub rejected: Vec<Rejection>,
+    /// Dimension members created during the load, per dimension name.
+    pub new_members: Vec<(String, usize)>,
+}
+
+impl EtlReport {
+    /// Total rows seen by the load.
+    pub fn total(&self) -> usize {
+        self.inserted + self.rejected.len()
+    }
+}
+
+/// Fills calendar roll-up levels of a date dimension from its base date.
+///
+/// ETL convention: if the dimension's base descriptor has type `Date` and a
+/// date value is present, missing parent levels named (case-insensitively)
+/// `Month`, `Quarter` or `Year` are derived as `"YYYY-MM"`, `"YYYY-Qn"` and
+/// the integer year. This is what lets the loader accept bare dates while
+/// roll-up queries still group by month — the granularity the paper's
+/// weather analysis needs ("January of 2004").
+pub fn autofill_date_levels(model: &Dimension, spec: &mut Vec<(String, Value)>) {
+    let base = &model.levels[0];
+    if base.descriptor.data_type != DataType::Date {
+        return;
+    }
+    let date: Option<Date> = spec
+        .iter()
+        .find(|(name, _)| {
+            name == &base.descriptor.name
+                || name == &format!("{}.{}", base.name, base.descriptor.name)
+        })
+        .and_then(|(_, v)| v.as_date());
+    let Some(date) = date else { return };
+    for level in &model.levels[1..] {
+        let already = spec.iter().any(|(name, _)| {
+            name == &level.descriptor.name
+                || name == &format!("{}.{}", level.name, level.descriptor.name)
+        });
+        if already {
+            continue;
+        }
+        let value = match level.name.to_ascii_lowercase().as_str() {
+            "month" => Some(Value::text(format!(
+                "{:04}-{:02}",
+                date.year(),
+                date.month().number()
+            ))),
+            "quarter" => Some(Value::text(format!(
+                "{:04}-Q{}",
+                date.year(),
+                (date.month().number() - 1) / 3 + 1
+            ))),
+            "year" => Some(Value::Int(i64::from(date.year()))),
+            _ => None,
+        };
+        if let Some(value) = value {
+            spec.push((level.descriptor.name.clone(), value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwqa_mdmodel::last_minute_sales;
+
+    #[test]
+    fn builder_collects_measures_and_roles() {
+        let mut b = FactRowBuilder::new();
+        b.measure("price", Value::Float(10.0))
+            .role_member("Date", &[("date", Value::date(2004, 1, 31).unwrap())]);
+        let row = b.build();
+        assert_eq!(row.measures.len(), 1);
+        assert_eq!(row.roles.len(), 1);
+        // The builder is reusable after build().
+        assert_eq!(b.build(), FactRow::default());
+    }
+
+    #[test]
+    fn date_levels_are_derived() {
+        let schema = last_minute_sales();
+        let (_, date_dim) = schema.dimension("Date").unwrap();
+        let mut spec = vec![("date".to_owned(), Value::date(2004, 1, 31).unwrap())];
+        autofill_date_levels(date_dim, &mut spec);
+        let get = |name: &str| {
+            spec.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("month"), Some(Value::text("2004-01")));
+        assert_eq!(get("quarter"), Some(Value::text("2004-Q1")));
+        assert_eq!(get("year"), Some(Value::Int(2004)));
+    }
+
+    #[test]
+    fn autofill_respects_explicit_values() {
+        let schema = last_minute_sales();
+        let (_, date_dim) = schema.dimension("Date").unwrap();
+        let mut spec = vec![
+            ("date".to_owned(), Value::date(2004, 4, 1).unwrap()),
+            ("month".to_owned(), Value::text("April 2004")),
+        ];
+        autofill_date_levels(date_dim, &mut spec);
+        let months: Vec<&Value> = spec
+            .iter()
+            .filter(|(n, _)| n == "month")
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(months, [&Value::text("April 2004")]);
+        assert_eq!(
+            spec.iter().find(|(n, _)| n == "quarter").map(|(_, v)| v),
+            Some(&Value::text("2004-Q2"))
+        );
+    }
+
+    #[test]
+    fn autofill_ignores_non_date_dimensions() {
+        let schema = last_minute_sales();
+        let (_, airport) = schema.dimension("Airport").unwrap();
+        let mut spec = vec![("airport_name".to_owned(), Value::text("JFK"))];
+        autofill_date_levels(airport, &mut spec);
+        assert_eq!(spec.len(), 1);
+    }
+
+    #[test]
+    fn quarter_boundaries() {
+        let schema = last_minute_sales();
+        let (_, date_dim) = schema.dimension("Date").unwrap();
+        for (m, q) in [(1, "Q1"), (3, "Q1"), (4, "Q2"), (12, "Q4")] {
+            let mut spec = vec![("date".to_owned(), Value::date(2004, m, 1).unwrap())];
+            autofill_date_levels(date_dim, &mut spec);
+            let quarter = spec
+                .iter()
+                .find(|(n, _)| n == "quarter")
+                .map(|(_, v)| v.to_string())
+                .unwrap();
+            assert_eq!(quarter, format!("2004-{q}"));
+        }
+    }
+}

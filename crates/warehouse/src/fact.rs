@@ -1,0 +1,191 @@
+//! Fact tables: measures plus surrogate keys into dimensions.
+
+use crate::column::Column;
+use crate::dimension::MemberKey;
+use crate::error::{Result, WarehouseError};
+use crate::value::Value;
+use dwqa_mdmodel::Fact;
+
+/// A fact table materialising one `«Fact»` class.
+///
+/// Storage is columnar: one `u32` surrogate-key column per dimension role
+/// and one typed column per measure. Rows are append-only, as in a
+/// classical warehouse load.
+#[derive(Debug, Clone)]
+pub struct FactTable {
+    model: Fact,
+    role_keys: Vec<Vec<u32>>,
+    measures: Vec<Column>,
+}
+
+impl FactTable {
+    /// Creates an empty fact table for the model.
+    pub fn new(model: &Fact) -> FactTable {
+        FactTable {
+            role_keys: vec![Vec::new(); model.roles.len()],
+            measures: model
+                .measures
+                .iter()
+                .map(|m| Column::new(m.data_type))
+                .collect(),
+            model: model.clone(),
+        }
+    }
+
+    /// The fact model.
+    pub fn model(&self) -> &Fact {
+        &self.model
+    }
+
+    /// Number of fact rows.
+    pub fn len(&self) -> usize {
+        self.role_keys.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a row. `keys` must be ordered like `model.roles`, and
+    /// `measure_values` like `model.measures`.
+    pub fn insert(&mut self, keys: &[MemberKey], measure_values: &[Value]) -> Result<()> {
+        if keys.len() != self.role_keys.len() {
+            return Err(WarehouseError::IncompleteRow(format!(
+                "fact {:?}: expected {} role keys, got {}",
+                self.model.name,
+                self.role_keys.len(),
+                keys.len()
+            )));
+        }
+        if measure_values.len() != self.measures.len() {
+            return Err(WarehouseError::IncompleteRow(format!(
+                "fact {:?}: expected {} measures, got {}",
+                self.model.name,
+                self.measures.len(),
+                measure_values.len()
+            )));
+        }
+        // Validate measures before mutating anything.
+        for (col, v) in self.measures.iter().zip(measure_values) {
+            if !v.conforms_to(col.data_type()) {
+                return Err(WarehouseError::TypeMismatch {
+                    expected: col.data_type(),
+                    got: v.clone(),
+                });
+            }
+        }
+        for (col, key) in self.role_keys.iter_mut().zip(keys) {
+            col.push(key.0);
+        }
+        for (col, v) in self.measures.iter_mut().zip(measure_values) {
+            col.push(v).expect("validated before pushing");
+        }
+        Ok(())
+    }
+
+    /// Index of a role by name.
+    pub fn role_index(&self, role: &str) -> Result<usize> {
+        self.model
+            .roles
+            .iter()
+            .position(|r| r.role == role)
+            .ok_or_else(|| WarehouseError::UnknownRole {
+                fact: self.model.name.clone(),
+                role: role.to_owned(),
+            })
+    }
+
+    /// Index of a measure by name.
+    pub fn measure_index(&self, measure: &str) -> Result<usize> {
+        self.model
+            .measures
+            .iter()
+            .position(|m| m.name == measure)
+            .ok_or_else(|| WarehouseError::UnknownMeasure {
+                fact: self.model.name.clone(),
+                measure: measure.to_owned(),
+            })
+    }
+
+    /// The surrogate key of `row` for the role at `role_idx`.
+    pub fn role_key(&self, row: usize, role_idx: usize) -> MemberKey {
+        MemberKey(self.role_keys[role_idx][row])
+    }
+
+    /// The measure column at `measure_idx`.
+    pub fn measure_column(&self, measure_idx: usize) -> &Column {
+        &self.measures[measure_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwqa_mdmodel::last_minute_sales;
+
+    fn table() -> FactTable {
+        let schema = last_minute_sales();
+        let (_, fact) = schema.fact("Last Minute Sales").unwrap();
+        FactTable::new(fact)
+    }
+
+    fn keys(n: u32) -> Vec<MemberKey> {
+        (0..n).map(MemberKey).collect()
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = table();
+        t.insert(
+            &keys(4),
+            &[Value::Float(199.0), Value::Float(450.0), Value::Float(0.7)],
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        let price_idx = t.measure_index("price").unwrap();
+        assert_eq!(t.measure_column(price_idx).get(0), Value::Float(199.0));
+        let dest = t.role_index("Destination").unwrap();
+        assert_eq!(t.role_key(0, dest), MemberKey(1));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut t = table();
+        assert!(matches!(
+            t.insert(&keys(2), &[Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]),
+            Err(WarehouseError::IncompleteRow(_))
+        ));
+        assert!(matches!(
+            t.insert(&keys(4), &[Value::Float(1.0)]),
+            Err(WarehouseError::IncompleteRow(_))
+        ));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn measure_type_checked_atomically() {
+        let mut t = table();
+        let err = t
+            .insert(
+                &keys(4),
+                &[Value::Float(1.0), Value::text("oops"), Value::Float(3.0)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, WarehouseError::TypeMismatch { .. }));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unknown_names_reported() {
+        let t = table();
+        assert!(matches!(
+            t.role_index("Layover"),
+            Err(WarehouseError::UnknownRole { .. })
+        ));
+        assert!(matches!(
+            t.measure_index("profit"),
+            Err(WarehouseError::UnknownMeasure { .. })
+        ));
+    }
+}

@@ -1,0 +1,283 @@
+//! Dynamically-typed cell values exchanged with the engine.
+
+use dwqa_common::Date;
+use dwqa_mdmodel::DataType;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value.
+///
+/// `Value` is the boundary type: ETL rows come in as `Value`s and query
+/// results go out as `Value`s. Inside the engine, data lives in typed
+/// columns ([`crate::Column`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / unknown.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Calendar date.
+    Date(Date),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Convenience constructor for dates; `None` if the date is invalid.
+    pub fn date(year: i32, month: u32, day: u32) -> Option<Value> {
+        Date::from_ymd(year, month, day).map(Value::Date)
+    }
+
+    /// The declared type this value conforms to, if any (`Null` conforms to
+    /// every type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Whether this value can be stored in a column of type `ty`.
+    /// Integers widen to float columns; everything else must match exactly.
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), DataType::Int | DataType::Float) => true,
+            (Value::Float(_), DataType::Float) => true,
+            (Value::Text(_), DataType::Text) => true,
+            (Value::Date(_), DataType::Date) => true,
+            (Value::Bool(_), DataType::Bool) => true,
+            _ => false,
+        }
+    }
+
+    /// Whether the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to f64); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Date view.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Ints hash as the float they widen to, so Int(3) == Float(3.0)
+            // hash identically (required by the Eq impl above).
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                if f.is_nan() {
+                    f64::NAN.to_bits().hash(state);
+                } else {
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Text(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                3u8.hash(state);
+                d.hash(state);
+            }
+            Value::Bool(b) => {
+                4u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order used for deterministic result sorting: Null < Bool <
+    /// numbers < dates < text; numbers compare numerically across Int/Float.
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Date(_) => 3,
+                Value::Text(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let fa = a.as_f64().expect("rank 2 is numeric");
+                let fb = b.as_f64().expect("rank 2 is numeric");
+                fa.partial_cmp(&fb).unwrap_or_else(|| {
+                    // NaNs sort last among numbers, deterministically.
+                    match (fa.is_nan(), fb.is_nan()) {
+                        (true, true) => Ordering::Equal,
+                        (true, false) => Ordering::Greater,
+                        (false, true) => Ordering::Less,
+                        (false, false) => unreachable!("partial_cmp failed on non-NaN"),
+                    }
+                })
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn conformance_rules() {
+        assert!(Value::Int(3).conforms_to(DataType::Int));
+        assert!(Value::Int(3).conforms_to(DataType::Float));
+        assert!(!Value::Float(3.0).conforms_to(DataType::Int));
+        assert!(Value::Null.conforms_to(DataType::Date));
+        assert!(!Value::text("x").conforms_to(DataType::Date));
+    }
+
+    #[test]
+    fn int_float_equality_and_hash_agree() {
+        let a = Value::Int(3);
+        let b = Value::Float(3.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut vs = vec![
+            Value::text("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::date(2004, 1, 31).unwrap(),
+            Value::Float(1.5),
+            Value::Bool(true),
+            Value::text("a"),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Float(1.5),
+                Value::Int(2),
+                Value::date(2004, 1, 31).unwrap(),
+                Value::text("a"),
+                Value::text("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_sorts_last_among_numbers_and_equals_itself() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, Value::Float(f64::NAN));
+        assert_eq!(nan.cmp(&Value::Float(1.0)), Ordering::Greater);
+        assert_eq!(Value::Float(1.0).cmp(&nan), Ordering::Less);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::text("hi").as_text(), Some("hi"));
+        assert_eq!(Value::Null.as_f64(), None);
+        assert!(Value::date(2004, 2, 30).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::date(2004, 1, 31).unwrap().to_string(), "2004-01-31");
+        assert_eq!(Value::Float(8.0).to_string(), "8");
+    }
+}

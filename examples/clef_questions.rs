@@ -1,0 +1,85 @@
+//! AliQAn beyond the weather domain: the 20-class answer-type taxonomy on
+//! CLEF-style questions over a small mixed corpus — including the paper's
+//! own CLEF examples ("Which country did Iraq invade in 1990?", "What is
+//! the brightest star visible in the universe?").
+//!
+//! Run with: `cargo run -p dwqa-core --example clef_questions`
+
+use dwqa_ir::{DocFormat, Document, DocumentStore};
+use dwqa_ontology::upper_ontology;
+use dwqa_qa::{AliQAn, AliQAnConfig};
+
+fn main() {
+    let mut store = DocumentStore::new();
+    let pages: &[(&str, &str)] = &[
+        (
+            "history/gulf-war",
+            "Iraq invaded Kuwait in 1990. The invasion started the Gulf War. \
+             Many countries joined the coalition against Iraq.",
+        ),
+        (
+            "astronomy/sirius",
+            "All stars shine but none do it like Sirius, the brightest star in the night sky. \
+             Sirius is visible from almost everywhere on Earth.",
+        ),
+        (
+            "history/la-guardia",
+            "Fiorello La Guardia was the mayor of New York. He reformed the city government.",
+        ),
+        (
+            "travel/promo",
+            "Last minute flights to Barcelona cost 49 euros this January. \
+             Sales rose 12 % compared to December.",
+        ),
+        (
+            "history/jfk",
+            "President John F. Kennedy was assassinated in 1963 in Dallas.",
+        ),
+    ];
+    for (path, text) in pages {
+        store.add(Document::new(
+            &format!("http://corpus.example.org/{path}"),
+            DocFormat::Plain,
+            path,
+            text,
+        ));
+    }
+
+    let mut qa = AliQAn::new(upper_ontology(), AliQAnConfig::default());
+    qa.index_corpus(store);
+
+    let questions = [
+        "Which country did Iraq invade in 1990?",
+        "What is the brightest star visible in the universe?",
+        "Who was the mayor of New York?",
+        "Which year was President Kennedy assassinated?",
+        "What is the price of a last minute flight to Barcelona?",
+        "When did Iraq invade Kuwait?",
+    ];
+    for question in questions {
+        let analysis = qa.analyze(question);
+        println!("Q: {question}");
+        println!(
+            "   pattern = {} → expected answer type = {} ({})",
+            analysis.pattern_name,
+            analysis.answer_type,
+            analysis.answer_type.expectation()
+        );
+        println!(
+            "   main SBs: {}",
+            analysis
+                .main_sbs
+                .iter()
+                .map(|s| format!("[{}]", s.text))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        match qa.answer(question).first() {
+            Some(answer) => println!(
+                "   A: {}  (score {:.2}, from {})\n",
+                answer.value, answer.score, answer.url
+            ),
+            None => println!("   A: no answer found\n"),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Domain-genericity check: the paper's *other* fact example ("treatments
+//! of patients") through Steps 1–4 — nothing in the pipeline is wired to
+//! the airline domain.
+//!
+//! A hospital DW (patients × treatments × dates) is transformed into a
+//! domain ontology, enriched with its members, merged into the same
+//! mini-WordNet, and a QA system over medical intranet reports answers
+//! cost and person questions against it.
+//!
+//! Run with: `cargo run -p dwqa-core --example hospital_scenario`
+
+use dwqa_ir::{DocFormat, Document, DocumentStore};
+use dwqa_mdmodel::patient_treatments;
+use dwqa_ontology::{
+    enrich_from_warehouse, merge_into_upper, schema_to_ontology, upper_ontology, MatchKind,
+    MergeOptions,
+};
+use dwqa_qa::{AliQAn, AliQAnConfig};
+use dwqa_warehouse::{FactRowBuilder, Value, Warehouse};
+
+fn main() {
+    // The hospital DW with a few treatments.
+    let mut wh = Warehouse::new(patient_treatments());
+    for (patient, treatment, specialty, cost, day) in [
+        ("Maria Lopez", "knee surgery", "orthopedics", 4200.0, 5u32),
+        ("John Smith", "physical therapy", "rehabilitation", 350.0, 9),
+        ("Ana Garcia", "cataract surgery", "ophthalmology", 2100.0, 17),
+    ] {
+        let mut b = FactRowBuilder::new();
+        b.measure("cost", Value::Float(cost))
+            .measure("duration_days", Value::Int(3))
+            .role_member("Patient", &[("patient_name", Value::text(patient))])
+            .role_member(
+                "Treatment",
+                &[
+                    ("treatment_name", Value::text(treatment)),
+                    ("specialty_name", Value::text(specialty)),
+                ],
+            )
+            .role_member("Date", &[("date", Value::date(2004, 3, day).unwrap())]);
+        wh.load("Treatments", vec![b.build()]).unwrap();
+    }
+
+    // Steps 1–3, exactly as for the airline.
+    let mut domain = schema_to_ontology(wh.schema());
+    let enrichment = enrich_from_warehouse(&mut domain, &wh);
+    let mut upper = upper_ontology();
+    let report = merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+    println!(
+        "Steps 1-3: {} instances enriched; merge: {} exact, {} head-word, {} new-root",
+        enrichment.instances_added,
+        report.count(MatchKind::Exact),
+        report.count(MatchKind::HeadWord),
+        report.count(MatchKind::NewRoot),
+    );
+    for (label, kind) in &report.class_matches {
+        println!("  {kind:?} ← {label}");
+    }
+    // "Treatments" lands under the medical treatment synset;
+    // "knee surgery" became an instance of it via the DW.
+    let treatment = upper.class_for("treatment").unwrap();
+    assert!(upper
+        .concepts_for("knee surgery")
+        .iter()
+        .any(|&id| upper.is_a(id, treatment)));
+
+    // A medical intranet corpus.
+    let mut store = DocumentStore::new();
+    store.add(Document::new(
+        "intranet://reports/orthopedics-march",
+        DocFormat::Plain,
+        "orthopedics report",
+        "Orthopedics monthly report.\n\
+         The knee surgery for Maria Lopez on March 5, 2004 cost 4200 euros.\n\
+         Doctor Ramirez performed the knee surgery.\n\
+         The patient will need physical therapy afterwards.",
+    ));
+    store.add(Document::new(
+        "intranet://reports/ophthalmology-march",
+        DocFormat::Plain,
+        "ophthalmology report",
+        "Ophthalmology monthly report.\n\
+         The cataract surgery for Ana Garcia on March 17, 2004 cost 2100 euros.",
+    ));
+
+    let mut qa = AliQAn::new(upper, AliQAnConfig::default());
+    qa.index_corpus(store);
+
+    for question in [
+        "What is the price of the knee surgery?",
+        "Who performed the knee surgery?",
+        "When did Ana Garcia have the cataract surgery?",
+    ] {
+        let analysis = qa.analyze(question);
+        println!(
+            "\nQ: {question}\n   type = {} ({})",
+            analysis.answer_type,
+            analysis.answer_type.expectation()
+        );
+        match qa.answer(question).first() {
+            Some(a) => println!("   A: {}  (from {})", a.value, a.url),
+            None => println!("   A: no answer found"),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! A tour of the OLAP substrate on its own: load the correlated sales
+//! source and exercise slice, dice, roll-up and drill-down — the
+//! operations the paper's Section 3 describes over Figure 1.
+//!
+//! Run with: `cargo run -p dwqa-core --example olap_tour`
+
+use dwqa_common::Month;
+use dwqa_corpus::{default_cities, generate_sales, generate_weather_corpus, SalesConfig, WeatherConfig};
+use dwqa_mdmodel::last_minute_sales;
+use dwqa_warehouse::{AggFn, CubeQuery, Predicate, Value, Warehouse};
+
+fn main() {
+    let truth = generate_weather_corpus(
+        &WeatherConfig::new(42, 2004, Month::January),
+        &default_cities(),
+    )
+    .truth;
+    let mut wh = Warehouse::new(last_minute_sales());
+    let report = wh
+        .load(
+            "Last Minute Sales",
+            generate_sales(&SalesConfig::default(), &default_cities(), &truth),
+        )
+        .unwrap();
+    println!(
+        "Loaded {} fact rows; dimension members created: {:?}\n",
+        report.inserted, report.new_members
+    );
+
+    // Roll-up: total revenue per destination country.
+    let rs = CubeQuery::on("Last Minute Sales")
+        .group_by("Destination", "Country")
+        .aggregate("price", AggFn::Sum)
+        .run(&wh)
+        .unwrap();
+    println!("Roll-up to Country:\n{}", rs.to_table());
+
+    // Drill-down: within Spain, revenue per airport.
+    let rs = CubeQuery::on("Last Minute Sales")
+        .filter("Destination", "Country", Predicate::Eq(Value::text("Spain")))
+        .group_by("Destination", "Airport")
+        .aggregate("price", AggFn::Sum)
+        .aggregate("price", AggFn::Count)
+        .run(&wh)
+        .unwrap();
+    println!("Drill-down into Spain by Airport:\n{}", rs.to_table());
+
+    // Slice: one week of January, by city.
+    let rs = CubeQuery::on("Last Minute Sales")
+        .filter(
+            "Date",
+            "Date",
+            Predicate::Between(
+                Value::date(2004, 1, 8).unwrap(),
+                Value::date(2004, 1, 14).unwrap(),
+            ),
+        )
+        .group_by("Destination", "City")
+        .aggregate("price", AggFn::Avg)
+        .run(&wh)
+        .unwrap();
+    println!("Slice (Jan 8–14) average price by city:\n{}", rs.to_table());
+
+    // Dice: two cities × the whole month, monthly granularity.
+    let rs = CubeQuery::on("Last Minute Sales")
+        .filter(
+            "Destination",
+            "City",
+            Predicate::In(vec![Value::text("Barcelona"), Value::text("Madrid")]),
+        )
+        .group_by("Destination", "City")
+        .group_by("Date", "Month")
+        .aggregate("miles", AggFn::Sum)
+        .aggregate("price", AggFn::Max)
+        .run(&wh)
+        .unwrap();
+    println!("Dice (Barcelona, Madrid) by month:\n{}", rs.to_table());
+
+    // Additivity guard: averaging a rate is fine, summing it is refused.
+    let err = CubeQuery::on("Last Minute Sales")
+        .aggregate("traveler_rate", AggFn::Sum)
+        .run(&wh)
+        .unwrap_err();
+    println!("Summing the non-additive traveler_rate is rejected: {err}");
+}

@@ -1,0 +1,170 @@
+//! Property-based tests over cross-crate invariants.
+
+use dwqa_common::Date;
+use dwqa_mdmodel::{Additivity, DataType, SchemaBuilder};
+use dwqa_nlp::{analyze_sentence, Lexicon};
+use dwqa_ontology::{
+    merge_into_upper, parse_owl, render_owl, schema_to_ontology, upper_ontology, MergeOptions,
+};
+use dwqa_warehouse::{AggFn, CubeQuery, FactRowBuilder, Value, Warehouse};
+use proptest::prelude::*;
+
+/// A generated mini-schema: N dimension levels named from a small pool.
+fn arb_schema() -> impl Strategy<Value = dwqa_mdmodel::Schema> {
+    // Level names deliberately overlap the upper ontology sometimes
+    // ("City", "Year") and sometimes not ("Zone").
+    let pool = ["City", "Zone", "Region", "Year", "Sector", "Branch"];
+    proptest::sample::subsequence(pool.to_vec(), 1..=4).prop_map(|levels| {
+        let mut builder = SchemaBuilder::new("Generated").dimension("D", |mut d| {
+            for name in &levels {
+                d = d.level(name, |l| l.descriptor("name", DataType::Text));
+            }
+            for pair in levels.windows(2) {
+                d = d.rolls_up(pair[0], pair[1]);
+            }
+            d
+        });
+        builder = builder.fact("F", |f| {
+            f.measure("m", DataType::Float, Additivity::Sum)
+                .uses_dimension("D", "D")
+        });
+        builder.build().expect("generated schema is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Step 1 + Step 3 never lose a class: every schema class is reachable
+    /// in the merged upper ontology by its own name.
+    #[test]
+    fn prop_merge_preserves_all_schema_classes(schema in arb_schema()) {
+        let domain = schema_to_ontology(&schema);
+        let mut upper = upper_ontology();
+        merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        for name in schema.class_names() {
+            prop_assert!(
+                upper.class_for(name).is_some(),
+                "class {name:?} lost during merge"
+            );
+        }
+    }
+
+    /// The merged ontology always satisfies the structural invariants.
+    #[test]
+    fn prop_merged_ontology_validates(schema in arb_schema()) {
+        let domain = schema_to_ontology(&schema);
+        let mut upper = upper_ontology();
+        merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        let problems = upper.validate();
+        prop_assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    /// Merge is idempotent regardless of the schema.
+    #[test]
+    fn prop_merge_is_idempotent(schema in arb_schema()) {
+        let domain = schema_to_ontology(&schema);
+        let mut upper = upper_ontology();
+        merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        let size = upper.len();
+        let second = merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        prop_assert_eq!(upper.len(), size);
+        prop_assert_eq!(second.instances_added, 0);
+    }
+
+    /// The upper ontology OWL round-trip holds after any merge.
+    #[test]
+    fn prop_owl_round_trip_after_merge(schema in arb_schema()) {
+        let domain = schema_to_ontology(&schema);
+        let mut upper = upper_ontology();
+        merge_into_upper(&domain, &mut upper, &MergeOptions::default());
+        let parsed = parse_owl(&render_owl(&upper)).expect("round trip");
+        prop_assert_eq!(parsed.len(), upper.len());
+    }
+
+    /// SUM equals AVG × COUNT for any loaded warehouse (hash-aggregation
+    /// consistency).
+    #[test]
+    fn prop_sum_equals_avg_times_count(prices in proptest::collection::vec(0.0f64..1000.0, 1..40)) {
+        let mut wh = Warehouse::new(dwqa_mdmodel::last_minute_sales());
+        let rows: Vec<_> = prices
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut b = FactRowBuilder::new();
+                b.measure("price", Value::Float(*p))
+                    .measure("miles", Value::Float(1.0))
+                    .measure("traveler_rate", Value::Float(0.5))
+                    .role_member("Origin", &[("airport_name", Value::text("O"))])
+                    .role_member(
+                        "Destination",
+                        &[("airport_name", Value::text(format!("D{}", i % 3)))],
+                    )
+                    .role_member("Customer", &[("customer_name", Value::text("Ann"))])
+                    .role_member(
+                        "Date",
+                        &[("date", Value::date(2004, 1, (i % 28 + 1) as u32).unwrap())],
+                    );
+                b.build()
+            })
+            .collect();
+        wh.load("Last Minute Sales", rows).unwrap();
+        let rs = CubeQuery::on("Last Minute Sales")
+            .group_by("Destination", "Airport")
+            .aggregate("price", AggFn::Sum)
+            .aggregate("price", AggFn::Avg)
+            .aggregate("price", AggFn::Count)
+            .run(&wh)
+            .unwrap();
+        for row in 0..rs.rows.len() {
+            let sum = rs.f64(row, "sum(price)").unwrap();
+            let avg = rs.f64(row, "avg(price)").unwrap();
+            let count = rs.f64(row, "count(price)").unwrap();
+            prop_assert!((sum - avg * count).abs() < 1e-6);
+        }
+        // The global sum matches the inputs.
+        let global = CubeQuery::on("Last Minute Sales")
+            .aggregate("price", AggFn::Sum)
+            .run(&wh)
+            .unwrap();
+        let want: f64 = prices.iter().sum();
+        prop_assert!((global.f64(0, "sum(price)").unwrap() - want).abs() < 1e-6);
+    }
+
+    /// The NLP pipeline is total and structurally sound on arbitrary text:
+    /// blocks never overlap at the top level and stay within bounds.
+    #[test]
+    fn prop_chunker_blocks_are_well_formed(s in "[a-zA-Z0-9,.?!º ]{0,120}") {
+        let lexicon = Lexicon::english();
+        let analyzed = analyze_sentence(&lexicon, &s);
+        let mut last_end = 0usize;
+        for b in &analyzed.blocks {
+            prop_assert!(b.start >= last_end, "top-level blocks overlap");
+            prop_assert!(b.end <= analyzed.tokens.len());
+            prop_assert!(b.start < b.end);
+            last_end = b.end;
+            for child in &b.children {
+                prop_assert!(child.start >= b.start && child.end <= b.end);
+            }
+        }
+        for e in &analyzed.entities {
+            prop_assert!(e.end <= analyzed.tokens.len());
+            prop_assert!(e.start < e.end);
+        }
+    }
+
+    /// Dates mentioned in generated "weather lines" are always recovered
+    /// by the entity extractor.
+    #[test]
+    fn prop_generated_date_lines_are_extracted(days in 1u32..=28, month in 1u32..=12, year in 1990i32..2030) {
+        let date = Date::from_ymd(year, month, days).unwrap();
+        let lexicon = Lexicon::english();
+        let line = date.long_format();
+        let analyzed = analyze_sentence(&lexicon, &line);
+        let found = analyzed.entities.iter().any(|e| matches!(
+            e.kind,
+            dwqa_nlp::EntityKind::FullDate(d) if d == date
+        ));
+        prop_assert!(found, "date {date} not extracted from {line:?}");
+    }
+}

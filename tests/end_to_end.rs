@@ -1,0 +1,235 @@
+//! Cross-crate integration test: the complete five-step scenario of the
+//! paper, from the Figure-1 schema to the closing BI analysis.
+
+use dwqa_common::{Date, Month};
+use dwqa_core::{
+    integrated_schema, questions_for_missing_weather, sales_by_temperature_band,
+    IntegrationPipeline, PipelineOptions,
+};
+use dwqa_corpus::{
+    default_cities, generate_distractors, generate_sales, generate_weather_corpus, PageStyle,
+    SalesConfig, WeatherConfig,
+};
+use dwqa_qa::AnswerValue;
+use dwqa_warehouse::{AggFn, CubeQuery, Warehouse};
+
+fn build_world(seed: u64) -> (IntegrationPipeline, dwqa_corpus::GroundTruth) {
+    let corpus = generate_weather_corpus(
+        &WeatherConfig::new(seed, 2004, Month::January).with_styles(&[PageStyle::Prose]),
+        &default_cities(),
+    );
+    let mut store = corpus.store;
+    for d in generate_distractors(seed ^ 0xABCD, 12) {
+        store.add(d);
+    }
+    let mut warehouse = Warehouse::new(integrated_schema());
+    warehouse
+        .load(
+            "Last Minute Sales",
+            generate_sales(&SalesConfig::default(), &default_cities(), &corpus.truth),
+        )
+        .unwrap();
+    (
+        IntegrationPipeline::build(warehouse, store, PipelineOptions::default()),
+        corpus.truth,
+    )
+}
+
+#[test]
+fn five_steps_produce_a_queryable_weather_star() {
+    let (mut pipeline, truth) = build_world(42);
+
+    // Steps 1–3 left their traces.
+    assert!(pipeline.enrichment.instances_added > 20);
+    assert!(pipeline
+        .merge
+        .synonyms_enriched
+        .iter()
+        .any(|(term, target)| term == "JFK" && target.contains("Kennedy")));
+
+    // Step 4: the tuned ontology carries the temperature axioms.
+    let onto = pipeline.qa.ontology();
+    let temp = onto.class_for("temperature").unwrap();
+    assert!(!onto.annotation(temp, "axiom.range_c").is_empty());
+
+    // The DW proposes the questions (future-work extension).
+    let proposed = questions_for_missing_weather(&pipeline.warehouse, 2004, Month::January).unwrap();
+    assert_eq!(proposed.len(), 7, "one per destination city: {proposed:?}");
+
+    // Before Step 5: the analysis is empty.
+    assert!(sales_by_temperature_band(&pipeline.warehouse, 5.0)
+        .unwrap()
+        .is_empty());
+
+    // Step 5 over every city and day.
+    let mut questions = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for c in default_cities() {
+        if seen.insert(c.city) {
+            for d in Date::month_days(2004, Month::January) {
+                questions.push(format!(
+                    "What is the temperature on January {}, 2004 in {}?",
+                    d.day(),
+                    c.city
+                ));
+            }
+        }
+    }
+    let report = pipeline.feed_from_questions(&questions);
+    assert!(report.loaded > 100, "loaded {}", report.loaded);
+    assert!(report.load_rate() > 0.9, "load rate {}", report.load_rate());
+
+    // Every loaded tuple agrees with the generator's ground truth: query
+    // the warehouse back and compare.
+    let rs = CubeQuery::on("City Weather")
+        .group_by("City", "City")
+        .group_by("Date", "Date")
+        .aggregate("temperature_c", AggFn::Avg)
+        .run(&pipeline.warehouse)
+        .unwrap();
+    assert!(rs.rows.len() > 100);
+    for row in &rs.rows {
+        let city = row[0].as_text().unwrap();
+        let date = row[1].as_date().unwrap();
+        let got = row[2].as_f64().unwrap();
+        let want = truth.temperature(city, date).unwrap();
+        assert!(
+            (got - want).abs() < 0.51,
+            "{city} {date}: warehouse says {got}, truth {want}"
+        );
+    }
+
+    // After feeding, the previously proposed questions disappear.
+    let remaining =
+        questions_for_missing_weather(&pipeline.warehouse, 2004, Month::January).unwrap();
+    assert!(remaining.len() < 7, "remaining: {remaining:?}");
+
+    // And the motivating analysis has bands.
+    let bands = sales_by_temperature_band(&pipeline.warehouse, 5.0).unwrap();
+    assert!(!bands.is_empty());
+    let total_days: usize = bands.iter().map(|b| b.days).sum();
+    assert!(total_days > 100);
+}
+
+#[test]
+fn table_1_trace_is_complete_and_faithful() {
+    let (pipeline, _) = build_world(42);
+    let trace = pipeline.trace("What is the weather like in January of 2004 in El Prat?");
+    // Row by row, the shape of the paper's Table 1.
+    assert!(trace.query.ends_with("El Prat?"));
+    assert!(trace.query_analysis.contains("What WP what"));
+    assert!(trace.query_analysis.contains("<@VBC> is VBZ be <@/VBC>"));
+    assert!(trace.query_analysis.contains("El NP el Prat NP prat"));
+    assert!(trace.question_pattern.contains("[to be]"));
+    assert!(trace.question_pattern.contains("weather | temperature"));
+    assert_eq!(trace.expected_answer_type, "Number + [ºC | F]");
+    assert!(trace.main_sbs.contains(&"El Prat".to_owned()));
+    assert!(trace.main_sbs.contains(&"Barcelona".to_owned()));
+    assert!(trace.passage.contains("Barcelona Weather: Temperature"));
+    assert!(trace.passage_analysis.contains("NP barcelona"));
+    assert!(!trace.extracted_answers.is_empty());
+    assert!(trace.extracted_answers[0].contains("ºC"));
+    assert!(trace.extracted_answers[0].contains("Barcelona"));
+}
+
+#[test]
+fn answers_carry_full_provenance() {
+    let (pipeline, truth) = build_world(7);
+    let answers = pipeline.ask("What is the temperature on January 10, 2004 in Barcelona?");
+    assert!(!answers.is_empty());
+    let top = &answers[0];
+    match top.value {
+        AnswerValue::Temperature { celsius, .. } => {
+            let want = truth
+                .temperature("Barcelona", Date::from_ymd(2004, 1, 10).unwrap())
+                .unwrap();
+            assert!((celsius - want).abs() < 0.51);
+        }
+        ref v => panic!("expected temperature, got {v:?}"),
+    }
+    assert_eq!(top.context_date, Date::from_ymd(2004, 1, 10));
+    assert_eq!(top.context_location.as_deref(), Some("Barcelona"));
+    assert!(top.url.contains("barcelona"));
+    assert!(top.sentence.contains("Temperature"));
+}
+
+#[test]
+fn fed_warehouse_survives_snapshot_round_trip() {
+    let (mut pipeline, _) = build_world(42);
+    let questions: Vec<String> = ["Barcelona", "Madrid"]
+        .iter()
+        .flat_map(|c| {
+            Date::month_days(2004, Month::January).map(move |d| {
+                format!(
+                    "What is the temperature on January {}, 2004 in {c}?",
+                    d.day()
+                )
+            })
+        })
+        .collect();
+    pipeline.feed_from_questions(&questions);
+    let before = sales_by_temperature_band(&pipeline.warehouse, 5.0).unwrap();
+    assert!(!before.is_empty());
+    // Persist and restore; the analysis must be identical.
+    let json = pipeline.warehouse.to_json();
+    let restored = dwqa_warehouse::Warehouse::from_json(&json).unwrap();
+    let after = sales_by_temperature_band(&restored, 5.0).unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn noise_injection_never_pollutes_the_warehouse() {
+    // Failure injection: half the weather lines are corrupted; everything
+    // that still reaches the DW must match the truth.
+    let corpus = generate_weather_corpus(
+        &WeatherConfig::new(42, 2004, Month::January)
+            .with_styles(&[PageStyle::Prose])
+            .with_noise(0.5),
+        &default_cities(),
+    );
+    assert!(!corpus.corrupted.is_empty());
+    let mut warehouse = Warehouse::new(integrated_schema());
+    warehouse
+        .load(
+            "Last Minute Sales",
+            generate_sales(&SalesConfig::default(), &default_cities(), &corpus.truth),
+        )
+        .unwrap();
+    let truth = corpus.truth.clone();
+    let mut pipeline =
+        IntegrationPipeline::build(warehouse, corpus.store, PipelineOptions::default());
+    let questions: Vec<String> = Date::month_days(2004, Month::January)
+        .map(|d| {
+            format!(
+                "What is the temperature on January {}, 2004 in Barcelona?",
+                d.day()
+            )
+        })
+        .collect();
+    pipeline.feed_from_questions(&questions);
+    let rs = dwqa_warehouse::CubeQuery::on("City Weather")
+        .group_by("City", "City")
+        .group_by("Date", "Date")
+        .aggregate("temperature_c", AggFn::Avg)
+        .run(&pipeline.warehouse)
+        .unwrap();
+    for row in &rs.rows {
+        let city = row[0].as_text().unwrap();
+        let date = row[1].as_date().unwrap();
+        let got = row[2].as_f64().unwrap();
+        let want = truth.temperature(city, date).unwrap();
+        assert!(
+            (got - want).abs() < 0.51,
+            "corruption leaked: {city} {date} {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_across_rebuilds() {
+    let (p1, _) = build_world(99);
+    let (p2, _) = build_world(99);
+    let q = "What is the weather like in January of 2004 in Madrid?";
+    assert_eq!(p1.ask(q), p2.ask(q));
+    assert_eq!(p1.trace(q), p2.trace(q));
+}
