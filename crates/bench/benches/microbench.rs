@@ -103,5 +103,11 @@ fn bench_ontology(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nlp, bench_index, bench_warehouse, bench_ontology);
+criterion_group!(
+    benches,
+    bench_nlp,
+    bench_index,
+    bench_warehouse,
+    bench_ontology
+);
 criterion_main!(benches);

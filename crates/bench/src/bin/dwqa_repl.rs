@@ -1,12 +1,14 @@
 //! Interactive demo: the integrated system as a console REPL.
 //!
 //! Builds the standard fixture (seeded corpus + correlated sales +
-//! five-step pipeline) and answers questions from stdin. Commands:
+//! five-step pipeline) and answers questions from stdin through a
+//! [`dwqa_engine::QaSession`] (cached, instrumented). Commands:
 //!
 //! * plain text — ask the QA system, feed valid tuples into the DW;
 //! * `:trace <question>` — print the Table-1 pipeline trace;
 //! * `:bands` — the sales-vs-temperature analysis on current DW contents;
 //! * `:missing` — DW-proposed questions for January 2004;
+//! * `:stats` — per-stage latency histograms and cache counters;
 //! * `:quit`.
 //!
 //! Run with: `cargo run --release -p dwqa-bench --bin dwqa_repl`
@@ -15,6 +17,7 @@ use dwqa_bench::{build_fixture, FixtureConfig};
 use dwqa_common::Month;
 use dwqa_core::{questions_for_missing_weather, sales_by_temperature_band};
 use dwqa_corpus::PageStyle;
+use dwqa_engine::QaSession;
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -24,13 +27,18 @@ fn main() {
         intranet: true,
         ..FixtureConfig::default()
     });
+    let mut session = QaSession::new(&fx.pipeline);
     println!(
         "Ready: {} documents indexed, {} ontology instances fed, {} sales rows.\n\
          Ask a question (e.g. \"What is the temperature on January 15, 2004 in Barcelona?\"),\n\
-         or :trace / :bands / :missing / :quit.",
+         or :trace / :bands / :missing / :stats / :quit.",
         fx.corpus_size,
         fx.pipeline.enrichment.instances_added,
-        fx.pipeline.warehouse.fact("Last Minute Sales").map(|f| f.len()).unwrap_or(0),
+        fx.pipeline
+            .warehouse
+            .fact("Last Minute Sales")
+            .map(|f| f.len())
+            .unwrap_or(0),
     );
     let stdin = std::io::stdin();
     loop {
@@ -70,11 +78,20 @@ fn main() {
             }
             continue;
         }
-        if let Some(q) = line.strip_prefix(":trace ") {
-            println!("{}", fx.pipeline.trace(q).render());
+        if line == ":stats" {
+            print!("{}", session.stats().render());
+            println!(
+                "session: {} question(s) asked, cache holds {} entr(ies)",
+                session.history().len(),
+                session.engine().cache().len()
+            );
             continue;
         }
-        let (answers, report) = fx.pipeline.ask_and_feed(line);
+        if let Some(q) = line.strip_prefix(":trace ") {
+            println!("{}", session.trace(q).render());
+            continue;
+        }
+        let answers = session.ask(line);
         if answers.is_empty() {
             println!("no answer found");
             continue;
@@ -82,8 +99,12 @@ fn main() {
         for a in answers.iter().take(3) {
             println!("  {}  (score {:.2}, {})", a.tuple_format(), a.score, a.url);
         }
+        let report = fx.pipeline.apply_feedback(&answers);
         if report.loaded > 0 {
-            println!("  → {} tuple(s) fed into the City Weather star", report.loaded);
+            println!(
+                "  → {} tuple(s) fed into the City Weather star",
+                report.loaded
+            );
         }
     }
     println!("bye");

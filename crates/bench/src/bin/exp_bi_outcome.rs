@@ -11,6 +11,7 @@ use dwqa_bench::{build_fixture, daily_questions, section, FixtureConfig};
 use dwqa_common::Month;
 use dwqa_core::{questions_for_missing_weather, sales_by_temperature_band};
 use dwqa_corpus::{PageStyle, SWEET_RANGE_C};
+use dwqa_engine::SubmitBatch;
 
 fn main() {
     let months = vec![(2004, Month::January), (2004, Month::June)];
@@ -28,10 +29,15 @@ fn main() {
     );
     for (year, month) in &months {
         let qs = questions_for_missing_weather(&fx.pipeline.warehouse, *year, *month).unwrap();
-        println!("DW-query→QA generation proposes {} questions for {} {}", qs.len(), month, year);
+        println!(
+            "DW-query→QA generation proposes {} questions for {} {}",
+            qs.len(),
+            month,
+            year
+        );
     }
 
-    section("Step 5 — asking one question per (city, day) and feeding the DW");
+    section("Step 5 — one batch of (city, day) questions through the engine");
     let mut distinct: Vec<String> = Vec::new();
     for c in &fx.cities {
         if !distinct.contains(&c.city.to_owned()) {
@@ -44,14 +50,18 @@ fn main() {
             questions.extend(daily_questions(city, *year, *month));
         }
     }
-    let report = fx.pipeline.feed_from_questions(&questions);
+    // The batch is answered concurrently over the read path and fed back
+    // through the serialized write path, in input order.
+    let report = fx.pipeline.submit_batch(&questions);
     println!(
-        "{} questions → {} rows loaded, {} rejected, load rate {:.3}, {} source pages recorded",
+        "{} questions on {} worker(s) in {:?} → {} rows loaded, {} rejected, load rate {:.3}, {} source pages recorded",
         questions.len(),
-        report.loaded,
-        report.rejected.len(),
-        report.load_rate(),
-        report.urls.len()
+        report.workers,
+        report.wall,
+        report.feed.loaded,
+        report.feed.rejected.len(),
+        report.feed.load_rate(),
+        report.feed.urls.len()
     );
 
     section("After Step 5 — sales per temperature band (5 ºC bands)");
@@ -79,7 +89,11 @@ fn main() {
         SWEET_RANGE_C,
         avg(&sweet_avg),
         avg(&other_avg),
-        if avg(&other_avg) > 0.0 { avg(&sweet_avg) / avg(&other_avg) } else { f64::INFINITY }
+        if avg(&other_avg) > 0.0 {
+            avg(&sweet_avg) / avg(&other_avg)
+        } else {
+            f64::INFINITY
+        }
     );
     println!("The integrated pipeline recovers the planted correlation from the Web corpus.");
 }

@@ -12,13 +12,14 @@
 use dwqa_bench::{build_fixture, daily_questions, section, FixtureConfig};
 use dwqa_common::Month;
 use dwqa_core::{evaluate_temperatures, ExtractionEval, PipelineOptions};
-use dwqa_nlp::wsd::disambiguate;
 use dwqa_corpus::PageStyle;
+use dwqa_nlp::wsd::disambiguate;
 
 fn airport_eval(fx: &dwqa_bench::Fixture, airport: &str, city: &str) -> ExtractionEval {
+    let read = fx.pipeline.read_path();
     let mut answers = Vec::new();
     for q in daily_questions(airport, 2004, Month::January) {
-        answers.extend(fx.pipeline.ask(&q).into_iter().next());
+        answers.extend(read.answer(&q).into_iter().next());
     }
     let expected: Vec<(String, dwqa_common::Date)> =
         dwqa_common::Date::month_days(2004, Month::January)
@@ -34,10 +35,7 @@ fn main() {
     });
     let without = build_fixture(FixtureConfig {
         styles: vec![PageStyle::Prose],
-        options: PipelineOptions {
-            skip_enrichment: true,
-            ..PipelineOptions::default()
-        },
+        options: PipelineOptions::builder().skip_enrichment(true).build(),
         ..FixtureConfig::default()
     });
 
@@ -73,7 +71,11 @@ fn main() {
     println!("pipeline     | airport    | precision | recall |   f1");
     println!("-------------+------------+-----------+--------+------");
     for (name, fx) in [("with Step 2 ", &with), ("without     ", &without)] {
-        for (airport, city) in [("El Prat", "Barcelona"), ("JFK", "New York"), ("John Wayne", "Costa Mesa")] {
+        for (airport, city) in [
+            ("El Prat", "Barcelona"),
+            ("JFK", "New York"),
+            ("John Wayne", "Costa Mesa"),
+        ] {
             let eval = airport_eval(fx, airport, city);
             println!(
                 "{name} | {airport:<10} | {:>9.3} | {:>6.3} | {:>5.3}",

@@ -11,6 +11,7 @@ use dwqa_bench::{build_fixture, daily_questions, section, FixtureConfig};
 use dwqa_common::Month;
 use dwqa_core::{evaluate_temperatures, ExtractionEval};
 use dwqa_corpus::PageStyle;
+use dwqa_engine::QaEngine;
 
 fn main() {
     section("Figure 4 — extraction from prose weather pages");
@@ -23,6 +24,9 @@ fn main() {
             styles: vec![PageStyle::Prose],
             ..FixtureConfig::default()
         });
+        // One engine per fixture: the per-day questions for a city go in
+        // as one batch, answered by the worker pool in input order.
+        let engine = QaEngine::new(&fx.pipeline);
         let mut distinct: Vec<&str> = Vec::new();
         for c in &fx.cities {
             if !distinct.contains(&c.city) {
@@ -32,20 +36,18 @@ fn main() {
         for city in distinct {
             // CLEF-style: the system's answer to a question is its top
             // candidate.
-            let mut answers = Vec::new();
-            for q in daily_questions(city, 2004, Month::January) {
-                answers.extend(fx.pipeline.ask(&q).into_iter().next());
-            }
+            let batch = daily_questions(city, 2004, Month::January);
+            let answers: Vec<_> = engine
+                .answer_batch(&batch)
+                .into_iter()
+                .filter_map(|a| a.into_iter().next())
+                .collect();
             let expected: Vec<(String, dwqa_common::Date)> =
                 dwqa_common::Date::month_days(2004, Month::January)
                     .map(|d| (city.to_owned(), d))
                     .collect();
-            let eval = evaluate_temperatures(
-                &answers,
-                |c, d| fx.truth.temperature(c, d),
-                &expected,
-                0.51,
-            );
+            let eval =
+                evaluate_temperatures(&answers, |c, d| fx.truth.temperature(c, d), &expected, 0.51);
             println!(
                 "{seed:>4} | {city:<11} | {:>9.3} | {:>6.3} | {:>5.3}",
                 eval.precision(),
@@ -54,6 +56,15 @@ fn main() {
             );
             overall.merge(&eval);
         }
+        let s = engine.stats();
+        println!(
+            "     ({} questions on {} worker(s): analyze {} µs, passages {} µs, extract {} µs mean)",
+            s.questions(),
+            engine.workers(),
+            s.analyze.mean_us(),
+            s.passages.mean_us(),
+            s.extract.mean_us()
+        );
     }
     section("Overall (all seeds, all cities)");
     println!(

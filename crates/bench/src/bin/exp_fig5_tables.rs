@@ -32,12 +32,13 @@ fn run(preprocess: bool) -> ExtractionEval {
         store,
         PipelineOptions::default(),
     );
+    let read = pipeline.read_path();
     let mut eval = ExtractionEval::default();
     let cities = ["Barcelona", "New York", "Costa Mesa", "Madrid"];
     for city in cities {
         let mut answers = Vec::new();
         for q in daily_questions(city, 2004, Month::January) {
-            answers.extend(pipeline.ask(&q).into_iter().next());
+            answers.extend(read.answer(&q).into_iter().next());
         }
         let expected: Vec<(String, dwqa_common::Date)> =
             dwqa_common::Date::month_days(2004, Month::January)

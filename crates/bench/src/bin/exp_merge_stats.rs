@@ -33,7 +33,10 @@ fn report(title: &str, fx: &dwqa_bench::Fixture) {
     for (term, target) in &m.synonyms_enriched {
         println!("  synonym: {term:?} joined {target:?}");
     }
-    println!("enrichment (Step 2) instances fed: {}", fx.pipeline.enrichment.instances_added);
+    println!(
+        "enrichment (Step 2) instances fed: {}",
+        fx.pipeline.enrichment.instances_added
+    );
 }
 
 fn main() {
@@ -41,13 +44,12 @@ fn main() {
     report("Step 3 merge — default options", &fx);
 
     let ablated = build_fixture(FixtureConfig {
-        options: PipelineOptions {
-            merge: MergeOptions {
+        options: PipelineOptions::builder()
+            .merge(MergeOptions {
                 head_word_fallback: false,
                 ..MergeOptions::default()
-            },
-            ..PipelineOptions::default()
-        },
+            })
+            .build(),
         ..FixtureConfig::default()
     });
     report("Ablation — head-word fallback disabled", &ablated);

@@ -11,12 +11,12 @@
 use dwqa_bench::{daily_questions, expected_points, section};
 use dwqa_common::Month;
 use dwqa_core::{
-    evaluate_temperatures, integrated_schema, ExtractionEval, IntegrationPipeline,
-    PipelineOptions,
+    evaluate_temperatures, integrated_schema, ExtractionEval, IntegrationPipeline, PipelineOptions,
 };
 use dwqa_corpus::{
     default_cities, generate_distractors, generate_weather_corpus, PageStyle, WeatherConfig,
 };
+use dwqa_engine::SubmitBatch;
 use dwqa_warehouse::Warehouse;
 
 fn main() {
@@ -65,8 +65,7 @@ fn main() {
             rows.push(b.build());
         }
         warehouse.load("Last Minute Sales", rows).unwrap();
-        let mut pipeline =
-            IntegrationPipeline::build(warehouse, store, PipelineOptions::default());
+        let mut pipeline = IntegrationPipeline::build(warehouse, store, PipelineOptions::default());
 
         // Ask per-day questions for every city, feed the DW.
         let mut distinct: Vec<&str> = Vec::new();
@@ -79,7 +78,7 @@ fn main() {
         for city in &distinct {
             questions.extend(daily_questions(city, 2004, Month::January));
         }
-        let feed = pipeline.feed_from_questions(&questions);
+        let feed = pipeline.submit_batch(&questions).feed;
         let axiom_rejections = feed
             .rejected
             .iter()

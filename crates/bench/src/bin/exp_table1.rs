@@ -13,7 +13,7 @@ fn main() {
     println!("{}", trace.render());
 
     section("Generated database rows (temperature – date – city – web page)");
-    let answers = fx.pipeline.ask(&question);
+    let answers = fx.pipeline.read_path().answer(&question);
     for a in &answers {
         println!("{} – {}", a.tuple_format(), a.url);
     }
@@ -37,5 +37,8 @@ fn main() {
             }
         }
     }
-    println!("{correct}/{} tuples verified against ground truth", answers.len());
+    println!(
+        "{correct}/{} tuples verified against ground truth",
+        answers.len()
+    );
 }

@@ -20,20 +20,17 @@ fn main() {
     for window in [1usize, 2, 4, 8, 16, 32] {
         let fx = build_fixture(FixtureConfig {
             styles: vec![PageStyle::Prose],
-            options: PipelineOptions {
-                qa: AliQAnConfig {
-                    passage_window: window,
-                    ..AliQAnConfig::default()
-                },
-                ..PipelineOptions::default()
-            },
+            options: PipelineOptions::builder()
+                .qa(AliQAnConfig::builder().passage_window(window).build())
+                .build(),
             ..FixtureConfig::default()
         });
+        let read = fx.pipeline.read_path();
         let mut eval = ExtractionEval::default();
         for city in ["Barcelona", "New York", "Madrid"] {
             let mut answers = Vec::new();
             for q in daily_questions(city, 2004, Month::January) {
-                answers.extend(fx.pipeline.ask(&q).into_iter().next());
+                answers.extend(read.answer(&q).into_iter().next());
             }
             let expected: Vec<(String, dwqa_common::Date)> =
                 dwqa_common::Date::month_days(2004, Month::January)
@@ -46,7 +43,11 @@ fn main() {
                 0.51,
             ));
         }
-        let marker = if window == 8 { "  ← paper setting" } else { "" };
+        let marker = if window == 8 {
+            "  ← paper setting"
+        } else {
+            ""
+        };
         println!(
             "{window:>6} | {:>9.3} | {:>6.3} | {:>5.3}{marker}",
             eval.precision(),

@@ -82,7 +82,11 @@ pub fn build_corpus(config: &FixtureConfig) -> (DocumentStore, GroundTruth) {
     }
     if config.intranet {
         let city_names: Vec<&str> = cities.iter().map(|c| c.city).collect();
-        let (year, month) = config.months.first().copied().unwrap_or((2004, Month::January));
+        let (year, month) = config
+            .months
+            .first()
+            .copied()
+            .unwrap_or((2004, Month::January));
         for doc in generate_intranet(config.seed ^ 0x17A, &city_names, year, month).documents {
             store.add(doc);
         }
@@ -128,15 +132,16 @@ pub fn daily_questions(city: &str, year: i32, month: Month) -> Vec<String> {
 
 /// The month-level question of the paper's Table 1.
 pub fn monthly_question(city: &str, year: i32, month: Month) -> String {
-    format!("What is the weather like in {} of {} in {}?", month.name(), year, city)
+    format!(
+        "What is the weather like in {} of {} in {}?",
+        month.name(),
+        year,
+        city
+    )
 }
 
 /// The `(city, date)` points a perfect system would extract for a month.
-pub fn expected_points(
-    cities: &[CityClimate],
-    year: i32,
-    month: Month,
-) -> Vec<(String, Date)> {
+pub fn expected_points(cities: &[CityClimate], year: i32, month: Month) -> Vec<(String, Date)> {
     let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::new();
     for c in cities {

@@ -280,7 +280,12 @@ impl Date {
 
     /// Formats as ISO-8601: "2004-01-31".
     pub fn iso_format(self) -> String {
-        format!("{:04}-{:02}-{:02}", self.year, self.month.number(), self.day)
+        format!(
+            "{:04}-{:02}-{:02}",
+            self.year,
+            self.month.number(),
+            self.day
+        )
     }
 
     /// Parses an ISO-8601 `YYYY-MM-DD` string.

@@ -79,10 +79,7 @@ pub fn similarity(a: &str, b: &str) -> f64 {
 /// Step 2 is about.
 pub fn looks_proper(word: &str) -> bool {
     let mut chars = word.chars();
-    match chars.next() {
-        Some(c) if c.is_uppercase() => true,
-        _ => false,
-    }
+    matches!(chars.next(), Some(c) if c.is_uppercase())
 }
 
 /// Whether the token is entirely uppercase letters of length ≥ 2 (an
@@ -105,8 +102,14 @@ mod tests {
 
     #[test]
     fn label_words_splits_compounds() {
-        assert_eq!(label_words("Last Minute Sales"), ["last", "minute", "sales"]);
-        assert_eq!(label_words("last_minute-sales"), ["last", "minute", "sales"]);
+        assert_eq!(
+            label_words("Last Minute Sales"),
+            ["last", "minute", "sales"]
+        );
+        assert_eq!(
+            label_words("last_minute-sales"),
+            ["last", "minute", "sales"]
+        );
         assert!(label_words("   ").is_empty());
     }
 

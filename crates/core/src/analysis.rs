@@ -62,7 +62,10 @@ pub fn sales_by_temperature_band(
         let (Value::Text(city), date, Some(n)) = (&row[0], &row[1], row[2].as_f64()) else {
             continue;
         };
-        sales_of.insert((dwqa_common::text::fold(city), date.to_string()), n as usize);
+        sales_of.insert(
+            (dwqa_common::text::fold(city), date.to_string()),
+            n as usize,
+        );
     }
     // Band accumulation over the weather points (days without sales count
     // as zero-sale days — essential for unbiased per-day averages).
@@ -152,7 +155,8 @@ mod tests {
     #[test]
     fn unanswerable_before_feeding_answerable_after() {
         let mut wh = Warehouse::new(integrated_schema());
-        wh.load("Last Minute Sales", vec![sale("Barcelona", 1)]).unwrap();
+        wh.load("Last Minute Sales", vec![sale("Barcelona", 1)])
+            .unwrap();
         // Before Step 5: no weather rows → empty analysis.
         assert!(sales_by_temperature_band(&wh, 5.0).unwrap().is_empty());
         // After Step 5: the band appears.

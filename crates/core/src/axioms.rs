@@ -98,7 +98,10 @@ mod tests {
             onto.annotation(temp, "axiom.shape"),
             vec!["number followed by ºC or F"]
         );
-        assert_eq!(onto.annotation(temp, "axiom.convert"), vec!["C = (F - 32) * 5/9"]);
+        assert_eq!(
+            onto.annotation(temp, "axiom.convert"),
+            vec!["C = (F - 32) * 5/9"]
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub fn questions_for_missing_weather(
     Ok(destinations
         .into_iter()
         .filter(|city| !covered.contains(city))
-        .map(|city| format!("What is the temperature in {} of {} in {}?", month, year, city))
+        .map(|city| {
+            format!(
+                "What is the temperature in {} of {} in {}?",
+                month, year, city
+            )
+        })
         .collect())
 }
 
@@ -120,13 +125,17 @@ mod tests {
         };
         feed_weather(&mut wh, &[a], &TemperatureAxioms::default()).unwrap();
         let qs = questions_for_missing_weather(&wh, 2004, Month::January).unwrap();
-        assert_eq!(qs, vec!["What is the temperature in January of 2004 in Madrid?"]);
+        assert_eq!(
+            qs,
+            vec!["What is the temperature in January of 2004 in Madrid?"]
+        );
     }
 
     #[test]
     fn other_months_do_not_interfere() {
         let mut wh = Warehouse::new(integrated_schema());
-        wh.load("Last Minute Sales", vec![sale("Barcelona", 5)]).unwrap();
+        wh.load("Last Minute Sales", vec![sale("Barcelona", 5)])
+            .unwrap();
         // Sales are in January; asking about February yields nothing.
         let qs = questions_for_missing_weather(&wh, 2004, Month::February).unwrap();
         assert!(qs.is_empty());

@@ -33,6 +33,22 @@ pub struct FeedReport {
 }
 
 impl FeedReport {
+    /// Merges another report into this one, as when one batch produces a
+    /// report per question: counters add up and URL lists union (keeping
+    /// first-seen order, so merging is order-deterministic).
+    pub fn absorb(&mut self, other: FeedReport) {
+        self.loaded += other.loaded;
+        self.rejected.extend(other.rejected);
+        for url in other.urls {
+            if !self.urls.contains(&url) {
+                self.urls.push(url);
+            }
+        }
+        self.duplicates_skipped += other.duplicates_skipped;
+        self.etl.inserted += other.etl.inserted;
+        self.etl.rejected.extend(other.etl.rejected);
+    }
+
     /// Fraction of answers that became warehouse rows.
     pub fn load_rate(&self) -> f64 {
         let total = self.loaded + self.rejected.len();
@@ -74,10 +90,9 @@ pub fn feed_weather_dedup(
             report.urls.push(answer.url.clone());
         }
         let AnswerValue::Temperature { raw, unit, .. } = answer.value else {
-            report.rejected.push((
-                answer.tuple_format(),
-                "not a temperature answer".to_owned(),
-            ));
+            report
+                .rejected
+                .push((answer.tuple_format(), "not a temperature answer".to_owned()));
             continue;
         };
         let celsius = match axioms.validate(raw, unit) {
@@ -132,12 +147,7 @@ mod tests {
     use dwqa_nlp::TempUnit;
     use dwqa_warehouse::{AggFn, CubeQuery};
 
-    fn answer(
-        celsius: f64,
-        date: Option<Date>,
-        city: Option<&str>,
-        url: &str,
-    ) -> Answer {
+    fn answer(celsius: f64, date: Option<Date>, city: Option<&str>, url: &str) -> Answer {
         Answer {
             value: AnswerValue::Temperature {
                 celsius,
@@ -233,7 +243,7 @@ mod tests {
         let a = answer(8.0, Date::from_ymd(2004, 1, 31), Some("Barcelona"), "url1");
         let r1 = crate::feedback::feed_weather_dedup(
             &mut wh,
-            &[a.clone()],
+            std::slice::from_ref(&a),
             &TemperatureAxioms::default(),
             &mut seen,
         )

@@ -51,6 +51,6 @@ pub use axioms::TemperatureAxioms;
 pub use dwquery::questions_for_missing_weather;
 pub use evaluate::{evaluate_temperatures, ExtractionEval};
 pub use feedback::{feed_weather, FeedReport};
-pub use pipeline::{IntegrationPipeline, PipelineOptions};
+pub use pipeline::{IntegrationPipeline, PipelineOptions, PipelineOptionsBuilder, ReadPath};
 pub use schema::integrated_schema;
 pub use tableprep::preprocess_tables;

@@ -1,18 +1,38 @@
-//! The five-step integration pipeline.
+//! The five-step integration pipeline, split into an immutable **read
+//! path** (question answering over shared state) and a serialized **write
+//! path** (feedback ETL into the warehouse).
+//!
+//! The read path — question analysis, passage selection, answer
+//! extraction — only touches the tuned QA system, whose index and
+//! ontology are immutable after [`IntegrationPipeline::build`]. It is
+//! exposed as [`ReadPath`], a cheaply cloneable `Send + Sync` handle that
+//! many worker threads can drive concurrently (see the `dwqa-engine`
+//! crate). The write path — Step 5, loading validated answers into the
+//! `City Weather` star — needs `&mut` and stays on
+//! [`IntegrationPipeline::apply_feedback`]. Every warehouse mutation bumps
+//! a monotonically increasing *revision* that caches key off to discard
+//! stale entries.
 
 use crate::axioms::TemperatureAxioms;
 use crate::feedback::{feed_weather_dedup, FeedReport};
-use std::collections::HashSet;
 use dwqa_ir::DocumentStore;
 use dwqa_ontology::{
-    enrich_from_warehouse, merge_into_upper, schema_to_ontology, upper_ontology,
-    EnrichmentReport, MergeOptions, MergeReport, Ontology,
+    enrich_from_warehouse, merge_into_upper, schema_to_ontology, upper_ontology, EnrichmentReport,
+    MergeOptions, MergeReport, Ontology,
 };
 use dwqa_qa::{temperature_pattern, AliQAn, AliQAnConfig, Answer, PipelineTrace};
 use dwqa_warehouse::Warehouse;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Pipeline construction options.
-#[derive(Debug, Clone)]
+///
+/// Construct with [`PipelineOptions::builder`]; the struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking
+/// downstream crates.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct PipelineOptions {
     /// Step-3 merge options.
     pub merge: MergeOptions,
@@ -24,24 +44,69 @@ pub struct PipelineOptions {
     pub skip_enrichment: bool,
 }
 
-impl Default for PipelineOptions {
-    fn default() -> PipelineOptions {
-        PipelineOptions {
-            merge: MergeOptions::default(),
-            qa: AliQAnConfig::default(),
-            axioms: TemperatureAxioms::default(),
-            skip_enrichment: false,
+impl PipelineOptions {
+    /// Starts a builder pre-loaded with the defaults.
+    pub fn builder() -> PipelineOptionsBuilder {
+        PipelineOptionsBuilder {
+            options: PipelineOptions::default(),
         }
+    }
+}
+
+/// Builder for [`PipelineOptions`].
+///
+/// ```
+/// use dwqa_core::PipelineOptions;
+/// let options = PipelineOptions::builder().skip_enrichment(true).build();
+/// assert!(options.skip_enrichment);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineOptionsBuilder {
+    options: PipelineOptions,
+}
+
+impl PipelineOptionsBuilder {
+    /// Sets the Step-3 merge options.
+    pub fn merge(mut self, merge: MergeOptions) -> Self {
+        self.options.merge = merge;
+        self
+    }
+
+    /// Sets the QA configuration.
+    pub fn qa(mut self, qa: AliQAnConfig) -> Self {
+        self.options.qa = qa;
+        self
+    }
+
+    /// Sets the Step-4 axioms.
+    pub fn axioms(mut self, axioms: TemperatureAxioms) -> Self {
+        self.options.axioms = axioms;
+        self
+    }
+
+    /// Skips Step 2 (ontology enrichment) — the E5 ablation.
+    pub fn skip_enrichment(mut self, skip: bool) -> Self {
+        self.options.skip_enrichment = skip;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> PipelineOptions {
+        self.options
     }
 }
 
 /// The integrated system: the DW, the tuned QA system over the merged
 /// ontology, and the reports of Steps 1–4.
 pub struct IntegrationPipeline {
-    /// The data warehouse (Step 5 writes into it).
+    /// The data warehouse (Step 5 writes into it). Prefer
+    /// [`Self::apply_feedback`] for mutation; after mutating directly,
+    /// call [`Self::mark_dirty`] so caches keyed on the revision drop
+    /// their stale entries.
     pub warehouse: Warehouse,
-    /// The tuned QA system over the merged ontology.
-    pub qa: AliQAn,
+    /// The tuned QA system over the merged ontology, shared with every
+    /// [`ReadPath`] handle.
+    pub qa: Arc<AliQAn>,
     /// Step-2 report.
     pub enrichment: EnrichmentReport,
     /// Step-3 report.
@@ -50,6 +115,41 @@ pub struct IntegrationPipeline {
     /// (city, date) points already fed, so overlapping questions never
     /// load the same reading twice.
     fed_points: HashSet<(String, dwqa_common::Date)>,
+    /// Bumped on every warehouse mutation; shared with [`ReadPath`].
+    revision: Arc<AtomicU64>,
+}
+
+/// The immutable read path: a cheap, cloneable, `Send + Sync` handle over
+/// the tuned QA system. Worker threads answer questions through it while
+/// the owner of the [`IntegrationPipeline`] serializes feedback writes.
+#[derive(Clone)]
+pub struct ReadPath {
+    qa: Arc<AliQAn>,
+    revision: Arc<AtomicU64>,
+}
+
+impl ReadPath {
+    /// The shared QA system (analysis, passage and extraction modules).
+    pub fn qa(&self) -> &AliQAn {
+        &self.qa
+    }
+
+    /// The full search phase for one question.
+    pub fn answer(&self, question: &str) -> Vec<Answer> {
+        self.qa.answer(question)
+    }
+
+    /// The Table-1 trace for a question.
+    pub fn trace(&self, question: &str) -> PipelineTrace {
+        self.qa.trace(question)
+    }
+
+    /// The warehouse revision this handle currently observes. Increases
+    /// every time the write path mutates the warehouse; caches tag
+    /// entries with it and drop them when it moves.
+    pub fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Acquire)
+    }
 }
 
 impl IntegrationPipeline {
@@ -60,7 +160,8 @@ impl IntegrationPipeline {
     /// * Step 2 — DW members enrich it (unless ablated);
     /// * Step 3 — merge into the mini-WordNet upper ontology;
     /// * Step 4 — the temperature question pattern and axioms are tuned in;
-    /// * the corpus is indexed so Step 5 can run via [`Self::ask_and_feed`].
+    /// * the corpus is indexed so Step 5 can run via
+    ///   [`Self::apply_feedback`].
     pub fn build(
         warehouse: Warehouse,
         corpus: DocumentStore,
@@ -81,52 +182,93 @@ impl IntegrationPipeline {
         options.axioms.annotate(&mut upper);
         let mut qa = AliQAn::new(upper, options.qa);
         qa.tune(temperature_pattern());
-        // Indexation phase.
+        // Indexation phase. After this point the QA state is immutable
+        // and can be shared across threads.
         qa.index_corpus(corpus);
         IntegrationPipeline {
             warehouse,
-            qa,
+            qa: Arc::new(qa),
             enrichment,
             merge,
             axioms: options.axioms,
             fed_points: HashSet::new(),
+            revision: Arc::new(AtomicU64::new(0)),
         }
     }
 
+    /// A cloneable `Send + Sync` handle over the immutable QA state, for
+    /// concurrent question answering.
+    pub fn read_path(&self) -> ReadPath {
+        ReadPath {
+            qa: Arc::clone(&self.qa),
+            revision: Arc::clone(&self.revision),
+        }
+    }
+
+    /// The current warehouse revision (see [`ReadPath::revision`]).
+    pub fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Acquire)
+    }
+
+    /// Bumps the revision so caches drop entries computed against the
+    /// previous warehouse state. [`Self::apply_feedback`] calls this
+    /// automatically; call it yourself after mutating
+    /// [`Self::warehouse`] directly.
+    pub fn mark_dirty(&self) {
+        self.revision.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The write path (Step 5): validates answers against the Step-4
+    /// axioms and loads them into the `City Weather` star, deduplicating
+    /// (city, date) points across calls. Bumps the revision when rows
+    /// were actually loaded; a feed that only rejects or skips
+    /// duplicates leaves the warehouse — and therefore cached answers —
+    /// untouched.
+    pub fn apply_feedback(&mut self, answers: &[Answer]) -> FeedReport {
+        let report = feed_weather_dedup(
+            &mut self.warehouse,
+            answers,
+            &self.axioms,
+            &mut self.fed_points,
+        )
+        .expect("the integrated schema has the City Weather fact");
+        if report.loaded > 0 {
+            self.mark_dirty();
+        }
+        report
+    }
+
     /// Asks the QA system one question (Steps 1–4 already in place).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `read_path().answer()`, or `dwqa_engine::QaSession` for cached access"
+    )]
     pub fn ask(&self, question: &str) -> Vec<Answer> {
         self.qa.answer(question)
     }
 
     /// Step 5 for one question: answers are validated and loaded into the
     /// `City Weather` star.
+    #[deprecated(
+        since = "0.2.0",
+        note = "answer via `read_path()` / `dwqa_engine::QaSession`, then load with `apply_feedback`"
+    )]
     pub fn ask_and_feed(&mut self, question: &str) -> (Vec<Answer>, FeedReport) {
         let answers = self.qa.answer(question);
-        let report = feed_weather_dedup(
-            &mut self.warehouse,
-            &answers,
-            &self.axioms,
-            &mut self.fed_points,
-        )
-        .expect("the integrated schema has the City Weather fact");
+        let report = self.apply_feedback(&answers);
         (answers, report)
     }
 
     /// Step 5 for a batch of questions; returns the merged feed report.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `dwqa_engine::SubmitBatch::submit_batch`, which answers the batch concurrently"
+    )]
     pub fn feed_from_questions(&mut self, questions: &[String]) -> FeedReport {
         let mut merged = FeedReport::default();
         for q in questions {
-            let (_, report) = self.ask_and_feed(q);
-            merged.loaded += report.loaded;
-            merged.rejected.extend(report.rejected);
-            for url in report.urls {
-                if !merged.urls.contains(&url) {
-                    merged.urls.push(url);
-                }
-            }
-            merged.duplicates_skipped += report.duplicates_skipped;
-            merged.etl.inserted += report.etl.inserted;
-            merged.etl.rejected.extend(report.etl.rejected);
+            let answers = self.qa.answer(q);
+            merged.absorb(self.apply_feedback(&answers));
         }
         merged
     }
@@ -149,15 +291,16 @@ mod tests {
     use dwqa_qa::AnswerValue;
 
     fn built_pipeline(skip_enrichment: bool) -> (IntegrationPipeline, dwqa_corpus::GroundTruth) {
-        let corpus =
-            generate_weather_corpus(&WeatherConfig::new(42, 2004, Month::January), &default_cities());
+        let corpus = generate_weather_corpus(
+            &WeatherConfig::new(42, 2004, Month::January),
+            &default_cities(),
+        );
         let mut wh = Warehouse::new(integrated_schema());
         let rows = generate_sales(&SalesConfig::default(), &default_cities(), &corpus.truth);
         wh.load("Last Minute Sales", rows).unwrap();
-        let options = PipelineOptions {
-            skip_enrichment,
-            ..PipelineOptions::default()
-        };
+        let options = PipelineOptions::builder()
+            .skip_enrichment(skip_enrichment)
+            .build();
         let truth = corpus.truth.clone();
         (IntegrationPipeline::build(wh, corpus.store, options), truth)
     }
@@ -180,8 +323,10 @@ mod tests {
     #[test]
     fn paper_question_end_to_end() {
         let (mut p, truth) = built_pipeline(false);
-        let (answers, report) =
-            p.ask_and_feed("What is the temperature in January of 2004 in El Prat?");
+        let answers = p
+            .read_path()
+            .answer("What is the temperature in January of 2004 in El Prat?");
+        let report = p.apply_feedback(&answers);
         assert!(!answers.is_empty());
         assert!(report.loaded > 0, "rejected: {:?}", report.rejected);
         // Every loaded tuple matches the generator's ground truth.
@@ -206,10 +351,72 @@ mod tests {
             .iter()
             .map(|c| format!("What is the temperature in January of 2004 in {}?", c.city))
             .collect();
-        let report = p.feed_from_questions(&questions);
-        assert!(report.loaded > 0);
+        let read = p.read_path();
+        let mut merged = FeedReport::default();
+        for q in &questions {
+            let answers = read.answer(q);
+            merged.absorb(p.apply_feedback(&answers));
+        }
+        assert!(merged.loaded > 0);
         let bands = sales_by_temperature_band(&p.warehouse, 5.0).unwrap();
         assert!(!bands.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let (mut p, _) = built_pipeline(false);
+        let question = "What is the temperature in January of 2004 in El Prat?";
+        let via_read_path = p.read_path().answer(question);
+        assert_eq!(p.ask(question), via_read_path);
+        let (answers, report) = p.ask_and_feed(question);
+        assert_eq!(answers, via_read_path);
+        assert!(report.loaded > 0);
+        // A second feed of the same question only skips duplicates.
+        let report = p.feed_from_questions(&[question.to_owned()]);
+        assert_eq!(report.loaded, 0);
+        assert!(report.duplicates_skipped > 0);
+    }
+
+    #[test]
+    fn feedback_bumps_the_revision_and_read_paths_observe_it() {
+        let (mut p, _) = built_pipeline(false);
+        let read = p.read_path();
+        assert_eq!(read.revision(), 0);
+        let answers = read.answer("What is the temperature in January of 2004 in El Prat?");
+        p.apply_feedback(&answers);
+        assert_eq!(read.revision(), 1);
+        assert_eq!(p.revision(), 1);
+        p.mark_dirty();
+        assert_eq!(read.revision(), 2);
+        // Clones observe the same counter.
+        assert_eq!(read.clone().revision(), 2);
+    }
+
+    #[test]
+    fn read_path_is_send_sync_and_usable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReadPath>();
+
+        let (p, _) = built_pipeline(false);
+        let read = p.read_path();
+        let question = "What is the temperature in January of 2004 in El Prat?";
+        let expected = read.answer(question);
+        let from_threads = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let read = read.clone();
+                    s.spawn(move || read.answer(question))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for answers in from_threads {
+            assert_eq!(answers, expected);
+        }
     }
 
     #[test]

@@ -105,7 +105,10 @@ mod tests {
         let (_, weather) = s.fact("City Weather").unwrap();
         let sales_date = sales.role("Date").unwrap().dimension;
         let weather_date = weather.role("Date").unwrap().dimension;
-        assert_eq!(sales_date, weather_date, "both facts share one Date dimension");
+        assert_eq!(
+            sales_date, weather_date,
+            "both facts share one Date dimension"
+        );
     }
 
     #[test]

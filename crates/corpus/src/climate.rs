@@ -36,7 +36,9 @@ pub fn default_cities() -> Vec<CityClimate> {
             airport: "El Prat",
             state: "Catalonia",
             country: "Spain",
-            monthly_mean: [9.0, 10.0, 12.0, 14.0, 17.5, 21.5, 24.5, 25.0, 22.0, 18.0, 13.0, 10.0],
+            monthly_mean: [
+                9.0, 10.0, 12.0, 14.0, 17.5, 21.5, 24.5, 25.0, 22.0, 18.0, 13.0, 10.0,
+            ],
             daily_sigma: 2.0,
         },
         CityClimate {
@@ -44,7 +46,9 @@ pub fn default_cities() -> Vec<CityClimate> {
             airport: "JFK",
             state: "New York State",
             country: "United States",
-            monthly_mean: [0.0, 1.5, 5.5, 11.5, 17.0, 22.0, 25.0, 24.5, 20.5, 14.5, 8.5, 3.0],
+            monthly_mean: [
+                0.0, 1.5, 5.5, 11.5, 17.0, 22.0, 25.0, 24.5, 20.5, 14.5, 8.5, 3.0,
+            ],
             daily_sigma: 3.5,
         },
         CityClimate {
@@ -52,7 +56,9 @@ pub fn default_cities() -> Vec<CityClimate> {
             airport: "La Guardia",
             state: "New York State",
             country: "United States",
-            monthly_mean: [0.5, 2.0, 6.0, 12.0, 17.5, 22.5, 25.5, 25.0, 21.0, 15.0, 9.0, 3.5],
+            monthly_mean: [
+                0.5, 2.0, 6.0, 12.0, 17.5, 22.5, 25.5, 25.0, 21.0, 15.0, 9.0, 3.5,
+            ],
             daily_sigma: 3.5,
         },
         CityClimate {
@@ -60,7 +66,9 @@ pub fn default_cities() -> Vec<CityClimate> {
             airport: "John Wayne",
             state: "California",
             country: "United States",
-            monthly_mean: [14.0, 14.5, 15.5, 17.0, 18.5, 20.5, 22.5, 23.0, 22.0, 19.5, 16.5, 14.0],
+            monthly_mean: [
+                14.0, 14.5, 15.5, 17.0, 18.5, 20.5, 22.5, 23.0, 22.0, 19.5, 16.5, 14.0,
+            ],
             daily_sigma: 2.0,
         },
         CityClimate {
@@ -68,7 +76,9 @@ pub fn default_cities() -> Vec<CityClimate> {
             airport: "Barajas",
             state: "Community of Madrid",
             country: "Spain",
-            monthly_mean: [6.0, 7.5, 10.5, 13.0, 17.0, 22.5, 26.0, 25.5, 21.0, 15.0, 9.5, 6.5],
+            monthly_mean: [
+                6.0, 7.5, 10.5, 13.0, 17.0, 22.5, 26.0, 25.5, 21.0, 15.0, 9.5, 6.5,
+            ],
             daily_sigma: 3.0,
         },
         CityClimate {
@@ -76,7 +86,9 @@ pub fn default_cities() -> Vec<CityClimate> {
             airport: "El Altet",
             state: "Valencian Community",
             country: "Spain",
-            monthly_mean: [11.5, 12.0, 14.0, 16.0, 19.0, 23.0, 25.5, 26.0, 23.5, 19.5, 15.0, 12.0],
+            monthly_mean: [
+                11.5, 12.0, 14.0, 16.0, 19.0, 23.0, 25.5, 26.0, 23.5, 19.5, 15.0, 12.0,
+            ],
             daily_sigma: 2.0,
         },
         CityClimate {
@@ -84,7 +96,9 @@ pub fn default_cities() -> Vec<CityClimate> {
             airport: "Charles de Gaulle",
             state: "Ile-de-France",
             country: "France",
-            monthly_mean: [4.5, 5.5, 8.5, 11.5, 15.0, 18.5, 20.5, 20.5, 17.0, 13.0, 8.0, 5.0],
+            monthly_mean: [
+                4.5, 5.5, 8.5, 11.5, 15.0, 18.5, 20.5, 20.5, 17.0, 13.0, 8.0, 5.0,
+            ],
             daily_sigma: 3.0,
         },
         CityClimate {
@@ -92,7 +106,9 @@ pub fn default_cities() -> Vec<CityClimate> {
             airport: "Heathrow",
             state: "Greater London",
             country: "United Kingdom",
-            monthly_mean: [5.0, 5.5, 7.5, 9.5, 13.0, 16.0, 18.5, 18.0, 15.5, 12.0, 8.0, 5.5],
+            monthly_mean: [
+                5.0, 5.5, 7.5, 9.5, 13.0, 16.0, 18.5, 18.0, 15.5, 12.0, 8.0, 5.5,
+            ],
             daily_sigma: 2.5,
         },
     ]

@@ -51,7 +51,7 @@ fn band_page(rng: &mut StdRng) -> (String, String) {
 
 fn promo_page(rng: &mut StdRng) -> (String, String) {
     let price = 29 + rng.gen_range(0..8) * 10;
-    let city = ["Barcelona", "Madrid", "Paris", "London"][rng.gen_range(0..4)];
+    let city = ["Barcelona", "Madrid", "Paris", "London"][rng.gen_range(0..4usize)];
     (
         format!("promo/flights-{}", dwqa_common::text::fold(city)),
         format!(
@@ -72,7 +72,7 @@ fn sports_page(rng: &mut StdRng) -> (String, String) {
             "On {}, the home team scored {goals} goals in {}. The match report mentioned \
              the crowd of 46.4 thousand people. It was a great event for the city.",
             date.long_format(),
-            ["Barcelona", "Madrid", "London"][rng.gen_range(0..3)]
+            ["Barcelona", "Madrid", "London"][rng.gen_range(0..3usize)]
         ),
     )
 }
@@ -89,10 +89,13 @@ fn database_page(rng: &mut StdRng) -> (String, String) {
     )
 }
 
+/// A template: draws a (title, body) pair from the RNG.
+type PageMaker = fn(&mut StdRng) -> (String, String);
+
 /// Generates `count` distractor documents, cycling through the templates.
 pub fn generate_distractors(seed: u64, count: usize) -> Vec<Document> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let makers: [fn(&mut StdRng) -> (String, String); 6] = [
+    let makers: [PageMaker; 6] = [
         president_page,
         mayor_page,
         band_page,

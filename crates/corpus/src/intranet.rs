@@ -68,17 +68,23 @@ pub fn generate_intranet(seed: u64, cities: &[&str], year: i32, month: Month) ->
         let day = rng.gen_range(1..=month.days_in(year).min(28));
         let promo = Promotion {
             city: (*city).to_owned(),
-            price_euros: 29 + rng.gen_range(0..10) * 10,
+            price_euros: 29 + rng.gen_range(0..10u32) * 10,
             starts: Date::new(year, month, day).expect("day clamped to month length"),
         };
         out.documents.push(Document::new(
-            &format!("intranet://reports/{}-promotion-{ci}", dwqa_common::text::fold(city)),
+            &format!(
+                "intranet://reports/{}-promotion-{ci}",
+                dwqa_common::text::fold(city)
+            ),
             DocFormat::Plain,
             &format!("{city} promotion report"),
             &report(&promo, ci),
         ));
         out.documents.push(Document::new(
-            &format!("intranet://mail/{}-thread-{ci}", dwqa_common::text::fold(city)),
+            &format!(
+                "intranet://mail/{}-thread-{ci}",
+                dwqa_common::text::fold(city)
+            ),
             DocFormat::Plain,
             &format!("{city} promotion email"),
             &email(&promo, ci),
@@ -128,8 +134,7 @@ mod tests {
                 for e in &s.entities {
                     match &e.kind {
                         dwqa_nlp::EntityKind::Money { amount, currency }
-                            if *amount == f64::from(promo.price_euros)
-                                && currency == "euro" =>
+                            if *amount == f64::from(promo.price_euros) && currency == "euro" =>
                         {
                             found_price = true;
                         }

@@ -93,12 +93,14 @@ mod tests {
             &WeatherConfig::new(2, 2004, Month::January),
             &default_cities(),
         );
-        let ta = a
-            .truth
-            .temperature("Barcelona", dwqa_common::Date::from_ymd(2004, 1, 15).unwrap());
-        let tb = b
-            .truth
-            .temperature("Barcelona", dwqa_common::Date::from_ymd(2004, 1, 15).unwrap());
+        let ta = a.truth.temperature(
+            "Barcelona",
+            dwqa_common::Date::from_ymd(2004, 1, 15).unwrap(),
+        );
+        let tb = b.truth.temperature(
+            "Barcelona",
+            dwqa_common::Date::from_ymd(2004, 1, 15).unwrap(),
+        );
         assert_ne!(ta, tb);
     }
 }

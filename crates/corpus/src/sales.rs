@@ -64,8 +64,12 @@ pub fn generate_sales(
             .collect();
         for dest in destinations {
             let n = config.base_daily_sales
-                + if in_sweet_range(temp) { config.sweet_bonus } else { 0 }
-                + rng.gen_range(0..2);
+                + if in_sweet_range(temp) {
+                    config.sweet_bonus
+                } else {
+                    0
+                }
+                + rng.gen_range(0..2usize);
             for _ in 0..n {
                 let oi = rng.gen_range(0..cities.len());
                 let origin = if cities[oi].airport == dest.airport {

@@ -288,7 +288,10 @@ mod tests {
     use crate::climate::default_cities;
 
     fn corpus() -> Corpus {
-        generate_weather_corpus(&WeatherConfig::new(42, 2004, Month::January), &default_cities())
+        generate_weather_corpus(
+            &WeatherConfig::new(42, 2004, Month::January),
+            &default_cities(),
+        )
     }
 
     #[test]
@@ -323,7 +326,10 @@ mod tests {
         let date = Date::from_ymd(2004, 1, 15).unwrap();
         let needle = date.long_format();
         let mut lines = bcn.text.lines();
-        lines.by_ref().find(|l| l.contains(&needle)).expect("day heading");
+        lines
+            .by_ref()
+            .find(|l| l.contains(&needle))
+            .expect("day heading");
         let weather_line = lines.next().expect("weather line after heading");
         let truth = c.truth.temperature("Barcelona", date).unwrap();
         assert!(
@@ -347,8 +353,7 @@ mod tests {
     #[test]
     fn formats_rotate_and_extract() {
         let c = corpus();
-        let formats: std::collections::HashSet<_> =
-            c.store.iter().map(|(_, d)| d.format).collect();
+        let formats: std::collections::HashSet<_> = c.store.iter().map(|(_, d)| d.format).collect();
         assert!(formats.len() >= 2, "expected mixed formats");
         // HTML/XML documents still expose clean text.
         for (_, d) in c.store.iter() {

@@ -1,0 +1,191 @@
+//! The answer cache: an LRU map keyed on *normalized* question text,
+//! with every entry tagged by the warehouse revision it was computed
+//! against. When the feedback ETL mutates the warehouse the pipeline
+//! bumps its revision (see [`dwqa_core::ReadPath::revision`]); stale
+//! entries are then dropped lazily on lookup or eagerly via
+//! [`AnswerCache::purge_stale`].
+
+use dwqa_qa::Answer;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Canonicalizes a question for cache keying: accent/case folding,
+/// whitespace collapsing, and trailing punctuation removal, so
+/// `"  What is   the Temperature?"` and `"what is the temperature"`
+/// share an entry.
+pub fn normalize_question(question: &str) -> String {
+    let folded = dwqa_common::text::fold(question);
+    folded
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .trim_end_matches(['?', '.', '!', ' '])
+        .to_owned()
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    revision: u64,
+    answers: Vec<Answer>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+/// A bounded LRU answer cache, safe to share across worker threads.
+#[derive(Debug)]
+pub struct AnswerCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl AnswerCache {
+    /// Creates a cache holding at most `capacity` question entries.
+    /// A zero capacity disables caching entirely.
+    pub fn new(capacity: usize) -> AnswerCache {
+        AnswerCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently cached (fresh and stale alike).
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a normalized key. Returns the cached answers only when
+    /// the entry was computed against `revision`; a stale entry is
+    /// removed and reported as a miss.
+    pub fn lookup(&self, key: &str, revision: u64) -> Option<Vec<Answer>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) if entry.revision == revision => {
+                entry.last_used = tick;
+                Some(entry.answers.clone())
+            }
+            Some(_) => {
+                inner.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Stores answers computed against `revision`, evicting the least
+    /// recently used entry when full.
+    pub fn store(&self, key: String, revision: u64, answers: Vec<Answer>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                revision,
+                answers,
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            inner.map.remove(&lru);
+        }
+    }
+
+    /// Eagerly drops every entry not computed against `revision`,
+    /// returning how many were removed.
+    pub fn purge_stale(&self, revision: u64) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.map.len();
+        inner.map.retain(|_, e| e.revision == revision);
+        before - inner.map.len()
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_folds_case_space_and_punctuation() {
+        assert_eq!(
+            normalize_question("  What is   the Temperature?"),
+            "what is the temperature"
+        );
+        assert_eq!(
+            normalize_question("what is the temperature"),
+            "what is the temperature"
+        );
+        assert_eq!(normalize_question("¿Dónde está?"), "¿donde esta");
+    }
+
+    #[test]
+    fn lookup_respects_revision() {
+        let cache = AnswerCache::new(8);
+        cache.store("q".into(), 0, vec![]);
+        assert!(cache.lookup("q", 0).is_some());
+        // Same key at a newer revision: stale, dropped.
+        assert!(cache.lookup("q", 1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn purge_drops_only_stale_entries() {
+        let cache = AnswerCache::new(8);
+        cache.store("old".into(), 0, vec![]);
+        cache.store("new".into(), 3, vec![]);
+        assert_eq!(cache.purge_stale(3), 1);
+        assert!(cache.lookup("new", 3).is_some());
+        assert!(cache.lookup("old", 3).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_entries() {
+        let cache = AnswerCache::new(2);
+        cache.store("a".into(), 0, vec![]);
+        cache.store("b".into(), 0, vec![]);
+        // Touch "a" so "b" is the least recently used.
+        assert!(cache.lookup("a", 0).is_some());
+        cache.store("c".into(), 0, vec![]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("a", 0).is_some());
+        assert!(cache.lookup("b", 0).is_none());
+        assert!(cache.lookup("c", 0).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = AnswerCache::new(0);
+        cache.store("q".into(), 0, vec![]);
+        assert!(cache.lookup("q", 0).is_none());
+    }
+}

@@ -1,0 +1,264 @@
+//! The concurrent batch engine and the session-oriented API.
+//!
+//! [`QaEngine`] drives the pipeline's immutable read path with a pool of
+//! scoped worker threads and an LRU answer cache; [`QaSession`] wraps an
+//! engine with per-session history; [`SubmitBatch`] puts
+//! `pipeline.submit_batch(&questions)` on [`IntegrationPipeline`],
+//! combining the concurrent read phase with the serialized write phase
+//! into one deterministic [`BatchReport`].
+
+use crate::cache::{normalize_question, AnswerCache};
+use crate::stats::EngineStats;
+use dwqa_core::{FeedReport, IntegrationPipeline, ReadPath};
+use dwqa_qa::{Answer, PipelineTrace};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Default answer-cache capacity (questions).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// The concurrent QA engine: a worker pool over the pipeline's immutable
+/// read path, an answer cache, and per-stage statistics. Shareable across
+/// threads by reference; cheap to construct from any pipeline.
+pub struct QaEngine {
+    read: ReadPath,
+    cache: AnswerCache,
+    stats: EngineStats,
+    workers: usize,
+}
+
+impl QaEngine {
+    /// An engine over the pipeline's read path, with one worker per
+    /// available core (at least one) and the default cache capacity.
+    pub fn new(pipeline: &IntegrationPipeline) -> QaEngine {
+        QaEngine::over(pipeline.read_path())
+    }
+
+    /// An engine over an explicit read path.
+    pub fn over(read: ReadPath) -> QaEngine {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        QaEngine {
+            read,
+            cache: AnswerCache::new(DEFAULT_CACHE_CAPACITY),
+            stats: EngineStats::default(),
+            workers,
+        }
+    }
+
+    /// Sets the worker-pool size (clamped to at least one).
+    pub fn with_workers(mut self, workers: usize) -> QaEngine {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the answer cache with one of the given capacity
+    /// (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> QaEngine {
+        self.cache = AnswerCache::new(capacity);
+        self
+    }
+
+    /// The worker-pool size used by [`QaEngine::answer_batch`].
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The engine's statistics (live; updated by every answer).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The engine's answer cache.
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// The underlying read path.
+    pub fn read_path(&self) -> &ReadPath {
+        &self.read
+    }
+
+    /// Answers one question, consulting the cache first. A cached entry
+    /// is served only if it was computed against the current warehouse
+    /// revision; feedback ETL therefore invalidates it.
+    pub fn answer(&self, question: &str) -> Vec<Answer> {
+        self.stats.record_question();
+        let key = normalize_question(question);
+        let revision = self.read.revision();
+        if let Some(hit) = self.cache.lookup(&key, revision) {
+            self.stats.record_cache_hit();
+            return hit;
+        }
+        self.stats.record_cache_miss();
+        let qa = self.read.qa();
+        let t = Instant::now();
+        let analysis = qa.analyze(question);
+        self.stats.analyze.record(t.elapsed());
+        let t = Instant::now();
+        let passages = qa.passages(&analysis);
+        self.stats.passages.record(t.elapsed());
+        let t = Instant::now();
+        let answers = qa.extract(&analysis, &passages);
+        self.stats.extract.record(t.elapsed());
+        self.cache.store(key, revision, answers.clone());
+        answers
+    }
+
+    /// The Table-1 trace for a question (uncached).
+    pub fn trace(&self, question: &str) -> PipelineTrace {
+        self.read.trace(question)
+    }
+
+    /// Pre-seeds the cache by answering `questions` (on the calling
+    /// thread), so a later batch over them is served from memory.
+    pub fn warm(&self, questions: &[String]) {
+        for q in questions {
+            let _ = self.answer(q);
+        }
+    }
+
+    /// Answers a batch concurrently on the worker pool. Results come
+    /// back **in input order** regardless of which worker finished
+    /// first, so merging is deterministic.
+    pub fn answer_batch(&self, questions: &[String]) -> Vec<Vec<Answer>> {
+        self.stats.record_batch();
+        let n = questions.len();
+        let workers = self.workers.min(n.max(1));
+        if workers <= 1 {
+            return questions.iter().map(|q| self.answer(q)).collect();
+        }
+        let slots: Vec<Mutex<Option<Vec<Answer>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    // Work stealing off a shared index: whichever worker
+                    // is free takes the next question, but every answer
+                    // lands in its question's slot.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let answers = self.answer(&questions[i]);
+                    *slots[i].lock() = Some(answers);
+                });
+            }
+        })
+        .expect("a batch worker panicked");
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot was filled"))
+            .collect()
+    }
+}
+
+/// A session over the integrated system: an engine plus the history of
+/// questions asked through it. Sessions are the unit of interaction for
+/// the REPL and the experiment binaries.
+pub struct QaSession {
+    engine: QaEngine,
+    history: Vec<String>,
+}
+
+impl QaSession {
+    /// Opens a session on a pipeline with a default engine.
+    pub fn new(pipeline: &IntegrationPipeline) -> QaSession {
+        QaSession::with_engine(QaEngine::new(pipeline))
+    }
+
+    /// Opens a session over a pre-configured engine.
+    pub fn with_engine(engine: QaEngine) -> QaSession {
+        QaSession {
+            engine,
+            history: Vec::new(),
+        }
+    }
+
+    /// Asks one question (cached, recorded in the session history).
+    pub fn ask(&mut self, question: &str) -> Vec<Answer> {
+        self.history.push(question.to_owned());
+        self.engine.answer(question)
+    }
+
+    /// Asks a batch concurrently (recorded in the session history).
+    pub fn ask_batch(&mut self, questions: &[String]) -> Vec<Vec<Answer>> {
+        self.history.extend(questions.iter().cloned());
+        self.engine.answer_batch(questions)
+    }
+
+    /// The Table-1 trace for a question (not recorded).
+    pub fn trace(&self, question: &str) -> PipelineTrace {
+        self.engine.trace(question)
+    }
+
+    /// Every question asked through this session, in order.
+    pub fn history(&self) -> &[String] {
+        &self.history
+    }
+
+    /// The session's engine.
+    pub fn engine(&self) -> &QaEngine {
+        &self.engine
+    }
+
+    /// The session's statistics.
+    pub fn stats(&self) -> &EngineStats {
+        self.engine.stats()
+    }
+}
+
+/// The outcome of one batch submission: per-question answers (input
+/// order), the merged feed report, and timing.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Answers per question, aligned with the submitted slice.
+    pub answers: Vec<Vec<Answer>>,
+    /// The merged Step-5 report over the whole batch.
+    pub feed: FeedReport,
+    /// Worker threads used for the read phase.
+    pub workers: usize,
+    /// Wall-clock time of the whole submission (read + write phase).
+    pub wall: Duration,
+}
+
+/// Batch submission over an [`IntegrationPipeline`]: answer concurrently,
+/// feed serially, report deterministically.
+pub trait SubmitBatch {
+    /// Submits a batch with a default engine (no cache reuse across
+    /// calls; use [`SubmitBatch::submit_batch_with`] to keep one).
+    fn submit_batch(&mut self, questions: &[String]) -> BatchReport;
+
+    /// Submits a batch through an existing engine, reusing its cache,
+    /// worker configuration and statistics.
+    fn submit_batch_with(&mut self, engine: &QaEngine, questions: &[String]) -> BatchReport;
+}
+
+impl SubmitBatch for IntegrationPipeline {
+    fn submit_batch(&mut self, questions: &[String]) -> BatchReport {
+        let engine = QaEngine::new(self);
+        self.submit_batch_with(&engine, questions)
+    }
+
+    fn submit_batch_with(&mut self, engine: &QaEngine, questions: &[String]) -> BatchReport {
+        let start = Instant::now();
+        // Read phase: concurrent, order-preserving.
+        let answers = engine.answer_batch(questions);
+        // Write phase: serialized in input order, so the warehouse ends
+        // in exactly the state sequential ask-and-feed would produce.
+        let mut feed = FeedReport::default();
+        for batch in &answers {
+            let t = Instant::now();
+            feed.absorb(self.apply_feedback(batch));
+            engine.stats().feed.record(t.elapsed());
+        }
+        BatchReport {
+            answers,
+            feed,
+            workers: engine.workers(),
+            wall: start.elapsed(),
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-stage counters and latency histograms for the batch engine.
+//!
+//! All state is atomic so worker threads record timings through a shared
+//! reference without locking. Latencies land in logarithmic (power-of-two
+//! microsecond) buckets, which keeps recording O(1) and still yields
+//! usable p50/p95/max read-outs for the REPL and experiment binaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` µs, with bucket 0 holding sub-microsecond samples.
+const BUCKETS: usize = 40;
+
+/// A lock-free latency histogram with power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_for(us: u64) -> usize {
+        ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// The exclusive upper bound (µs) of a bucket.
+    fn bucket_bound(bucket: usize) -> u64 {
+        1u64 << bucket
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// An upper bound (µs) on the `q`-quantile latency (0.0 ..= 1.0).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.samples();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(BUCKETS - 1)
+    }
+}
+
+/// Counters for one pipeline stage: how often it ran and for how long.
+#[derive(Debug, Default)]
+pub struct StageStats {
+    calls: AtomicU64,
+    total_us: AtomicU64,
+    /// The latency distribution of the stage.
+    pub histogram: LatencyHistogram,
+}
+
+impl StageStats {
+    /// Records one timed execution of the stage.
+    pub fn record(&self, latency: Duration) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(
+            latency.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        self.histogram.record(latency);
+    }
+
+    /// How many times the stage ran.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> u64 {
+        self.total_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.calls())
+            .unwrap_or(0)
+    }
+}
+
+/// Aggregated engine statistics: the three search-phase stages, the
+/// feedback write path, and the answer-cache outcome counters.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Module 1 — question analysis.
+    pub analyze: StageStats,
+    /// Module 2 — passage selection.
+    pub passages: StageStats,
+    /// Module 3 — answer extraction.
+    pub extract: StageStats,
+    /// Step 5 — feedback ETL (the serialized write path).
+    pub feed: StageStats,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    questions: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl EngineStats {
+    pub(crate) fn record_question(&self) {
+        self.questions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Questions answered (cached or computed).
+    pub fn questions(&self) -> u64 {
+        self.questions.load(Ordering::Relaxed)
+    }
+
+    /// Batches submitted.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Answers served from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Answers computed because the cache had no (fresh) entry.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Cache hit rate over all answered questions.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits() + self.cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits() as f64 / total as f64
+        }
+    }
+
+    /// Renders the statistics as a fixed-width table.
+    pub fn render(&self) -> String {
+        fn us(v: u64) -> String {
+            if v >= 10_000 {
+                format!("{:.1} ms", v as f64 / 1e3)
+            } else {
+                format!("{v} µs")
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "questions: {}   batches: {}   cache: {} hits / {} misses ({:.0}% hit rate)\n",
+            self.questions(),
+            self.batches(),
+            self.cache_hits(),
+            self.cache_misses(),
+            self.cache_hit_rate() * 100.0,
+        ));
+        out.push_str("stage     |  calls |    mean |    ≤p50 |    ≤p95 |     max\n");
+        out.push_str("----------+--------+---------+---------+---------+--------\n");
+        for (name, stage) in [
+            ("analyze", &self.analyze),
+            ("passages", &self.passages),
+            ("extract", &self.extract),
+            ("feed", &self.feed),
+        ] {
+            out.push_str(&format!(
+                "{name:<9} | {:>6} | {:>7} | {:>7} | {:>7} | {:>7}\n",
+                stage.calls(),
+                us(stage.mean_us()),
+                us(stage.histogram.quantile_us(0.50)),
+                us(stage.histogram.quantile_us(0.95)),
+                us(stage.histogram.quantile_us(1.0)),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 3, 100, 100, 100, 100, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.samples(), 8);
+        // Half the samples sit at 100 µs, so p50 lands in its bucket
+        // (64..128 µs → bound 128).
+        assert_eq!(h.quantile_us(0.5), 128);
+        assert!(h.quantile_us(1.0) >= 5000);
+        assert_eq!(LatencyHistogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn stage_stats_mean() {
+        let s = StageStats::default();
+        s.record(Duration::from_micros(100));
+        s.record(Duration::from_micros(300));
+        assert_eq!(s.calls(), 2);
+        assert_eq!(s.mean_us(), 200);
+    }
+
+    #[test]
+    fn render_contains_all_stages() {
+        let stats = EngineStats::default();
+        stats.analyze.record(Duration::from_micros(42));
+        stats.record_question();
+        stats.record_cache_miss();
+        let table = stats.render();
+        for name in ["analyze", "passages", "extract", "feed", "hit rate"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+}

@@ -199,7 +199,13 @@ mod tests {
             ]),
         );
         let postings = idx.postings("temperature").unwrap();
-        assert_eq!(postings, &[Posting { doc: DocId(0), tf: 2 }]);
+        assert_eq!(
+            postings,
+            &[Posting {
+                doc: DocId(0),
+                tf: 2
+            }]
+        );
         assert_eq!(idx.df("weather"), 2);
         assert_eq!(idx.df("barcelona"), 1);
         assert_eq!(idx.df("unseen"), 0);

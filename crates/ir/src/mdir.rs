@@ -128,8 +128,7 @@ impl MultidimensionalIndex {
         slice: &CubeSlice,
         k: usize,
     ) -> Vec<SearchHit> {
-        let admitted: std::collections::HashSet<DocId> =
-            self.slice(slice).into_iter().collect();
+        let admitted: std::collections::HashSet<DocId> = self.slice(slice).into_iter().collect();
         search_terms(index, terms, Similarity::Bm25, usize::MAX)
             .into_iter()
             .filter(|h| admitted.contains(&h.doc))
@@ -151,10 +150,38 @@ mod tests {
                 .with_location(loc)
                 .with_date(Date::from_ymd(y, m, d).unwrap())
         };
-        s.add(mk("a", "financial crisis in the markets", "New York", 1998, 2, 10));
-        s.add(mk("b", "financial crisis deepens further", "New York", 1998, 7, 3));
-        s.add(mk("c", "financial news from the exchange", "London", 1998, 2, 5));
-        s.add(mk("d", "weather report with temperatures", "Barcelona", 2004, 1, 31));
+        s.add(mk(
+            "a",
+            "financial crisis in the markets",
+            "New York",
+            1998,
+            2,
+            10,
+        ));
+        s.add(mk(
+            "b",
+            "financial crisis deepens further",
+            "New York",
+            1998,
+            7,
+            3,
+        ));
+        s.add(mk(
+            "c",
+            "financial news from the exchange",
+            "London",
+            1998,
+            2,
+            5,
+        ));
+        s.add(mk(
+            "d",
+            "weather report with temperatures",
+            "Barcelona",
+            2004,
+            1,
+            31,
+        ));
         s
     }
 
@@ -170,7 +197,11 @@ mod tests {
         );
         assert_eq!(q1_ny, vec![DocId(0)]);
         // …then drilling down to July 1998.
-        let jul_ny = md.slice(&CubeSlice::all().location("New York").month(1998, Month::July));
+        let jul_ny = md.slice(
+            &CubeSlice::all()
+                .location("New York")
+                .month(1998, Month::July),
+        );
         assert_eq!(jul_ny, vec![DocId(1)]);
     }
 
@@ -206,6 +237,8 @@ mod tests {
         assert_eq!(everywhere.len(), 3);
         let ny_only = md.search(&idx, &terms, &CubeSlice::all().location("New York"), 10);
         assert_eq!(ny_only.len(), 2);
-        assert!(ny_only.iter().all(|h| h.doc == DocId(0) || h.doc == DocId(1)));
+        assert!(ny_only
+            .iter()
+            .all(|h| h.doc == DocId(0) || h.doc == DocId(1)));
     }
 }

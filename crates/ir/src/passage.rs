@@ -76,8 +76,7 @@ impl PassageRetriever {
     /// `index`) of the distinct query terms present in the window, so rare
     /// terms ("barcelona") dominate frequent ones.
     pub fn retrieve(&self, index: &InvertedIndex, terms: &[String], k: usize) -> Vec<Passage> {
-        let weighted: Vec<(String, f64)> =
-            terms.iter().map(|t| (t.clone(), 1.0)).collect();
+        let weighted: Vec<(String, f64)> = terms.iter().map(|t| (t.clone(), 1.0)).collect();
         self.retrieve_weighted(index, &weighted, k)
     }
 
@@ -114,7 +113,11 @@ impl PassageRetriever {
             if n == 0 {
                 continue;
             }
-            let starts = if n > self.window { n - self.window + 1 } else { 1 };
+            let starts = if n > self.window {
+                n - self.window + 1
+            } else {
+                1
+            };
             for start in 0..starts {
                 let end = (start + self.window).min(n);
                 let mut score = 0.0;
@@ -163,9 +166,7 @@ impl PassageRetriever {
                 if taken.len() == PER_DOC {
                     break;
                 }
-                let overlaps = taken
-                    .iter()
-                    .any(|&(s, l)| start < s + l && s < start + len);
+                let overlaps = taken.iter().any(|&(s, l)| start < s + l && s < start + len);
                 if overlaps {
                     continue;
                 }

@@ -140,10 +140,7 @@ mod tests {
 
     #[test]
     fn rare_terms_dominate_ranking() {
-        let (idx, lx) = index(&[
-            "weather weather weather weather",
-            "weather Barcelona",
-        ]);
+        let (idx, lx) = index(&["weather weather weather weather", "weather Barcelona"]);
         let hits = search(&idx, &lx, "Barcelona weather", Similarity::Bm25, 2);
         assert_eq!(hits[0].doc, DocId(1));
     }

@@ -55,7 +55,8 @@ impl DimensionBuilder {
     /// necessarily the base level: the base is inferred from the roll-up
     /// chain (a single level is trivially the base).
     pub fn level(mut self, name: &str, f: impl FnOnce(LevelBuilder) -> LevelBuilder) -> Self {
-        self.levels.push((name.to_owned(), f(LevelBuilder::default())));
+        self.levels
+            .push((name.to_owned(), f(LevelBuilder::default())));
         self
     }
 
@@ -353,7 +354,13 @@ mod tests {
             .dimension("D", one_level)
             .build()
             .unwrap_err();
-        assert!(matches!(err, ModelError::DuplicateName { kind: "dimension", .. }));
+        assert!(matches!(
+            err,
+            ModelError::DuplicateName {
+                kind: "dimension",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl fmt::Display for ModelError {
                 write!(f, "duplicate {kind} name: {name:?}")
             }
             ModelError::UnknownDimension { fact, dimension } => {
-                write!(f, "fact {fact:?} references unknown dimension {dimension:?}")
+                write!(
+                    f,
+                    "fact {fact:?} references unknown dimension {dimension:?}"
+                )
             }
             ModelError::UnknownLevel { dimension, level } => {
                 write!(f, "dimension {dimension:?} has no level {level:?}")

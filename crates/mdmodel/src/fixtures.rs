@@ -80,9 +80,13 @@ pub fn patient_treatments() -> Schema {
             .rolls_up("Patient", "AgeGroup")
         })
         .dimension("Treatment", |d| {
-            d.level("Treatment", |l| l.descriptor("treatment_name", DataType::Text))
-                .level("Specialty", |l| l.descriptor("specialty_name", DataType::Text))
-                .rolls_up("Treatment", "Specialty")
+            d.level("Treatment", |l| {
+                l.descriptor("treatment_name", DataType::Text)
+            })
+            .level("Specialty", |l| {
+                l.descriptor("specialty_name", DataType::Text)
+            })
+            .rolls_up("Treatment", "Specialty")
         })
         .dimension("Date", |d| {
             d.level("Date", |l| l.descriptor("date", DataType::Date))

@@ -54,8 +54,7 @@ pub use builder::{DimensionBuilder, FactBuilder, LevelBuilder, SchemaBuilder};
 pub use error::{ModelError, Result};
 pub use fixtures::{last_minute_sales, patient_treatments};
 pub use schema::{
-    Attribute, Dimension, DimensionId, DimensionRole, Fact, FactId, Level, LevelId, Measure,
-    Schema,
+    Attribute, Dimension, DimensionId, DimensionRole, Fact, FactId, Level, LevelId, Measure, Schema,
 };
 pub use types::{Additivity, DataType};
 pub use uml::{render_uml, Stereotype};

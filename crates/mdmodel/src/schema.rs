@@ -238,7 +238,11 @@ impl Schema {
                 let da = self.dimension_by_id(ra.dimension);
                 let db = self.dimension_by_id(rb.dimension);
                 if !da.conformed_levels(db).is_empty() {
-                    out.push((ra.role.clone(), rb.role.clone(), format!("{}≈{}", da.name, db.name)));
+                    out.push((
+                        ra.role.clone(),
+                        rb.role.clone(),
+                        format!("{}≈{}", da.name, db.name),
+                    ));
                 }
             }
         }
@@ -371,7 +375,9 @@ mod tests {
                     .rolls_up("City", "Country")
             })
             .dimension("Customer", |d| {
-                d.level("Customer", |l| l.descriptor("customer_name", DataType::Text))
+                d.level("Customer", |l| {
+                    l.descriptor("customer_name", DataType::Text)
+                })
             })
             .fact("A", |f| {
                 f.measure("m", DataType::Int, Additivity::Sum)

@@ -191,8 +191,8 @@ fn parse_np(tokens: &[TaggedToken], mut i: usize) -> Option<(SyntacticBlock, usi
                 i += 1;
             }
             Pos::CD => {
-                let prev_is_common = i > core_start
-                    && matches!(tokens[i - 1].pos, Pos::NN | Pos::NNS);
+                let prev_is_common =
+                    i > core_start && matches!(tokens[i - 1].pos, Pos::NN | Pos::NNS);
                 if prev_is_common {
                     break;
                 }
@@ -261,7 +261,10 @@ fn base_chunks(tokens: &[TaggedToken]) -> Vec<SyntacticBlock> {
             continue;
         }
         // Noun phrase.
-        if matches!(pos, Pos::DT | Pos::JJ | Pos::JJS | Pos::NN | Pos::NNS | Pos::NP | Pos::CD) {
+        if matches!(
+            pos,
+            Pos::DT | Pos::JJ | Pos::JJS | Pos::NN | Pos::NNS | Pos::NP | Pos::CD
+        ) {
             if let Some((np, next)) = parse_np(tokens, i) {
                 blocks.push(np);
                 i = next;
@@ -386,11 +389,7 @@ fn close_tag(b: &SyntacticBlock) -> String {
     }
 }
 
-fn render_block(
-    tokens: &[TaggedToken],
-    b: &SyntacticBlock,
-    out: &mut Vec<String>,
-) {
+fn render_block(tokens: &[TaggedToken], b: &SyntacticBlock, out: &mut Vec<String>) {
     out.push(open_tag(b));
     let mut pos = b.start;
     // Children are disjoint sub-ranges in order.
@@ -439,10 +438,7 @@ mod tests {
     }
 
     fn block_texts(tokens: &[TaggedToken], blocks: &[SyntacticBlock]) -> Vec<(SbKind, String)> {
-        blocks
-            .iter()
-            .map(|b| (b.kind, b.text(tokens)))
-            .collect()
+        blocks.iter().map(|b| (b.kind, b.text(tokens))).collect()
     }
 
     #[test]

@@ -340,7 +340,10 @@ mod tests {
     fn entities(s: &str) -> Vec<EntityKind> {
         let lx = Lexicon::english();
         let tokens = tag_sentence(&lx, &tokenize(s));
-        extract_entities(&tokens).into_iter().map(|e| e.kind).collect()
+        extract_entities(&tokens)
+            .into_iter()
+            .map(|e| e.kind)
+            .collect()
     }
 
     #[test]
@@ -359,26 +362,26 @@ mod tests {
 
     #[test]
     fn month_year_patterns() {
-        assert!(entities("in January of 2004").contains(&EntityKind::MonthYear {
-            month: Month::January,
-            year: 2004
-        }));
-        assert!(entities("in January 2004").contains(&EntityKind::MonthYear {
-            month: Month::January,
-            year: 2004
-        }));
+        assert!(
+            entities("in January of 2004").contains(&EntityKind::MonthYear {
+                month: Month::January,
+                year: 2004
+            })
+        );
+        assert!(
+            entities("in January 2004").contains(&EntityKind::MonthYear {
+                month: Month::January,
+                year: 2004
+            })
+        );
     }
 
     #[test]
     fn day_of_month_pattern() {
-        assert!(
-            entities("on the 12th of May, 1997").contains(&EntityKind::FullDate(
-                Date::from_ymd(1997, 5, 12).unwrap()
-            ))
-        );
-        assert!(entities("on the 3 of June 2001").contains(&EntityKind::FullDate(
-            Date::from_ymd(2001, 6, 3).unwrap()
-        )));
+        assert!(entities("on the 12th of May, 1997")
+            .contains(&EntityKind::FullDate(Date::from_ymd(1997, 5, 12).unwrap())));
+        assert!(entities("on the 3 of June 2001")
+            .contains(&EntityKind::FullDate(Date::from_ymd(2001, 6, 3).unwrap())));
     }
 
     #[test]
@@ -398,43 +401,57 @@ mod tests {
 
     #[test]
     fn temperature_variants() {
-        assert!(entities("It was 21 degrees Celsius").contains(&EntityKind::Temperature {
-            value: 21.0,
-            unit: TempUnit::Celsius
-        }));
-        assert!(entities("a low of -3 degrees").contains(&EntityKind::Temperature {
-            value: -3.0,
-            unit: TempUnit::Celsius
-        }));
-        assert!(entities("around 70 fahrenheit").contains(&EntityKind::Temperature {
-            value: 70.0,
-            unit: TempUnit::Fahrenheit
-        }));
+        assert!(
+            entities("It was 21 degrees Celsius").contains(&EntityKind::Temperature {
+                value: 21.0,
+                unit: TempUnit::Celsius
+            })
+        );
+        assert!(
+            entities("a low of -3 degrees").contains(&EntityKind::Temperature {
+                value: -3.0,
+                unit: TempUnit::Celsius
+            })
+        );
+        assert!(
+            entities("around 70 fahrenheit").contains(&EntityKind::Temperature {
+                value: 70.0,
+                unit: TempUnit::Fahrenheit
+            })
+        );
     }
 
     #[test]
     fn number_words_and_minus() {
-        assert!(entities("It was five degrees celsius").contains(&EntityKind::Temperature {
-            value: 5.0,
-            unit: TempUnit::Celsius
-        }));
-        assert!(entities("a low of minus three degrees").contains(&EntityKind::Temperature {
-            value: -3.0,
-            unit: TempUnit::Celsius
-        }));
-        assert!(entities("twenty degrees fahrenheit today").contains(&EntityKind::Temperature {
-            value: 20.0,
-            unit: TempUnit::Fahrenheit
-        }));
+        assert!(
+            entities("It was five degrees celsius").contains(&EntityKind::Temperature {
+                value: 5.0,
+                unit: TempUnit::Celsius
+            })
+        );
+        assert!(
+            entities("a low of minus three degrees").contains(&EntityKind::Temperature {
+                value: -3.0,
+                unit: TempUnit::Celsius
+            })
+        );
+        assert!(
+            entities("twenty degrees fahrenheit today").contains(&EntityKind::Temperature {
+                value: 20.0,
+                unit: TempUnit::Fahrenheit
+            })
+        );
     }
 
     #[test]
     fn percentage_and_money() {
         assert!(entities("sales rose 12 %").contains(&EntityKind::Percentage(12.0)));
-        assert!(entities("a ticket for 99 euros").contains(&EntityKind::Money {
-            amount: 99.0,
-            currency: "euro".into()
-        }));
+        assert!(
+            entities("a ticket for 99 euros").contains(&EntityKind::Money {
+                amount: 99.0,
+                currency: "euro".into()
+            })
+        );
         assert!(entities("it cost $ 45").contains(&EntityKind::Money {
             amount: 45.0,
             currency: "$".into()

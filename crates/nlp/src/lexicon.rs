@@ -312,25 +312,117 @@ impl Lexicon {
 
         // --- Regular verbs (base forms; inflections derived by the tagger) --
         for w in [
-            "travel", "arrive", "depart", "land", "increase", "decrease", "rain", "snow",
-            "forecast", "expect", "report", "record", "reach", "drop", "stay", "remain",
-            "analyze", "invade", "visit", "book", "cost", "want", "need", "return", "extract",
-            "look", "seem", "become", "show", "start", "end", "open", "close", "offer", "happen",
-            "change", "cool", "warm", "average", "measure", "predict", "publish", "search",
-            "answer", "ask", "live", "work", "move", "plan", "help", "cause", "affect", "improve",
-            "climb", "dip", "hover", "peak", "settle", "stand", "assassinate", "elect",
-            "win", "score", "play", "release", "present", "fill", "serve", "reform",
-            "remember", "join", "study", "describe", "mention",
+            "travel",
+            "arrive",
+            "depart",
+            "land",
+            "increase",
+            "decrease",
+            "rain",
+            "snow",
+            "forecast",
+            "expect",
+            "report",
+            "record",
+            "reach",
+            "drop",
+            "stay",
+            "remain",
+            "analyze",
+            "invade",
+            "visit",
+            "book",
+            "cost",
+            "want",
+            "need",
+            "return",
+            "extract",
+            "look",
+            "seem",
+            "become",
+            "show",
+            "start",
+            "end",
+            "open",
+            "close",
+            "offer",
+            "happen",
+            "change",
+            "cool",
+            "warm",
+            "average",
+            "measure",
+            "predict",
+            "publish",
+            "search",
+            "answer",
+            "ask",
+            "live",
+            "work",
+            "move",
+            "plan",
+            "help",
+            "cause",
+            "affect",
+            "improve",
+            "climb",
+            "dip",
+            "hover",
+            "peak",
+            "settle",
+            "stand",
+            "assassinate",
+            "elect",
+            "win",
+            "score",
+            "play",
+            "release",
+            "present",
+            "fill",
+            "serve",
+            "reform",
+            "remember",
+            "join",
+            "study",
+            "describe",
+            "mention",
         ] {
             lx.add(w, Pos::VB, w);
         }
 
         // --- Weather vocabulary ----------------------------------------------
         for w in [
-            "weather", "temperature", "degree", "celsius", "fahrenheit", "sky", "wind", "rain",
-            "snow", "sun", "cloud", "humidity", "forecast", "storm", "fog", "frost", "heat",
-            "cold", "climate", "condition", "precipitation", "breeze", "shower", "sunshine",
-            "reading", "thermometer", "average", "maximum", "minimum", "high", "low",
+            "weather",
+            "temperature",
+            "degree",
+            "celsius",
+            "fahrenheit",
+            "sky",
+            "wind",
+            "rain",
+            "snow",
+            "sun",
+            "cloud",
+            "humidity",
+            "forecast",
+            "storm",
+            "fog",
+            "frost",
+            "heat",
+            "cold",
+            "climate",
+            "condition",
+            "precipitation",
+            "breeze",
+            "shower",
+            "sunshine",
+            "reading",
+            "thermometer",
+            "average",
+            "maximum",
+            "minimum",
+            "high",
+            "low",
         ] {
             lx.add(w, Pos::NN, w);
         }
@@ -338,27 +430,126 @@ impl Lexicon {
 
         // --- Airline / business vocabulary -----------------------------------
         for w in [
-            "airport", "airline", "flight", "ticket", "sale", "price", "mile", "customer",
-            "passenger", "traveler", "traveller", "city", "state", "country", "capital", "month",
-            "year", "day", "week", "quarter", "date", "company", "benefit", "promotion",
-            "marketing", "department", "seat", "destination", "origin", "rate", "discount",
-            "revenue", "percent", "percentage", "fare", "route", "booking", "trip", "terminal",
-            "runway", "crew", "pilot", "gate", "luggage", "bargain", "deal", "offer", "euro",
-            "dollar", "business", "economy",
+            "airport",
+            "airline",
+            "flight",
+            "ticket",
+            "sale",
+            "price",
+            "mile",
+            "customer",
+            "passenger",
+            "traveler",
+            "traveller",
+            "city",
+            "state",
+            "country",
+            "capital",
+            "month",
+            "year",
+            "day",
+            "week",
+            "quarter",
+            "date",
+            "company",
+            "benefit",
+            "promotion",
+            "marketing",
+            "department",
+            "seat",
+            "destination",
+            "origin",
+            "rate",
+            "discount",
+            "revenue",
+            "percent",
+            "percentage",
+            "fare",
+            "route",
+            "booking",
+            "trip",
+            "terminal",
+            "runway",
+            "crew",
+            "pilot",
+            "gate",
+            "luggage",
+            "bargain",
+            "deal",
+            "offer",
+            "euro",
+            "dollar",
+            "business",
+            "economy",
         ] {
             lx.add(w, Pos::NN, w);
         }
 
         // --- General nouns -----------------------------------------------------
         for w in [
-            "person", "man", "woman", "group", "object", "place", "event", "star", "universe",
-            "night", "morning", "afternoon", "evening", "report", "email", "web", "page",
-            "document", "information", "data", "system", "question", "answer", "database",
-            "warehouse", "number", "figure", "table", "unit", "scale", "value", "range", "time",
-            "period", "profession", "abbreviation", "definition", "musician", "singer", "band",
-            "mayor", "politician", "history", "record", "home", "family", "part", "area",
-            "region", "world", "tourist", "guide", "visitor", "resident", "winter", "summer",
-            "spring", "autumn", "season", "holiday", "museum", "beach", "street",
+            "person",
+            "man",
+            "woman",
+            "group",
+            "object",
+            "place",
+            "event",
+            "star",
+            "universe",
+            "night",
+            "morning",
+            "afternoon",
+            "evening",
+            "report",
+            "email",
+            "web",
+            "page",
+            "document",
+            "information",
+            "data",
+            "system",
+            "question",
+            "answer",
+            "database",
+            "warehouse",
+            "number",
+            "figure",
+            "table",
+            "unit",
+            "scale",
+            "value",
+            "range",
+            "time",
+            "period",
+            "profession",
+            "abbreviation",
+            "definition",
+            "musician",
+            "singer",
+            "band",
+            "mayor",
+            "politician",
+            "history",
+            "record",
+            "home",
+            "family",
+            "part",
+            "area",
+            "region",
+            "world",
+            "tourist",
+            "guide",
+            "visitor",
+            "resident",
+            "winter",
+            "summer",
+            "spring",
+            "autumn",
+            "season",
+            "holiday",
+            "museum",
+            "beach",
+            "street",
         ] {
             lx.add(w, Pos::NN, w);
         }
@@ -373,28 +564,111 @@ impl Lexicon {
 
         // --- Adjectives ----------------------------------------------------------
         for w in [
-            "clear", "sunny", "cloudy", "rainy", "snowy", "windy", "foggy", "hot", "warm",
-            "mild", "cool", "dry", "wet", "chilly", "freezing", "pleasant", "bright", "visible",
-            "big", "small", "new", "old", "good", "great", "late", "early", "cheap", "expensive",
-            "average", "typical", "daily", "monthly", "annual", "possible", "useful", "several",
-            "strong", "weak", "heavy", "light", "gentle", "severe", "extreme", "moderate",
-            "many", "few", "cross-lingual", "international", "national", "local", "crowded",
-            "popular", "famous", "beautiful", "historic",
+            "clear",
+            "sunny",
+            "cloudy",
+            "rainy",
+            "snowy",
+            "windy",
+            "foggy",
+            "hot",
+            "warm",
+            "mild",
+            "cool",
+            "dry",
+            "wet",
+            "chilly",
+            "freezing",
+            "pleasant",
+            "bright",
+            "visible",
+            "big",
+            "small",
+            "new",
+            "old",
+            "good",
+            "great",
+            "late",
+            "early",
+            "cheap",
+            "expensive",
+            "average",
+            "typical",
+            "daily",
+            "monthly",
+            "annual",
+            "possible",
+            "useful",
+            "several",
+            "strong",
+            "weak",
+            "heavy",
+            "light",
+            "gentle",
+            "severe",
+            "extreme",
+            "moderate",
+            "many",
+            "few",
+            "cross-lingual",
+            "international",
+            "national",
+            "local",
+            "crowded",
+            "popular",
+            "famous",
+            "beautiful",
+            "historic",
         ] {
             lx.add(w, Pos::JJ, w);
         }
-        for (sup, base) in [("brightest", "bright"), ("best", "good"), ("coldest", "cold"),
-                            ("hottest", "hot"), ("highest", "high"), ("lowest", "low"),
-                            ("warmest", "warm"), ("largest", "large"), ("cheapest", "cheap")] {
+        for (sup, base) in [
+            ("brightest", "bright"),
+            ("best", "good"),
+            ("coldest", "cold"),
+            ("hottest", "hot"),
+            ("highest", "high"),
+            ("lowest", "low"),
+            ("warmest", "warm"),
+            ("largest", "large"),
+            ("cheapest", "cheap"),
+        ] {
             lx.add(sup, Pos::JJS, base);
         }
 
         // --- Adverbs ----------------------------------------------------------------
         for w in [
-            "today", "yesterday", "tomorrow", "very", "quite", "approximately", "roughly",
-            "usually", "currently", "now", "then", "here", "there", "also", "only", "just",
-            "still", "already", "often", "never", "always", "sometimes", "partly", "mostly",
-            "slightly", "nearly", "almost", "again", "too", "well", "not",
+            "today",
+            "yesterday",
+            "tomorrow",
+            "very",
+            "quite",
+            "approximately",
+            "roughly",
+            "usually",
+            "currently",
+            "now",
+            "then",
+            "here",
+            "there",
+            "also",
+            "only",
+            "just",
+            "still",
+            "already",
+            "often",
+            "never",
+            "always",
+            "sometimes",
+            "partly",
+            "mostly",
+            "slightly",
+            "nearly",
+            "almost",
+            "again",
+            "too",
+            "well",
+            "not",
         ] {
             lx.add(w, Pos::RB, w);
         }
@@ -402,12 +676,35 @@ impl Lexicon {
         // --- Number words (tagged CD with the digit string as lemma, so
         // the entity recognisers treat "five degrees" like "5 degrees") ---
         let units: &[(&str, u32)] = &[
-            ("zero", 0), ("one", 1), ("two", 2), ("three", 3), ("four", 4), ("five", 5),
-            ("six", 6), ("seven", 7), ("eight", 8), ("nine", 9), ("ten", 10), ("eleven", 11),
-            ("twelve", 12), ("thirteen", 13), ("fourteen", 14), ("fifteen", 15),
-            ("sixteen", 16), ("seventeen", 17), ("eighteen", 18), ("nineteen", 19),
-            ("twenty", 20), ("thirty", 30), ("forty", 40), ("fifty", 50), ("sixty", 60),
-            ("seventy", 70), ("eighty", 80), ("ninety", 90), ("hundred", 100),
+            ("zero", 0),
+            ("one", 1),
+            ("two", 2),
+            ("three", 3),
+            ("four", 4),
+            ("five", 5),
+            ("six", 6),
+            ("seven", 7),
+            ("eight", 8),
+            ("nine", 9),
+            ("ten", 10),
+            ("eleven", 11),
+            ("twelve", 12),
+            ("thirteen", 13),
+            ("fourteen", 14),
+            ("fifteen", 15),
+            ("sixteen", 16),
+            ("seventeen", 17),
+            ("eighteen", 18),
+            ("nineteen", 19),
+            ("twenty", 20),
+            ("thirty", 30),
+            ("forty", 40),
+            ("fifty", 50),
+            ("sixty", 60),
+            ("seventy", 70),
+            ("eighty", 80),
+            ("ninety", 90),
+            ("hundred", 100),
             ("thousand", 1000),
         ];
         for (word, n) in units {

@@ -7,16 +7,16 @@
 /// English stop words (closed-class function words).
 pub const STOPWORDS: &[&str] = &[
     "a", "an", "the", "this", "that", "these", "those", "some", "any", "no", "each", "every",
-    "all", "both", "either", "neither", "such", "and", "or", "but", "nor", "so", "yet", "in",
-    "on", "at", "by", "for", "with", "from", "to", "of", "about", "around", "during", "between",
-    "under", "over", "near", "like", "after", "before", "since", "until", "within", "without",
-    "per", "above", "below", "across", "into", "through", "against", "among", "towards",
-    "toward", "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them",
-    "its", "his", "their", "our", "your", "my", "is", "am", "are", "was", "were", "be", "been",
-    "being", "have", "has", "had", "having", "do", "does", "did", "done", "doing", "will",
-    "would", "can", "could", "may", "might", "must", "shall", "should", "what", "who", "whom",
-    "which", "whose", "when", "where", "how", "why", "not", "very", "too", "also", "only",
-    "just", "than", "then", "there", "here", "as", "if", "because", "while", "once",
+    "all", "both", "either", "neither", "such", "and", "or", "but", "nor", "so", "yet", "in", "on",
+    "at", "by", "for", "with", "from", "to", "of", "about", "around", "during", "between", "under",
+    "over", "near", "like", "after", "before", "since", "until", "within", "without", "per",
+    "above", "below", "across", "into", "through", "against", "among", "towards", "toward", "i",
+    "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "its", "his",
+    "their", "our", "your", "my", "is", "am", "are", "was", "were", "be", "been", "being", "have",
+    "has", "had", "having", "do", "does", "did", "done", "doing", "will", "would", "can", "could",
+    "may", "might", "must", "shall", "should", "what", "who", "whom", "which", "whose", "when",
+    "where", "how", "why", "not", "very", "too", "also", "only", "just", "than", "then", "there",
+    "here", "as", "if", "because", "while", "once",
 ];
 
 /// Whether a (case-folded) token is a stop word.

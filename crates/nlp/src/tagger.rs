@@ -87,10 +87,16 @@ fn tag_unknown(lexicon: &Lexicon, token: &Token) -> (Pos, String) {
         return (Pos::RB, folded);
     }
     if folded.ends_with("ing") {
-        return (Pos::VBG, verb_bases(&folded).into_iter().next().unwrap_or(folded));
+        return (
+            Pos::VBG,
+            verb_bases(&folded).into_iter().next().unwrap_or(folded),
+        );
     }
     if folded.ends_with("ed") {
-        return (Pos::VBD, verb_bases(&folded).into_iter().next().unwrap_or(folded));
+        return (
+            Pos::VBD,
+            verb_bases(&folded).into_iter().next().unwrap_or(folded),
+        );
     }
     // Default: common noun (the safest open-class guess).
     (Pos::NN, folded)
@@ -246,7 +252,15 @@ mod tests {
             (
                 // "minute" reads as the noun of the noun compound here.
                 "Last minute flights to Madrid were cheap",
-                &[Pos::JJ, Pos::NN, Pos::NNS, Pos::TO, Pos::NP, Pos::VBD, Pos::JJ],
+                &[
+                    Pos::JJ,
+                    Pos::NN,
+                    Pos::NNS,
+                    Pos::TO,
+                    Pos::NP,
+                    Pos::VBD,
+                    Pos::JJ,
+                ],
             ),
             (
                 "It will rain in Paris tomorrow",

@@ -79,9 +79,7 @@ pub fn split_sentences(text: &str) -> Vec<String> {
                     && !abbreviation
                     && match next_nonspace {
                         None => true,
-                        Some(n) => {
-                            n.is_uppercase() || n.is_ascii_digit() || *n == '"' || *n == '('
-                        }
+                        Some(n) => n.is_uppercase() || n.is_ascii_digit() || *n == '"' || *n == '(',
                     };
                 if boundary {
                     let sentence: String = chars[start..=i].iter().collect();
@@ -209,10 +207,7 @@ mod tests {
     #[test]
     fn splits_basic_sentences() {
         let s = split_sentences("The sky is clear. The temperature is low.");
-        assert_eq!(
-            s,
-            ["The sky is clear.", "The temperature is low."]
-        );
+        assert_eq!(s, ["The sky is clear.", "The temperature is low."]);
     }
 
     #[test]
@@ -248,7 +243,18 @@ mod tests {
         let toks = tokenize("Barcelona Weather: Temperature 8º C around 46.4 F");
         assert_eq!(
             texts(&toks),
-            ["Barcelona", "Weather", ":", "Temperature", "8", "º", "C", "around", "46.4", "F"]
+            [
+                "Barcelona",
+                "Weather",
+                ":",
+                "Temperature",
+                "8",
+                "º",
+                "C",
+                "around",
+                "46.4",
+                "F"
+            ]
         );
         assert_eq!(toks[4].kind, TokenKind::Number);
         assert_eq!(toks[5].kind, TokenKind::Symbol);
@@ -277,10 +283,7 @@ mod tests {
     #[test]
     fn hyphenated_and_apostrophe_words_stay_joined() {
         let toks = tokenize("the company's cross-lingual tools");
-        assert_eq!(
-            texts(&toks),
-            ["the", "company's", "cross-lingual", "tools"]
-        );
+        assert_eq!(texts(&toks), ["the", "company's", "cross-lingual", "tools"]);
     }
 
     #[test]

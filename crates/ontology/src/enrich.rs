@@ -60,10 +60,7 @@ pub fn enrich_from_warehouse(ontology: &mut Ontology, warehouse: &Warehouse) -> 
                 if exists {
                     continue;
                 }
-                let parent_name = dim
-                    .levels
-                    .get(level_idx + 1)
-                    .map(|l| l.name.to_lowercase());
+                let parent_name = dim.levels.get(level_idx + 1).map(|l| l.name.to_lowercase());
                 let gloss = match &parent_name {
                     Some(p) => format!(
                         "a {} from the data warehouse, in its {}",
@@ -72,12 +69,8 @@ pub fn enrich_from_warehouse(ontology: &mut Ontology, warehouse: &Warehouse) -> 
                     ),
                     None => format!("a {} from the data warehouse", level.name.to_lowercase()),
                 };
-                let id = ontology.add_concept(
-                    &[&label],
-                    &gloss,
-                    OntoPos::Noun,
-                    ConceptKind::Instance,
-                );
+                let id =
+                    ontology.add_concept(&[&label], &gloss, OntoPos::Noun, ConceptKind::Instance);
                 ontology.relate(id, Relation::InstanceOf, level_concept);
                 ontology.annotate(id, "source", "dw");
                 // Geographic containment: link to the parent level member.

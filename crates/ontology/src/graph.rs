@@ -426,10 +426,25 @@ mod tests {
 
     fn tiny() -> (Ontology, ConceptId, ConceptId, ConceptId, ConceptId) {
         let mut o = Ontology::new("tiny");
-        let entity = o.add_concept(&["entity"], "that which exists", OntoPos::Noun, ConceptKind::Class);
+        let entity = o.add_concept(
+            &["entity"],
+            "that which exists",
+            OntoPos::Noun,
+            ConceptKind::Class,
+        );
         let location = o.add_concept(&["location"], "a place", OntoPos::Noun, ConceptKind::Class);
-        let city = o.add_concept(&["city", "metropolis"], "an urban area", OntoPos::Noun, ConceptKind::Class);
-        let barcelona = o.add_concept(&["Barcelona"], "a city in Spain", OntoPos::Noun, ConceptKind::Instance);
+        let city = o.add_concept(
+            &["city", "metropolis"],
+            "an urban area",
+            OntoPos::Noun,
+            ConceptKind::Class,
+        );
+        let barcelona = o.add_concept(
+            &["Barcelona"],
+            "a city in Spain",
+            OntoPos::Noun,
+            ConceptKind::Instance,
+        );
         o.relate(location, Relation::Hypernym, entity);
         o.relate(city, Relation::Hypernym, location);
         o.relate(barcelona, Relation::InstanceOf, city);
@@ -540,7 +555,10 @@ mod tests {
         let inst = o.add_concept(&["i"], "", OntoPos::Noun, ConceptKind::Instance);
         o.relate(inst, Relation::Hypernym, class);
         let problems = o.validate();
-        assert!(problems.iter().any(|p| p.contains("InstanceOf")), "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("InstanceOf")),
+            "{problems:?}"
+        );
     }
 
     #[test]

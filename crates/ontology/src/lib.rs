@@ -56,7 +56,7 @@ pub mod transform;
 pub mod upper;
 
 pub use enrich::{enrich_from_warehouse, EnrichmentReport};
-pub use graph::{ConceptId, ConceptKind, Ontology, OntologyStats, OntoPos, Relation};
+pub use graph::{ConceptId, ConceptKind, OntoPos, Ontology, OntologyStats, Relation};
 pub use merge::{merge_into_upper, MatchKind, MergeOptions, MergeReport};
 pub use owl::{parse_owl, render_owl};
 pub use similarity::{least_common_subsumer, path_length, wup_similarity};

@@ -72,7 +72,10 @@ pub struct MergeReport {
 impl MergeReport {
     /// Count of classes placed with the given match kind.
     pub fn count(&self, kind: MatchKind) -> usize {
-        self.class_matches.iter().filter(|(_, k)| *k == kind).count()
+        self.class_matches
+            .iter()
+            .filter(|(_, k)| *k == kind)
+            .count()
     }
 }
 
@@ -154,7 +157,9 @@ pub fn merge_into_upper(
         if concept.kind != ConceptKind::Class {
             continue;
         }
-        let Some(&from) = mapping.get(&id) else { continue };
+        let Some(&from) = mapping.get(&id) else {
+            continue;
+        };
         for rel in [Relation::Meronym, Relation::RelatedTo] {
             for &to_domain in domain.related(id, rel) {
                 if let Some(&to) = mapping.get(&to_domain) {
@@ -181,9 +186,10 @@ pub fn merge_into_upper(
         };
         // Already known under this class?
         let folded = dwqa_common::text::fold(&label);
-        let existing_same = upper.concepts_for(&label).iter().copied().find(|c| {
-            upper.concept(*c).kind == ConceptKind::Instance && upper.is_a(*c, class_id)
-        });
+        let existing_same =
+            upper.concepts_for(&label).iter().copied().find(|c| {
+                upper.concept(*c).kind == ConceptKind::Instance && upper.is_a(*c, class_id)
+            });
         if let Some(existing) = existing_same {
             report.instances_existing += 1;
             for (k, v) in domain.annotations(id) {
@@ -239,7 +245,9 @@ pub fn merge_into_upper(
         if concept.kind != ConceptKind::Instance {
             continue;
         }
-        let Some(&from) = mapping.get(&id) else { continue };
+        let Some(&from) = mapping.get(&id) else {
+            continue;
+        };
         for &to_domain in domain.related(id, Relation::Meronym) {
             if let Some(&to) = mapping.get(&to_domain) {
                 if from != to {
@@ -303,7 +311,11 @@ mod tests {
         let report = merge_into_upper(&domain, &mut upper, &MergeOptions::default());
         // Airport, City, State, Country, Customer, Date, Month, Quarter,
         // Year, price, miles all exist (directly or singularised).
-        assert!(report.count(MatchKind::Exact) >= 9, "{:?}", report.class_matches);
+        assert!(
+            report.count(MatchKind::Exact) >= 9,
+            "{:?}",
+            report.class_matches
+        );
         // Exact matches add no new class concepts for those labels.
         let airport_concepts = upper.concepts_for("airport");
         assert_eq!(airport_concepts.len(), 1);

@@ -17,7 +17,13 @@ use std::fmt::Write as _;
 fn iri(label: &str) -> String {
     label
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -33,7 +39,11 @@ fn unquote(s: &str) -> Option<String> {
 /// Renders an ontology as OWL functional-style syntax.
 pub fn render_owl(o: &Ontology) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Prefix(:=<http://dwqa.example.org/{}#>)", iri(o.name()));
+    let _ = writeln!(
+        out,
+        "Prefix(:=<http://dwqa.example.org/{}#>)",
+        iri(o.name())
+    );
     let _ = writeln!(out, "Ontology(<http://dwqa.example.org/{}>", iri(o.name()));
     // Give every concept a unique local name (labels can collide across
     // synsets — "JFK" the president vs. the band).
@@ -42,7 +52,11 @@ pub fn render_owl(o: &Ontology) -> String {
     for (id, c) in o.iter() {
         let base = iri(c.canonical());
         let n = used.entry(base.clone()).or_insert(0);
-        let name = if *n == 0 { base.clone() } else { format!("{base}_{n}") };
+        let name = if *n == 0 {
+            base.clone()
+        } else {
+            format!("{base}_{n}")
+        };
         *n += 1;
         names.insert(id, name);
     }
@@ -60,11 +74,7 @@ pub fn render_owl(o: &Ontology) -> String {
             OntoPos::Noun => "noun",
             OntoPos::Verb => "verb",
         };
-        let _ = writeln!(
-            out,
-            "AnnotationAssertion(:pos :{name} {})",
-            quote(pos)
-        );
+        let _ = writeln!(out, "AnnotationAssertion(:pos :{name} {})", quote(pos));
         if !c.gloss.is_empty() {
             let _ = writeln!(
                 out,
@@ -80,12 +90,7 @@ pub fn render_owl(o: &Ontology) -> String {
             );
         }
         for (k, v) in o.annotations(id) {
-            let _ = writeln!(
-                out,
-                "AnnotationAssertion(:{} :{name} {})",
-                iri(k),
-                quote(v)
-            );
+            let _ = writeln!(out, "AnnotationAssertion(:{} :{name} {})", iri(k), quote(v));
         }
     }
     // Only forward relations are serialized; inverses are rebuilt on parse.
@@ -179,7 +184,11 @@ pub fn parse_owl(text: &str) -> Option<Ontology> {
                 "rdfs:label" => e.labels.push(value),
                 "rdfs:comment" => e.gloss = value,
                 ":pos" => {
-                    e.pos = Some(if value == "verb" { OntoPos::Verb } else { OntoPos::Noun });
+                    e.pos = Some(if value == "verb" {
+                        OntoPos::Verb
+                    } else {
+                        OntoPos::Noun
+                    });
                 }
                 other => {
                     let key = other.strip_prefix(':').unwrap_or(other);
@@ -193,7 +202,11 @@ pub fn parse_owl(text: &str) -> Option<Ontology> {
         } else if let Some(rest) = line.strip_prefix("ClassAssertion(:") {
             let rest = rest.strip_suffix(')')?;
             let (class, individual) = rest.split_once(" :")?;
-            relations.push((individual.to_owned(), Relation::InstanceOf, class.to_owned()));
+            relations.push((
+                individual.to_owned(),
+                Relation::InstanceOf,
+                class.to_owned(),
+            ));
         } else if let Some(rest) = line.strip_prefix("ObjectPropertyAssertion(:") {
             let rest = rest.strip_suffix(')')?;
             let mut parts = rest.splitn(3, ' ');
@@ -336,10 +349,10 @@ mod tests {
     fn malformed_input_is_rejected() {
         assert!(parse_owl("").is_none());
         assert!(parse_owl("Prefix(x)\nOntology(<http://dwqa.example.org/x>\ngarbage\n)").is_none());
-        assert!(parse_owl(
-            "Prefix(x)\nOntology(<http://dwqa.example.org/x>\nSubClassOf(:a :b)\n)"
-        )
-        .is_none()); // undeclared names
+        assert!(
+            parse_owl("Prefix(x)\nOntology(<http://dwqa.example.org/x>\nSubClassOf(:a :b)\n)")
+                .is_none()
+        ); // undeclared names
     }
 
     #[test]
@@ -353,6 +366,9 @@ mod tests {
         );
         let parsed = parse_owl(&render_owl(&o)).unwrap();
         assert_eq!(parsed.concept(ConceptId(0)).canonical(), "odd \"label\"");
-        assert_eq!(parsed.concept(ConceptId(0)).gloss, "gloss with \\ backslash");
+        assert_eq!(
+            parsed.concept(ConceptId(0)).gloss,
+            "gloss with \\ backslash"
+        );
     }
 }

@@ -103,8 +103,8 @@ mod tests {
 
         let airport_class = upper.class_for("airport").unwrap();
         // Weather/flight context → airport sense.
-        let sense = disambiguate(&upper, "jfk", &ctx(&["temperature", "flight", "airport"]))
-            .unwrap();
+        let sense =
+            disambiguate(&upper, "jfk", &ctx(&["temperature", "flight", "airport"])).unwrap();
         assert!(upper.is_a(sense, airport_class));
         // Even an empty context now prefers the DW-boosted sense.
         let sense = disambiguate(&upper, "jfk", &[]).unwrap();

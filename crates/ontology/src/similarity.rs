@@ -71,7 +71,8 @@ mod tests {
     use crate::upper::upper_ontology;
 
     fn class(o: &Ontology, label: &str) -> ConceptId {
-        o.class_for(label).unwrap_or_else(|| panic!("{label} missing"))
+        o.class_for(label)
+            .unwrap_or_else(|| panic!("{label} missing"))
     }
 
     fn instance(o: &Ontology, label: &str) -> ConceptId {

@@ -140,7 +140,14 @@ mod tests {
         let o = schema_to_ontology(&last_minute_sales());
         let fact = o.class_for("Last Minute Sales").unwrap();
         let related = o.related(fact, Relation::RelatedTo);
-        for label in ["Airport", "Customer", "Date", "price", "miles", "traveler_rate"] {
+        for label in [
+            "Airport",
+            "Customer",
+            "Date",
+            "price",
+            "miles",
+            "traveler_rate",
+        ] {
             let id = o.class_for(label).unwrap();
             assert!(related.contains(&id), "fact should relate to {label}");
         }

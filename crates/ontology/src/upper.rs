@@ -16,15 +16,50 @@ use crate::graph::{ConceptKind, OntoPos, Ontology, Relation};
 
 /// WordNet's 25 noun unique beginners (lexicographer files).
 pub const NOUN_BEGINNERS: [&str; 25] = [
-    "act", "animal", "artifact", "attribute", "body", "cognition", "communication", "event",
-    "feeling", "food", "group", "location", "motive", "object", "person", "phenomenon", "plant",
-    "possession", "process", "quantity", "relation", "shape", "state", "substance", "time",
+    "act",
+    "animal",
+    "artifact",
+    "attribute",
+    "body",
+    "cognition",
+    "communication",
+    "event",
+    "feeling",
+    "food",
+    "group",
+    "location",
+    "motive",
+    "object",
+    "person",
+    "phenomenon",
+    "plant",
+    "possession",
+    "process",
+    "quantity",
+    "relation",
+    "shape",
+    "state",
+    "substance",
+    "time",
 ];
 
 /// WordNet's 15 verb unique beginners.
 pub const VERB_BEGINNERS: [&str; 15] = [
-    "body", "change", "cognition", "communication", "competition", "consumption", "contact",
-    "creation", "emotion", "motion", "perception", "possession", "social", "stative", "weather",
+    "body",
+    "change",
+    "cognition",
+    "communication",
+    "competition",
+    "consumption",
+    "contact",
+    "creation",
+    "emotion",
+    "motion",
+    "perception",
+    "possession",
+    "social",
+    "stative",
+    "weather",
 ];
 
 /// Noun synsets below the beginners: `(labels, gloss, parent label)`.
@@ -149,27 +184,71 @@ const NOUN_SYNSETS: &[(&[&str], &str, &str)] = &[
     (&["universe", "cosmos"], "everything that exists anywhere", "object"),
 ];
 
-/// Month and weekday instances live under "month" / "day".
-const CALENDAR_CLASSES: () = ();
+// Month and weekday instances live under "month" / "day".
 
 /// Noun instances: `(labels, gloss, class, aliases)`.
 /// Aliases are recorded as annotations; the merge's synonym-enrichment step
 /// consults them (WordNet likewise listed "JFK" under Kennedy International
 /// Airport).
 const NOUN_INSTANCES: &[(&[&str], &str, &str, &[&str])] = &[
-    (&["Spain"], "a country in southwestern europe", "country", &[]),
+    (
+        &["Spain"],
+        "a country in southwestern europe",
+        "country",
+        &[],
+    ),
     (&["France"], "a country in western europe", "country", &[]),
-    (&["United States", "USA"], "a country in north america", "country", &["US"]),
+    (
+        &["United States", "USA"],
+        "a country in north america",
+        "country",
+        &["US"],
+    ),
     (&["Iraq"], "a country in the middle east", "country", &[]),
-    (&["Kuwait"], "a country on the persian gulf invaded by iraq in 1990", "country", &[]),
-    (&["Catalonia"], "an autonomous region of spain", "state", &[]),
-    (&["New York State"], "a state of the united states", "state", &[]),
-    (&["California"], "a state of the united states on the pacific coast", "state", &[]),
-    (&["Barcelona"], "a city in catalonia spain on the mediterranean coast", "city", &[]),
+    (
+        &["Kuwait"],
+        "a country on the persian gulf invaded by iraq in 1990",
+        "country",
+        &[],
+    ),
+    (
+        &["Catalonia"],
+        "an autonomous region of spain",
+        "state",
+        &[],
+    ),
+    (
+        &["New York State"],
+        "a state of the united states",
+        "state",
+        &[],
+    ),
+    (
+        &["California"],
+        "a state of the united states on the pacific coast",
+        "state",
+        &[],
+    ),
+    (
+        &["Barcelona"],
+        "a city in catalonia spain on the mediterranean coast",
+        "city",
+        &[],
+    ),
     (&["Madrid"], "the capital city of spain", "capital", &[]),
-    (&["New York", "New York City"], "the largest city of the united states", "city", &["NYC"]),
+    (
+        &["New York", "New York City"],
+        "the largest city of the united states",
+        "city",
+        &["NYC"],
+    ),
     (&["Paris"], "the capital city of france", "capital", &[]),
-    (&["London"], "the capital city of the united kingdom", "capital", &[]),
+    (
+        &["London"],
+        "the capital city of the united kingdom",
+        "capital",
+        &[],
+    ),
     (&["Costa Mesa"], "a city in california", "city", &[]),
     (&["Alicante"], "a city in southeastern spain", "city", &[]),
     (
@@ -196,8 +275,18 @@ const NOUN_INSTANCES: &[(&[&str], &str, &str, &[&str])] = &[
         "band",
         &[],
     ),
-    (&["Sirius", "Dog Star"], "the brightest star visible in the night sky", "star", &[]),
-    (&["Kennedy Airport Terminal 4"], "a terminal of kennedy international airport", "terminal", &[]),
+    (
+        &["Sirius", "Dog Star"],
+        "the brightest star visible in the night sky",
+        "star",
+        &[],
+    ),
+    (
+        &["Kennedy Airport Terminal 4"],
+        "a terminal of kennedy international airport",
+        "terminal",
+        &[],
+    ),
 ];
 
 /// Verb synsets: `(labels, gloss, beginner)`.
@@ -206,40 +295,79 @@ const VERB_SYNSETS: &[(&[&str], &str, &str)] = &[
     (&["remain", "stay"], "continue in a state", "stative"),
     (&["rain"], "precipitate as liquid water", "weather"),
     (&["snow"], "precipitate as ice crystals", "weather"),
-    (&["shine"], "emit light, as the sun in clear weather", "weather"),
+    (
+        &["shine"],
+        "emit light, as the sun in clear weather",
+        "weather",
+    ),
     (&["blow"], "move, as the wind", "weather"),
     (&["freeze"], "change to ice in cold weather", "weather"),
-    (&["fly", "travel by air"], "move through the air, as on a flight", "motion"),
-    (&["travel", "go"], "move from one place to another", "motion"),
+    (
+        &["fly", "travel by air"],
+        "move through the air, as on a flight",
+        "motion",
+    ),
+    (
+        &["travel", "go"],
+        "move from one place to another",
+        "motion",
+    ),
     (&["arrive", "land"], "reach a destination", "motion"),
     (&["depart", "leave"], "go away from a place", "motion"),
     (&["rise", "climb"], "move or increase upward", "motion"),
     (&["fall", "drop"], "move or decrease downward", "motion"),
-    (&["buy", "purchase"], "obtain in exchange for money", "possession"),
+    (
+        &["buy", "purchase"],
+        "obtain in exchange for money",
+        "possession",
+    ),
     (&["sell"], "exchange goods for money", "possession"),
     (&["pay"], "give money in exchange for goods", "possession"),
     (&["cost"], "require a payment of", "possession"),
-    (&["increase", "grow"], "become greater in size or amount", "change"),
-    (&["decrease", "diminish"], "become smaller in size or amount", "change"),
+    (
+        &["increase", "grow"],
+        "become greater in size or amount",
+        "change",
+    ),
+    (
+        &["decrease", "diminish"],
+        "become smaller in size or amount",
+        "change",
+    ),
     (&["change", "alter"], "become different", "change"),
     (&["warm"], "become warmer in temperature", "change"),
     (&["cool"], "become cooler in temperature", "change"),
     (&["ask", "inquire"], "put a question to", "communication"),
-    (&["answer", "reply"], "respond to a question", "communication"),
+    (
+        &["answer", "reply"],
+        "respond to a question",
+        "communication",
+    ),
     (&["report"], "announce information", "communication"),
-    (&["forecast", "predict"], "state what will happen, for example about the weather", "communication"),
+    (
+        &["forecast", "predict"],
+        "state what will happen, for example about the weather",
+        "communication",
+    ),
     (&["know"], "have knowledge of", "cognition"),
     (&["analyze", "study"], "consider in detail", "cognition"),
     (&["decide"], "reach a decision", "cognition"),
-    (&["invade"], "march aggressively into another country", "social"),
+    (
+        &["invade"],
+        "march aggressively into another country",
+        "social",
+    ),
     (&["visit"], "go to see a place or person", "social"),
     (&["see", "perceive"], "perceive by sight", "perception"),
-    (&["measure"], "determine the size or degree of", "perception"),
+    (
+        &["measure"],
+        "determine the size or degree of",
+        "perception",
+    ),
 ];
 
 /// Builds the mini-WordNet upper ontology.
 pub fn upper_ontology() -> Ontology {
-    let _ = CALENDAR_CLASSES;
     let mut o = Ontology::new("mini-wordnet");
     // Root and noun beginners.
     let entity = o.add_concept(
@@ -332,7 +460,11 @@ pub fn upper_ontology() -> Ontology {
         o.relate(id, Relation::Hypernym, parent);
     }
     // A couple of antonym pairs exercise the symmetric relation.
-    for (a, b) in [("increase", "decrease"), ("arrive", "depart"), ("buy", "sell")] {
+    for (a, b) in [
+        ("increase", "decrease"),
+        ("arrive", "depart"),
+        ("buy", "sell"),
+    ] {
         let ca = verb_class(&o, a);
         let cb = verb_class(&o, b);
         o.relate(ca, Relation::Antonym, cb);

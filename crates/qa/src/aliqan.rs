@@ -9,7 +9,12 @@ use dwqa_nlp::{analyze_sentence, render_annotated, Lexicon};
 use dwqa_ontology::Ontology;
 
 /// Configuration of an AliQAn instance.
+///
+/// Construct with [`AliQAnConfig::builder`]; the struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking
+/// downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct AliQAnConfig {
     /// IR-n passage window in sentences (paper: 8).
     pub passage_window: usize,
@@ -29,6 +34,59 @@ impl Default for AliQAnConfig {
             answers_k: 5,
             index_threads: 1,
         }
+    }
+}
+
+impl AliQAnConfig {
+    /// Starts a builder pre-loaded with the defaults.
+    pub fn builder() -> AliQAnConfigBuilder {
+        AliQAnConfigBuilder {
+            config: AliQAnConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`AliQAnConfig`].
+///
+/// ```
+/// use dwqa_qa::AliQAnConfig;
+/// let config = AliQAnConfig::builder().passage_window(4).answers_k(3).build();
+/// assert_eq!(config.passage_window, 4);
+/// assert_eq!(config.answers_k, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliQAnConfigBuilder {
+    config: AliQAnConfig,
+}
+
+impl AliQAnConfigBuilder {
+    /// Sets the IR-n passage window in sentences.
+    pub fn passage_window(mut self, sentences: usize) -> Self {
+        self.config.passage_window = sentences;
+        self
+    }
+
+    /// Sets how many passages Module 2 hands to Module 3.
+    pub fn passages_k(mut self, k: usize) -> Self {
+        self.config.passages_k = k;
+        self
+    }
+
+    /// Sets how many answers are returned per question.
+    pub fn answers_k(mut self, k: usize) -> Self {
+        self.config.answers_k = k;
+        self
+    }
+
+    /// Sets the worker-thread count for the indexation phase.
+    pub fn index_threads(mut self, threads: usize) -> Self {
+        self.config.index_threads = threads;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> AliQAnConfig {
+        self.config
     }
 }
 
@@ -87,10 +145,7 @@ impl PipelineTrace {
                 "Syntactic-morphologic analysis of the passage",
                 self.passage_analysis.clone(),
             ),
-            (
-                "Extracted answer",
-                self.extracted_answers.join(", "),
-            ),
+            ("Extracted answer", self.extracted_answers.join(", ")),
         ];
         let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
         rows.iter_mut()
@@ -180,37 +235,33 @@ impl AliQAn {
             .retrieve_weighted(&index.ir_index, &terms, self.config.passages_k)
     }
 
-    /// The full search phase: analyse → select passages → extract.
-    pub fn answer(&self, question: &str) -> Vec<Answer> {
+    /// Module 3 on its own: extracts typed answers from the passages.
+    pub fn extract(&self, analysis: &QuestionAnalysis, passages: &[Passage]) -> Vec<Answer> {
         let (index, store) = self.indexed();
-        let analysis = self.analyze(question);
-        let passages = self.passages(&analysis);
         extract_answers(
-            &analysis,
+            analysis,
             index,
             store,
             &self.ontology,
-            &passages,
+            passages,
             self.config.answers_k,
         )
+    }
+
+    /// The full search phase: analyse → select passages → extract.
+    pub fn answer(&self, question: &str) -> Vec<Answer> {
+        let analysis = self.analyze(question);
+        let passages = self.passages(&analysis);
+        self.extract(&analysis, &passages)
     }
 
     /// Runs the pipeline and records every intermediate artefact — the
     /// regeneration of the paper's Table 1.
     pub fn trace(&self, question: &str) -> PipelineTrace {
-        let (index, store) = self.indexed();
         let analysis = self.analyze(question);
         let passages = self.passages(&analysis);
-        let answers = extract_answers(
-            &analysis,
-            index,
-            store,
-            &self.ontology,
-            &passages,
-            self.config.answers_k,
-        );
-        let query_analysis =
-            render_annotated(&analysis.sentence.tokens, &analysis.sentence.blocks);
+        let answers = self.extract(&analysis, &passages);
+        let query_analysis = render_annotated(&analysis.sentence.tokens, &analysis.sentence.blocks);
         let (passage_text, passage_analysis) = match passages.first() {
             Some(p) => {
                 let rendered = p

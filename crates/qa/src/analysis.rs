@@ -15,9 +15,7 @@
 use crate::patterns::QuestionPattern;
 use crate::taxonomy::AnswerType;
 use dwqa_common::{Date, Month};
-use dwqa_nlp::{
-    analyze_sentence, AnalyzedSentence, EntityKind, Lexicon, NpFeature, SbKind,
-};
+use dwqa_nlp::{analyze_sentence, AnalyzedSentence, EntityKind, Lexicon, NpFeature, SbKind};
 use dwqa_ontology::{ConceptKind, Ontology, Relation};
 
 /// One main Syntactic Block elected by the analysis.
@@ -121,7 +119,7 @@ fn location_expansions(ontology: &Ontology, text: &str) -> Vec<String> {
             continue;
         }
         for &holder in ontology.related(id, Relation::Meronym) {
-            let is_city = city_class.is_none_or(|c| ontology.is_a(holder, c));
+            let is_city = city_class.map_or(true, |c| ontology.is_a(holder, c));
             if !is_city {
                 continue;
             }
@@ -151,14 +149,18 @@ pub fn analyze_question(
         .map(|t| t.lemma.clone());
 
     // Copula: a VBC whose lemmas include "be".
-    let has_copula = sentence.blocks.iter().any(|b| {
-        b.kind == SbKind::Vbc && tokens[b.start..b.end].iter().any(|t| t.lemma == "be")
-    });
+    let has_copula = sentence
+        .blocks
+        .iter()
+        .any(|b| b.kind == SbKind::Vbc && tokens[b.start..b.end].iter().any(|t| t.lemma == "be"));
 
     // Focus: head of the first common/proper NP.
     let focus_block = sentence.blocks.iter().find(|b| {
         b.kind == SbKind::Np
-            && matches!(b.feature, Some(NpFeature::Comun) | Some(NpFeature::ProperNoun))
+            && matches!(
+                b.feature,
+                Some(NpFeature::Comun) | Some(NpFeature::ProperNoun)
+            )
     });
     let focus = focus_block.and_then(|b| b.head_lemma(tokens));
 
@@ -178,7 +180,7 @@ pub fn analyze_question(
                 && (!p.copula || has_copula)
                 && p.verb_lemma
                     .as_deref()
-                    .is_none_or(|v| verb_lemmas.contains(&v))
+                    .map_or(true, |v| verb_lemmas.contains(&v))
                 && p.focus_matches(focus.as_deref(), ontology)
         })
         .copied()
@@ -304,9 +306,9 @@ pub fn analyze_question(
 mod tests {
     use super::*;
     use crate::patterns::{default_patterns, temperature_pattern};
-    use dwqa_ontology::{merge_into_upper, schema_to_ontology, upper_ontology, MergeOptions};
-    use dwqa_ontology::enrich_from_warehouse;
     use dwqa_mdmodel::last_minute_sales;
+    use dwqa_ontology::enrich_from_warehouse;
+    use dwqa_ontology::{merge_into_upper, schema_to_ontology, upper_ontology, MergeOptions};
     use dwqa_warehouse::{FactRowBuilder, Value, Warehouse};
 
     fn merged_ontology() -> Ontology {
@@ -386,7 +388,12 @@ mod tests {
     fn clef_question_matches_country_pattern() {
         let lx = Lexicon::english();
         let onto = merged_ontology();
-        let qa = analyze_question(&lx, &onto, &bank(), "Which country did Iraq invade in 1990?");
+        let qa = analyze_question(
+            &lx,
+            &onto,
+            &bank(),
+            "Which country did Iraq invade in 1990?",
+        );
         assert_eq!(qa.answer_type, AnswerType::PlaceCountry);
         assert_eq!(qa.focus.as_deref(), Some("country"));
         let texts: Vec<&str> = qa.main_sbs.iter().map(|s| s.text.as_str()).collect();
@@ -448,19 +455,40 @@ mod tests {
         let b = bank();
         let cases: &[(&str, AnswerType)] = &[
             ("Who bought the ticket?", AnswerType::Person),
-            ("What was the profession of La Guardia?", AnswerType::Profession),
+            (
+                "What was the profession of La Guardia?",
+                AnswerType::Profession,
+            ),
             ("Which group played in Alicante?", AnswerType::Group),
             ("Which city has the biggest airport?", AnswerType::PlaceCity),
-            ("Which country did Iraq invade in 1990?", AnswerType::PlaceCountry),
+            (
+                "Which country did Iraq invade in 1990?",
+                AnswerType::PlaceCountry,
+            ),
             ("What is the capital of Spain?", AnswerType::PlaceCapital),
             ("Where did the flight land?", AnswerType::Place),
             ("Which star is brightest?", AnswerType::Object),
-            ("What is the price of the ticket?", AnswerType::NumericalEconomic),
-            ("What percentage of sales increased?", AnswerType::NumericalPercentage),
+            (
+                "What is the price of the ticket?",
+                AnswerType::NumericalEconomic,
+            ),
+            (
+                "What percentage of sales increased?",
+                AnswerType::NumericalPercentage,
+            ),
             ("How many tickets were sold?", AnswerType::NumericalQuantity),
-            ("Which year was the airport built?", AnswerType::TemporalYear),
-            ("Which month is warmest in Barcelona?", AnswerType::TemporalMonth),
-            ("What date did the promotion start?", AnswerType::TemporalDate),
+            (
+                "Which year was the airport built?",
+                AnswerType::TemporalYear,
+            ),
+            (
+                "Which month is warmest in Barcelona?",
+                AnswerType::TemporalMonth,
+            ),
+            (
+                "What date did the promotion start?",
+                AnswerType::TemporalDate,
+            ),
             ("When did the promotion start?", AnswerType::TemporalDate),
             ("What is Sirius?", AnswerType::Definition),
             (

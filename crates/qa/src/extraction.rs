@@ -112,11 +112,7 @@ fn folded_contains(haystack: &str, needle: &str) -> bool {
 
 /// Overlap score: how many main-SB lemmas occur in the sentence.
 fn sb_overlap(analysis: &QuestionAnalysis, sentence: &AnalyzedSentence) -> f64 {
-    let lemmas: Vec<&str> = sentence
-        .tokens
-        .iter()
-        .map(|t| t.lemma.as_str())
-        .collect();
+    let lemmas: Vec<&str> = sentence.tokens.iter().map(|t| t.lemma.as_str()).collect();
     let mut hits = 0usize;
     let mut total = 0usize;
     for sb in &analysis.main_sbs {
@@ -185,7 +181,7 @@ fn context_location(
             continue;
         };
         let weight = weight + if is_city(loc) { 0.1 } else { 0.0 };
-        if best.as_ref().is_none_or(|(_, w)| weight > *w) {
+        if best.as_ref().map_or(true, |(_, w)| weight > *w) {
             best = Some((loc.clone(), weight));
         }
     }
@@ -209,6 +205,7 @@ fn date_matches_constraint(analysis: &QuestionAnalysis, date: Date) -> Option<bo
     None
 }
 
+#[allow(clippy::too_many_arguments)] // internal plumbing for one call site
 fn push_candidate(
     out: &mut Vec<Answer>,
     analysis: &QuestionAnalysis,
@@ -365,9 +362,7 @@ fn ontology_answers(analysis: &QuestionAnalysis, ontology: &Ontology) -> Vec<Ans
                             url: "ontology".to_owned(),
                             sentence: ontology.concept(id).gloss.clone(),
                             context_date: None,
-                            context_location: Some(
-                                ontology.concept(holder).canonical().to_owned(),
-                            ),
+                            context_location: Some(ontology.concept(holder).canonical().to_owned()),
                         });
                     }
                 }
@@ -444,14 +439,30 @@ pub fn extract_answers(
                     for e in &sentence.entities {
                         match e.kind {
                             EntityKind::FullDate(d) => push_candidate(
-                                &mut out, analysis, ontology, sentences, idx, &passage_text,
-                                url, AnswerValue::Date(d), 1.0, false,
+                                &mut out,
+                                analysis,
+                                ontology,
+                                sentences,
+                                idx,
+                                &passage_text,
+                                url,
+                                AnswerValue::Date(d),
+                                1.0,
+                                false,
                             ),
                             // A bare year is a coarse but valid date answer
                             // ("When did Iraq invade Kuwait?" → 1990).
                             EntityKind::Year(y) => push_candidate(
-                                &mut out, analysis, ontology, sentences, idx, &passage_text,
-                                url, AnswerValue::Year(y), 0.6, false,
+                                &mut out,
+                                analysis,
+                                ontology,
+                                sentences,
+                                idx,
+                                &passage_text,
+                                url,
+                                AnswerValue::Year(y),
+                                0.6,
+                                false,
                             ),
                             _ => {}
                         }
@@ -461,8 +472,16 @@ pub fn extract_answers(
                     for e in &sentence.entities {
                         if let EntityKind::MonthYear { month, year } = e.kind {
                             push_candidate(
-                                &mut out, analysis, ontology, sentences, idx, &passage_text,
-                                url, AnswerValue::MonthYear(month, year), 1.0, false,
+                                &mut out,
+                                analysis,
+                                ontology,
+                                sentences,
+                                idx,
+                                &passage_text,
+                                url,
+                                AnswerValue::MonthYear(month, year),
+                                1.0,
+                                false,
                             );
                         }
                     }
@@ -471,12 +490,28 @@ pub fn extract_answers(
                     for e in &sentence.entities {
                         match e.kind {
                             EntityKind::Year(y) => push_candidate(
-                                &mut out, analysis, ontology, sentences, idx, &passage_text,
-                                url, AnswerValue::Year(y), 1.0, false,
+                                &mut out,
+                                analysis,
+                                ontology,
+                                sentences,
+                                idx,
+                                &passage_text,
+                                url,
+                                AnswerValue::Year(y),
+                                1.0,
+                                false,
                             ),
                             EntityKind::FullDate(d) => push_candidate(
-                                &mut out, analysis, ontology, sentences, idx, &passage_text,
-                                url, AnswerValue::Year(d.year()), 0.8, false,
+                                &mut out,
+                                analysis,
+                                ontology,
+                                sentences,
+                                idx,
+                                &passage_text,
+                                url,
+                                AnswerValue::Year(d.year()),
+                                0.8,
+                                false,
                             ),
                             _ => {}
                         }
@@ -486,23 +521,41 @@ pub fn extract_answers(
                     for e in &sentence.entities {
                         if let EntityKind::Percentage(p) = e.kind {
                             push_candidate(
-                                &mut out, analysis, ontology, sentences, idx, &passage_text,
-                                url, AnswerValue::Percentage(p), 1.0, false,
+                                &mut out,
+                                analysis,
+                                ontology,
+                                sentences,
+                                idx,
+                                &passage_text,
+                                url,
+                                AnswerValue::Percentage(p),
+                                1.0,
+                                false,
                             );
                         }
                     }
                 }
                 AnswerType::NumericalEconomic => {
                     for e in &sentence.entities {
-                        if let EntityKind::Money { amount, ref currency } = e.kind {
+                        if let EntityKind::Money {
+                            amount,
+                            ref currency,
+                        } = e.kind
+                        {
                             push_candidate(
-                                &mut out, analysis, ontology, sentences, idx, &passage_text,
+                                &mut out,
+                                analysis,
+                                ontology,
+                                sentences,
+                                idx,
+                                &passage_text,
                                 url,
                                 AnswerValue::Money {
                                     amount,
                                     currency: currency.clone(),
                                 },
-                                1.0, false,
+                                1.0,
+                                false,
                             );
                         }
                     }
@@ -523,7 +576,9 @@ pub fn extract_answers(
                             if in_entity {
                                 continue;
                             }
-                            let Ok(n) = t.lemma.parse::<f64>() else { continue };
+                            let Ok(n) = t.lemma.parse::<f64>() else {
+                                continue;
+                            };
                             let needs_unit = matches!(
                                 analysis.answer_type,
                                 AnswerType::NumericalMeasure | AnswerType::NumericalPeriod
@@ -536,8 +591,16 @@ pub fn extract_answers(
                                 continue;
                             }
                             push_candidate(
-                                &mut out, analysis, ontology, sentences, idx, &passage_text,
-                                url, AnswerValue::Number(n), 0.8, false,
+                                &mut out,
+                                analysis,
+                                ontology,
+                                sentences,
+                                idx,
+                                &passage_text,
+                                url,
+                                AnswerValue::Number(n),
+                                0.8,
+                                false,
                             );
                         }
                     }
@@ -559,10 +622,16 @@ pub fn extract_answers(
                                 let appositive = prev.token.text == ",";
                                 if after_copula || appositive {
                                     push_candidate(
-                                        &mut out, analysis, ontology, sentences, idx,
-                                        &passage_text, url,
+                                        &mut out,
+                                        analysis,
+                                        ontology,
+                                        sentences,
+                                        idx,
+                                        &passage_text,
+                                        url,
                                         AnswerValue::Phrase(block.text(&sentence.tokens)),
-                                        1.0, false,
+                                        1.0,
+                                        false,
                                     );
                                 }
                             }
@@ -598,12 +667,9 @@ pub fn extract_answers(
                             }
                             let text = np.text(&sentence.tokens);
                             // Never answer with a term from the question.
-                            if analysis
-                                .main_sbs
-                                .iter()
-                                .any(|sb| dwqa_common::text::fold(&sb.text)
-                                    == dwqa_common::text::fold(&text))
-                            {
+                            if analysis.main_sbs.iter().any(|sb| {
+                                dwqa_common::text::fold(&sb.text) == dwqa_common::text::fold(&text)
+                            }) {
                                 continue;
                             }
                             let verified = resolves_to(ontology, &text, classes);
@@ -617,14 +683,20 @@ pub fn extract_answers(
                             } else {
                                 0.2
                             };
-                            if sentence_has_verb
-                                && np.role == dwqa_nlp::SbRole::Subject
-                            {
+                            if sentence_has_verb && np.role == dwqa_nlp::SbRole::Subject {
                                 type_score += 0.8;
                             }
                             push_candidate(
-                                &mut out, analysis, ontology, sentences, idx, &passage_text,
-                                url, AnswerValue::Name(text), type_score, false,
+                                &mut out,
+                                analysis,
+                                ontology,
+                                sentences,
+                                idx,
+                                &passage_text,
+                                url,
+                                AnswerValue::Name(text),
+                                type_score,
+                                false,
                             );
                         }
                     }
@@ -707,11 +779,7 @@ mod tests {
         let mut ontology = upper_ontology();
         // Make "El Prat" a known Barcelona airport (as Step 2+3 would).
         let airport = ontology.class_for("airport").unwrap();
-        let bcn = ontology
-            .concepts_for("Barcelona")
-            .first()
-            .copied()
-            .unwrap();
+        let bcn = ontology.concepts_for("Barcelona").first().copied().unwrap();
         let el_prat = ontology.add_concept(
             &["El Prat"],
             "an airport from the data warehouse",
@@ -735,11 +803,10 @@ mod tests {
         let mut bank = default_patterns();
         bank.push(temperature_pattern());
         let analysis = analyze_question(&s.lexicon, &s.ontology, &bank, question);
-        let passages = s.index.passages.retrieve(
-            &s.index.ir_index,
-            &analysis.retrieval_terms(),
-            5,
-        );
+        let passages = s
+            .index
+            .passages
+            .retrieve(&s.index.ir_index, &analysis.retrieval_terms(), 5);
         let _ = Similarity::Bm25;
         extract_answers(&analysis, &s.index, &s.store, &s.ontology, &passages, k)
     }
@@ -747,7 +814,11 @@ mod tests {
     #[test]
     fn paper_query_extracts_the_table_1_tuple() {
         let s = setup();
-        let answers = answers_for(&s, "What is the weather like in January of 2004 in El Prat?", 5);
+        let answers = answers_for(
+            &s,
+            "What is the weather like in January of 2004 in El Prat?",
+            5,
+        );
         assert!(!answers.is_empty());
         let top = &answers[0];
         match top.value {
@@ -761,14 +832,21 @@ mod tests {
         assert!(top.url.contains("barcelona-tourist-guide"));
         // The Table 1 tuple shape.
         let tuple = top.tuple_format();
-        assert!(tuple.starts_with("(8ºC – ") || tuple.starts_with("(7ºC – "), "{tuple}");
+        assert!(
+            tuple.starts_with("(8ºC – ") || tuple.starts_with("(7ºC – "),
+            "{tuple}"
+        );
         assert!(tuple.ends_with("– Barcelona)"), "{tuple}");
     }
 
     #[test]
     fn both_days_are_extracted_with_their_dates() {
         let s = setup();
-        let answers = answers_for(&s, "What is the temperature in January of 2004 in El Prat?", 10);
+        let answers = answers_for(
+            &s,
+            "What is the temperature in January of 2004 in El Prat?",
+            10,
+        );
         let dates: Vec<Option<Date>> = answers
             .iter()
             .filter(|a| matches!(a.value, AnswerValue::Temperature { .. }))
@@ -781,7 +859,11 @@ mod tests {
     #[test]
     fn fahrenheit_duplicates_are_merged() {
         let s = setup();
-        let answers = answers_for(&s, "What is the temperature in January of 2004 in El Prat?", 10);
+        let answers = answers_for(
+            &s,
+            "What is the temperature in January of 2004 in El Prat?",
+            10,
+        );
         // 8º C and 46.4 F are the same reading → one answer for Jan 31.
         let jan31: Vec<&Answer> = answers
             .iter()
@@ -793,7 +875,11 @@ mod tests {
     #[test]
     fn political_temperature_does_not_win() {
         let s = setup();
-        let answers = answers_for(&s, "What is the temperature in January of 2004 in El Prat?", 3);
+        let answers = answers_for(
+            &s,
+            "What is the temperature in January of 2004 in El Prat?",
+            3,
+        );
         for a in &answers {
             assert!(
                 !a.url.contains("news.example.org"),
@@ -815,15 +901,16 @@ mod tests {
     fn abbreviation_questions_answer_from_the_ontology() {
         let mut s = setup();
         // Merge-style synonym: the airport synset knows both names.
-        let kennedy = s
-            .ontology
-            .concepts_for("Kennedy International Airport")[0];
+        let kennedy = s.ontology.concepts_for("Kennedy International Airport")[0];
         s.ontology.add_label(kennedy, "JFK");
         let answers = answers_for(&s, "What does JFK stand for?", 3);
-        assert!(answers.iter().any(|a| matches!(
-            &a.value,
-            AnswerValue::Phrase(p) if p == "Kennedy International Airport"
-        )), "{answers:?}");
+        assert!(
+            answers.iter().any(|a| matches!(
+                &a.value,
+                AnswerValue::Phrase(p) if p == "Kennedy International Airport"
+            )),
+            "{answers:?}"
+        );
         assert_eq!(answers[0].url, "ontology");
     }
 
@@ -831,10 +918,13 @@ mod tests {
     fn profession_questions_answer_from_the_taxonomy() {
         let s = setup();
         let answers = answers_for(&s, "What was the profession of La Guardia?", 3);
-        assert!(answers.iter().any(|a| matches!(
-            &a.value,
-            AnswerValue::Name(n) if n == "mayor" || n == "politician"
-        )), "{answers:?}");
+        assert!(
+            answers.iter().any(|a| matches!(
+                &a.value,
+                AnswerValue::Name(n) if n == "mayor" || n == "politician"
+            )),
+            "{answers:?}"
+        );
     }
 
     #[test]
@@ -862,23 +952,33 @@ mod tests {
         let index = QaIndex::build(&lexicon, &store, 8);
         let mut bank = default_patterns();
         bank.push(temperature_pattern());
-        let analysis = analyze_question(&lexicon, &ontology, &bank, "Who performed the knee surgery?");
+        let analysis = analyze_question(
+            &lexicon,
+            &ontology,
+            &bank,
+            "Who performed the knee surgery?",
+        );
         let passages = index
             .passages
             .retrieve(&index.ir_index, &analysis.retrieval_terms(), 5);
         let answers = extract_answers(&analysis, &index, &store, &ontology, &passages, 3);
-        assert!(matches!(&answers[0].value, AnswerValue::Name(n) if n == "Doctor Ramirez"),
-            "{answers:?}");
+        assert!(
+            matches!(&answers[0].value, AnswerValue::Name(n) if n == "Doctor Ramirez"),
+            "{answers:?}"
+        );
     }
 
     #[test]
     fn where_questions_answer_from_meronymy() {
         let s = setup();
         let answers = answers_for(&s, "Where is El Prat?", 3);
-        assert!(answers.iter().any(|a| matches!(
-            &a.value,
-            AnswerValue::Name(n) if n == "Barcelona"
-        )), "{answers:?}");
+        assert!(
+            answers.iter().any(|a| matches!(
+                &a.value,
+                AnswerValue::Name(n) if n == "Barcelona"
+            )),
+            "{answers:?}"
+        );
     }
 
     #[test]

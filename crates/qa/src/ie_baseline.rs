@@ -86,9 +86,10 @@ impl IeBaseline {
                             });
                             let _ = TempUnit::Celsius;
                         }
-                        EntityKind::Money { amount, ref currency }
-                            if self.covers(IeTemplate::Price) =>
-                        {
+                        EntityKind::Money {
+                            amount,
+                            ref currency,
+                        } if self.covers(IeTemplate::Price) => {
                             out.push(FilledTemplate {
                                 template: IeTemplate::Price,
                                 slots: vec![format!("{amount} {currency}")],

@@ -49,7 +49,7 @@ pub mod ir_baseline;
 pub mod patterns;
 pub mod taxonomy;
 
-pub use aliqan::{AliQAn, AliQAnConfig, PipelineTrace};
+pub use aliqan::{AliQAn, AliQAnConfig, AliQAnConfigBuilder, PipelineTrace};
 pub use analysis::{analyze_question, MainSb, QuestionAnalysis};
 pub use extraction::{Answer, AnswerValue};
 pub use ie_baseline::{IeBaseline, IeTemplate};

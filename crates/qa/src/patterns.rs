@@ -144,10 +144,7 @@ impl QuestionPattern {
             parts.push(format!("[to {v}]"));
         }
         if !self.focus_concepts.is_empty() {
-            parts.push(format!(
-                "[synonym of {}]",
-                self.focus_concepts.join(" | ")
-            ));
+            parts.push(format!("[synonym of {}]", self.focus_concepts.join(" | ")));
         } else if !self.focus_literals.is_empty() {
             parts.push(format!("[{}]", self.focus_literals.join(" | ")));
         }
@@ -243,9 +240,15 @@ pub fn default_patterns() -> Vec<QuestionPattern> {
             .focus_of(&["profession"])
             .with_priority(26),
         // Bare interrogatives.
-        QuestionPattern::new("who", AnswerType::Person).wh(&["who", "whom"]).with_priority(15),
-        QuestionPattern::new("when", AnswerType::TemporalDate).wh(&["when"]).with_priority(15),
-        QuestionPattern::new("where", AnswerType::Place).wh(&["where"]).with_priority(15),
+        QuestionPattern::new("who", AnswerType::Person)
+            .wh(&["who", "whom"])
+            .with_priority(15),
+        QuestionPattern::new("when", AnswerType::TemporalDate)
+            .wh(&["when"])
+            .with_priority(15),
+        QuestionPattern::new("where", AnswerType::Place)
+            .wh(&["where"])
+            .with_priority(15),
         QuestionPattern::new("how-many", AnswerType::NumericalQuantity)
             .wh(&["how"])
             .with_priority(10),

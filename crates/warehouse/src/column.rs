@@ -134,9 +134,9 @@ impl Column {
             Column::Text(d) => d
                 .get(row)
                 .map_or(Value::Null, |s| Value::Text(s.to_owned())),
-            Column::Date(v) => {
-                v[row].map_or(Value::Null, |days| Value::Date(Date::from_days_from_epoch(days)))
-            }
+            Column::Date(v) => v[row].map_or(Value::Null, |days| {
+                Value::Date(Date::from_days_from_epoch(days))
+            }),
             Column::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
         }
     }

@@ -90,7 +90,8 @@ impl DimensionTable {
             .iter()
             .position(|(li, q)| {
                 *li == level_idx
-                    && q.split('.').nth(1) == Some(self.model.levels[level_idx].descriptor.name.as_str())
+                    && q.split('.').nth(1)
+                        == Some(self.model.levels[level_idx].descriptor.name.as_str())
             })
             .expect("every level has a descriptor column")
     }
@@ -139,9 +140,7 @@ impl DimensionTable {
             }
         }
         for (pos, v) in row.iter().enumerate() {
-            self.columns[pos]
-                .push(v)
-                .expect("validated before pushing");
+            self.columns[pos].push(v).expect("validated before pushing");
         }
         let key = MemberKey(u32::try_from(self.len() - 1).expect("dimension overflow"));
         self.index.insert(base, key);
@@ -212,7 +211,10 @@ mod tests {
         let key = t.lookup_or_insert(&el_prat()).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.lookup(&Value::text("El Prat")), Some(key));
-        assert_eq!(t.level_value(key, "City").unwrap(), Value::text("Barcelona"));
+        assert_eq!(
+            t.level_value(key, "City").unwrap(),
+            Value::text("Barcelona")
+        );
         assert_eq!(t.level_value(key, "Country").unwrap(), Value::text("Spain"));
         assert_eq!(
             t.attribute_value(key, "iata_code").unwrap(),

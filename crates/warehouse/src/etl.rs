@@ -157,11 +157,7 @@ mod tests {
         let (_, date_dim) = schema.dimension("Date").unwrap();
         let mut spec = vec![("date".to_owned(), Value::date(2004, 1, 31).unwrap())];
         autofill_date_levels(date_dim, &mut spec);
-        let get = |name: &str| {
-            spec.iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, v)| v.clone())
-        };
+        let get = |name: &str| spec.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone());
         assert_eq!(get("month"), Some(Value::text("2004-01")));
         assert_eq!(get("quarter"), Some(Value::text("2004-Q1")));
         assert_eq!(get("year"), Some(Value::Int(2004)));

@@ -153,7 +153,10 @@ mod tests {
     fn wrong_arity_rejected() {
         let mut t = table();
         assert!(matches!(
-            t.insert(&keys(2), &[Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]),
+            t.insert(
+                &keys(2),
+                &[Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]
+            ),
             Err(WarehouseError::IncompleteRow(_))
         ));
         assert!(matches!(

@@ -122,10 +122,11 @@ impl ResultSet {
         let left_keys: Vec<usize> = on
             .iter()
             .map(|(l, _)| {
-                self.column(l).ok_or_else(|| WarehouseError::UnknownMeasure {
-                    fact: "join(left)".to_owned(),
-                    measure: (*l).to_owned(),
-                })
+                self.column(l)
+                    .ok_or_else(|| WarehouseError::UnknownMeasure {
+                        fact: "join(left)".to_owned(),
+                        measure: (*l).to_owned(),
+                    })
             })
             .collect::<Result<_>>()?;
         let right_keys: Vec<usize> = on
@@ -145,10 +146,7 @@ impl ResultSet {
         let right_rest: Vec<usize> = (0..other.columns.len())
             .filter(|i| !right_keys.contains(i))
             .collect();
-        let mut columns: Vec<String> = left_keys
-            .iter()
-            .map(|&i| self.columns[i].clone())
-            .collect();
+        let mut columns: Vec<String> = left_keys.iter().map(|&i| self.columns[i].clone()).collect();
         columns.extend(left_rest.iter().map(|&i| self.columns[i].clone()));
         columns.extend(right_rest.iter().map(|&i| other.columns[i].clone()));
         // Hash the right side by key.
@@ -469,13 +467,12 @@ impl CubeQuery {
             .collect();
         rows.sort();
         if let Some((column, desc)) = &self.order {
-            let idx = columns
-                .iter()
-                .position(|c| c == column)
-                .ok_or_else(|| WarehouseError::UnknownMeasure {
+            let idx = columns.iter().position(|c| c == column).ok_or_else(|| {
+                WarehouseError::UnknownMeasure {
                     fact: self.fact.clone(),
                     measure: column.clone(),
-                })?;
+                }
+            })?;
             // Stable sort on top of the deterministic base order.
             rows.sort_by(|a, b| {
                 let ord = a[idx].cmp(&b[idx]);
@@ -539,7 +536,10 @@ mod tests {
             .aggregate("price", AggFn::Count)
             .run(&wh)
             .unwrap();
-        assert_eq!(rs.columns, ["Destination.City", "sum(price)", "count(price)"]);
+        assert_eq!(
+            rs.columns,
+            ["Destination.City", "sum(price)", "count(price)"]
+        );
         assert_eq!(rs.rows.len(), 2);
         // Sorted: Barcelona before New York.
         assert_eq!(rs.rows[0][0], Value::text("Barcelona"));
@@ -552,7 +552,11 @@ mod tests {
     fn drill_down_to_airport_level() {
         let wh = loaded_warehouse();
         let rs = CubeQuery::on("Last Minute Sales")
-            .filter("Destination", "City", Predicate::Eq(Value::text("New York")))
+            .filter(
+                "Destination",
+                "City",
+                Predicate::Eq(Value::text("New York")),
+            )
             .group_by("Destination", "Airport")
             .aggregate("price", AggFn::Sum)
             .run(&wh)
@@ -741,17 +745,41 @@ mod tests {
         let left = ResultSet {
             columns: vec!["city".into(), "date".into(), "sales".into()],
             rows: vec![
-                vec![Value::text("Barcelona"), Value::text("2004-01-01"), Value::Int(3)],
-                vec![Value::text("Barcelona"), Value::text("2004-01-02"), Value::Int(1)],
-                vec![Value::text("Madrid"), Value::text("2004-01-01"), Value::Int(2)],
+                vec![
+                    Value::text("Barcelona"),
+                    Value::text("2004-01-01"),
+                    Value::Int(3),
+                ],
+                vec![
+                    Value::text("Barcelona"),
+                    Value::text("2004-01-02"),
+                    Value::Int(1),
+                ],
+                vec![
+                    Value::text("Madrid"),
+                    Value::text("2004-01-01"),
+                    Value::Int(2),
+                ],
             ],
         };
         let right = ResultSet {
             columns: vec!["c".into(), "d".into(), "temp".into()],
             rows: vec![
-                vec![Value::text("Barcelona"), Value::text("2004-01-01"), Value::Float(8.0)],
-                vec![Value::text("Madrid"), Value::text("2004-01-01"), Value::Float(5.0)],
-                vec![Value::text("Paris"), Value::text("2004-01-01"), Value::Float(4.0)],
+                vec![
+                    Value::text("Barcelona"),
+                    Value::text("2004-01-01"),
+                    Value::Float(8.0),
+                ],
+                vec![
+                    Value::text("Madrid"),
+                    Value::text("2004-01-01"),
+                    Value::Float(5.0),
+                ],
+                vec![
+                    Value::text("Paris"),
+                    Value::text("2004-01-01"),
+                    Value::Float(4.0),
+                ],
             ],
         };
         let joined = left.join(&right, &[("city", "c"), ("date", "d")]).unwrap();

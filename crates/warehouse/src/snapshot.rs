@@ -105,9 +105,10 @@ impl Warehouse {
         let mut wh = Warehouse::new(snapshot.schema.clone());
         // Dimensions first: members must exist before facts reference them.
         for dim_snap in &snapshot.dimensions {
-            let (dim_id, _) = snapshot.schema.dimension(&dim_snap.name).ok_or_else(|| {
-                WarehouseError::UnknownDimension(dim_snap.name.clone())
-            })?;
+            let (dim_id, _) = snapshot
+                .schema
+                .dimension(&dim_snap.name)
+                .ok_or_else(|| WarehouseError::UnknownDimension(dim_snap.name.clone()))?;
             for row in &dim_snap.rows {
                 if row.len() != dim_snap.columns.len() {
                     return Err(WarehouseError::IncompleteRow(format!(

@@ -54,15 +54,15 @@ impl Value {
     /// Whether this value can be stored in a column of type `ty`.
     /// Integers widen to float columns; everything else must match exactly.
     pub fn conforms_to(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Int(_), DataType::Int | DataType::Float) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Text(_), DataType::Text) => true,
-            (Value::Date(_), DataType::Date) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int | DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+                | (Value::Date(_), DataType::Date)
+                | (Value::Bool(_), DataType::Bool)
+        )
     }
 
     /// Whether the value is `Null`.
@@ -102,9 +102,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Text(a), Value::Text(b)) => a == b,
             (Value::Date(a), Value::Date(b)) => a == b,
             (Value::Bool(a), Value::Bool(b)) => a == b,

@@ -18,7 +18,11 @@ pub struct Warehouse {
 impl Warehouse {
     /// Creates an empty warehouse for the schema.
     pub fn new(schema: Schema) -> Warehouse {
-        let dimensions = schema.dimensions().iter().map(DimensionTable::new).collect();
+        let dimensions = schema
+            .dimensions()
+            .iter()
+            .map(DimensionTable::new)
+            .collect();
         let facts = schema.facts().iter().map(FactTable::new).collect();
         Warehouse {
             schema,
@@ -75,7 +79,10 @@ impl Warehouse {
     pub fn stats(&self) -> Vec<(String, usize)> {
         let mut out = Vec::new();
         for f in self.schema.facts() {
-            out.push((format!("fact {}", f.name), self.fact(&f.name).map(|t| t.len()).unwrap_or(0)));
+            out.push((
+                format!("fact {}", f.name),
+                self.fact(&f.name).map(|t| t.len()).unwrap_or(0),
+            ));
         }
         for d in self.schema.dimensions() {
             out.push((
@@ -292,9 +299,7 @@ mod tests {
         )
         .unwrap();
         let date_dim = wh.dimension("Date").unwrap();
-        let key = date_dim
-            .lookup(&Value::date(2004, 1, 31).unwrap())
-            .unwrap();
+        let key = date_dim.lookup(&Value::date(2004, 1, 31).unwrap()).unwrap();
         assert_eq!(
             date_dim.level_value(key, "Month").unwrap(),
             Value::text("2004-01")

@@ -24,7 +24,13 @@ fn main() {
     for (patient, treatment, specialty, cost, day) in [
         ("Maria Lopez", "knee surgery", "orthopedics", 4200.0, 5u32),
         ("John Smith", "physical therapy", "rehabilitation", 350.0, 9),
-        ("Ana Garcia", "cataract surgery", "ophthalmology", 2100.0, 17),
+        (
+            "Ana Garcia",
+            "cataract surgery",
+            "ophthalmology",
+            2100.0,
+            17,
+        ),
     ] {
         let mut b = FactRowBuilder::new();
         b.measure("cost", Value::Float(cost))

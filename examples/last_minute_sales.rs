@@ -32,7 +32,10 @@ fn main() {
             generate_sales(&SalesConfig::default(), &default_cities(), &corpus.truth),
         )
         .unwrap();
-    println!("Loaded {} last-minute sales into the Figure-1 star.", report.inserted);
+    println!(
+        "Loaded {} last-minute sales into the Figure-1 star.",
+        report.inserted
+    );
 
     // A classical BI query the DW could already answer: revenue by city.
     let rs = CubeQuery::on("Last Minute Sales")
@@ -41,7 +44,10 @@ fn main() {
         .aggregate("price", AggFn::Count)
         .run(&warehouse)
         .unwrap();
-    println!("\nRevenue by destination city (structured data only):\n{}", rs.to_table());
+    println!(
+        "\nRevenue by destination city (structured data only):\n{}",
+        rs.to_table()
+    );
 
     // Steps 1–4.
     let mut pipeline = IntegrationPipeline::build(warehouse, store, PipelineOptions::default());
@@ -51,8 +57,12 @@ fn main() {
     println!("\n----- Table 1 -----\n{}\n", trace.render());
 
     // Step 5, driven by the DW-query → QA-question generator.
-    let questions = questions_for_missing_weather(&pipeline.warehouse, 2004, Month::January).unwrap();
-    println!("The DW proposes {} questions; asking one per city and day…", questions.len());
+    let questions =
+        questions_for_missing_weather(&pipeline.warehouse, 2004, Month::January).unwrap();
+    println!(
+        "The DW proposes {} questions; asking one per city and day…",
+        questions.len()
+    );
     let mut all_questions = Vec::new();
     let mut seen = std::collections::BTreeSet::new();
     for c in default_cities() {
@@ -66,7 +76,12 @@ fn main() {
             }
         }
     }
-    let feed = pipeline.feed_from_questions(&all_questions);
+    let read = pipeline.read_path();
+    let mut feed = dwqa_core::FeedReport::default();
+    for q in &all_questions {
+        let answers = read.answer(q);
+        feed.absorb(pipeline.apply_feedback(&answers));
+    }
     println!(
         "Step 5: {} rows loaded ({} rejected) from {} source pages.",
         feed.loaded,

@@ -5,7 +5,9 @@
 //! Run with: `cargo run -p dwqa-core --example olap_tour`
 
 use dwqa_common::Month;
-use dwqa_corpus::{default_cities, generate_sales, generate_weather_corpus, SalesConfig, WeatherConfig};
+use dwqa_corpus::{
+    default_cities, generate_sales, generate_weather_corpus, SalesConfig, WeatherConfig,
+};
 use dwqa_mdmodel::last_minute_sales;
 use dwqa_warehouse::{AggFn, CubeQuery, Predicate, Value, Warehouse};
 
@@ -37,7 +39,11 @@ fn main() {
 
     // Drill-down: within Spain, revenue per airport.
     let rs = CubeQuery::on("Last Minute Sales")
-        .filter("Destination", "Country", Predicate::Eq(Value::text("Spain")))
+        .filter(
+            "Destination",
+            "Country",
+            Predicate::Eq(Value::text("Spain")),
+        )
         .group_by("Destination", "Airport")
         .aggregate("price", AggFn::Sum)
         .aggregate("price", AggFn::Count)

@@ -44,7 +44,10 @@ fn main() {
 
     // Step 1.
     let mut domain = schema_to_ontology(wh.schema());
-    println!("Step 1: derived {} domain concepts (Figure 2).", domain.len());
+    println!(
+        "Step 1: derived {} domain concepts (Figure 2).",
+        domain.len()
+    );
 
     // Step 2.
     let enrichment = enrich_from_warehouse(&mut domain, &wh);

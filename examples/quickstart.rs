@@ -6,7 +6,9 @@
 //!
 //! Run with: `cargo run -p dwqa-core --example quickstart`
 
-use dwqa_core::{integrated_schema, sales_by_temperature_band, IntegrationPipeline, PipelineOptions};
+use dwqa_core::{
+    integrated_schema, sales_by_temperature_band, IntegrationPipeline, PipelineOptions,
+};
 use dwqa_ir::{DocFormat, Document, DocumentStore};
 use dwqa_warehouse::{FactRowBuilder, Value, Warehouse};
 
@@ -28,7 +30,9 @@ fn main() {
         )
         .role_member("Customer", &[("customer_name", Value::text("Ann"))])
         .role_member("Date", &[("date", Value::date(2004, 1, 31).unwrap())]);
-    warehouse.load("Last Minute Sales", vec![row.build()]).unwrap();
+    warehouse
+        .load("Last Minute Sales", vec![row.build()])
+        .unwrap();
 
     // 2. A two-page "Web": the paper's Figure 4 page and a distractor.
     let mut web = DocumentStore::new();
@@ -56,16 +60,24 @@ fn main() {
         pipeline.merge.count(dwqa_ontology::MatchKind::Exact),
     );
 
-    // 4. Ask the paper's question; 5. feed the DW.
+    // 4. Ask the paper's question over the immutable read path;
+    // 5. feed the answers back through the serialized write path.
     let question = "What is the weather like in January of 2004 in El Prat?";
-    let (answers, report) = pipeline.ask_and_feed(question);
+    let answers = pipeline.read_path().answer(question);
+    let report = pipeline.apply_feedback(&answers);
     println!("\nQ: {question}");
     for a in &answers {
         println!("A: {} – {}", a.tuple_format(), a.url);
     }
-    println!("Step 5: {} rows loaded into the City Weather star", report.loaded);
+    println!(
+        "Step 5: {} rows loaded into the City Weather star",
+        report.loaded
+    );
 
     // The analysis that was unanswerable before Step 5.
     let bands = sales_by_temperature_band(&pipeline.warehouse, 5.0).unwrap();
-    println!("\nSales per temperature band:\n{}", dwqa_core::analysis::render_bands(&bands));
+    println!(
+        "\nSales per temperature band:\n{}",
+        dwqa_core::analysis::render_bands(&bands)
+    );
 }

@@ -13,6 +13,18 @@ use dwqa_corpus::{
 use dwqa_qa::AnswerValue;
 use dwqa_warehouse::{AggFn, CubeQuery, Warehouse};
 
+/// Step 5 over a batch: answer each question on the read path and load
+/// the answers through the serialized write path.
+fn feed_all(pipeline: &mut IntegrationPipeline, questions: &[String]) -> dwqa_core::FeedReport {
+    let read = pipeline.read_path();
+    let mut merged = dwqa_core::FeedReport::default();
+    for q in questions {
+        let answers = read.answer(q);
+        merged.absorb(pipeline.apply_feedback(&answers));
+    }
+    merged
+}
+
 fn build_world(seed: u64) -> (IntegrationPipeline, dwqa_corpus::GroundTruth) {
     let corpus = generate_weather_corpus(
         &WeatherConfig::new(seed, 2004, Month::January).with_styles(&[PageStyle::Prose]),
@@ -53,7 +65,8 @@ fn five_steps_produce_a_queryable_weather_star() {
     assert!(!onto.annotation(temp, "axiom.range_c").is_empty());
 
     // The DW proposes the questions (future-work extension).
-    let proposed = questions_for_missing_weather(&pipeline.warehouse, 2004, Month::January).unwrap();
+    let proposed =
+        questions_for_missing_weather(&pipeline.warehouse, 2004, Month::January).unwrap();
     assert_eq!(proposed.len(), 7, "one per destination city: {proposed:?}");
 
     // Before Step 5: the analysis is empty.
@@ -75,7 +88,7 @@ fn five_steps_produce_a_queryable_weather_star() {
             }
         }
     }
-    let report = pipeline.feed_from_questions(&questions);
+    let report = feed_all(&mut pipeline, &questions);
     assert!(report.loaded > 100, "loaded {}", report.loaded);
     assert!(report.load_rate() > 0.9, "load rate {}", report.load_rate());
 
@@ -135,7 +148,9 @@ fn table_1_trace_is_complete_and_faithful() {
 #[test]
 fn answers_carry_full_provenance() {
     let (pipeline, truth) = build_world(7);
-    let answers = pipeline.ask("What is the temperature on January 10, 2004 in Barcelona?");
+    let answers = pipeline
+        .read_path()
+        .answer("What is the temperature on January 10, 2004 in Barcelona?");
     assert!(!answers.is_empty());
     let top = &answers[0];
     match top.value {
@@ -167,7 +182,7 @@ fn fed_warehouse_survives_snapshot_round_trip() {
             })
         })
         .collect();
-    pipeline.feed_from_questions(&questions);
+    feed_all(&mut pipeline, &questions);
     let before = sales_by_temperature_band(&pipeline.warehouse, 5.0).unwrap();
     assert!(!before.is_empty());
     // Persist and restore; the analysis must be identical.
@@ -206,7 +221,7 @@ fn noise_injection_never_pollutes_the_warehouse() {
             )
         })
         .collect();
-    pipeline.feed_from_questions(&questions);
+    feed_all(&mut pipeline, &questions);
     let rs = dwqa_warehouse::CubeQuery::on("City Weather")
         .group_by("City", "City")
         .group_by("Date", "Date")
@@ -230,6 +245,6 @@ fn pipeline_is_deterministic_across_rebuilds() {
     let (p1, _) = build_world(99);
     let (p2, _) = build_world(99);
     let q = "What is the weather like in January of 2004 in Madrid?";
-    assert_eq!(p1.ask(q), p2.ask(q));
+    assert_eq!(p1.read_path().answer(q), p2.read_path().answer(q));
     assert_eq!(p1.trace(q), p2.trace(q));
 }

@@ -65,10 +65,9 @@ fn pipeline(store: DocumentStore, skip_enrichment: bool) -> IntegrationPipeline 
     IntegrationPipeline::build(
         warehouse,
         store,
-        PipelineOptions {
-            skip_enrichment,
-            ..PipelineOptions::default()
-        },
+        PipelineOptions::builder()
+            .skip_enrichment(skip_enrichment)
+            .build(),
     )
 }
 
@@ -77,6 +76,7 @@ fn daily_eval(
     truth: &dwqa_corpus::GroundTruth,
     city: &str,
 ) -> dwqa_core::ExtractionEval {
+    let read = pipeline.read_path();
     let mut answers = Vec::new();
     for d in Date::month_days(2004, Month::January) {
         let q = format!(
@@ -84,7 +84,7 @@ fn daily_eval(
             d.day(),
             city
         );
-        answers.extend(pipeline.ask(&q).into_iter().next());
+        answers.extend(read.answer(&q).into_iter().next());
     }
     let expected: Vec<(String, Date)> = Date::month_days(2004, Month::January)
         .map(|d| (city.to_owned(), d))
@@ -123,7 +123,10 @@ fn claim_enrichment_improves_airport_questions() {
     let (store, truth) = corpus(&[PageStyle::Prose]);
     let with = daily_eval(&pipeline(clone_store(&store), false), &truth, "El Prat");
     let without = daily_eval(&pipeline(store, true), &truth, "El Prat");
-    assert_eq!(without.true_positives, 0, "without Step 2, El Prat is unknown");
+    assert_eq!(
+        without.true_positives, 0,
+        "without Step 2, El Prat is unknown"
+    );
     assert!(with.true_positives > 10, "with Step 2: {with:?}");
 }
 
@@ -133,14 +136,21 @@ fn claim_ir_returns_text_not_tuples() {
     // search for his/her request."
     let (store, truth) = corpus(&[PageStyle::Prose]);
     let ir = IrBaseline::build(&store);
-    let hits = ir.search_documents("What is the weather like in January of 2004 in Barcelona?", 1);
+    let hits = ir.search_documents(
+        "What is the weather like in January of 2004 in Barcelona?",
+        1,
+    );
     assert!(!hits.is_empty());
     // The answer exists in the text — but only as text to read.
     let any_answer = Date::month_days(2004, Month::January)
         .filter_map(|d| truth.temperature("Barcelona", d))
         .any(|t| hits[0].contains_answer(&format!("{t}º C")));
     assert!(any_answer);
-    assert!(hits[0].reading_burden() > 1000, "burden {}", hits[0].reading_burden());
+    assert!(
+        hits[0].reading_burden() > 1000,
+        "burden {}",
+        hits[0].reading_burden()
+    );
 }
 
 #[test]
@@ -160,7 +170,10 @@ fn claim_distractors_never_contaminate_the_feed() {
     // the warehouse.
     let (store, _) = corpus(&[PageStyle::Prose]);
     let mut p = pipeline(store, false);
-    let (_, report) = p.ask_and_feed("What is the temperature in January of 2004 in JFK?");
+    let answers = p
+        .read_path()
+        .answer("What is the temperature in January of 2004 in JFK?");
+    let report = p.apply_feedback(&answers);
     for url in &report.urls {
         assert!(
             !url.contains("news.example.org") || report.loaded == 0,
@@ -187,7 +200,9 @@ fn claim_inside_company_sources_are_first_class() {
         store.add(d);
     }
     let p = pipeline(store, false);
-    let answers = p.ask("What is the price of a last minute flight to Barcelona?");
+    let answers = p
+        .read_path()
+        .answer("What is the price of a last minute flight to Barcelona?");
     let promo = &intranet.promotions[0];
     assert_eq!(promo.city, "Barcelona");
     assert!(

@@ -43,7 +43,8 @@ fn multidimensional_ir_slices_the_generated_corpus() {
     }
     // Time roll-up: everything is January 2004.
     assert_eq!(
-        md.slice(&CubeSlice::all().month(2004, Month::January)).len(),
+        md.slice(&CubeSlice::all().month(2004, Month::January))
+            .len(),
         corpus.store.len()
     );
     assert!(md.slice(&CubeSlice::all().year(1998)).is_empty());

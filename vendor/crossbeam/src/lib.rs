@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam::thread::scope` API, backed by
+//! `std::thread::scope` (stabilised in Rust 1.63, after crossbeam's
+//! scoped threads were designed). Only the surface this workspace uses
+//! is provided: `scope(|s| ...)` returning a `Result`, and
+//! `Scope::spawn` whose closure receives the scope again for nested
+//! spawns.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// The error half carries the payload of a panicked child thread.
+    /// With the std backing, child panics propagate during join instead,
+    /// so `scope` in practice returns `Ok` or unwinds.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads must finish before
+    /// `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        crate::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let counter = &counter;
+                scope.spawn(move |_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.into_inner(), 10);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let out = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let hits = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            let hits = &hits;
+            scope.spawn(move |inner| {
+                inner.spawn(move |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.into_inner(), 1);
+    }
+}

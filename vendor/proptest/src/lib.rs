@@ -1,0 +1,562 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! A [`Strategy`] here is a seeded generator without shrinking: each
+//! `proptest!` test derives a deterministic RNG from its own name and
+//! runs `cases` generated inputs through the body, reporting the failing
+//! input via the panic message. Supported strategies: integer/float
+//! ranges, a small regex subset for strings (`[class]{m,n}` and
+//! `\PC{m,n}`), `any::<T>()`, `collection::vec`, `option::of`,
+//! `sample::subsequence`, `Just`, and `prop_map`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Runner configuration and the per-test driver.
+
+    use super::*;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives one `proptest!`-generated test deterministically.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Seeds the runner from the test name so every run regenerates
+        /// the same case sequence.
+        pub fn new(config: ProptestConfig, test_name: &str) -> TestRunner {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            for b in test_name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The case RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// A seeded value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Marker trait backing [`any`].
+pub trait ArbitraryValue: Sized + std::fmt::Debug {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Finite, wide-range floats; NaN/inf shapes are not needed here.
+        let mantissa = rng.gen_range(-1.0..1.0);
+        let exp = rng.gen_range(-60..60i32);
+        mantissa * (2.0f64).powi(exp)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full range of values of `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Size bounds for generated collections.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            min: n,
+            max_inclusive: n,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.min..=self.max_inclusive)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+
+    /// Strategy for vectors of `element` with a length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies.
+
+    use super::*;
+
+    /// Strategy for `Option<S::Value>` (`None` with probability 1/4, as
+    //  upstream's default weighting).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(element)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::*;
+
+    /// Strategy for ordered subsequences of a source vector.
+    pub struct Subsequence<T> {
+        source: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// An ordered subsequence of `source` whose length falls in `size`.
+    pub fn subsequence<T: Clone + std::fmt::Debug>(
+        source: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        let size = size.into();
+        assert!(
+            size.max_inclusive <= source.len(),
+            "subsequence size exceeds source length"
+        );
+        Subsequence { source, size }
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+            let k = self.size.pick(rng);
+            // Floyd's algorithm for k distinct indices, then sort to keep
+            // the subsequence ordered.
+            let n = self.source.len();
+            let mut chosen: Vec<usize> = Vec::with_capacity(k);
+            for j in (n - k)..n {
+                let t = rng.gen_range(0..=j);
+                if chosen.contains(&t) {
+                    chosen.push(j);
+                } else {
+                    chosen.push(t);
+                }
+            }
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.source[i].clone()).collect()
+        }
+    }
+}
+
+/// A compiled pattern strategy for `&str` literals: supports `[class]`
+/// character classes (with `a-z` ranges) and `\PC` (any non-control
+/// char), each followed by an optional `{n}` / `{m,n}` repetition.
+#[derive(Debug)]
+pub struct StringPattern {
+    units: Vec<(CharSet, usize, usize)>,
+}
+
+#[derive(Debug)]
+enum CharSet {
+    /// Explicit characters and inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// Any printable (non-control) character.
+    Printable,
+}
+
+impl CharSet {
+    fn pick(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharSet::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
+            }
+            CharSet::Printable => {
+                // Mostly ASCII, with occasional multi-byte characters so
+                // offset/UTF-8 handling gets exercised.
+                if rng.gen_bool(0.85) {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+                } else {
+                    const EXOTIC: &[char] = &[
+                        'º', 'é', 'ñ', 'ü', '€', '—', '中', '語', '😀', '∑', '\u{00A0}',
+                    ];
+                    EXOTIC[rng.gen_range(0..EXOTIC.len())]
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> StringPattern {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut units = Vec::new();
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // ']'
+                CharSet::Class(ranges)
+            }
+            '\\' => {
+                let tail: String = chars[i..].iter().collect();
+                assert!(
+                    tail.starts_with("\\PC"),
+                    "unsupported escape in pattern {pattern:?}"
+                );
+                i += 3;
+                CharSet::Printable
+            }
+            c => {
+                i += 1;
+                CharSet::Class(vec![(c, c)])
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repetition")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                None => {
+                    let n = body.trim().parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        units.push((set, min, max));
+    }
+    StringPattern { units }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let compiled = parse_pattern(self);
+        let mut out = String::new();
+        for (set, min, max) in &compiled.units {
+            let n = rng.gen_range(*min..=*max);
+            for _ in 0..n {
+                out.push(set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Runs property tests; mirrors the upstream macro's surface for the
+/// forms used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    (@run $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner =
+                    $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+                for case in 0..runner.cases() {
+                    $( let $arg = $crate::Strategy::generate(&$strat, runner.rng()); )+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {case} of {} failed with input:",
+                            stringify!($name)
+                        );
+                        $( eprintln!("  {} = {:?}", stringify!($arg), $arg); )+
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = crate::Strategy::generate(&"[a-zA-Z ]{0,10}", &mut rng);
+            assert!(t.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
+            let u = crate::Strategy::generate(&"\\PC{0,80}", &mut rng);
+            assert!(u.chars().count() <= 80);
+            assert!(u.chars().all(|c| !c.is_control()), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn subsequence_is_ordered_and_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pool = vec![1, 2, 3, 4, 5, 6];
+        for _ in 0..200 {
+            let sub = crate::Strategy::generate(
+                &crate::sample::subsequence(pool.clone(), 1..=4),
+                &mut rng,
+            );
+            assert!((1..=4).contains(&sub.len()));
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "{sub:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_generates_and_runs(xs in crate::collection::vec(0i64..10, 0..5), s in "[a-z]{0,3}") {
+            prop_assert!(xs.len() < 5);
+            prop_assert!(s.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `rand` API surface this workspace uses:
+//! `SeedableRng::seed_from_u64`, `rngs::StdRng`, and the `Rng` extension
+//! methods `gen_range` / `gen_bool` / `gen`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — fast,
+//! well-distributed, and fully deterministic from its seed, which is all
+//! the synthetic-corpus generators need. Streams differ from the real
+//! `rand` crate's `StdRng` (ChaCha12); nothing in the workspace depends
+//! on the upstream streams, only on seed-reproducibility.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Constructs a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range (or distribution) values can be drawn from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+fn uniform_u64_below(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection sampling over the top `zone` keeps the draw unbiased.
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+/// A uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit_f64(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + uniform_u64_below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let v = self.start + unit_f64(rng) * (self.end - self.start);
+        // Guard against rounding up to the excluded end point.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f32 {
+        (f64::from(self.start)..f64::from(self.end)).sample_from(rng) as f32
+    }
+}
+
+/// Types drawable from the "standard" distribution, as in `rng.gen::<T>()`.
+pub trait SampleStandard {
+    /// Draws one value.
+    fn sample_standard(rng: &mut dyn RngCore) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard(rng: &mut dyn RngCore) -> f32 {
+        unit_f64(rng) as f32
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard(rng: &mut dyn RngCore) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        unit_f64(self) < p
+    }
+
+    /// A draw from the standard distribution for `T`.
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000i64), b.gen_range(0..1000i64));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<i64> = (0..8).map(|_| a.gen_range(0..1_000_000)).collect();
+        let vc: Vec<i64> = (0..8).map(|_| c.gen_range(0..1_000_000)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17i32);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let inc = rng.gen_range(1..=28u32);
+            assert!((1..=28).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.35)).count();
+        assert!((3000..4000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn full_width_ranges_cover_extremes_safely() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        let _ = rng.gen_range(u64::MIN..=u64::MAX);
+    }
+}

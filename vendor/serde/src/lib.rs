@@ -1,0 +1,397 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework under the same crate name.
+//! Instead of serde's visitor-based, format-agnostic core, values are
+//! lowered to a self-describing [`Content`] tree which `serde_json`
+//! (also vendored) renders to and parses from JSON. The `derive` feature
+//! re-exports `#[derive(Serialize, Deserialize)]` proc-macros that
+//! generate [`Serialize`]/[`Deserialize`] impls following serde's default
+//! external tagging conventions, so the workspace's derives and JSON
+//! round-trips behave like the real crate for the shapes used here
+//! (plain structs, newtype structs, and enums without generics).
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the meeting point of serialization
+/// ([`Serialize::to_content`]) and deserialization
+/// ([`Deserialize::from_content`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer out of `i64` range.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A string-keyed map, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from anything displayable.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves to a [`Content`] tree.
+pub trait Serialize {
+    /// Lowers `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, validating shape and ranges.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+fn mismatch(expected: &str, got: &Content) -> Error {
+    Error(format!("expected {expected}, found {}", got.kind()))
+}
+
+/// Extracts a struct field during derived deserialization. Missing keys
+/// surface as errors naming the field (serde's behaviour for
+/// non-`Option` fields); `Option` fields tolerate absence through their
+/// own impl via [`Content::Null`].
+pub fn field<T: Deserialize>(map: &Content, name: &str) -> Result<T, Error> {
+    match map.get(name) {
+        Some(v) => T::from_content(v).map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => {
+            T::from_content(&Content::Null).map_err(|_| Error(format!("missing field `{name}`")))
+        }
+    }
+}
+
+macro_rules! impl_ints {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let wide = match content {
+                    Content::I64(v) => i128::from(*v),
+                    Content::U64(v) => i128::from(*v),
+                    other => return Err(mismatch("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_ints!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_content(&self) -> Content {
+        if let Ok(v) = i64::try_from(*self) {
+            Content::I64(v)
+        } else {
+            Content::U64(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::I64(v) => {
+                u64::try_from(*v).map_err(|_| Error(format!("integer {v} out of range for u64")))
+            }
+            Content::U64(v) => Ok(*v),
+            other => Err(mismatch("integer", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(mismatch("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(v) => Ok(v.clone()),
+            other => Err(mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(v) if v.chars().count() == 1 => Ok(v.chars().next().unwrap()),
+            other => Err(mismatch("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(mismatch("2-element sequence", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) if items.len() == 3 => Ok((
+                A::from_content(&items[0])?,
+                B::from_content(&items[1])?,
+                C::from_content(&items[2])?,
+            )),
+            other => Err(mismatch("3-element sequence", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sorted for deterministic output.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(mismatch("map", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_content(&42i64.to_content()), Ok(42));
+        assert_eq!(u32::from_content(&7u32.to_content()), Ok(7));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hi".to_owned().to_content()),
+            Ok("hi".to_owned())
+        );
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Vec<Option<i64>> = vec![Some(1), None, Some(-3)];
+        let back = Vec::<Option<i64>>::from_content(&v.to_content()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+        assert!(u64::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let v = ("a".to_owned(), 3usize);
+        let back = <(String, usize)>::from_content(&v.to_content()).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,412 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (the build
+//! environment has no syn/quote). Supports the shapes this workspace
+//! derives on: non-generic structs (named, tuple/newtype, unit) and
+//! non-generic enums whose variants are unit (optionally with explicit
+//! discriminants), tuple, or struct-like. Representation follows serde's
+//! defaults: named structs → maps, newtype structs → their inner value,
+//! enums → externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips outer attributes (`#[...]`, including expanded doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(_)) = self.peek() {
+                self.pos += 1; // [...]
+            }
+        }
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skips tokens until a comma at angle-bracket depth 0, consuming the
+    /// comma. Used to skip field types and discriminant expressions.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                } else if c == ',' && angle_depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(group_stream: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(group_stream);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        cur.skip_until_comma();
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(group_stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(group_stream);
+    let mut count = 0;
+    loop {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_until_comma();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group_stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(group_stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.pos += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                cur.pos += 1;
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= 1`) and the trailing comma.
+        cur.skip_until_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n  fn to_content(&self) -> ::serde::Content {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str("    ::serde::Content::Null\n"),
+                Fields::Tuple(1) => {
+                    out.push_str("    ::serde::Serialize::to_content(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    out.push_str("    ::serde::Content::Seq(vec![");
+                    for i in 0..*n {
+                        out.push_str(&format!("::serde::Serialize::to_content(&self.{i}), "));
+                    }
+                    out.push_str("])\n");
+                }
+                Fields::Named(names) => {
+                    out.push_str("    ::serde::Content::Map(vec![\n");
+                    for f in names {
+                        out.push_str(&format!(
+                            "      (\"{f}\".to_owned(), ::serde::Serialize::to_content(&self.{f})),\n"
+                        ));
+                    }
+                    out.push_str("    ])\n");
+                }
+            }
+            out.push_str("  }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n  fn to_content(&self) -> ::serde::Content {{\n    match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "      {name}::{vn} => ::serde::Content::Str(\"{vn}\".to_owned()),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "      {name}::{vn}(f0) => ::serde::Content::Map(vec![(\"{vn}\".to_owned(), ::serde::Serialize::to_content(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "      {name}::{vn}({}) => ::serde::Content::Map(vec![(\"{vn}\".to_owned(), ::serde::Content::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_owned(), ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "      {name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(\"{vn}\".to_owned(), ::serde::Content::Map(vec![{}]))]),\n",
+                            fs.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("    }\n  }\n}\n");
+        }
+    }
+    out
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n  fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str(&format!(
+                    "    match content {{ ::serde::Content::Null => Ok({name}), other => Err(::serde::Error(format!(\"expected null for unit struct {name}, found {{}}\", other.kind()))) }}\n"
+                )),
+                Fields::Tuple(1) => out.push_str(&format!(
+                    "    Ok({name}(::serde::Deserialize::from_content(content)?))\n"
+                )),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "    match content {{ ::serde::Content::Seq(items) if items.len() == {n} => Ok({name}({})), other => Err(::serde::Error(format!(\"expected {n}-element sequence for {name}, found {{}}\", other.kind()))) }}\n",
+                        elems.join(", ")
+                    ));
+                }
+                Fields::Named(names) => {
+                    let fields_src: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(content, \"{f}\")?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "    match content {{\n      ::serde::Content::Map(_) => Ok({name} {{ {} }}),\n      other => Err(::serde::Error(format!(\"expected map for struct {name}, found {{}}\", other.kind()))),\n    }}\n",
+                        fields_src.join(", ")
+                    ));
+                }
+            }
+            out.push_str("  }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n  fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n    match content {{\n"
+            ));
+            // Unit variants arrive as bare strings.
+            out.push_str("      ::serde::Content::Str(tag) => match tag.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!("        \"{vn}\" => Ok({name}::{vn}),\n"));
+                }
+            }
+            out.push_str(&format!(
+                "        other => Err(::serde::Error(format!(\"unknown {name} variant `{{other}}`\"))),\n      }},\n"
+            ));
+            // Data variants arrive as single-entry maps.
+            out.push_str(
+                "      ::serde::Content::Map(entries) if entries.len() == 1 => {\n        let (tag, value) = &entries[0];\n        match tag.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "          \"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(value)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "          \"{vn}\" => match value {{ ::serde::Content::Seq(items) if items.len() == {n} => Ok({name}::{vn}({})), other => Err(::serde::Error(format!(\"expected {n}-element sequence for {name}::{vn}, found {{}}\", other.kind()))) }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let fields_src: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(value, \"{f}\")?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "          \"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            fields_src.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "          other => Err(::serde::Error(format!(\"unknown {name} variant `{{other}}`\"))),\n        }}\n      }},\n"
+            ));
+            out.push_str(&format!(
+                "      other => Err(::serde::Error(format!(\"expected string or map for enum {name}, found {{}}\", other.kind()))),\n    }}\n  }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}

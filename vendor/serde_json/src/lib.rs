@@ -1,0 +1,460 @@
+//! Offline stand-in for `serde_json`, over the vendored serde's
+//! [`Content`] tree.
+//!
+//! Writes canonical JSON (string escapes per RFC 8259, floats via Rust's
+//! shortest-round-trip formatting — the `float_roundtrip` behaviour of
+//! the real crate) and parses it back with a small recursive-descent
+//! parser. Only the API surface this workspace uses is provided:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], and [`Error`].
+
+#![forbid(unsafe_code)]
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.0)
+    }
+}
+
+/// `Result` alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out)?;
+    Ok(out)
+}
+
+/// Serializes a value to indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content_pretty(&value.to_content(), &mut out, 0)?;
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let content = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) -> Result<()> {
+    if !v.is_finite() {
+        return Err(Error("JSON cannot represent a non-finite float".to_owned()));
+    }
+    // Rust's Display is the shortest representation that round-trips; add
+    // `.0` when it prints as an integer so the value parses back as a float.
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+    Ok(())
+}
+
+fn write_content(c: &Content, out: &mut String) -> Result<()> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out)?,
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_content(v, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_content_pretty(c: &Content, out: &mut String, depth: usize) -> Result<()> {
+    let pad = "  ".repeat(depth + 1);
+    let close_pad = "  ".repeat(depth);
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_content_pretty(item, out, depth + 1)?;
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+            Ok(())
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_content_pretty(v, out, depth + 1)?;
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+            Ok(())
+        }
+        other => write_content(other, out),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at offset {}", self.pos))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.literal("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.literal("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.literal("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy unescaped UTF-8 runs wholesale.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?,
+                );
+            }
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.literal("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(s).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42i64).unwrap(), "42");
+        assert_eq!(from_str::<i64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-1.5f64).unwrap(), "-1.5");
+        assert_eq!(from_str::<f64>("-1.5").unwrap(), -1.5);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<Option<i64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, 8.0, -0.0] {
+            let s = to_string(&v).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} via {s}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = "line\nbreak \"quoted\" \\ tab\t ºC 中 😀".to_owned();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        // Escaped input parses too.
+        assert_eq!(from_str::<String>(r#""ºC 😀""#).unwrap(), "ºC 😀");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v: Vec<(String, Vec<Option<f64>>)> =
+            vec![("a".into(), vec![Some(1.5), None]), ("b".into(), vec![])];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(String, Vec<Option<f64>>)> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(from_str::<i64>("{not json").is_err());
+        assert!(from_str::<i64>("").is_err());
+        assert!(from_str::<i64>("42 junk").is_err());
+        assert!(from_str::<Vec<i64>>("[1,]").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![vec![1i64, 2], vec![3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<i64>>>(&pretty).unwrap(), v);
+    }
+}
