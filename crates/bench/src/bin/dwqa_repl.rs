@@ -8,7 +8,11 @@
 //! * `:trace <question>` — print the Table-1 pipeline trace;
 //! * `:bands` — the sales-vs-temperature analysis on current DW contents;
 //! * `:missing` — DW-proposed questions for January 2004;
-//! * `:stats` — per-stage latency histograms and cache counters;
+//! * `:stats` — per-stage latency histograms, cache counters, outcome
+//!   taxonomy and resilience counters (retries, breaker trips, timeouts,
+//!   rollbacks);
+//! * `:chaos <rate>` — route document acquisition through a seeded fault
+//!   injector at the given transient-error rate (0 disables);
 //! * `:quit`.
 //!
 //! Run with: `cargo run --release -p dwqa-bench --bin dwqa_repl`
@@ -18,7 +22,13 @@ use dwqa_common::Month;
 use dwqa_core::{questions_for_missing_weather, sales_by_temperature_band};
 use dwqa_corpus::PageStyle;
 use dwqa_engine::QaSession;
+use dwqa_faults::{CorpusSource, FaultInjector, FaultPlan, ResilientSource, RetryPolicy};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seed for the REPL's interactive chaos toggle.
+const CHAOS_SEED: u64 = 42;
 
 fn main() {
     println!("Building the integrated pipeline (seeded corpus + DW)…");
@@ -31,7 +41,7 @@ fn main() {
     println!(
         "Ready: {} documents indexed, {} ontology instances fed, {} sales rows.\n\
          Ask a question (e.g. \"What is the temperature on January 15, 2004 in Barcelona?\"),\n\
-         or :trace / :bands / :missing / :stats / :quit.",
+         or :trace / :bands / :missing / :stats / :chaos <rate> / :quit.",
         fx.corpus_size,
         fx.pipeline.enrichment.instances_added,
         fx.pipeline
@@ -81,17 +91,58 @@ fn main() {
         if line == ":stats" {
             print!("{}", session.stats().render());
             println!(
+                "feed: {} transaction rollback(s) on this pipeline",
+                fx.pipeline.rollbacks()
+            );
+            println!(
                 "session: {} question(s) asked, cache holds {} entr(ies)",
                 session.history().len(),
                 session.engine().cache().len()
             );
             continue;
         }
+        if let Some(rate) = line.strip_prefix(":chaos ") {
+            match rate.trim().parse::<f64>() {
+                Ok(rate) if rate <= 0.0 => {
+                    session.engine_mut().set_source(None);
+                    session.engine_mut().set_deadline(None);
+                    println!("chaos off: documents served straight from the index");
+                }
+                Ok(rate) => match fx.pipeline.qa.store() {
+                    Some(store) => {
+                        let rate = rate.min(1.0);
+                        let source = Arc::new(ResilientSource::new(
+                            FaultInjector::new(
+                                CorpusSource::new(store),
+                                FaultPlan::chaos(CHAOS_SEED, rate),
+                            ),
+                            RetryPolicy::default(),
+                        ));
+                        session.engine_mut().set_source(Some(source));
+                        session
+                            .engine_mut()
+                            .set_deadline(Some(Duration::from_secs(5)));
+                        println!(
+                            "chaos on: transient rate {rate:.2} (seed {CHAOS_SEED}), \
+                             default retry policy, 5s per-question deadline"
+                        );
+                    }
+                    None => println!("no indexed corpus to inject faults into"),
+                },
+                Err(_) => println!("usage: :chaos <rate between 0 and 1>"),
+            }
+            continue;
+        }
         if let Some(q) = line.strip_prefix(":trace ") {
             println!("{}", session.trace(q).render());
             continue;
         }
-        let answers = session.ask(line);
+        let report = session.ask_checked(line);
+        if !report.outcome.is_ok() {
+            let detail = report.detail.as_deref().unwrap_or("no detail");
+            println!("  [{}] {}", report.outcome, detail);
+        }
+        let answers = report.answers;
         if answers.is_empty() {
             println!("no answer found");
             continue;

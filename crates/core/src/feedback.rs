@@ -15,6 +15,50 @@ use crate::axioms::TemperatureAxioms;
 use dwqa_qa::{Answer, AnswerValue};
 use dwqa_warehouse::{EtlReport, FactRowBuilder, Value, Warehouse, WarehouseError};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a feedback transaction failed (and was rolled back).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedError {
+    /// The warehouse schema lacks the `City Weather` fact the paper's
+    /// Step 5 loads into.
+    MissingFact(String),
+    /// The underlying warehouse ETL failed mid-load.
+    Etl(String),
+    /// A deterministic injected fault (chaos testing) aborted the
+    /// transaction after a partial load.
+    Injected(String),
+    /// The post-failure rollback itself could not restore the
+    /// pre-transaction snapshot — the warehouse may hold a partial load.
+    RollbackFailed(String),
+}
+
+impl fmt::Display for FeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedError::MissingFact(name) => {
+                write!(
+                    f,
+                    "feedback target fact {name:?} is missing from the schema"
+                )
+            }
+            FeedError::Etl(why) => write!(f, "feedback ETL failed: {why}"),
+            FeedError::Injected(why) => write!(f, "injected feed fault: {why}"),
+            FeedError::RollbackFailed(why) => write!(f, "feed rollback failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+impl From<WarehouseError> for FeedError {
+    fn from(err: WarehouseError) -> FeedError {
+        match err {
+            WarehouseError::UnknownFact(name) => FeedError::MissingFact(name),
+            other => FeedError::Etl(other.to_string()),
+        }
+    }
+}
 
 /// Outcome of a feedback load.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -47,6 +91,19 @@ impl FeedReport {
         self.duplicates_skipped += other.duplicates_skipped;
         self.etl.inserted += other.etl.inserted;
         self.etl.rejected.extend(other.etl.rejected);
+        // Merge created-member counts by dimension name so the batch
+        // total never under-counts (keeping first-seen dimension order).
+        for (dimension, count) in other.etl.new_members {
+            match self
+                .etl
+                .new_members
+                .iter_mut()
+                .find(|(name, _)| *name == dimension)
+            {
+                Some((_, existing)) => *existing += count,
+                None => self.etl.new_members.push((dimension, count)),
+            }
+        }
     }
 
     /// Fraction of answers that became warehouse rows.
@@ -261,6 +318,64 @@ mod tests {
         assert_eq!(r2.loaded, 0);
         assert_eq!(r2.duplicates_skipped, 1);
         assert_eq!(wh.fact("City Weather").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_new_members_by_dimension() {
+        // Regression: absorb used to drop `other.etl.new_members`, so
+        // merged batch reports under-counted created dimension members.
+        let mut wh = Warehouse::new(integrated_schema());
+        let a = answer(8.0, Date::from_ymd(2004, 1, 31), Some("Barcelona"), "url1");
+        let b = answer(7.0, Date::from_ymd(2004, 1, 30), Some("Madrid"), "url2");
+        let mut merged = feed_weather(
+            &mut wh,
+            std::slice::from_ref(&a),
+            &TemperatureAxioms::default(),
+        )
+        .unwrap();
+        let second = feed_weather(
+            &mut wh,
+            std::slice::from_ref(&b),
+            &TemperatureAxioms::default(),
+        )
+        .unwrap();
+        assert!(!second.etl.new_members.is_empty());
+        merged.absorb(second);
+        // Both loads created City/Date/Source members; the merged report
+        // must carry the *sum* per dimension, not just the first report's.
+        for dim in ["City", "Date", "Source"] {
+            let count = merged
+                .etl
+                .new_members
+                .iter()
+                .find(|(name, _)| name == dim)
+                .map(|(_, n)| *n);
+            assert_eq!(
+                count,
+                Some(2),
+                "dimension {dim}: {:?}",
+                merged.etl.new_members
+            );
+        }
+        // Absorbing an empty report changes nothing.
+        let before = merged.clone();
+        merged.absorb(FeedReport::default());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn feed_errors_render_their_kind() {
+        let missing: FeedError = WarehouseError::UnknownFact("City Weather".into()).into();
+        assert_eq!(missing, FeedError::MissingFact("City Weather".into()));
+        assert!(missing.to_string().contains("missing"));
+        let etl: FeedError = WarehouseError::UnknownDimension("City".into()).into();
+        assert!(matches!(etl, FeedError::Etl(_)));
+        assert!(FeedError::Injected("half-load".into())
+            .to_string()
+            .contains("injected"));
+        assert!(FeedError::RollbackFailed("io".into())
+            .to_string()
+            .contains("rollback"));
     }
 
     #[test]

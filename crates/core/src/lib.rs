@@ -36,6 +36,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
 pub mod axioms;
@@ -50,7 +53,9 @@ pub use analysis::{sales_by_temperature_band, TemperatureBand};
 pub use axioms::TemperatureAxioms;
 pub use dwquery::questions_for_missing_weather;
 pub use evaluate::{evaluate_temperatures, ExtractionEval};
-pub use feedback::{feed_weather, FeedReport};
-pub use pipeline::{IntegrationPipeline, PipelineOptions, PipelineOptionsBuilder, ReadPath};
+pub use feedback::{feed_weather, FeedError, FeedReport};
+pub use pipeline::{
+    FeedFault, IntegrationPipeline, PipelineOptions, PipelineOptionsBuilder, ReadPath,
+};
 pub use schema::integrated_schema;
 pub use tableprep::preprocess_tables;

@@ -14,17 +14,47 @@
 //! stale entries.
 
 use crate::axioms::TemperatureAxioms;
-use crate::feedback::{feed_weather_dedup, FeedReport};
+use crate::feedback::{feed_weather_dedup, FeedError, FeedReport};
 use dwqa_ir::DocumentStore;
 use dwqa_ontology::{
     enrich_from_warehouse, merge_into_upper, schema_to_ontology, upper_ontology, EnrichmentReport,
     MergeOptions, MergeReport, Ontology,
 };
 use dwqa_qa::{temperature_pattern, AliQAn, AliQAnConfig, Answer, PipelineTrace};
-use dwqa_warehouse::Warehouse;
+use dwqa_warehouse::{Warehouse, WarehouseSnapshot};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Deterministic fault injection for feedback transactions (chaos
+/// testing): with probability `rate`, a feed transaction aborts after
+/// loading roughly half of its answer batches, leaving genuine partial
+/// state for the rollback to undo. Decisions derive from `seed` and the
+/// pipeline's transaction counter, so runs replay exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedFault {
+    /// Seed of the failure stream.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any one transaction fails.
+    pub rate: f64,
+}
+
+/// Everything needed to undo a feedback transaction: the warehouse
+/// contents (via the snapshot machinery), the fed-point dedup set, and
+/// the revision observed by caches.
+struct FeedCheckpoint {
+    warehouse: WarehouseSnapshot,
+    fed_points: HashSet<(String, dwqa_common::Date)>,
+    revision: u64,
+}
+
+/// SplitMix64, for the feed-fault decision stream.
+fn mix(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Pipeline construction options.
 ///
@@ -117,6 +147,12 @@ pub struct IntegrationPipeline {
     fed_points: HashSet<(String, dwqa_common::Date)>,
     /// Bumped on every warehouse mutation; shared with [`ReadPath`].
     revision: Arc<AtomicU64>,
+    /// Deterministic chaos injection for feed transactions.
+    feed_fault: Option<FeedFault>,
+    /// Feed transactions attempted (drives the fault stream).
+    feeds_attempted: u64,
+    /// Feed transactions that failed and were rolled back.
+    rollbacks: u64,
 }
 
 /// The immutable read path: a cheap, cloneable, `Send + Sync` handle over
@@ -193,6 +229,9 @@ impl IntegrationPipeline {
             axioms: options.axioms,
             fed_points: HashSet::new(),
             revision: Arc::new(AtomicU64::new(0)),
+            feed_fault: None,
+            feeds_attempted: 0,
+            rollbacks: 0,
         }
     }
 
@@ -218,24 +257,139 @@ impl IntegrationPipeline {
         self.revision.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// The write path (Step 5): validates answers against the Step-4
-    /// axioms and loads them into the `City Weather` star, deduplicating
-    /// (city, date) points across calls. Bumps the revision when rows
-    /// were actually loaded; a feed that only rejects or skips
-    /// duplicates leaves the warehouse — and therefore cached answers —
-    /// untouched.
-    pub fn apply_feedback(&mut self, answers: &[Answer]) -> FeedReport {
-        let report = feed_weather_dedup(
-            &mut self.warehouse,
-            answers,
-            &self.axioms,
-            &mut self.fed_points,
-        )
-        .expect("the integrated schema has the City Weather fact");
-        if report.loaded > 0 {
-            self.mark_dirty();
+    /// Enables (or disables, with `None`) deterministic feed-fault
+    /// injection: each subsequent feed transaction fails with the given
+    /// probability, mid-load, and is rolled back.
+    pub fn set_feed_fault(&mut self, fault: Option<FeedFault>) {
+        self.feed_fault = fault;
+    }
+
+    /// Feed transactions that failed and were rolled back all-or-nothing.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Captures everything a feed transaction can mutate.
+    fn checkpoint(&self) -> FeedCheckpoint {
+        FeedCheckpoint {
+            warehouse: self.warehouse.snapshot(),
+            fed_points: self.fed_points.clone(),
+            revision: self.revision(),
         }
-        report
+    }
+
+    /// Restores a checkpoint, making a failed transaction all-or-nothing.
+    /// The revision is *not* bumped: the restored state is exactly what
+    /// caches already observed, so their entries stay valid.
+    fn rollback(&mut self, checkpoint: FeedCheckpoint) -> Result<(), FeedError> {
+        let restored = Warehouse::restore(&checkpoint.warehouse)
+            .map_err(|e| FeedError::RollbackFailed(e.to_string()))?;
+        self.warehouse = restored;
+        self.fed_points = checkpoint.fed_points;
+        debug_assert_eq!(self.revision(), checkpoint.revision);
+        Ok(())
+    }
+
+    /// Loads every batch, possibly aborting mid-way under an injected
+    /// fault. Runs *inside* a transaction: the caller rolls back on error.
+    fn feed_all(&mut self, batches: &[&[Answer]]) -> Result<FeedReport, FeedError> {
+        let fail_after = match self.feed_fault {
+            Some(FeedFault { seed, rate }) => {
+                let roll = (mix(seed.wrapping_add(self.feeds_attempted)) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                // Fail after loading half the batches (at least one when
+                // there is anything to load) — genuine partial state.
+                (roll < rate).then(|| (batches.len() / 2).max(1))
+            }
+            None => None,
+        };
+        let mut merged = FeedReport::default();
+        for (i, answers) in batches.iter().enumerate() {
+            if fail_after == Some(i) {
+                return Err(FeedError::Injected(format!(
+                    "transaction {} aborted after {i} of {} batches",
+                    self.feeds_attempted,
+                    batches.len()
+                )));
+            }
+            let report = feed_weather_dedup(
+                &mut self.warehouse,
+                answers,
+                &self.axioms,
+                &mut self.fed_points,
+            )?;
+            merged.absorb(report);
+        }
+        // A fail point at (or past) the end still aborts: everything
+        // loaded, nothing committed — the hardest case for the rollback.
+        if fail_after.is_some_and(|n| n >= batches.len()) {
+            return Err(FeedError::Injected(format!(
+                "transaction {} aborted after all {} batches, before commit",
+                self.feeds_attempted,
+                batches.len()
+            )));
+        }
+        Ok(merged)
+    }
+
+    /// One all-or-nothing feed transaction over `batches`. On success the
+    /// revision is bumped once (when rows actually loaded); on failure the
+    /// warehouse, the dedup set and the revision are exactly as before.
+    fn feed_transaction(&mut self, batches: &[&[Answer]]) -> Result<FeedReport, FeedError> {
+        let checkpoint = self.checkpoint();
+        self.feeds_attempted += 1;
+        match self.feed_all(batches) {
+            Ok(report) => {
+                if report.loaded > 0 {
+                    self.mark_dirty();
+                }
+                Ok(report)
+            }
+            Err(err) => {
+                self.rollback(checkpoint)?;
+                self.rollbacks += 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// The write path (Step 5), fallible and transactional: validates
+    /// answers against the Step-4 axioms and loads them into the `City
+    /// Weather` star, deduplicating (city, date) points across calls.
+    /// Bumps the revision once when rows were actually loaded; on error
+    /// the warehouse is rolled back to its pre-call state and the
+    /// revision — and therefore cached answers — is untouched.
+    pub fn try_apply_feedback(&mut self, answers: &[Answer]) -> Result<FeedReport, FeedError> {
+        self.feed_transaction(&[answers])
+    }
+
+    /// A whole batch of per-question answer sets as **one** transaction:
+    /// either every batch loads (one revision bump) or none do.
+    pub fn feed_batch(&mut self, batches: &[&[Answer]]) -> Result<FeedReport, FeedError> {
+        self.feed_transaction(batches)
+    }
+
+    /// Infallible wrapper over [`Self::try_apply_feedback`]: a failed
+    /// (rolled-back) transaction reports every answer as rejected with
+    /// the error instead of panicking. Source URLs still survive, per the
+    /// paper's robustness rule.
+    pub fn apply_feedback(&mut self, answers: &[Answer]) -> FeedReport {
+        match self.try_apply_feedback(answers) {
+            Ok(report) => report,
+            Err(err) => {
+                let mut report = FeedReport::default();
+                let reason = err.to_string();
+                for answer in answers {
+                    if !report.urls.contains(&answer.url) {
+                        report.urls.push(answer.url.clone());
+                    }
+                    report
+                        .rejected
+                        .push((answer.tuple_format(), reason.clone()));
+                }
+                report
+            }
+        }
     }
 
     /// Asks the QA system one question (Steps 1–4 already in place).
@@ -417,6 +571,83 @@ mod tests {
         for answers in from_threads {
             assert_eq!(answers, expected);
         }
+    }
+
+    #[test]
+    fn injected_feed_fault_rolls_back_all_or_nothing() {
+        let (mut p, _) = built_pipeline(false);
+        let read = p.read_path();
+        let questions: Vec<String> = default_cities()
+            .iter()
+            .map(|c| format!("What is the temperature in January of 2004 in {}?", c.city))
+            .collect();
+        let batches: Vec<Vec<_>> = questions.iter().map(|q| read.answer(q)).collect();
+        let refs: Vec<&[_]> = batches.iter().map(Vec::as_slice).collect();
+
+        // Certain failure: the transaction aborts mid-load and rolls back.
+        p.set_feed_fault(Some(FeedFault { seed: 7, rate: 1.0 }));
+        let before = p.warehouse.snapshot();
+        let revision_before = p.revision();
+        let err = p.feed_batch(&refs).unwrap_err();
+        assert!(matches!(err, FeedError::Injected(_)), "{err}");
+        assert_eq!(p.rollbacks(), 1);
+        assert_eq!(p.revision(), revision_before, "no spurious cache bump");
+        assert_eq!(p.warehouse.snapshot(), before, "warehouse fully restored");
+
+        // Disabling the fault, the same transaction commits atomically.
+        p.set_feed_fault(None);
+        let report = p.feed_batch(&refs).unwrap();
+        assert!(report.loaded > 0);
+        assert_eq!(
+            p.revision(),
+            revision_before + 1,
+            "one bump per transaction"
+        );
+        // A retry after commit only skips duplicates — the dedup set was
+        // rolled back with the warehouse, not corrupted by the failure.
+        let again = p.feed_batch(&refs).unwrap();
+        assert_eq!(again.loaded, 0);
+        assert!(again.duplicates_skipped > 0);
+    }
+
+    #[test]
+    fn apply_feedback_reports_instead_of_panicking_on_failure() {
+        let (mut p, _) = built_pipeline(false);
+        let answers = p
+            .read_path()
+            .answer("What is the temperature in January of 2004 in El Prat?");
+        assert!(!answers.is_empty());
+        p.set_feed_fault(Some(FeedFault { seed: 1, rate: 1.0 }));
+        let report = p.apply_feedback(&answers);
+        assert_eq!(report.loaded, 0);
+        assert!(!report.rejected.is_empty());
+        assert!(report.rejected[0].1.contains("injected"));
+        assert!(!report.urls.is_empty(), "URLs survive rejection");
+        assert_eq!(p.revision(), 0);
+        // Without the fault the very same answers load fine.
+        p.set_feed_fault(None);
+        assert!(p.apply_feedback(&answers).loaded > 0);
+    }
+
+    #[test]
+    fn feed_fault_rate_is_probabilistic_and_deterministic() {
+        let (mut p, _) = built_pipeline(false);
+        p.set_feed_fault(Some(FeedFault { seed: 3, rate: 0.5 }));
+        let answers = p
+            .read_path()
+            .answer("What is the temperature in January of 2004 in El Prat?");
+        let outcomes: Vec<bool> = (0..8)
+            .map(|_| p.try_apply_feedback(&answers).is_ok())
+            .collect();
+        assert!(outcomes.iter().any(|ok| *ok), "some transactions commit");
+        assert!(outcomes.iter().any(|ok| !*ok), "some transactions fail");
+        // Replay on a fresh pipeline: identical outcome sequence.
+        let (mut q, _) = built_pipeline(false);
+        q.set_feed_fault(Some(FeedFault { seed: 3, rate: 0.5 }));
+        let replayed: Vec<bool> = (0..8)
+            .map(|_| q.try_apply_feedback(&answers).is_ok())
+            .collect();
+        assert_eq!(outcomes, replayed);
     }
 
     #[test]

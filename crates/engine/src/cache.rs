@@ -110,9 +110,11 @@ impl AnswerCache {
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty map has a minimum");
-            inner.map.remove(&lru);
+                .map(|(k, _)| k.clone());
+            match lru {
+                Some(key) => inner.map.remove(&key),
+                None => break,
+            };
         }
     }
 

@@ -31,11 +31,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod outcome;
 pub mod session;
 pub mod stats;
 
 pub use cache::{normalize_question, AnswerCache};
+pub use outcome::{AnswerOutcome, QuestionReport};
 pub use session::{BatchReport, QaEngine, QaSession, SubmitBatch, DEFAULT_CACHE_CAPACITY};
 pub use stats::{EngineStats, LatencyHistogram, StageStats};

@@ -8,24 +8,50 @@
 //! into one deterministic [`BatchReport`].
 
 use crate::cache::{normalize_question, AnswerCache};
+use crate::outcome::{panic_message, AnswerOutcome, QuestionReport};
 use crate::stats::EngineStats;
 use dwqa_core::{FeedReport, IntegrationPipeline, ReadPath};
+use dwqa_faults::{DocumentSource, Fetched, SourceHealth};
 use dwqa_qa::{Answer, PipelineTrace};
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Default answer-cache capacity (questions).
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
+/// Whether a deadline has passed.
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Collapses all whitespace runs to single spaces, so sentence
+/// containment is robust to the newline/trim normalisation the sentence
+/// splitter applies.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
 /// The concurrent QA engine: a worker pool over the pipeline's immutable
 /// read path, an answer cache, and per-stage statistics. Shareable across
 /// threads by reference; cheap to construct from any pipeline.
+///
+/// Optionally hardened: with a [`DocumentSource`] attached
+/// ([`QaEngine::with_source`]) every cache miss re-acquires its passage
+/// documents through the (possibly unreliable) source and re-validates
+/// extracted answers against the fetched bodies; with a deadline
+/// ([`QaEngine::with_deadline`]) each question gets a wall-clock budget.
+/// Worker panics are always isolated to the offending question.
 pub struct QaEngine {
     read: ReadPath,
     cache: AnswerCache,
     stats: EngineStats,
     workers: usize,
+    source: Option<Arc<dyn DocumentSource>>,
+    deadline: Option<Duration>,
 }
 
 impl QaEngine {
@@ -45,6 +71,8 @@ impl QaEngine {
             cache: AnswerCache::new(DEFAULT_CACHE_CAPACITY),
             stats: EngineStats::default(),
             workers,
+            source: None,
+            deadline: None,
         }
     }
 
@@ -52,6 +80,47 @@ impl QaEngine {
     pub fn with_workers(mut self, workers: usize) -> QaEngine {
         self.workers = workers.max(1);
         self
+    }
+
+    /// Attaches a document source: every cache miss re-acquires its
+    /// passage documents through it and re-validates extracted answers
+    /// against the fetched bodies.
+    pub fn with_source(mut self, source: Arc<dyn DocumentSource>) -> QaEngine {
+        self.source = Some(source);
+        self
+    }
+
+    /// Sets or clears the document source in place (the REPL's `:chaos`
+    /// toggle).
+    pub fn set_source(&mut self, source: Option<Arc<dyn DocumentSource>>) {
+        self.source = source;
+    }
+
+    /// Gives every question a wall-clock budget; on expiry the question
+    /// reports [`AnswerOutcome::TimedOut`] instead of running on.
+    pub fn with_deadline(mut self, budget: Duration) -> QaEngine {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets or clears the per-question deadline in place.
+    pub fn set_deadline(&mut self, budget: Option<Duration>) {
+        self.deadline = budget;
+    }
+
+    /// The attached document source, if any.
+    pub fn source(&self) -> Option<&Arc<dyn DocumentSource>> {
+        self.source.as_ref()
+    }
+
+    /// The per-question deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Cumulative health of the attached source stack.
+    pub fn source_health(&self) -> Option<SourceHealth> {
+        self.source.as_ref().map(|s| s.health())
     }
 
     /// Replaces the answer cache with one of the given capacity
@@ -84,27 +153,116 @@ impl QaEngine {
     /// Answers one question, consulting the cache first. A cached entry
     /// is served only if it was computed against the current warehouse
     /// revision; feedback ETL therefore invalidates it.
+    ///
+    /// Shorthand for [`QaEngine::answer_checked`] when the outcome tag is
+    /// not needed.
     pub fn answer(&self, question: &str) -> Vec<Answer> {
+        self.answer_checked(question).answers
+    }
+
+    /// Answers one question with full hardening: panic isolation, the
+    /// per-question deadline, and (when a source is attached) document
+    /// re-acquisition with answer re-validation. Never panics; the
+    /// outcome tag says how the attempt ended.
+    pub fn answer_checked(&self, question: &str) -> QuestionReport {
         self.stats.record_question();
+        let deadline = self.deadline.map(|budget| Instant::now() + budget);
+        let report =
+            match catch_unwind(AssertUnwindSafe(|| self.answer_guarded(question, deadline))) {
+                Ok(report) => report,
+                Err(payload) => QuestionReport::panicked(panic_message(payload.as_ref())),
+            };
+        self.stats.record_outcome(report.outcome);
+        if let Some(health) = self.source_health() {
+            self.stats.sync_source_health(&health);
+        }
+        report
+    }
+
+    /// The guarded answer path (runs under `catch_unwind`).
+    fn answer_guarded(&self, question: &str, deadline: Option<Instant>) -> QuestionReport {
         let key = normalize_question(question);
         let revision = self.read.revision();
         if let Some(hit) = self.cache.lookup(&key, revision) {
             self.stats.record_cache_hit();
-            return hit;
+            return QuestionReport::ok(hit);
         }
         self.stats.record_cache_miss();
         let qa = self.read.qa();
         let t = Instant::now();
         let analysis = qa.analyze(question);
         self.stats.analyze.record(t.elapsed());
+        if expired(deadline) {
+            return QuestionReport::timed_out("deadline expired after question analysis");
+        }
         let t = Instant::now();
-        let passages = qa.passages(&analysis);
+        let mut passages = qa.passages(&analysis);
         self.stats.passages.record(t.elapsed());
+        if expired(deadline) {
+            return QuestionReport::timed_out("deadline expired after passage selection");
+        }
+
+        // Acquisition phase: when a source is attached, re-fetch every
+        // passage document through it. Failed documents drop their
+        // passages; corrupted bodies force answer re-validation below.
+        let mut fetched_by_url: HashMap<String, Fetched> = HashMap::new();
+        let mut faults: Vec<String> = Vec::new();
+        if let (Some(source), Some(store)) = (&self.source, qa.store()) {
+            let mut urls: Vec<&str> = Vec::new();
+            for p in &passages {
+                let url = store.get(p.doc).url.as_str();
+                if !urls.contains(&url) {
+                    urls.push(url);
+                }
+            }
+            for url in &urls {
+                match source.fetch_by(url, deadline) {
+                    Ok(fetched) => {
+                        if !fetched.integrity.is_intact() {
+                            faults.push(format!("{url}: body {:?}", fetched.integrity));
+                        }
+                        fetched_by_url.insert((*url).to_owned(), fetched);
+                    }
+                    Err(err) => faults.push(format!("{url}: {err}")),
+                }
+            }
+            if !urls.is_empty() && fetched_by_url.is_empty() {
+                return QuestionReport::source_unavailable(faults.join("; "));
+            }
+            passages.retain(|p| fetched_by_url.contains_key(&store.get(p.doc).url));
+            if expired(deadline) {
+                return QuestionReport::timed_out("deadline expired during document acquisition");
+            }
+        }
+
         let t = Instant::now();
-        let answers = qa.extract(&analysis, &passages);
+        let mut answers = qa.extract(&analysis, &passages);
         self.stats.extract.record(t.elapsed());
+
+        // Re-validation: an answer extracted from a re-acquired document
+        // survives only if the fetched body is intact or still contains
+        // the answer sentence verbatim (modulo whitespace). Corruption
+        // can therefore only *drop* answers, never alter their values.
+        if self.source.is_some() {
+            let before = answers.len();
+            answers.retain(|a| match fetched_by_url.get(&a.url) {
+                Some(f) if f.integrity.is_intact() => true,
+                Some(f) => normalize_ws(&f.doc.text).contains(&normalize_ws(&a.sentence)),
+                None => false,
+            });
+            let dropped = before - answers.len();
+            if dropped > 0 {
+                faults.push(format!("{dropped} answer(s) failed body re-validation"));
+            }
+        }
+
+        if !faults.is_empty() {
+            // Degraded answers are not cached: a retry may fetch clean
+            // copies and produce a first-class result.
+            return QuestionReport::degraded(answers, faults.join("; "));
+        }
         self.cache.store(key, revision, answers.clone());
-        answers
+        QuestionReport::ok(answers)
     }
 
     /// The Table-1 trace for a question (uncached).
@@ -124,33 +282,56 @@ impl QaEngine {
     /// back **in input order** regardless of which worker finished
     /// first, so merging is deterministic.
     pub fn answer_batch(&self, questions: &[String]) -> Vec<Vec<Answer>> {
+        self.answer_batch_checked(questions)
+            .into_iter()
+            .map(|report| report.answers)
+            .collect()
+    }
+
+    /// Like [`QaEngine::answer_batch`], returning the full per-question
+    /// reports (answers + outcome tags), in input order. One poisoned
+    /// question yields a [`AnswerOutcome::Panicked`] report for that
+    /// question only — the worker pool survives.
+    pub fn answer_batch_checked(&self, questions: &[String]) -> Vec<QuestionReport> {
         self.stats.record_batch();
         let n = questions.len();
         let workers = self.workers.min(n.max(1));
         if workers <= 1 {
-            return questions.iter().map(|q| self.answer(q)).collect();
+            return questions.iter().map(|q| self.answer_checked(q)).collect();
         }
-        let slots: Vec<Mutex<Option<Vec<Answer>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<QuestionReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        let joined = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| loop {
                     // Work stealing off a shared index: whichever worker
-                    // is free takes the next question, but every answer
+                    // is free takes the next question, but every report
                     // lands in its question's slot.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let answers = self.answer(&questions[i]);
-                    *slots[i].lock() = Some(answers);
+                    let report = self.answer_checked(&questions[i]);
+                    *slots[i].lock() = Some(report);
                 });
             }
-        })
-        .expect("a batch worker panicked");
+        });
+        if joined.is_err() {
+            // answer_checked isolates panics, so a worker death here is
+            // a bug — count it (the chaos harness asserts this stays 0)
+            // and degrade the unfilled slots instead of poisoning the
+            // whole batch.
+            self.stats.record_worker_death();
+        }
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every slot was filled"))
+            .map(|slot| {
+                slot.into_inner().unwrap_or_else(|| {
+                    QuestionReport::panicked(
+                        "batch worker died before filling this slot".to_owned(),
+                    )
+                })
+            })
             .collect()
     }
 }
@@ -179,8 +360,14 @@ impl QaSession {
 
     /// Asks one question (cached, recorded in the session history).
     pub fn ask(&mut self, question: &str) -> Vec<Answer> {
+        self.ask_checked(question).answers
+    }
+
+    /// Asks one question, returning the full report (answers + outcome
+    /// tag), recorded in the session history.
+    pub fn ask_checked(&mut self, question: &str) -> QuestionReport {
         self.history.push(question.to_owned());
-        self.engine.answer(question)
+        self.engine.answer_checked(question)
     }
 
     /// Asks a batch concurrently (recorded in the session history).
@@ -204,20 +391,32 @@ impl QaSession {
         &self.engine
     }
 
+    /// The session's engine, mutably (to toggle the source or deadline).
+    pub fn engine_mut(&mut self) -> &mut QaEngine {
+        &mut self.engine
+    }
+
     /// The session's statistics.
     pub fn stats(&self) -> &EngineStats {
         self.engine.stats()
     }
 }
 
-/// The outcome of one batch submission: per-question answers (input
-/// order), the merged feed report, and timing.
+/// The outcome of one batch submission: per-question answers and outcome
+/// tags (input order), the merged feed report, and timing.
 #[derive(Debug)]
 pub struct BatchReport {
     /// Answers per question, aligned with the submitted slice.
     pub answers: Vec<Vec<Answer>>,
-    /// The merged Step-5 report over the whole batch.
+    /// How each question's attempt ended, aligned with the slice.
+    pub outcomes: Vec<AnswerOutcome>,
+    /// The merged Step-5 report over the whole batch. Empty when the
+    /// feed transaction rolled back — Step 5 is all-or-nothing.
     pub feed: FeedReport,
+    /// Whether the feed transaction failed and was rolled back.
+    pub rolled_back: bool,
+    /// The feed failure, when `rolled_back`.
+    pub feed_error: Option<String>,
     /// Worker threads used for the read phase.
     pub workers: usize,
     /// Wall-clock time of the whole submission (read + write phase).
@@ -245,18 +444,30 @@ impl SubmitBatch for IntegrationPipeline {
     fn submit_batch_with(&mut self, engine: &QaEngine, questions: &[String]) -> BatchReport {
         let start = Instant::now();
         // Read phase: concurrent, order-preserving.
-        let answers = engine.answer_batch(questions);
-        // Write phase: serialized in input order, so the warehouse ends
-        // in exactly the state sequential ask-and-feed would produce.
-        let mut feed = FeedReport::default();
-        for batch in &answers {
-            let t = Instant::now();
-            feed.absorb(self.apply_feedback(batch));
-            engine.stats().feed.record(t.elapsed());
-        }
+        let reports = engine.answer_batch_checked(questions);
+        // Write phase: one all-or-nothing transaction, serialized in
+        // input order, so on commit the warehouse ends in exactly the
+        // state sequential ask-and-feed would produce — and on failure
+        // it is untouched (no partial load, no spurious revision bump).
+        let batches: Vec<&[Answer]> = reports.iter().map(|r| r.answers.as_slice()).collect();
+        let t = Instant::now();
+        let feed_result = self.feed_batch(&batches);
+        engine.stats().feed.record(t.elapsed());
+        let (feed, rolled_back, feed_error) = match feed_result {
+            Ok(feed) => (feed, false, None),
+            Err(err) => {
+                engine.stats().record_rollback();
+                (FeedReport::default(), true, Some(err.to_string()))
+            }
+        };
+        let outcomes = reports.iter().map(|r| r.outcome).collect();
+        let answers = reports.into_iter().map(|r| r.answers).collect();
         BatchReport {
             answers,
+            outcomes,
             feed,
+            rolled_back,
+            feed_error,
             workers: engine.workers(),
             wall: start.elapsed(),
         }

@@ -5,6 +5,8 @@
 //! microsecond) buckets, which keeps recording O(1) and still yields
 //! usable p50/p95/max read-outs for the REPL and experiment binaries.
 
+use crate::outcome::AnswerOutcome;
+use dwqa_faults::SourceHealth;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -115,6 +117,21 @@ pub struct EngineStats {
     cache_misses: AtomicU64,
     questions: AtomicU64,
     batches: AtomicU64,
+    // Degraded-answer taxonomy counters.
+    outcome_ok: AtomicU64,
+    outcome_degraded: AtomicU64,
+    outcome_timed_out: AtomicU64,
+    outcome_unavailable: AtomicU64,
+    outcome_panicked: AtomicU64,
+    // Resilience counters. Source counters mirror the *cumulative*
+    // [`SourceHealth`] of the engine's source stack (set, not summed);
+    // rollbacks and worker deaths are engine-local events.
+    source_retries: AtomicU64,
+    source_trips: AtomicU64,
+    source_rejections: AtomicU64,
+    source_failures: AtomicU64,
+    rollbacks: AtomicU64,
+    worker_deaths: AtomicU64,
 }
 
 impl EngineStats {
@@ -132,6 +149,92 @@ impl EngineStats {
 
     pub(crate) fn record_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_outcome(&self, outcome: AnswerOutcome) {
+        let counter = match outcome {
+            AnswerOutcome::Ok => &self.outcome_ok,
+            AnswerOutcome::Degraded => &self.outcome_degraded,
+            AnswerOutcome::TimedOut => &self.outcome_timed_out,
+            AnswerOutcome::SourceUnavailable => &self.outcome_unavailable,
+            AnswerOutcome::Panicked => &self.outcome_panicked,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mirrors the source stack's cumulative health counters (idempotent:
+    /// stores the latest values rather than summing deltas).
+    pub(crate) fn sync_source_health(&self, health: &SourceHealth) {
+        self.source_retries.store(health.retries, Ordering::Relaxed);
+        self.source_trips
+            .store(health.breaker_trips, Ordering::Relaxed);
+        self.source_rejections
+            .store(health.breaker_rejections, Ordering::Relaxed);
+        self.source_failures
+            .store(health.failures, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rollback(&self) {
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_death(&self) {
+        self.worker_deaths.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Questions that completed cleanly.
+    pub fn outcomes_ok(&self) -> u64 {
+        self.outcome_ok.load(Ordering::Relaxed)
+    }
+
+    /// Questions answered under degraded evidence.
+    pub fn outcomes_degraded(&self) -> u64 {
+        self.outcome_degraded.load(Ordering::Relaxed)
+    }
+
+    /// Questions that hit their deadline.
+    pub fn outcomes_timed_out(&self) -> u64 {
+        self.outcome_timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Questions whose source documents were all unavailable.
+    pub fn outcomes_unavailable(&self) -> u64 {
+        self.outcome_unavailable.load(Ordering::Relaxed)
+    }
+
+    /// Questions whose worker panicked (isolated).
+    pub fn outcomes_panicked(&self) -> u64 {
+        self.outcome_panicked.load(Ordering::Relaxed)
+    }
+
+    /// Source retries performed by the resilience layer.
+    pub fn source_retries(&self) -> u64 {
+        self.source_retries.load(Ordering::Relaxed)
+    }
+
+    /// Circuit-breaker trips in the source stack.
+    pub fn breaker_trips(&self) -> u64 {
+        self.source_trips.load(Ordering::Relaxed)
+    }
+
+    /// Fetches rejected outright by an open breaker.
+    pub fn breaker_rejections(&self) -> u64 {
+        self.source_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Fetches that ultimately failed (after retries).
+    pub fn source_failures(&self) -> u64 {
+        self.source_failures.load(Ordering::Relaxed)
+    }
+
+    /// Feed transactions rolled back all-or-nothing.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks.load(Ordering::Relaxed)
+    }
+
+    /// Worker-pool threads lost to an unisolated panic (should stay 0).
+    pub fn worker_deaths(&self) -> u64 {
+        self.worker_deaths.load(Ordering::Relaxed)
     }
 
     /// Questions answered (cached or computed).
@@ -199,6 +302,23 @@ impl EngineStats {
                 us(stage.histogram.quantile_us(1.0)),
             ));
         }
+        out.push_str(&format!(
+            "outcomes: {} ok / {} degraded / {} timed-out / {} source-unavailable / {} panicked\n",
+            self.outcomes_ok(),
+            self.outcomes_degraded(),
+            self.outcomes_timed_out(),
+            self.outcomes_unavailable(),
+            self.outcomes_panicked(),
+        ));
+        out.push_str(&format!(
+            "resilience: {} retries   {} breaker trips   {} breaker rejections   {} source failures   {} rollbacks   {} worker deaths\n",
+            self.source_retries(),
+            self.breaker_trips(),
+            self.breaker_rejections(),
+            self.source_failures(),
+            self.rollbacks(),
+            self.worker_deaths(),
+        ));
         out
     }
 }
@@ -237,8 +357,49 @@ mod tests {
         stats.record_question();
         stats.record_cache_miss();
         let table = stats.render();
-        for name in ["analyze", "passages", "extract", "feed", "hit rate"] {
+        for name in [
+            "analyze",
+            "passages",
+            "extract",
+            "feed",
+            "hit rate",
+            "outcomes",
+            "resilience",
+        ] {
             assert!(table.contains(name), "missing {name} in:\n{table}");
         }
+    }
+
+    #[test]
+    fn outcome_and_resilience_counters_accumulate() {
+        let stats = EngineStats::default();
+        stats.record_outcome(AnswerOutcome::Ok);
+        stats.record_outcome(AnswerOutcome::Ok);
+        stats.record_outcome(AnswerOutcome::Degraded);
+        stats.record_outcome(AnswerOutcome::TimedOut);
+        stats.record_outcome(AnswerOutcome::SourceUnavailable);
+        stats.record_outcome(AnswerOutcome::Panicked);
+        assert_eq!(stats.outcomes_ok(), 2);
+        assert_eq!(stats.outcomes_degraded(), 1);
+        assert_eq!(stats.outcomes_timed_out(), 1);
+        assert_eq!(stats.outcomes_unavailable(), 1);
+        assert_eq!(stats.outcomes_panicked(), 1);
+        stats.record_rollback();
+        assert_eq!(stats.rollbacks(), 1);
+        assert_eq!(stats.worker_deaths(), 0);
+        // Source health mirrors cumulative counters idempotently.
+        let health = SourceHealth {
+            retries: 7,
+            breaker_trips: 2,
+            breaker_rejections: 3,
+            failures: 4,
+            ..SourceHealth::default()
+        };
+        stats.sync_source_health(&health);
+        stats.sync_source_health(&health);
+        assert_eq!(stats.source_retries(), 7);
+        assert_eq!(stats.breaker_trips(), 2);
+        assert_eq!(stats.breaker_rejections(), 3);
+        assert_eq!(stats.source_failures(), 4);
     }
 }

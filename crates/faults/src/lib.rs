@@ -1,0 +1,98 @@
+//! `dwqa-faults` — the unreliable-source abstraction and the resilience
+//! layer around it.
+//!
+//! The paper's Step 5 feeds the warehouse from *open* sources — the Web
+//! and intranet reports — which in production are partially available,
+//! slow, and occasionally corrupt. This crate models that reality over
+//! the reproduction's in-memory corpus:
+//!
+//! * [`DocumentSource`] — the acquisition trait: fetch a document by URL,
+//!   with an optional deadline. [`CorpusSource`] is the perfect oracle
+//!   over a [`dwqa_ir::DocumentStore`].
+//! * [`FaultInjector`] — a deterministic, seed-driven wrapper producing
+//!   transient errors, latency spikes, truncated/garbled/duplicated
+//!   bodies, permanent 404s, and (optionally) panics, at configurable
+//!   [`FaultPlan`] rates. The same seed always produces the same fault
+//!   sequence, so chaos runs are reproducible.
+//! * [`ResilientSource`] — bounded retries with exponential backoff and
+//!   seeded jitter, plus a per-URL circuit breaker (open after N
+//!   consecutive failures, half-open probe after a cooldown). All knobs
+//!   live on the [`RetryPolicy`] builder.
+//!
+//! ```
+//! use dwqa_faults::{CorpusSource, DocumentSource, FaultInjector, FaultPlan,
+//!                   ResilientSource, RetryPolicy};
+//! use dwqa_ir::{DocFormat, Document, DocumentStore};
+//!
+//! let mut store = DocumentStore::new();
+//! store.add(Document::new("http://w/1", DocFormat::Plain, "", "Temperature 8º C"));
+//! let flaky = FaultInjector::new(CorpusSource::new(&store), FaultPlan::chaos(42, 0.2));
+//! let source = ResilientSource::new(flaky, RetryPolicy::default());
+//! let fetched = source.fetch("http://w/1").unwrap();
+//! assert!(fetched.doc.text.contains("8º C") || !fetched.integrity.is_intact());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod inject;
+pub mod retry;
+pub mod source;
+
+pub use inject::{FaultInjector, FaultPlan};
+pub use retry::{BreakerState, ResilientSource, RetryPolicy, RetryPolicyBuilder};
+pub use source::{CorpusSource, DocumentSource, Fetched, Integrity, SourceError, SourceHealth};
+
+/// SplitMix64 — the workspace's standard deterministic hash/stream mixer
+/// (also used by the vendored `rand`). All fault and jitter decisions
+/// derive from it so runs are reproducible from their seeds alone.
+pub(crate) fn mix(mut state: u64) -> u64 {
+    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic hash of a string (FNV-1a), for keying fault decisions
+/// off URLs without depending on `std`'s randomized hasher.
+pub(crate) fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Maps a 64-bit hash to a uniform float in `[0, 1)`.
+pub(crate) fn unit_float(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(42), mix(42));
+        assert_ne!(mix(42), mix(43));
+    }
+
+    #[test]
+    fn unit_float_is_in_range() {
+        for i in 0..1000 {
+            let f = unit_float(mix(i));
+            assert!((0.0..1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn hash_str_distinguishes_urls() {
+        assert_ne!(hash_str("http://a"), hash_str("http://b"));
+        assert_eq!(hash_str("http://a"), hash_str("http://a"));
+    }
+}

@@ -1,0 +1,245 @@
+//! The document-acquisition trait and the perfect in-memory source.
+
+use dwqa_ir::{Document, DocumentStore};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Why an acquisition attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// A transient failure (connection reset, 5xx, …) — worth retrying.
+    Transient(String),
+    /// The document permanently does not exist (404) — retrying is futile.
+    NotFound(String),
+    /// The deadline expired before the fetch (or its retries) completed.
+    Timeout(String),
+    /// The per-source circuit breaker is open and rejected the fetch.
+    CircuitOpen(String),
+}
+
+impl SourceError {
+    /// Whether a retry could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SourceError::Transient(_))
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Transient(why) => write!(f, "transient source error: {why}"),
+            SourceError::NotFound(url) => write!(f, "document not found (404): {url}"),
+            SourceError::Timeout(why) => write!(f, "acquisition deadline exceeded: {why}"),
+            SourceError::CircuitOpen(url) => write!(f, "circuit breaker open for {url}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// How intact a fetched body is relative to the origin's canonical copy.
+///
+/// A real acquisition layer knows this from checksums or `Content-Length`;
+/// the fault injector reports it directly. The engine treats any
+/// non-intact body as grounds for a degraded answer, and re-validates
+/// extracted answers against the fetched bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integrity {
+    /// The body matches the canonical document.
+    Intact,
+    /// The tail of the body was lost in transit.
+    Truncated,
+    /// A span of the body was corrupted.
+    Garbled,
+    /// The body was delivered twice (duplicated content).
+    Duplicated,
+}
+
+impl Integrity {
+    /// Whether the body is byte-identical to the canonical document.
+    pub fn is_intact(&self) -> bool {
+        matches!(self, Integrity::Intact)
+    }
+}
+
+/// A successfully fetched document plus its integrity verdict.
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    /// The acquired document (text possibly degraded — see `integrity`).
+    pub doc: Document,
+    /// Integrity of the acquired body.
+    pub integrity: Integrity,
+}
+
+/// Cumulative counters describing a source stack's behaviour. Wrappers
+/// add their own contributions to the wrapped source's counters, so the
+/// outermost `health()` describes the whole stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceHealth {
+    /// Fetches attempted against the underlying source (retries included).
+    pub fetches: u64,
+    /// Faults injected by a [`crate::FaultInjector`] in the stack.
+    pub faults_injected: u64,
+    /// Retries performed by a [`crate::ResilientSource`] in the stack.
+    pub retries: u64,
+    /// Times a circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Fetches rejected outright by an open breaker.
+    pub breaker_rejections: u64,
+    /// Fetches that ultimately failed (after retries, if any).
+    pub failures: u64,
+}
+
+impl SourceHealth {
+    /// Counter-wise difference `self - earlier` (saturating), for taking
+    /// per-question deltas of a shared source's counters.
+    pub fn since(&self, earlier: &SourceHealth) -> SourceHealth {
+        SourceHealth {
+            fetches: self.fetches.saturating_sub(earlier.fetches),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            retries: self.retries.saturating_sub(earlier.retries),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            breaker_rejections: self
+                .breaker_rejections
+                .saturating_sub(earlier.breaker_rejections),
+            failures: self.failures.saturating_sub(earlier.failures),
+        }
+    }
+}
+
+/// Document acquisition: the boundary between the QA engine and the open,
+/// unreliable world the paper's Step 5 reads from.
+pub trait DocumentSource: Send + Sync {
+    /// Fetches the document at `url`.
+    fn fetch(&self, url: &str) -> Result<Fetched, SourceError>;
+
+    /// Like [`DocumentSource::fetch`], bounded by a deadline. Resilient
+    /// wrappers stop retrying (and cap backoff sleeps) at the deadline;
+    /// plain sources ignore it.
+    fn fetch_by(&self, url: &str, deadline: Option<Instant>) -> Result<Fetched, SourceError> {
+        let _ = deadline;
+        self.fetch(url)
+    }
+
+    /// Every URL this source can serve (for probing and warm-up).
+    fn urls(&self) -> Vec<String>;
+
+    /// Cumulative behaviour counters for the whole source stack.
+    fn health(&self) -> SourceHealth {
+        SourceHealth::default()
+    }
+}
+
+/// The perfect oracle: an in-memory source over a corpus snapshot. Every
+/// known URL is always available, instantly, intact.
+#[derive(Debug, Clone)]
+pub struct CorpusSource {
+    by_url: HashMap<String, Document>,
+    urls: Vec<String>,
+}
+
+impl CorpusSource {
+    /// Builds a source over the documents of a store (cloned; later URLs
+    /// win when the store holds duplicates).
+    pub fn new(store: &DocumentStore) -> CorpusSource {
+        let mut by_url = HashMap::with_capacity(store.len());
+        let mut urls = Vec::with_capacity(store.len());
+        for (_, doc) in store.iter() {
+            if !by_url.contains_key(&doc.url) {
+                urls.push(doc.url.clone());
+            }
+            by_url.insert(doc.url.clone(), doc.clone());
+        }
+        CorpusSource { by_url, urls }
+    }
+
+    /// Number of distinct URLs served.
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Whether the source serves no documents at all.
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+}
+
+impl DocumentSource for CorpusSource {
+    fn fetch(&self, url: &str) -> Result<Fetched, SourceError> {
+        match self.by_url.get(url) {
+            Some(doc) => Ok(Fetched {
+                doc: doc.clone(),
+                integrity: Integrity::Intact,
+            }),
+            None => Err(SourceError::NotFound(url.to_owned())),
+        }
+    }
+
+    fn urls(&self) -> Vec<String> {
+        self.urls.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwqa_ir::DocFormat;
+
+    fn store() -> DocumentStore {
+        let mut s = DocumentStore::new();
+        s.add(Document::new("http://a", DocFormat::Plain, "", "alpha"));
+        s.add(Document::new("http://b", DocFormat::Plain, "", "beta"));
+        s
+    }
+
+    #[test]
+    fn corpus_source_serves_known_urls_intact() {
+        let src = CorpusSource::new(&store());
+        assert_eq!(src.len(), 2);
+        let f = src.fetch("http://a").unwrap();
+        assert_eq!(f.doc.text, "alpha");
+        assert!(f.integrity.is_intact());
+        assert_eq!(src.urls().len(), 2);
+        assert_eq!(src.health(), SourceHealth::default());
+    }
+
+    #[test]
+    fn unknown_urls_are_permanent_404s() {
+        let src = CorpusSource::new(&store());
+        let err = src.fetch("http://ghost").unwrap_err();
+        assert_eq!(err, SourceError::NotFound("http://ghost".to_owned()));
+        assert!(!err.is_retryable());
+        assert!(SourceError::Transient("reset".into()).is_retryable());
+    }
+
+    #[test]
+    fn health_delta_is_saturating_and_counterwise() {
+        let a = SourceHealth {
+            fetches: 10,
+            retries: 3,
+            ..SourceHealth::default()
+        };
+        let b = SourceHealth {
+            fetches: 4,
+            retries: 5,
+            ..SourceHealth::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.fetches, 6);
+        assert_eq!(d.retries, 0); // saturates rather than wrapping
+    }
+
+    #[test]
+    fn errors_render_their_kind() {
+        assert!(SourceError::NotFound("u".into())
+            .to_string()
+            .contains("404"));
+        assert!(SourceError::CircuitOpen("u".into())
+            .to_string()
+            .contains("breaker"));
+        assert!(SourceError::Timeout("t".into())
+            .to_string()
+            .contains("deadline"));
+    }
+}

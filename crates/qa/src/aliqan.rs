@@ -189,6 +189,12 @@ impl AliQAn {
         &self.lexicon
     }
 
+    /// The indexed corpus, if [`AliQAn::index_corpus`] has run. Document
+    /// acquisition layers use it to resolve passage documents to URLs.
+    pub fn store(&self) -> Option<&DocumentStore> {
+        self.store.as_ref()
+    }
+
     /// Runs the indexation phase over a corpus.
     pub fn index_corpus(&mut self, store: DocumentStore) {
         let index = QaIndex::build_with_threads(

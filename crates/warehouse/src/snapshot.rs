@@ -160,9 +160,22 @@ impl Warehouse {
         Ok(wh)
     }
 
+    /// Serialises the snapshot as JSON, with a typed error on failure.
+    pub fn try_to_json(&self) -> Result<String> {
+        serde_json::to_string(&self.snapshot()).map_err(|e| {
+            WarehouseError::IncompleteRow(format!("snapshot failed to serialise: {e}"))
+        })
+    }
+
     /// Serialises the snapshot as JSON.
+    ///
+    /// # Panics
+    /// Only if serialisation fails, which is impossible for well-formed
+    /// snapshot types; fallible callers should use
+    /// [`Warehouse::try_to_json`].
     pub fn to_json(&self) -> String {
-        serde_json::to_string(&self.snapshot()).expect("snapshot serialises")
+        #[allow(clippy::expect_used)]
+        self.try_to_json().expect("snapshot serialises")
     }
 
     /// Restores from [`Warehouse::to_json`] output.
