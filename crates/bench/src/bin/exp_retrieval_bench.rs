@@ -1,0 +1,164 @@
+//! Records the passage-retrieval performance baseline.
+//!
+//! Times the exhaustive reference scan against the postings-driven pruned
+//! path (cold = query compiled every call, warm = compiled once) across
+//! window sizes and corpus sizes, checks that both paths return identical
+//! passages, and writes the measurements to `BENCH_retrieval.json` so
+//! future changes have a recorded trajectory to compare against.
+//!
+//! Usage: `exp_retrieval_bench [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks corpora and iteration counts for CI smoke runs.
+
+use dwqa_bench::{build_corpus, section, FixtureConfig};
+use dwqa_ir::{InvertedIndex, PassageRetriever};
+use dwqa_nlp::Lexicon;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Serialize)]
+struct Measurement {
+    distractors: usize,
+    corpus_docs: usize,
+    window: usize,
+    iterations: u32,
+    /// Candidate documents of the benchmark query (≪ `corpus_docs`).
+    docs_candidate: usize,
+    /// Documents the postings let the scorer skip entirely.
+    docs_pruned: usize,
+    /// Candidate windows actually scored by the pruned path.
+    windows_scored: usize,
+    exhaustive_us: f64,
+    pruned_cold_us: f64,
+    pruned_warm_us: f64,
+    speedup_cold: f64,
+    speedup_warm: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    experiment: &'static str,
+    quick: bool,
+    query: Vec<(String, f64)>,
+    passages_k: usize,
+    measurements: Vec<Measurement>,
+}
+
+/// Mean wall-clock microseconds per call of `f` over `iters` calls (after
+/// a small warm-up).
+fn time_us<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..iters.div_ceil(10).max(1) {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+/// The weighted terms of a typical dated question after Module 1 (the day
+/// number carries the temporal boost).
+fn query_terms() -> Vec<(String, f64)> {
+    vec![
+        ("temperature".to_owned(), 1.0),
+        ("january".to_owned(), 1.0),
+        ("15".to_owned(), 3.0),
+        ("barcelona".to_owned(), 1.0),
+    ]
+}
+
+const K: usize = 5;
+
+fn measure(distractors: usize, window: usize, iters: u32) -> Measurement {
+    let lexicon = Lexicon::english();
+    let (store, _) = build_corpus(&FixtureConfig {
+        distractors,
+        ..FixtureConfig::default()
+    });
+    let index = InvertedIndex::build(&lexicon, &store);
+    let retriever = PassageRetriever::build(&lexicon, &store, window);
+    let terms = query_terms();
+    let query = retriever.compile_query(&index, terms.iter().map(|(t, w)| (t.as_str(), *w)));
+
+    // Sanity: the pruned path must return exactly the reference results.
+    let (pruned, stats) = retriever.retrieve_query(&query, K);
+    let exhaustive = retriever.retrieve_weighted_exhaustive(&index, &terms, K);
+    assert_eq!(
+        pruned, exhaustive,
+        "pruned retrieval diverged from the exhaustive reference"
+    );
+
+    let exhaustive_us = time_us(iters, || {
+        retriever.retrieve_weighted_exhaustive(&index, &terms, K)
+    });
+    let pruned_cold_us = time_us(iters, || retriever.retrieve_weighted(&index, &terms, K));
+    let pruned_warm_us = time_us(iters, || retriever.retrieve_query(&query, K));
+
+    Measurement {
+        distractors,
+        corpus_docs: store.len(),
+        window,
+        iterations: iters,
+        docs_candidate: stats.docs_candidate,
+        docs_pruned: stats.docs_pruned,
+        windows_scored: stats.windows_scored,
+        exhaustive_us,
+        pruned_cold_us,
+        pruned_warm_us,
+        speedup_cold: exhaustive_us / pruned_cold_us.max(1e-9),
+        speedup_warm: exhaustive_us / pruned_warm_us.max(1e-9),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_retrieval.json", String::as_str);
+
+    let (distractor_steps, iters): (&[usize], u32) = if quick {
+        (&[0, 50], 30)
+    } else {
+        (&[0, 50, 200], 200)
+    };
+    let windows: &[usize] = if quick { &[8] } else { &[4, 8, 16] };
+
+    section("retrieval bench: exhaustive reference vs pruned postings path");
+    let mut measurements = Vec::new();
+    for &d in distractor_steps {
+        for &w in windows {
+            let m = measure(d, w, iters);
+            println!(
+                "corpus {:>3} docs  window {:>2}  candidates {:>2}/{:<3}  \
+                 exhaustive {:>9.1} µs  pruned cold {:>8.1} µs ({:>5.1}×)  \
+                 warm {:>8.1} µs ({:>5.1}×)",
+                m.corpus_docs,
+                m.window,
+                m.docs_candidate,
+                m.corpus_docs,
+                m.exhaustive_us,
+                m.pruned_cold_us,
+                m.speedup_cold,
+                m.pruned_warm_us,
+                m.speedup_warm,
+            );
+            measurements.push(m);
+        }
+    }
+
+    let report = BenchReport {
+        experiment: "retrieval_bench",
+        quick,
+        query: query_terms(),
+        passages_k: K,
+        measurements,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(out_path, format!("{json}\n")).expect("write bench report");
+    println!("\nwrote {out_path}");
+}

@@ -25,6 +25,17 @@ pub fn fold(s: &str) -> String {
     out
 }
 
+/// Like [`fold`], but borrows when the input is already folded (all-ASCII
+/// with no uppercase letters). Index lemmas and retrieval terms are
+/// usually folded already, so hot-path lookups avoid the allocation.
+pub fn fold_cow(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.bytes().all(|b| b.is_ascii() && !b.is_ascii_uppercase()) {
+        std::borrow::Cow::Borrowed(s)
+    } else {
+        std::borrow::Cow::Owned(fold(s))
+    }
+}
+
 /// Splits a multi-word label into case-folded words ("Last Minute Sales" →
 /// `["last", "minute", "sales"]`). Underscores and hyphens are separators.
 pub fn label_words(label: &str) -> Vec<String> {
@@ -139,7 +150,22 @@ mod tests {
         assert!(!is_acronym("J"));
     }
 
+    #[test]
+    fn fold_cow_borrows_folded_input() {
+        assert!(matches!(
+            fold_cow("barcelona 8"),
+            std::borrow::Cow::Borrowed(_)
+        ));
+        assert_eq!(fold_cow("Ferrández").as_ref(), "ferrandez");
+        assert!(matches!(fold_cow("JFK"), std::borrow::Cow::Owned(_)));
+    }
+
     proptest! {
+        #[test]
+        fn prop_fold_cow_equals_fold(s in "[a-zA-Z0-9áéíóúñÁÉÍÓÚÑ ]{0,16}") {
+            prop_assert_eq!(fold_cow(&s).as_ref(), fold(&s).as_str());
+        }
+
         #[test]
         fn prop_levenshtein_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
             prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));

@@ -20,7 +20,10 @@ use dwqa_ontology::{
     enrich_from_warehouse, merge_into_upper, schema_to_ontology, upper_ontology, EnrichmentReport,
     MergeOptions, MergeReport, Ontology,
 };
-use dwqa_qa::{temperature_pattern, AliQAn, AliQAnConfig, Answer, PipelineTrace};
+use dwqa_qa::{
+    temperature_pattern, AliQAn, AliQAnConfig, Answer, PipelineTrace, QuestionAnalysis,
+    RetrievalStats,
+};
 use dwqa_warehouse::{Warehouse, WarehouseSnapshot};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -178,6 +181,17 @@ impl ReadPath {
     /// The Table-1 trace for a question.
     pub fn trace(&self, question: &str) -> PipelineTrace {
         self.qa.trace(question)
+    }
+
+    /// Module 2 for an analysed question, returning both the passages and
+    /// the index-pruning counters of the retrieval that produced them
+    /// (candidate documents vs corpus size; the engine's `:stats`
+    /// surfaces the aggregate).
+    pub fn passages_with_stats(
+        &self,
+        analysis: &QuestionAnalysis,
+    ) -> (Vec<dwqa_ir::Passage>, RetrievalStats) {
+        self.qa.passages_with_stats(analysis)
     }
 
     /// The warehouse revision this handle currently observes. Increases

@@ -196,8 +196,9 @@ impl QaEngine {
             return QuestionReport::timed_out("deadline expired after question analysis");
         }
         let t = Instant::now();
-        let mut passages = qa.passages(&analysis);
+        let (mut passages, retrieval) = qa.passages_with_stats(&analysis);
         self.stats.passages.record(t.elapsed());
+        self.stats.record_retrieval(retrieval);
         if expired(deadline) {
             return QuestionReport::timed_out("deadline expired after passage selection");
         }

@@ -132,6 +132,14 @@ pub struct EngineStats {
     source_failures: AtomicU64,
     rollbacks: AtomicU64,
     worker_deaths: AtomicU64,
+    // Retrieval-pruning counters: how much of the corpus the sentence
+    // postings let Module 2 skip, summed over all (cache-miss)
+    // retrievals.
+    retrievals: AtomicU64,
+    retrieval_docs_total: AtomicU64,
+    retrieval_docs_candidate: AtomicU64,
+    retrieval_docs_pruned: AtomicU64,
+    retrieval_windows_scored: AtomicU64,
 }
 
 impl EngineStats {
@@ -172,6 +180,19 @@ impl EngineStats {
             .store(health.breaker_rejections, Ordering::Relaxed);
         self.source_failures
             .store(health.failures, Ordering::Relaxed);
+    }
+
+    /// Accumulates the pruning counters of one passage retrieval.
+    pub(crate) fn record_retrieval(&self, stats: dwqa_qa::RetrievalStats) {
+        self.retrievals.fetch_add(1, Ordering::Relaxed);
+        self.retrieval_docs_total
+            .fetch_add(stats.docs_total as u64, Ordering::Relaxed);
+        self.retrieval_docs_candidate
+            .fetch_add(stats.docs_candidate as u64, Ordering::Relaxed);
+        self.retrieval_docs_pruned
+            .fetch_add(stats.docs_pruned as u64, Ordering::Relaxed);
+        self.retrieval_windows_scored
+            .fetch_add(stats.windows_scored as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_rollback(&self) {
@@ -235,6 +256,47 @@ impl EngineStats {
     /// Worker-pool threads lost to an unisolated panic (should stay 0).
     pub fn worker_deaths(&self) -> u64 {
         self.worker_deaths.load(Ordering::Relaxed)
+    }
+
+    /// Passage retrievals recorded (one per cache-miss question, two if
+    /// the focus fallback fired).
+    pub fn retrievals(&self) -> u64 {
+        self.retrievals.load(Ordering::Relaxed)
+    }
+
+    /// Candidate documents scored, summed over all retrievals.
+    pub fn retrieval_docs_candidate(&self) -> u64 {
+        self.retrieval_docs_candidate.load(Ordering::Relaxed)
+    }
+
+    /// Documents skipped by index pruning, summed over all retrievals.
+    pub fn retrieval_docs_pruned(&self) -> u64 {
+        self.retrieval_docs_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Candidate windows scored, summed over all retrievals.
+    pub fn retrieval_windows_scored(&self) -> u64 {
+        self.retrieval_windows_scored.load(Ordering::Relaxed)
+    }
+
+    /// Mean candidate-set size per retrieval.
+    pub fn mean_candidate_docs(&self) -> f64 {
+        let n = self.retrievals();
+        if n == 0 {
+            0.0
+        } else {
+            self.retrieval_docs_candidate() as f64 / n as f64
+        }
+    }
+
+    /// Share of corpus documents pruned (never touched) per retrieval.
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.retrieval_docs_total.load(Ordering::Relaxed);
+        if total == 0 {
+            0.0
+        } else {
+            self.retrieval_docs_pruned() as f64 / total as f64
+        }
     }
 
     /// Questions answered (cached or computed).
@@ -311,6 +373,13 @@ impl EngineStats {
             self.outcomes_panicked(),
         ));
         out.push_str(&format!(
+            "retrieval: {} retrievals   {:.1} candidate docs/query ({:.0}% of corpus pruned)   {} windows scored\n",
+            self.retrievals(),
+            self.mean_candidate_docs(),
+            self.pruned_fraction() * 100.0,
+            self.retrieval_windows_scored(),
+        ));
+        out.push_str(&format!(
             "resilience: {} retries   {} breaker trips   {} breaker rejections   {} source failures   {} rollbacks   {} worker deaths\n",
             self.source_retries(),
             self.breaker_trips(),
@@ -364,10 +433,36 @@ mod tests {
             "feed",
             "hit rate",
             "outcomes",
+            "retrieval",
             "resilience",
         ] {
             assert!(table.contains(name), "missing {name} in:\n{table}");
         }
+    }
+
+    #[test]
+    fn retrieval_counters_accumulate() {
+        let stats = EngineStats::default();
+        stats.record_retrieval(dwqa_qa::RetrievalStats {
+            docs_total: 100,
+            docs_candidate: 4,
+            docs_pruned: 96,
+            windows_scored: 12,
+        });
+        stats.record_retrieval(dwqa_qa::RetrievalStats {
+            docs_total: 100,
+            docs_candidate: 6,
+            docs_pruned: 94,
+            windows_scored: 20,
+        });
+        assert_eq!(stats.retrievals(), 2);
+        assert_eq!(stats.retrieval_docs_candidate(), 10);
+        assert_eq!(stats.retrieval_docs_pruned(), 190);
+        assert_eq!(stats.retrieval_windows_scored(), 32);
+        assert!((stats.mean_candidate_docs() - 5.0).abs() < 1e-12);
+        assert!((stats.pruned_fraction() - 0.95).abs() < 1e-12);
+        let table = stats.render();
+        assert!(table.contains("95% of corpus pruned"), "{table}");
     }
 
     #[test]

@@ -40,10 +40,12 @@ pub fn index_terms(lexicon: &Lexicon, text: &str) -> Vec<String> {
             ) {
                 continue;
             }
+            // The tagged token is owned, so the lemma moves out for free;
+            // only the lemmatizer fallback builds a fresh string.
             let lemma = if t.lemma.is_empty() {
                 lemmatize_with(lexicon, &t.token.text, t.pos)
             } else {
-                t.lemma.clone()
+                t.lemma
             };
             if is_stopword(&lemma) {
                 continue;
@@ -75,26 +77,28 @@ impl InvertedIndex {
         let threads = threads.max(1);
         let docs: Vec<&str> = store.iter().map(|(_, d)| d.text.as_str()).collect();
         let chunk = docs.len().div_ceil(threads).max(1);
-        let results = parking_lot::Mutex::new(vec![Vec::new(); docs.len()]);
-        crossbeam::thread::scope(|scope| {
-            for (c, chunk_docs) in docs.chunks(chunk).enumerate() {
-                let results = &results;
-                scope.spawn(move |_| {
-                    let base = c * chunk;
-                    let analysed: Vec<(usize, Vec<String>)> = chunk_docs
-                        .iter()
-                        .enumerate()
-                        .map(|(i, text)| (base + i, index_terms(lexicon, text)))
-                        .collect();
-                    let mut guard = results.lock();
-                    for (i, terms) in analysed {
-                        guard[i] = terms;
-                    }
-                });
+        // Each worker returns its chunk through its join handle; joining
+        // in spawn order reassembles the per-doc results lock-free.
+        let per_doc = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = docs
+                .chunks(chunk)
+                .map(|chunk_docs| {
+                    scope.spawn(move |_| {
+                        chunk_docs
+                            .iter()
+                            .map(|text| index_terms(lexicon, text))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut per_doc: Vec<Vec<String>> = Vec::with_capacity(docs.len());
+            for handle in handles {
+                per_doc.extend(handle.join().expect("index worker thread panicked"));
             }
+            per_doc
         })
         .expect("index worker thread panicked");
-        Self::assemble(results.into_inner())
+        Self::assemble(per_doc)
     }
 
     fn assemble(per_doc: Vec<Vec<String>>) -> InvertedIndex {
@@ -134,9 +138,11 @@ impl InvertedIndex {
         self.vocabulary.len()
     }
 
-    /// The postings list of a term, if indexed.
+    /// The postings list of a term, if indexed. Already-folded terms
+    /// (index lemmas, compiled query terms) are looked up without
+    /// allocating.
     pub fn postings(&self, term: &str) -> Option<&[Posting]> {
-        let sym = self.vocabulary.get(&dwqa_common::text::fold(term))?;
+        let sym = self.vocabulary.get(&dwqa_common::text::fold_cow(term))?;
         self.postings.get(&sym).map(Vec::as_slice)
     }
 

@@ -12,7 +12,11 @@
 //! * [`index`] — an inverted index over case-folded, stopped, lemmatised
 //!   terms, with optional parallel construction (crossbeam scoped threads);
 //! * [`search`] — ranked document retrieval (Okapi BM25 and TF-IDF cosine);
-//! * [`passage`] — the IR-n passage retrieval used by AliQAn's Module 2;
+//! * [`passage`] — the IR-n passage retrieval used by AliQAn's Module 2,
+//!   driven by interned sentence-level postings: queries compile once into
+//!   a [`passage::PassageQuery`], candidate documents come from the
+//!   postings, and documents without query terms are never scored
+//!   ([`passage::RetrievalStats`] reports the pruning);
 //! * [`mdir`] — the multidimensional-IR **baseline** of McCabe et al.
 //!   (SIGIR 2000, the paper's reference [11]): documents categorised along
 //!   location × time dimensions, filtered OLAP-style before term search.
@@ -42,5 +46,5 @@ pub mod search;
 pub use document::{DocFormat, DocId, Document, DocumentStore};
 pub use index::InvertedIndex;
 pub use mdir::{CubeSlice, MultidimensionalIndex};
-pub use passage::{Passage, PassageRetriever};
+pub use passage::{Passage, PassageQuery, PassageRetriever, RetrievalStats};
 pub use search::{SearchHit, Similarity};

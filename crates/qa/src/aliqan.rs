@@ -4,7 +4,7 @@ use crate::analysis::{analyze_question, QuestionAnalysis};
 use crate::extraction::{extract_answers, Answer};
 use crate::index::QaIndex;
 use crate::patterns::{default_patterns, QuestionPattern};
-use dwqa_ir::{DocumentStore, Passage, PassageRetriever};
+use dwqa_ir::{DocumentStore, Passage, PassageRetriever, RetrievalStats};
 use dwqa_nlp::{analyze_sentence, render_annotated, Lexicon};
 use dwqa_ontology::Ontology;
 
@@ -223,22 +223,39 @@ impl AliQAn {
     /// focus noun joins the query as a fallback (the paper\'s "semantic
     /// preference": hyponyms of the focus are likelier near its name).
     pub fn passages(&self, analysis: &QuestionAnalysis) -> Vec<Passage> {
+        self.passages_with_stats(analysis).0
+    }
+
+    /// Like [`AliQAn::passages`], also returning the index-pruning
+    /// counters of the retrieval that produced the passages (the engine
+    /// surfaces these in `:stats`). The query is compiled once against
+    /// the retriever's interned vocabulary — no term strings are cloned.
+    pub fn passages_with_stats(
+        &self,
+        analysis: &QuestionAnalysis,
+    ) -> (Vec<Passage>, RetrievalStats) {
         let (index, _) = self.indexed();
-        let passages = index.passages.retrieve_weighted(
-            &index.ir_index,
-            &analysis.retrieval_terms_weighted(),
-            self.config.passages_k,
-        );
+        let query = index
+            .passages
+            .compile_query(&index.ir_index, analysis.weighted_term_refs());
+        let (passages, stats) = index
+            .passages
+            .retrieve_query(&query, self.config.passages_k);
         if !passages.is_empty() {
-            return passages;
+            return (passages, stats);
         }
-        let mut terms = analysis.retrieval_terms_weighted();
-        if let Some(focus) = &analysis.focus {
-            terms.push((focus.clone(), 1.0));
-        }
+        let Some(focus) = &analysis.focus else {
+            return (passages, stats);
+        };
+        let query = index.passages.compile_query(
+            &index.ir_index,
+            analysis
+                .weighted_term_refs()
+                .chain(std::iter::once((focus.as_str(), 1.0))),
+        );
         index
             .passages
-            .retrieve_weighted(&index.ir_index, &terms, self.config.passages_k)
+            .retrieve_query(&query, self.config.passages_k)
     }
 
     /// Module 3 on its own: extracts typed answers from the passages.

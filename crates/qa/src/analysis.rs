@@ -74,8 +74,24 @@ impl QuestionAnalysis {
     /// the right portion of a long page, not just the right page.
     pub fn retrieval_terms_weighted(&self) -> Vec<(String, f64)> {
         let mut terms: Vec<(String, f64)> = Vec::new();
-        for sb in &self.main_sbs {
-            for lemma in &sb.lemmas {
+        for (lemma, weight) in self.weighted_term_refs() {
+            match terms.iter_mut().find(|(t, _)| t == lemma) {
+                Some(entry) => entry.1 = entry.1.max(weight),
+                None => terms.push((lemma.to_owned(), weight)),
+            }
+        }
+        terms
+    }
+
+    /// Borrowing form of [`QuestionAnalysis::retrieval_terms_weighted`]:
+    /// yields every main-SB lemma with its weight **without cloning** —
+    /// the retrieval path feeds this straight into
+    /// `PassageRetriever::compile_query`, which merges duplicates by max
+    /// weight in first-occurrence order (the same normalisation
+    /// [`QuestionAnalysis::retrieval_terms_weighted`] applies eagerly).
+    pub fn weighted_term_refs(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.main_sbs.iter().flat_map(|sb| {
+            sb.lemmas.iter().map(move |lemma| {
                 let weight = if sb.is_temporal
                     && lemma.chars().all(|c| c.is_ascii_digit())
                     && lemma.len() <= 2
@@ -84,13 +100,9 @@ impl QuestionAnalysis {
                 } else {
                     1.0
                 };
-                match terms.iter_mut().find(|(t, _)| t == lemma) {
-                    Some(entry) => entry.1 = entry.1.max(weight),
-                    None => terms.push((lemma.clone(), weight)),
-                }
-            }
-        }
-        terms
+                (lemma.as_str(), weight)
+            })
+        })
     }
 }
 

@@ -161,7 +161,7 @@ fn context_location(
     analysis: &QuestionAnalysis,
     ontology: &Ontology,
     sentence_text: &str,
-    passage_text: &str,
+    passage: &Passage,
 ) -> (Option<String>, f64) {
     let city_class = ontology.class_for("city");
     let is_city = |label: &str| {
@@ -175,14 +175,23 @@ fn context_location(
     for loc in &analysis.locations {
         let weight = if folded_contains(sentence_text, loc) {
             0.6
-        } else if folded_contains(passage_text, loc) {
+        } else if passage.contains_folded(loc) {
             0.3
         } else {
             continue;
         };
         let weight = weight + if is_city(loc) { 0.1 } else { 0.0 };
         if best.as_ref().map_or(true, |(_, w)| weight > *w) {
-            best = Some((loc.clone(), weight));
+            // Store the ontology's canonical spelling, not the question's:
+            // answers are cached under a case-folded question key, so two
+            // spellings of the same question must produce identical answers.
+            let canonical = ontology
+                .concepts_for(loc)
+                .iter()
+                .find(|&&id| ontology.concept(id).kind == ConceptKind::Instance)
+                .map(|&id| ontology.concept(id).canonical().to_owned())
+                .unwrap_or_else(|| loc.clone());
+            best = Some((canonical, weight));
         }
     }
     match best {
@@ -212,7 +221,7 @@ fn push_candidate(
     ontology: &Ontology,
     sentences: &[AnalyzedSentence],
     idx: usize,
-    passage_text: &str,
+    passage: &Passage,
     url: &str,
     value: AnswerValue,
     type_score: f64,
@@ -234,7 +243,7 @@ fn push_candidate(
         }
     }
     let (context_location, loc_score) =
-        context_location(analysis, ontology, &sentence.text, passage_text);
+        context_location(analysis, ontology, &sentence.text, passage);
     score += loc_score;
     // A question that names a place should not be answered from a passage
     // that never mentions it.
@@ -386,7 +395,6 @@ pub fn extract_answers(
     for passage in passages {
         let url = &store.get(passage.doc).url;
         let sentences = index.doc_sentences(passage.doc);
-        let passage_text = passage.text();
         let range = passage.first_sentence
             ..(passage.first_sentence + passage.sentences.len()).min(sentences.len());
         for idx in range {
@@ -406,12 +414,8 @@ pub fn extract_answers(
                             // city) tuple, and a reading from some other
                             // page cannot feed the DW.
                             if !analysis.locations.is_empty() {
-                                let (loc, _) = context_location(
-                                    analysis,
-                                    ontology,
-                                    &sentence.text,
-                                    &passage_text,
-                                );
+                                let (loc, _) =
+                                    context_location(analysis, ontology, &sentence.text, passage);
                                 if loc.is_none() {
                                     continue;
                                 }
@@ -422,7 +426,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::Temperature {
                                     celsius,
@@ -444,7 +448,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::Date(d),
                                 1.0,
@@ -458,7 +462,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::Year(y),
                                 0.6,
@@ -477,7 +481,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::MonthYear(month, year),
                                 1.0,
@@ -495,7 +499,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::Year(y),
                                 1.0,
@@ -507,7 +511,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::Year(d.year()),
                                 0.8,
@@ -526,7 +530,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::Percentage(p),
                                 1.0,
@@ -548,7 +552,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::Money {
                                     amount,
@@ -596,7 +600,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::Number(n),
                                 0.8,
@@ -627,7 +631,7 @@ pub fn extract_answers(
                                         ontology,
                                         sentences,
                                         idx,
-                                        &passage_text,
+                                        passage,
                                         url,
                                         AnswerValue::Phrase(block.text(&sentence.tokens)),
                                         1.0,
@@ -692,7 +696,7 @@ pub fn extract_answers(
                                 ontology,
                                 sentences,
                                 idx,
-                                &passage_text,
+                                passage,
                                 url,
                                 AnswerValue::Name(text),
                                 type_score,

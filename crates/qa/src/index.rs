@@ -63,8 +63,17 @@ impl QaIndex {
             .expect("QA indexation worker panicked");
             results.into_inner()
         };
-        let ir_index = InvertedIndex::build(lexicon, store);
-        let passages = PassageRetriever::build(lexicon, store, passage_window);
+        let (ir_index, passages) = if threads == 1 || texts.len() < 2 {
+            (
+                InvertedIndex::build(lexicon, store),
+                PassageRetriever::build(lexicon, store, passage_window),
+            )
+        } else {
+            (
+                InvertedIndex::build_parallel(lexicon, store, threads),
+                PassageRetriever::build_parallel(lexicon, store, passage_window, threads),
+            )
+        };
         QaIndex {
             sentences,
             ir_index,
