@@ -115,6 +115,19 @@ fn bench_batch_engine(c: &mut Criterion) {
     group.bench_function("pool_4_workers_warm_cache", |b| {
         b.iter(|| cached.answer_batch(black_box(&questions)))
     });
+
+    // The observability tax (E13): the same pooled uncached batch with
+    // a full span tree collected per question. Compare against
+    // pool_4_workers — the gap is the enabled-tracing overhead and must
+    // stay within a few percent.
+    let traced = QaEngine::new(&fx.pipeline)
+        .with_workers(4)
+        .with_cache_capacity(0)
+        .with_tracing(true)
+        .with_trace_capacity(questions.len());
+    group.bench_function("pool_4_workers_traced", |b| {
+        b.iter(|| traced.answer_batch(black_box(&questions)))
+    });
     group.finish();
 }
 

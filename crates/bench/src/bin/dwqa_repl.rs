@@ -6,6 +6,9 @@
 //!
 //! * plain text — ask the QA system, feed valid tuples into the DW;
 //! * `:trace <question>` — print the Table-1 pipeline trace;
+//! * `:trace` — print the span tree of the most recent question from
+//!   the flight recorder (every question is traced: timings, retrieval
+//!   pruning, fault-layer retries, cache disposition);
 //! * `:bands` — the sales-vs-temperature analysis on current DW contents;
 //! * `:missing` — DW-proposed questions for January 2004;
 //! * `:stats` — per-stage latency histograms, cache counters, outcome
@@ -38,10 +41,13 @@ fn main() {
         ..FixtureConfig::default()
     });
     let mut session = QaSession::new(&fx.pipeline);
+    // Trace every question into the flight recorder; bare `:trace`
+    // prints the latest span tree.
+    session.engine().set_tracing(true);
     println!(
         "Ready: {} documents indexed, {} ontology instances fed, {} sales rows.\n\
          Ask a question (e.g. \"What is the temperature on January 15, 2004 in Barcelona?\"),\n\
-         or :trace / :bands / :missing / :stats / :chaos <rate> / :quit.",
+         or :trace [question] / :bands / :missing / :stats / :chaos <rate> / :quit.",
         fx.corpus_size,
         fx.pipeline.enrichment.instances_added,
         fx.pipeline
@@ -130,6 +136,21 @@ fn main() {
                     None => println!("no indexed corpus to inject faults into"),
                 },
                 Err(_) => println!("usage: :chaos <rate between 0 and 1>"),
+            }
+            continue;
+        }
+        if line == ":trace" {
+            let recorder = session.engine().flight_recorder();
+            match recorder.last() {
+                Some(trace) => {
+                    print!("{}", trace.render_tree());
+                    println!(
+                        "(flight recorder holds {} of up to {} traces)",
+                        recorder.len(),
+                        recorder.capacity()
+                    );
+                }
+                None => println!("(no questions traced yet — ask one first)"),
             }
             continue;
         }

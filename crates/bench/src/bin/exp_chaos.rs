@@ -14,9 +14,14 @@
 //!    to `SourceUnavailable` within its deadline — no hangs, no panics,
 //!    no partial loads.
 //!
+//! Every engine runs with tracing enabled: each sweep prints its
+//! batch's worst-latency span tree, the first degraded question's full
+//! trace is rendered, and `--trace-out <file>` dumps the flight
+//! recorders as JSON lines for offline inspection.
+//!
 //! Override the fault seed with `DWQA_CHAOS_SEED` (CI derives one from
 //! the run number). Run with:
-//! `cargo run --release -p dwqa-bench --bin exp_chaos`
+//! `cargo run --release -p dwqa-bench --bin exp_chaos [--trace-out FILE]`
 
 use dwqa_bench::{build_fixture, daily_questions, expected_points, section, FixtureConfig};
 use dwqa_common::Month;
@@ -112,6 +117,13 @@ fn outcome_histogram(outcomes: &[AnswerOutcome]) -> String {
 fn main() {
     let seed = chaos_seed();
     println!("chaos seed: {seed}");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut trace_dump = String::new();
 
     section("Fault-rate sweep: chaos plan, default retry policy, 5s deadline");
     println!(" rate | outcomes (ok/dg/to/su/pa) | retries | trips | recall | precision | fed rows");
@@ -119,14 +131,31 @@ fn main() {
     let qs = questions();
     let mut baseline_recall = None;
     let mut recall_at_20 = None;
+    let mut worst_trace = None;
+    let mut degraded_trace = None;
     for rate in [0.0f64, 0.1, 0.2, 0.5] {
         let mut fx = fixture();
         let source = resilient_source(&fx.pipeline, FaultPlan::chaos(seed, rate));
         let engine = QaEngine::new(&fx.pipeline)
             .with_workers(4)
             .with_source(source)
-            .with_deadline(Duration::from_secs(5));
+            .with_deadline(Duration::from_secs(5))
+            .with_tracing(true)
+            .with_trace_capacity(qs.len() + 1);
         let report = fx.pipeline.submit_batch_with(&engine, &qs);
+        if report.worst_trace.is_some() {
+            worst_trace = report.worst_trace.clone();
+        }
+        if degraded_trace.is_none() {
+            degraded_trace = engine
+                .flight_recorder()
+                .recent()
+                .into_iter()
+                .find(|t| t.root_field("outcome").and_then(|v| v.as_str()) == Some("degraded"));
+        }
+        if trace_out.is_some() {
+            trace_dump.push_str(&engine.flight_recorder().dump_jsonl());
+        }
         let (eval, fed) = evaluate(&fx.pipeline, &fx.truth);
         assert_eq!(
             engine.stats().worker_deaths(),
@@ -160,6 +189,33 @@ fn main() {
         baseline - at_20 <= 5.0,
         "retry/backoff must hold accuracy within 5 points at a 20% fault rate"
     );
+
+    section("Worst-latency trace of the sweep (from the flight recorder)");
+    match &worst_trace {
+        Some(trace) => print!("{}", trace.render_tree()),
+        None => println!("(tracing produced no batch trace — unexpected)"),
+    }
+    assert!(worst_trace.is_some(), "traced batches report a worst trace");
+
+    section("First degraded question, full span tree");
+    match &degraded_trace {
+        Some(trace) => {
+            print!("{}", trace.render_tree());
+            let retrieve = trace
+                .find("retrieve")
+                .expect("degraded trace spans retrieval");
+            assert!(
+                retrieve.field("docs_candidate").is_some()
+                    && retrieve.field("docs_pruned").is_some(),
+                "retrieval span carries candidate/pruned counts"
+            );
+            assert!(
+                trace.root_field("feed").is_some(),
+                "feed disposition is back-annotated onto the question trace"
+            );
+        }
+        None => println!("(no degraded question this seed — rerun with another DWQA_CHAOS_SEED)"),
+    }
 
     section("Transactional feedback: injected mid-batch ETL fault");
     let mut fx = fixture();
@@ -237,6 +293,14 @@ fn main() {
         wall < deadline * (qs.len() as u32),
         "no hangs: the outage resolves inside the deadline budget"
     );
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, &trace_dump).expect("write trace dump");
+        println!(
+            "\nwrote {} trace(s) as JSON lines to {path}",
+            trace_dump.lines().count()
+        );
+    }
 
     section("Shape check");
     println!("Transient faults cost recall only at extreme rates: bounded retries with");

@@ -1,0 +1,137 @@
+//! E13 — the observability tax: traced vs untraced batch answering.
+//!
+//! Tracing must be a pure observer in cost as well as in behaviour
+//! (the behavioural half is `tests/trace_invariance.rs`). Two engines
+//! answer the same 64-question batch with caches disabled, one with
+//! the tracer off and one collecting a full span tree per question
+//! into the flight recorder. Rounds are interleaved so clock drift and
+//! cache warming hit both sides equally. Target: <2% mean overhead
+//! with tracing enabled; compiling `dwqa-obs` with its `off` feature
+//! removes the instrumentation entirely (a `const` short-circuit), so
+//! the disabled cost is zero by construction.
+//!
+//! Usage: `exp_trace_overhead [--quick] [--out PATH]`
+
+use dwqa_bench::{build_fixture, daily_questions, section, FixtureConfig};
+use dwqa_common::Month;
+use dwqa_corpus::PageStyle;
+use dwqa_engine::QaEngine;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchReport {
+    experiment: &'static str,
+    quick: bool,
+    questions: usize,
+    rounds: u32,
+    workers: usize,
+    untraced_mean_us: f64,
+    traced_mean_us: f64,
+    overhead_pct: f64,
+    spans_per_question: usize,
+    budget_pct: f64,
+}
+
+fn batch_us(engine: &QaEngine, questions: &[String]) -> f64 {
+    let t = Instant::now();
+    let reports = engine.answer_batch_checked(questions);
+    let us = t.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(reports.len(), questions.len());
+    us
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_trace_overhead.json", String::as_str);
+    let rounds: u32 = if quick { 10 } else { 40 };
+    let workers = 4;
+
+    section("E13: traced vs untraced 64-question batch (caches off)");
+    let fx = build_fixture(FixtureConfig {
+        styles: vec![PageStyle::Prose],
+        ..FixtureConfig::default()
+    });
+    let mut questions: Vec<String> = Vec::new();
+    for city in ["Barcelona", "Madrid", "New York"] {
+        questions.extend(daily_questions(city, 2004, Month::January));
+    }
+    questions.truncate(64);
+
+    let untraced = QaEngine::new(&fx.pipeline)
+        .with_workers(workers)
+        .with_cache_capacity(0)
+        .with_tracing(false);
+    let traced = QaEngine::new(&fx.pipeline)
+        .with_workers(workers)
+        .with_cache_capacity(0)
+        .with_tracing(true)
+        .with_trace_capacity(questions.len());
+
+    // Warm-up: touch every code path once on both engines.
+    let _ = batch_us(&untraced, &questions);
+    let _ = batch_us(&traced, &questions);
+
+    let (mut untraced_total, mut traced_total) = (0.0f64, 0.0f64);
+    for round in 0..rounds {
+        // Alternate which side goes first so drift cancels.
+        if round % 2 == 0 {
+            untraced_total += batch_us(&untraced, &questions);
+            traced_total += batch_us(&traced, &questions);
+        } else {
+            traced_total += batch_us(&traced, &questions);
+            untraced_total += batch_us(&untraced, &questions);
+        }
+    }
+    let untraced_mean_us = untraced_total / f64::from(rounds);
+    let traced_mean_us = traced_total / f64::from(rounds);
+    let overhead_pct = (traced_mean_us - untraced_mean_us) / untraced_mean_us * 100.0;
+    let spans_per_question = traced
+        .flight_recorder()
+        .last()
+        .map(|t| t.spans.len())
+        .unwrap_or(0);
+
+    // Quick CI boxes are noisy; the 2% budget is asserted on full runs.
+    let budget_pct = if quick { 10.0 } else { 2.0 };
+    println!(
+        "{rounds} rounds × {} questions on {workers} workers:\n\
+         untraced {untraced_mean_us:>10.1} µs/batch\n\
+         traced   {traced_mean_us:>10.1} µs/batch ({spans_per_question} spans/question)\n\
+         overhead {overhead_pct:>9.2} %   (budget {budget_pct}%)",
+        questions.len(),
+    );
+    assert!(
+        untraced.flight_recorder().is_empty(),
+        "a disabled tracer must record nothing"
+    );
+    assert!(
+        !traced.flight_recorder().is_empty(),
+        "an enabled tracer must record traces"
+    );
+    assert!(
+        overhead_pct < budget_pct,
+        "tracing overhead {overhead_pct:.2}% exceeds the {budget_pct}% budget"
+    );
+
+    let report = BenchReport {
+        experiment: "trace_overhead",
+        quick,
+        questions: questions.len(),
+        rounds,
+        workers,
+        untraced_mean_us,
+        traced_mean_us,
+        overhead_pct,
+        spans_per_question,
+        budget_pct,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(out_path, format!("{json}\n")).expect("write bench report");
+    println!("\nwrote {out_path}");
+}

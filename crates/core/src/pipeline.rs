@@ -20,10 +20,7 @@ use dwqa_ontology::{
     enrich_from_warehouse, merge_into_upper, schema_to_ontology, upper_ontology, EnrichmentReport,
     MergeOptions, MergeReport, Ontology,
 };
-use dwqa_qa::{
-    temperature_pattern, AliQAn, AliQAnConfig, Answer, PipelineTrace, QuestionAnalysis,
-    RetrievalStats,
-};
+use dwqa_qa::{temperature_pattern, AliQAn, AliQAnConfig, Answer, PipelineTrace};
 use dwqa_warehouse::{Warehouse, WarehouseSnapshot};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -183,17 +180,6 @@ impl ReadPath {
         self.qa.trace(question)
     }
 
-    /// Module 2 for an analysed question, returning both the passages and
-    /// the index-pruning counters of the retrieval that produced them
-    /// (candidate documents vs corpus size; the engine's `:stats`
-    /// surfaces the aggregate).
-    pub fn passages_with_stats(
-        &self,
-        analysis: &QuestionAnalysis,
-    ) -> (Vec<dwqa_ir::Passage>, RetrievalStats) {
-        self.qa.passages_with_stats(analysis)
-    }
-
     /// The warehouse revision this handle currently observes. Increases
     /// every time the write path mutates the warehouse; caches tag
     /// entries with it and drop them when it moves.
@@ -350,6 +336,7 @@ impl IntegrationPipeline {
     /// revision is bumped once (when rows actually loaded); on failure the
     /// warehouse, the dedup set and the revision are exactly as before.
     fn feed_transaction(&mut self, batches: &[&[Answer]]) -> Result<FeedReport, FeedError> {
+        let span = dwqa_obs::span!("feed_transaction", batches = batches.len());
         let checkpoint = self.checkpoint();
         self.feeds_attempted += 1;
         match self.feed_all(batches) {
@@ -357,11 +344,15 @@ impl IntegrationPipeline {
                 if report.loaded > 0 {
                     self.mark_dirty();
                 }
+                dwqa_obs::event!("commit", loaded = report.loaded);
+                span.record("committed", true);
                 Ok(report)
             }
             Err(err) => {
                 self.rollback(checkpoint)?;
                 self.rollbacks += 1;
+                dwqa_obs::event!("rollback");
+                span.record("committed", false);
                 Err(err)
             }
         }

@@ -190,4 +190,51 @@ mod tests {
         cache.store("q".into(), 0, vec![]);
         assert!(cache.lookup("q", 0).is_none());
     }
+
+    #[test]
+    fn eviction_follows_exact_lru_order() {
+        let cache = AnswerCache::new(3);
+        cache.store("a".into(), 0, vec![]);
+        cache.store("b".into(), 0, vec![]);
+        cache.store("c".into(), 0, vec![]);
+        // Recency, oldest first, is now a < b < c. Touch "a", making
+        // "b" the LRU entry; then each overflow must evict exactly the
+        // current LRU, never insertion order.
+        assert!(cache.lookup("a", 0).is_some()); // b < c < a
+        cache.store("d".into(), 0, vec![]); // evicts b
+        assert!(cache.lookup("b", 0).is_none()); // c < a < d
+        cache.store("e".into(), 0, vec![]); // evicts c
+        assert!(cache.lookup("c", 0).is_none());
+        for key in ["a", "d", "e"] {
+            assert!(cache.lookup(key, 0).is_some(), "{key} must survive");
+        }
+    }
+
+    #[test]
+    fn re_store_refreshes_recency_and_revision() {
+        let cache = AnswerCache::new(2);
+        cache.store("a".into(), 0, vec![]);
+        cache.store("b".into(), 0, vec![]);
+        // Re-storing "a" at a newer revision refreshes both its recency
+        // (so "b" is evicted next) and its revision tag.
+        cache.store("a".into(), 1, vec![]);
+        cache.store("c".into(), 1, vec![]); // evicts b
+        assert!(cache.lookup("b", 1).is_none());
+        assert!(cache.lookup("a", 1).is_some());
+        assert!(cache.lookup("a", 0).is_none(), "old revision is gone");
+    }
+
+    #[test]
+    fn stale_lookup_removes_the_entry_without_touching_others() {
+        let cache = AnswerCache::new(4);
+        cache.store("old".into(), 0, vec![]);
+        cache.store("fresh".into(), 2, vec![]);
+        assert_eq!(cache.len(), 2);
+        // A stale hit is dropped eagerly on lookup…
+        assert!(cache.lookup("old", 2).is_none());
+        assert_eq!(cache.len(), 1);
+        // …and purging afterwards finds nothing left to remove.
+        assert_eq!(cache.purge_stale(2), 0);
+        assert!(cache.lookup("fresh", 2).is_some());
+    }
 }

@@ -12,6 +12,7 @@ use crate::outcome::{panic_message, AnswerOutcome, QuestionReport};
 use crate::stats::EngineStats;
 use dwqa_core::{FeedReport, IntegrationPipeline, ReadPath};
 use dwqa_faults::{DocumentSource, Fetched, SourceHealth};
+use dwqa_obs::{FlightRecorder, Trace, Tracer};
 use dwqa_qa::{Answer, PipelineTrace};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -49,6 +50,7 @@ pub struct QaEngine {
     read: ReadPath,
     cache: AnswerCache,
     stats: EngineStats,
+    tracer: Tracer,
     workers: usize,
     source: Option<Arc<dyn DocumentSource>>,
     deadline: Option<Duration>,
@@ -70,6 +72,7 @@ impl QaEngine {
             read,
             cache: AnswerCache::new(DEFAULT_CACHE_CAPACITY),
             stats: EngineStats::default(),
+            tracer: Tracer::default(),
             workers,
             source: None,
             deadline: None,
@@ -130,6 +133,42 @@ impl QaEngine {
         self
     }
 
+    /// Turns per-question trace collection on or off. Tracing also
+    /// defaults on when the `DWQA_TRACE` environment variable is set.
+    pub fn with_tracing(self, on: bool) -> QaEngine {
+        self.tracer.set_enabled(on);
+        self
+    }
+
+    /// Replaces the flight recorder with one keeping the last
+    /// `capacity` question traces, preserving the enabled switch.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> QaEngine {
+        let enabled = self.tracer.enabled();
+        self.tracer = Tracer::new(capacity);
+        self.tracer.set_enabled(enabled || self.tracer.enabled());
+        self
+    }
+
+    /// Toggles trace collection in place (the REPL's `:trace` switch).
+    pub fn set_tracing(&self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// Whether per-question traces are currently being collected.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// The engine's tracer (switch + flight recorder).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The flight recorder holding the most recent question traces.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        self.tracer.recorder()
+    }
+
     /// The worker-pool size used by [`QaEngine::answer_batch`].
     pub fn workers(&self) -> usize {
         self.workers
@@ -165,7 +204,24 @@ impl QaEngine {
     /// re-acquisition with answer re-validation. Never panics; the
     /// outcome tag says how the attempt ended.
     pub fn answer_checked(&self, question: &str) -> QuestionReport {
+        self.answer_observed(question, None)
+    }
+
+    /// [`QaEngine::answer_checked`] under an observation context: the
+    /// engine's registry (and, when tracing is on, a fresh trace rooted
+    /// at a `question` span) is installed for the duration of the
+    /// question, so every layer below records without handle threading.
+    fn answer_observed(&self, question: &str, batch_index: Option<usize>) -> QuestionReport {
         self.stats.record_question();
+        let obs = dwqa_obs::observe(
+            Some(Arc::clone(self.stats.registry())),
+            Some(&self.tracer),
+            "question",
+            question,
+        );
+        if let Some(i) = batch_index {
+            obs.root_field("batch_index", i);
+        }
         let deadline = self.deadline.map(|budget| Instant::now() + budget);
         let report =
             match catch_unwind(AssertUnwindSafe(|| self.answer_guarded(question, deadline))) {
@@ -173,6 +229,11 @@ impl QaEngine {
                 Err(payload) => QuestionReport::panicked(panic_message(payload.as_ref())),
             };
         self.stats.record_outcome(report.outcome);
+        obs.root_field("outcome", report.outcome.label());
+        obs.root_field("answers", report.answers.len());
+        if let Some(detail) = &report.detail {
+            obs.root_field("detail", detail.as_str());
+        }
         if let Some(health) = self.source_health() {
             self.stats.sync_source_health(&health);
         }
@@ -185,20 +246,29 @@ impl QaEngine {
         let revision = self.read.revision();
         if let Some(hit) = self.cache.lookup(&key, revision) {
             self.stats.record_cache_hit();
+            dwqa_obs::root_field("cache", "hit");
             return QuestionReport::ok(hit);
         }
         self.stats.record_cache_miss();
+        dwqa_obs::root_field("cache", "miss");
         let qa = self.read.qa();
         let t = Instant::now();
-        let analysis = qa.analyze(question);
+        let analysis = {
+            let _span = dwqa_obs::span!("analyze");
+            qa.analyze(question)
+        };
         self.stats.analyze.record(t.elapsed());
         if expired(deadline) {
             return QuestionReport::timed_out("deadline expired after question analysis");
         }
         let t = Instant::now();
-        let (mut passages, retrieval) = qa.passages_with_stats(&analysis);
+        let mut passages = {
+            let span = dwqa_obs::span!("passages");
+            let passages = qa.passages(&analysis);
+            span.record("returned", passages.len());
+            passages
+        };
         self.stats.passages.record(t.elapsed());
-        self.stats.record_retrieval(retrieval);
         if expired(deadline) {
             return QuestionReport::timed_out("deadline expired after passage selection");
         }
@@ -209,6 +279,7 @@ impl QaEngine {
         let mut fetched_by_url: HashMap<String, Fetched> = HashMap::new();
         let mut faults: Vec<String> = Vec::new();
         if let (Some(source), Some(store)) = (&self.source, qa.store()) {
+            let span = dwqa_obs::span!("acquire");
             let mut urls: Vec<&str> = Vec::new();
             for p in &passages {
                 let url = store.get(p.doc).url.as_str();
@@ -216,6 +287,7 @@ impl QaEngine {
                     urls.push(url);
                 }
             }
+            span.record("urls", urls.len());
             for url in &urls {
                 match source.fetch_by(url, deadline) {
                     Ok(fetched) => {
@@ -227,6 +299,8 @@ impl QaEngine {
                     Err(err) => faults.push(format!("{url}: {err}")),
                 }
             }
+            span.record("fetched", fetched_by_url.len());
+            span.record("faults", faults.len());
             if !urls.is_empty() && fetched_by_url.is_empty() {
                 return QuestionReport::source_unavailable(faults.join("; "));
             }
@@ -237,7 +311,12 @@ impl QaEngine {
         }
 
         let t = Instant::now();
-        let mut answers = qa.extract(&analysis, &passages);
+        let mut answers = {
+            let span = dwqa_obs::span!("extract", passages = passages.len());
+            let answers = qa.extract(&analysis, &passages);
+            span.record("answers", answers.len());
+            answers
+        };
         self.stats.extract.record(t.elapsed());
 
         // Re-validation: an answer extracted from a re-acquired document
@@ -245,6 +324,7 @@ impl QaEngine {
         // the answer sentence verbatim (modulo whitespace). Corruption
         // can therefore only *drop* answers, never alter their values.
         if self.source.is_some() {
+            let span = dwqa_obs::span!("validate", answers = answers.len());
             let before = answers.len();
             answers.retain(|a| match fetched_by_url.get(&a.url) {
                 Some(f) if f.integrity.is_intact() => true,
@@ -252,6 +332,7 @@ impl QaEngine {
                 None => false,
             });
             let dropped = before - answers.len();
+            span.record("dropped", dropped);
             if dropped > 0 {
                 faults.push(format!("{dropped} answer(s) failed body re-validation"));
             }
@@ -298,7 +379,11 @@ impl QaEngine {
         let n = questions.len();
         let workers = self.workers.min(n.max(1));
         if workers <= 1 {
-            return questions.iter().map(|q| self.answer_checked(q)).collect();
+            return questions
+                .iter()
+                .enumerate()
+                .map(|(i, q)| self.answer_observed(q, Some(i)))
+                .collect();
         }
         let slots: Vec<Mutex<Option<QuestionReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
@@ -312,7 +397,7 @@ impl QaEngine {
                     if i >= n {
                         break;
                     }
-                    let report = self.answer_checked(&questions[i]);
+                    let report = self.answer_observed(&questions[i], Some(i));
                     *slots[i].lock() = Some(report);
                 });
             }
@@ -422,6 +507,9 @@ pub struct BatchReport {
     pub workers: usize,
     /// Wall-clock time of the whole submission (read + write phase).
     pub wall: Duration,
+    /// The worst-latency question trace of this batch, when the
+    /// engine's tracer was enabled (`None` otherwise).
+    pub worst_trace: Option<Trace>,
 }
 
 /// Batch submission over an [`IntegrationPipeline`]: answer concurrently,
@@ -452,7 +540,18 @@ impl SubmitBatch for IntegrationPipeline {
         // it is untouched (no partial load, no spurious revision bump).
         let batches: Vec<&[Answer]> = reports.iter().map(|r| r.answers.as_slice()).collect();
         let t = Instant::now();
-        let feed_result = self.feed_batch(&batches);
+        // The write phase gets its own observation, so the feed
+        // transaction's span and commit/rollback events land in the
+        // flight recorder alongside the per-question traces.
+        let feed_result = {
+            let _obs = dwqa_obs::observe(
+                Some(Arc::clone(engine.stats().registry())),
+                Some(engine.tracer()),
+                "feed",
+                "batch feed",
+            );
+            self.feed_batch(&batches)
+        };
         engine.stats().feed.record(t.elapsed());
         let (feed, rolled_back, feed_error) = match feed_result {
             Ok(feed) => (feed, false, None),
@@ -461,6 +560,25 @@ impl SubmitBatch for IntegrationPipeline {
                 (FeedReport::default(), true, Some(err.to_string()))
             }
         };
+        // Back-annotate the batch-level feed disposition onto the
+        // question traces (plus the feed trace itself), then pick this
+        // batch's worst-latency question trace for the report.
+        let disposition = if rolled_back {
+            "rolled-back"
+        } else if feed.loaded > 0 {
+            "committed"
+        } else {
+            "no-op"
+        };
+        let recorder = engine.flight_recorder();
+        recorder.annotate_last(questions.len() + 1, "feed", disposition.into());
+        let worst_trace = recorder
+            .recent()
+            .into_iter()
+            .rev()
+            .take(questions.len() + 1)
+            .filter(|t| t.root().map(|r| r.name == "question").unwrap_or(false))
+            .max_by_key(|t| t.root().map(|r| r.elapsed_us).unwrap_or(0));
         let outcomes = reports.iter().map(|r| r.outcome).collect();
         let answers = reports.into_iter().map(|r| r.answers).collect();
         BatchReport {
@@ -471,6 +589,7 @@ impl SubmitBatch for IntegrationPipeline {
             feed_error,
             workers: engine.workers(),
             wall: start.elapsed(),
+            worst_trace,
         }
     }
 }

@@ -1,110 +1,72 @@
-//! Per-stage counters and latency histograms for the batch engine.
+//! Per-stage counters and latency histograms for the batch engine — a
+//! *view* over a [`dwqa_obs::MetricsRegistry`].
 //!
-//! All state is atomic so worker threads record timings through a shared
-//! reference without locking. Latencies land in logarithmic (power-of-two
-//! microsecond) buckets, which keeps recording O(1) and still yields
-//! usable p50/p95/max read-outs for the REPL and experiment binaries.
+//! The engine owns one registry per instance and installs it into each
+//! worker's thread-local observation context for the duration of a
+//! question (see [`dwqa_obs::observe`]), so the lower crates — `dwqa-ir`
+//! retrieval, the fault layer — record against the same names
+//! ([`dwqa_obs::names`]) without any handle threading. `EngineStats`
+//! caches `Arc` handles to the hot counters and histograms, keeping the
+//! record path lock-free, and renders the whole registry as the familiar
+//! fixed-width table for the REPL and experiment binaries.
 
 use crate::outcome::AnswerOutcome;
 use dwqa_faults::SourceHealth;
-use std::sync::atomic::{AtomicU64, Ordering};
+use dwqa_obs::{names, Counter, Gauge, MetricsRegistry};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of power-of-two latency buckets: bucket `i` holds samples in
-/// `[2^(i-1), 2^i)` µs, with bucket 0 holding sub-microsecond samples.
-const BUCKETS: usize = 40;
-
-/// A lock-free latency histogram with power-of-two microsecond buckets.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn bucket_for(us: u64) -> usize {
-        ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
-    }
-
-    /// The exclusive upper bound (µs) of a bucket.
-    fn bucket_bound(bucket: usize) -> u64 {
-        1u64 << bucket
-    }
-
-    /// Records one sample.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total samples recorded.
-    pub fn samples(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// An upper bound (µs) on the `q`-quantile latency (0.0 ..= 1.0).
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.samples();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Self::bucket_bound(i);
-            }
-        }
-        Self::bucket_bound(BUCKETS - 1)
-    }
-}
+/// The latency histogram used for stage timings: power-of-two
+/// microsecond buckets, lock-free recording. Re-exported from
+/// `dwqa-obs`, where it also carries an exact running sum (so means no
+/// longer need a separate total counter) and a full-width
+/// [`merge`](dwqa_obs::Histogram::absorb) that keeps every bucket of
+/// both operands regardless of their observed ranges.
+pub type LatencyHistogram = dwqa_obs::Histogram;
 
 /// Counters for one pipeline stage: how often it ran and for how long.
-#[derive(Debug, Default)]
+/// A thin handle over the stage's registry histogram.
+#[derive(Debug, Clone)]
 pub struct StageStats {
-    calls: AtomicU64,
-    total_us: AtomicU64,
-    /// The latency distribution of the stage.
-    pub histogram: LatencyHistogram,
+    histogram: Arc<LatencyHistogram>,
 }
 
 impl StageStats {
+    fn over(registry: &MetricsRegistry, name: &str) -> StageStats {
+        StageStats {
+            histogram: registry.histogram(name),
+        }
+    }
+
     /// Records one timed execution of the stage.
     pub fn record(&self, latency: Duration) {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(
-            latency.as_micros().min(u128::from(u64::MAX)) as u64,
-            Ordering::Relaxed,
-        );
         self.histogram.record(latency);
     }
 
     /// How many times the stage ran.
     pub fn calls(&self) -> u64 {
-        self.calls.load(Ordering::Relaxed)
+        self.histogram.samples()
     }
 
-    /// Mean latency in microseconds.
+    /// Mean latency in microseconds (exact: the histogram keeps a
+    /// running sum alongside its buckets).
     pub fn mean_us(&self) -> u64 {
-        self.total_us
-            .load(Ordering::Relaxed)
-            .checked_div(self.calls())
-            .unwrap_or(0)
+        self.histogram.mean_us()
+    }
+
+    /// The latency distribution of the stage.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.histogram
     }
 }
 
 /// Aggregated engine statistics: the three search-phase stages, the
-/// feedback write path, and the answer-cache outcome counters.
-#[derive(Debug, Default)]
+/// feedback write path, the answer-cache and outcome counters — all
+/// living in one [`MetricsRegistry`] shared with the instrumented
+/// lower layers.
+#[derive(Debug)]
 pub struct EngineStats {
+    registry: Arc<MetricsRegistry>,
     /// Module 1 — question analysis.
     pub analyze: StageStats,
     /// Module 2 — passage selection.
@@ -113,50 +75,94 @@ pub struct EngineStats {
     pub extract: StageStats,
     /// Step 5 — feedback ETL (the serialized write path).
     pub feed: StageStats,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    questions: AtomicU64,
-    batches: AtomicU64,
+    questions: Arc<Counter>,
+    batches: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
     // Degraded-answer taxonomy counters.
-    outcome_ok: AtomicU64,
-    outcome_degraded: AtomicU64,
-    outcome_timed_out: AtomicU64,
-    outcome_unavailable: AtomicU64,
-    outcome_panicked: AtomicU64,
-    // Resilience counters. Source counters mirror the *cumulative*
-    // [`SourceHealth`] of the engine's source stack (set, not summed);
-    // rollbacks and worker deaths are engine-local events.
-    source_retries: AtomicU64,
-    source_trips: AtomicU64,
-    source_rejections: AtomicU64,
-    source_failures: AtomicU64,
-    rollbacks: AtomicU64,
-    worker_deaths: AtomicU64,
-    // Retrieval-pruning counters: how much of the corpus the sentence
-    // postings let Module 2 skip, summed over all (cache-miss)
-    // retrievals.
-    retrievals: AtomicU64,
-    retrieval_docs_total: AtomicU64,
-    retrieval_docs_candidate: AtomicU64,
-    retrieval_docs_pruned: AtomicU64,
-    retrieval_windows_scored: AtomicU64,
+    outcome_ok: Arc<Counter>,
+    outcome_degraded: Arc<Counter>,
+    outcome_timed_out: Arc<Counter>,
+    outcome_unavailable: Arc<Counter>,
+    outcome_panicked: Arc<Counter>,
+    // Resilience gauges: mirror the *cumulative* [`SourceHealth`] of the
+    // engine's source stack (set, not summed); rollbacks and worker
+    // deaths are engine-local event counters.
+    source_retries: Arc<Gauge>,
+    source_trips: Arc<Gauge>,
+    source_rejections: Arc<Gauge>,
+    source_failures: Arc<Gauge>,
+    rollbacks: Arc<Counter>,
+    worker_deaths: Arc<Counter>,
+}
+
+impl Default for EngineStats {
+    fn default() -> EngineStats {
+        EngineStats::new(Arc::new(MetricsRegistry::new()))
+    }
+}
+
+fn outcome_name(outcome: AnswerOutcome) -> String {
+    format!("{}{}", names::OUTCOME_PREFIX, outcome.label())
 }
 
 impl EngineStats {
+    /// A stats view over an existing registry (handles to the hot
+    /// counters are resolved once, here).
+    pub fn new(registry: Arc<MetricsRegistry>) -> EngineStats {
+        EngineStats {
+            analyze: StageStats::over(&registry, names::STAGE_ANALYZE),
+            passages: StageStats::over(&registry, names::STAGE_PASSAGES),
+            extract: StageStats::over(&registry, names::STAGE_EXTRACT),
+            feed: StageStats::over(&registry, names::STAGE_FEED),
+            questions: registry.counter(names::QUESTIONS),
+            batches: registry.counter(names::BATCHES),
+            cache_hits: registry.counter(names::CACHE_HITS),
+            cache_misses: registry.counter(names::CACHE_MISSES),
+            outcome_ok: registry.counter(&outcome_name(AnswerOutcome::Ok)),
+            outcome_degraded: registry.counter(&outcome_name(AnswerOutcome::Degraded)),
+            outcome_timed_out: registry.counter(&outcome_name(AnswerOutcome::TimedOut)),
+            outcome_unavailable: registry.counter(&outcome_name(AnswerOutcome::SourceUnavailable)),
+            outcome_panicked: registry.counter(&outcome_name(AnswerOutcome::Panicked)),
+            source_retries: registry.gauge(names::SOURCE_RETRIES),
+            source_trips: registry.gauge(names::SOURCE_BREAKER_TRIPS),
+            source_rejections: registry.gauge(names::SOURCE_BREAKER_REJECTIONS),
+            source_failures: registry.gauge(names::SOURCE_FAILURES),
+            rollbacks: registry.counter(names::ROLLBACKS),
+            worker_deaths: registry.counter(names::WORKER_DEATHS),
+            registry,
+        }
+    }
+
+    /// The underlying registry — what the engine installs into each
+    /// worker's observation context so retrieval and fault counters land
+    /// next to the stage histograms.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Merges another stats object into this one: counters and every
+    /// histogram bucket are added (full-width — disjoint latency ranges
+    /// lose nothing); gauges are summed, which is only meaningful when
+    /// the two engines watched *different* source stacks.
+    pub fn absorb(&self, other: &EngineStats) {
+        self.registry.absorb(&other.registry);
+    }
+
     pub(crate) fn record_question(&self) {
-        self.questions.fetch_add(1, Ordering::Relaxed);
+        self.questions.inc();
     }
 
     pub(crate) fn record_batch(&self) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
     }
 
     pub(crate) fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     pub(crate) fn record_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     pub(crate) fn record_outcome(&self, outcome: AnswerOutcome) {
@@ -167,116 +173,101 @@ impl EngineStats {
             AnswerOutcome::SourceUnavailable => &self.outcome_unavailable,
             AnswerOutcome::Panicked => &self.outcome_panicked,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
     /// Mirrors the source stack's cumulative health counters (idempotent:
     /// stores the latest values rather than summing deltas).
     pub(crate) fn sync_source_health(&self, health: &SourceHealth) {
-        self.source_retries.store(health.retries, Ordering::Relaxed);
-        self.source_trips
-            .store(health.breaker_trips, Ordering::Relaxed);
-        self.source_rejections
-            .store(health.breaker_rejections, Ordering::Relaxed);
-        self.source_failures
-            .store(health.failures, Ordering::Relaxed);
-    }
-
-    /// Accumulates the pruning counters of one passage retrieval.
-    pub(crate) fn record_retrieval(&self, stats: dwqa_qa::RetrievalStats) {
-        self.retrievals.fetch_add(1, Ordering::Relaxed);
-        self.retrieval_docs_total
-            .fetch_add(stats.docs_total as u64, Ordering::Relaxed);
-        self.retrieval_docs_candidate
-            .fetch_add(stats.docs_candidate as u64, Ordering::Relaxed);
-        self.retrieval_docs_pruned
-            .fetch_add(stats.docs_pruned as u64, Ordering::Relaxed);
-        self.retrieval_windows_scored
-            .fetch_add(stats.windows_scored as u64, Ordering::Relaxed);
+        self.source_retries.set(health.retries);
+        self.source_trips.set(health.breaker_trips);
+        self.source_rejections.set(health.breaker_rejections);
+        self.source_failures.set(health.failures);
     }
 
     pub(crate) fn record_rollback(&self) {
-        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+        self.rollbacks.inc();
     }
 
     pub(crate) fn record_worker_death(&self) {
-        self.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        self.worker_deaths.inc();
     }
 
     /// Questions that completed cleanly.
     pub fn outcomes_ok(&self) -> u64 {
-        self.outcome_ok.load(Ordering::Relaxed)
+        self.outcome_ok.value()
     }
 
     /// Questions answered under degraded evidence.
     pub fn outcomes_degraded(&self) -> u64 {
-        self.outcome_degraded.load(Ordering::Relaxed)
+        self.outcome_degraded.value()
     }
 
     /// Questions that hit their deadline.
     pub fn outcomes_timed_out(&self) -> u64 {
-        self.outcome_timed_out.load(Ordering::Relaxed)
+        self.outcome_timed_out.value()
     }
 
     /// Questions whose source documents were all unavailable.
     pub fn outcomes_unavailable(&self) -> u64 {
-        self.outcome_unavailable.load(Ordering::Relaxed)
+        self.outcome_unavailable.value()
     }
 
     /// Questions whose worker panicked (isolated).
     pub fn outcomes_panicked(&self) -> u64 {
-        self.outcome_panicked.load(Ordering::Relaxed)
+        self.outcome_panicked.value()
     }
 
     /// Source retries performed by the resilience layer.
     pub fn source_retries(&self) -> u64 {
-        self.source_retries.load(Ordering::Relaxed)
+        self.source_retries.value()
     }
 
     /// Circuit-breaker trips in the source stack.
     pub fn breaker_trips(&self) -> u64 {
-        self.source_trips.load(Ordering::Relaxed)
+        self.source_trips.value()
     }
 
     /// Fetches rejected outright by an open breaker.
     pub fn breaker_rejections(&self) -> u64 {
-        self.source_rejections.load(Ordering::Relaxed)
+        self.source_rejections.value()
     }
 
     /// Fetches that ultimately failed (after retries).
     pub fn source_failures(&self) -> u64 {
-        self.source_failures.load(Ordering::Relaxed)
+        self.source_failures.value()
     }
 
     /// Feed transactions rolled back all-or-nothing.
     pub fn rollbacks(&self) -> u64 {
-        self.rollbacks.load(Ordering::Relaxed)
+        self.rollbacks.value()
     }
 
     /// Worker-pool threads lost to an unisolated panic (should stay 0).
     pub fn worker_deaths(&self) -> u64 {
-        self.worker_deaths.load(Ordering::Relaxed)
+        self.worker_deaths.value()
     }
 
     /// Passage retrievals recorded (one per cache-miss question, two if
-    /// the focus fallback fired).
+    /// the focus fallback fired). Written by `dwqa-ir` through the
+    /// observation context.
     pub fn retrievals(&self) -> u64 {
-        self.retrievals.load(Ordering::Relaxed)
+        self.registry.counter_value(names::RETRIEVAL_COUNT)
     }
 
     /// Candidate documents scored, summed over all retrievals.
     pub fn retrieval_docs_candidate(&self) -> u64 {
-        self.retrieval_docs_candidate.load(Ordering::Relaxed)
+        self.registry.counter_value(names::RETRIEVAL_DOCS_CANDIDATE)
     }
 
     /// Documents skipped by index pruning, summed over all retrievals.
     pub fn retrieval_docs_pruned(&self) -> u64 {
-        self.retrieval_docs_pruned.load(Ordering::Relaxed)
+        self.registry.counter_value(names::RETRIEVAL_DOCS_PRUNED)
     }
 
     /// Candidate windows scored, summed over all retrievals.
     pub fn retrieval_windows_scored(&self) -> u64 {
-        self.retrieval_windows_scored.load(Ordering::Relaxed)
+        self.registry.counter_value(names::RETRIEVAL_WINDOWS_SCORED)
     }
 
     /// Mean candidate-set size per retrieval.
@@ -291,7 +282,7 @@ impl EngineStats {
 
     /// Share of corpus documents pruned (never touched) per retrieval.
     pub fn pruned_fraction(&self) -> f64 {
-        let total = self.retrieval_docs_total.load(Ordering::Relaxed);
+        let total = self.registry.counter_value(names::RETRIEVAL_DOCS_TOTAL);
         if total == 0 {
             0.0
         } else {
@@ -301,22 +292,22 @@ impl EngineStats {
 
     /// Questions answered (cached or computed).
     pub fn questions(&self) -> u64 {
-        self.questions.load(Ordering::Relaxed)
+        self.questions.value()
     }
 
     /// Batches submitted.
     pub fn batches(&self) -> u64 {
-        self.batches.load(Ordering::Relaxed)
+        self.batches.value()
     }
 
     /// Answers served from the cache.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.cache_hits.value()
     }
 
     /// Answers computed because the cache had no (fresh) entry.
     pub fn cache_misses(&self) -> u64 {
-        self.cache_misses.load(Ordering::Relaxed)
+        self.cache_misses.value()
     }
 
     /// Cache hit rate over all answered questions.
@@ -359,9 +350,9 @@ impl EngineStats {
                 "{name:<9} | {:>6} | {:>7} | {:>7} | {:>7} | {:>7}\n",
                 stage.calls(),
                 us(stage.mean_us()),
-                us(stage.histogram.quantile_us(0.50)),
-                us(stage.histogram.quantile_us(0.95)),
-                us(stage.histogram.quantile_us(1.0)),
+                us(stage.histogram().quantile_us(0.50)),
+                us(stage.histogram().quantile_us(0.95)),
+                us(stage.histogram().quantile_us(1.0)),
             ));
         }
         out.push_str(&format!(
@@ -398,7 +389,7 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_quantiles() {
-        let h = LatencyHistogram::default();
+        let h = LatencyHistogram::new();
         for us in [1u64, 2, 3, 100, 100, 100, 100, 5000] {
             h.record(Duration::from_micros(us));
         }
@@ -407,16 +398,16 @@ mod tests {
         // (64..128 µs → bound 128).
         assert_eq!(h.quantile_us(0.5), 128);
         assert!(h.quantile_us(1.0) >= 5000);
-        assert_eq!(LatencyHistogram::default().quantile_us(0.5), 0);
+        assert_eq!(LatencyHistogram::new().quantile_us(0.5), 0);
     }
 
     #[test]
     fn stage_stats_mean() {
-        let s = StageStats::default();
-        s.record(Duration::from_micros(100));
-        s.record(Duration::from_micros(300));
-        assert_eq!(s.calls(), 2);
-        assert_eq!(s.mean_us(), 200);
+        let s = EngineStats::default();
+        s.analyze.record(Duration::from_micros(100));
+        s.analyze.record(Duration::from_micros(300));
+        assert_eq!(s.analyze.calls(), 2);
+        assert_eq!(s.analyze.mean_us(), 200);
     }
 
     #[test]
@@ -440,21 +431,20 @@ mod tests {
         }
     }
 
+    /// The retrieval getters read the registry counters that `dwqa-ir`
+    /// writes through the observation context; here we write them
+    /// directly, as an installed context would.
     #[test]
-    fn retrieval_counters_accumulate() {
+    fn retrieval_counters_read_the_shared_registry() {
         let stats = EngineStats::default();
-        stats.record_retrieval(dwqa_qa::RetrievalStats {
-            docs_total: 100,
-            docs_candidate: 4,
-            docs_pruned: 96,
-            windows_scored: 12,
-        });
-        stats.record_retrieval(dwqa_qa::RetrievalStats {
-            docs_total: 100,
-            docs_candidate: 6,
-            docs_pruned: 94,
-            windows_scored: 20,
-        });
+        let reg = Arc::clone(stats.registry());
+        for (candidate, pruned, windows) in [(4u64, 96u64, 12u64), (6, 94, 20)] {
+            reg.counter(names::RETRIEVAL_COUNT).inc();
+            reg.counter(names::RETRIEVAL_DOCS_TOTAL).add(100);
+            reg.counter(names::RETRIEVAL_DOCS_CANDIDATE).add(candidate);
+            reg.counter(names::RETRIEVAL_DOCS_PRUNED).add(pruned);
+            reg.counter(names::RETRIEVAL_WINDOWS_SCORED).add(windows);
+        }
         assert_eq!(stats.retrievals(), 2);
         assert_eq!(stats.retrieval_docs_candidate(), 10);
         assert_eq!(stats.retrieval_docs_pruned(), 190);
@@ -496,5 +486,33 @@ mod tests {
         assert_eq!(stats.breaker_trips(), 2);
         assert_eq!(stats.breaker_rejections(), 3);
         assert_eq!(stats.source_failures(), 4);
+    }
+
+    /// Regression: the old per-stage merge was bounded by the
+    /// destination's highest observed bucket, silently dropping the
+    /// source's tail counts when the two histograms covered different
+    /// latency ranges. The registry absorb is full-width.
+    #[test]
+    fn absorb_merges_disjoint_histogram_ranges_without_loss() {
+        let a = EngineStats::default();
+        let b = EngineStats::default();
+        // `a` only ever saw microsecond-scale analyze calls; `b` only
+        // multi-second ones — completely disjoint bucket ranges.
+        for _ in 0..10 {
+            a.analyze.record(Duration::from_micros(3));
+        }
+        for _ in 0..4 {
+            b.analyze.record(Duration::from_secs(2));
+        }
+        b.record_question();
+        b.record_cache_hit();
+        a.absorb(&b);
+        assert_eq!(a.analyze.calls(), 14, "tail buckets must survive");
+        assert!(a.analyze.histogram().quantile_us(1.0) >= 2_000_000);
+        assert_eq!(a.analyze.histogram().sum_us(), 30 + 8_000_000);
+        assert_eq!(a.questions(), 1);
+        assert_eq!(a.cache_hits(), 1);
+        // `b` is untouched.
+        assert_eq!(b.analyze.calls(), 4);
     }
 }

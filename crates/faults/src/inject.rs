@@ -153,8 +153,9 @@ impl<S: DocumentSource> FaultInjector<S> {
             .wrapping_add(salt.wrapping_mul(0x85EB_CA6B))))
     }
 
-    fn inject(&self) {
+    fn inject(&self, kind: &'static str) {
         self.injected.fetch_add(1, Ordering::Relaxed);
+        dwqa_obs::event!("fault", kind);
     }
 }
 
@@ -194,7 +195,7 @@ impl<S: DocumentSource> DocumentSource for FaultInjector<S> {
     fn fetch_by(&self, url: &str, deadline: Option<Instant>) -> Result<Fetched, SourceError> {
         // Permanent 404: decided from the URL alone, attempt-independent.
         if unit_float(mix(self.plan.seed ^ hash_str(url) ^ 0x404)) < self.plan.not_found {
-            self.inject();
+            self.inject("not_found");
             return Err(SourceError::NotFound(url.to_owned()));
         }
         let attempt = {
@@ -204,30 +205,30 @@ impl<S: DocumentSource> DocumentSource for FaultInjector<S> {
             *counter
         };
         if self.roll(url, attempt, 1) < self.plan.panic {
-            self.inject();
+            self.inject("panic");
             panic!("injected panic while fetching {url} (attempt {attempt})");
         }
         if self.roll(url, attempt, 2) < self.plan.latency_spike {
-            self.inject();
+            self.inject("latency_spike");
             std::thread::sleep(self.plan.spike);
         }
         if self.roll(url, attempt, 3) < self.plan.transient {
-            self.inject();
+            self.inject("transient");
             return Err(SourceError::Transient(format!(
                 "connection reset fetching {url} (attempt {attempt})"
             )));
         }
         let mut fetched = self.inner.fetch_by(url, deadline)?;
         if self.roll(url, attempt, 4) < self.plan.truncate {
-            self.inject();
+            self.inject("truncate");
             fetched.doc.text = truncate_body(&fetched.doc.text);
             fetched.integrity = Integrity::Truncated;
         } else if self.roll(url, attempt, 5) < self.plan.garble {
-            self.inject();
+            self.inject("garble");
             fetched.doc.text = garble_body(&fetched.doc.text);
             fetched.integrity = Integrity::Garbled;
         } else if self.roll(url, attempt, 6) < self.plan.duplicate {
-            self.inject();
+            self.inject("duplicate");
             fetched.doc.text = format!("{0}\n{0}", fetched.doc.text);
             fetched.integrity = Integrity::Duplicated;
         }

@@ -222,9 +222,11 @@ impl<S: DocumentSource> ResilientSource<S> {
             BreakerLife::Open { until } => {
                 if Instant::now() >= until {
                     breaker.state = BreakerLife::HalfOpen;
+                    dwqa_obs::event!("breaker.half_open");
                     Ok(())
                 } else {
                     self.rejections.fetch_add(1, Ordering::Relaxed);
+                    dwqa_obs::event!("breaker.rejected");
                     Err(SourceError::CircuitOpen(url.to_owned()))
                 }
             }
@@ -247,6 +249,7 @@ impl<S: DocumentSource> ResilientSource<S> {
         if reopen || breaker.consecutive >= self.policy.breaker_threshold {
             if !matches!(breaker.state, BreakerLife::Open { .. }) {
                 self.trips.fetch_add(1, Ordering::Relaxed);
+                dwqa_obs::event!("breaker.open", reopen);
             }
             breaker.state = BreakerLife::Open {
                 until: Instant::now() + self.policy.breaker_cooldown,
@@ -261,6 +264,7 @@ impl<S: DocumentSource> DocumentSource for ResilientSource<S> {
     }
 
     fn fetch_by(&self, url: &str, deadline: Option<Instant>) -> Result<Fetched, SourceError> {
+        let span = dwqa_obs::span!("fetch", url);
         self.admit(url)?;
         let mut last = None;
         for attempt in 1..=self.policy.max_attempts {
@@ -268,6 +272,7 @@ impl<S: DocumentSource> DocumentSource for ResilientSource<S> {
                 if Instant::now() >= d {
                     self.failures.fetch_add(1, Ordering::Relaxed);
                     self.record_failure(url);
+                    span.record("ok", false);
                     return Err(SourceError::Timeout(format!(
                         "deadline hit before attempt {attempt} on {url}"
                     )));
@@ -277,6 +282,8 @@ impl<S: DocumentSource> DocumentSource for ResilientSource<S> {
             match self.inner.fetch_by(url, deadline) {
                 Ok(fetched) => {
                     self.record_success(url);
+                    span.record("attempts", attempt);
+                    span.record("ok", true);
                     return Ok(fetched);
                 }
                 Err(err) => {
@@ -291,6 +298,11 @@ impl<S: DocumentSource> DocumentSource for ResilientSource<S> {
                         let left = d.saturating_duration_since(Instant::now());
                         sleep = sleep.min(left);
                     }
+                    dwqa_obs::event!(
+                        "retry",
+                        attempt,
+                        backoff_us = sleep.as_micros().min(u128::from(u64::MAX)) as u64
+                    );
                     if !sleep.is_zero() {
                         std::thread::sleep(sleep);
                     }
@@ -299,6 +311,7 @@ impl<S: DocumentSource> DocumentSource for ResilientSource<S> {
         }
         self.failures.fetch_add(1, Ordering::Relaxed);
         self.record_failure(url);
+        span.record("ok", false);
         Err(last.unwrap_or_else(|| SourceError::Transient(format!("no attempts made on {url}"))))
     }
 
@@ -430,6 +443,75 @@ mod tests {
         assert_eq!(src.breaker_state("http://flaky"), BreakerState::HalfOpen);
         assert!(src.fetch("http://flaky").is_ok());
         assert_eq!(src.breaker_state("http://flaky"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_failure_retrips_immediately_with_fresh_cooldown() {
+        // Flaky::new(100) never succeeds, so the half-open probe fails.
+        let src = ResilientSource::new(Flaky::new(100), fast_policy());
+        assert!(src.fetch("http://flaky").is_err());
+        assert!(src.fetch("http://flaky").is_err()); // threshold 2 → open
+        assert_eq!(src.breaker_state("http://flaky"), BreakerState::Open);
+        let trips_after_first_open = src.health().breaker_trips;
+
+        // Cool down into half-open, then let the single probe fail: the
+        // breaker must re-trip on that ONE failure (no second grace
+        // period of `threshold` failures) and must count a fresh trip.
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(src.breaker_state("http://flaky"), BreakerState::HalfOpen);
+        let probe_started = Instant::now();
+        assert!(src.fetch("http://flaky").is_err());
+        assert_eq!(
+            src.breaker_state("http://flaky"),
+            BreakerState::Open,
+            "one failed half-open probe re-trips the breaker"
+        );
+        assert_eq!(src.health().breaker_trips, trips_after_first_open + 1);
+
+        // The re-trip starts a FULL cooldown from the probe failure:
+        // still rejecting well before the 20 ms cooldown elapses...
+        assert!(matches!(
+            src.fetch("http://flaky"),
+            Err(SourceError::CircuitOpen(_))
+        ));
+        assert!(
+            probe_started.elapsed() < Duration::from_millis(20),
+            "rejection observed inside the fresh cooldown window"
+        );
+        // ...and half-open again only after it has fully elapsed.
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(src.breaker_state("http://flaky"), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn fetch_spans_carry_retry_and_breaker_events() {
+        let tracer = dwqa_obs::Tracer::new(4);
+        tracer.set_enabled(true);
+        let src = ResilientSource::new(Flaky::new(100), fast_policy());
+        {
+            let _obs = dwqa_obs::observe(None, Some(&tracer), "question", "q");
+            let _ = src.fetch("http://flaky"); // 4 attempts, 3 retries
+            let _ = src.fetch("http://flaky"); // trips the breaker
+            let _ = src.fetch("http://flaky"); // rejected while open
+        }
+        let trace = tracer.recorder().last().unwrap_or_default();
+        let fetches = trace.find_all("fetch");
+        assert_eq!(fetches.len(), 3, "one fetch span per source call");
+        assert_eq!(
+            fetches[0].field("url").and_then(|v| v.as_str()),
+            Some("http://flaky")
+        );
+        let retries: Vec<_> = fetches[0]
+            .events
+            .iter()
+            .filter(|e| e.name == "retry")
+            .collect();
+        assert_eq!(retries.len(), 3);
+        assert!(fetches[1].events.iter().any(|e| e.name == "breaker.open"));
+        assert!(fetches[2]
+            .events
+            .iter()
+            .any(|e| e.name == "breaker.rejected"));
     }
 
     #[test]

@@ -325,6 +325,40 @@ impl PassageRetriever {
     /// [`PassageRetriever::retrieve_weighted_exhaustive`] (the proptests
     /// in this module prove byte-identical output).
     pub fn retrieve_query(&self, query: &PassageQuery, k: usize) -> (Vec<Passage>, RetrievalStats) {
+        let span = dwqa_obs::span!("retrieve", k);
+        let (passages, stats) = self.retrieve_query_core(query, k);
+        span.record("docs_total", stats.docs_total);
+        span.record("docs_candidate", stats.docs_candidate);
+        span.record("docs_pruned", stats.docs_pruned);
+        span.record("windows_scored", stats.windows_scored);
+        span.record("returned", passages.len());
+        dwqa_obs::counter_add(dwqa_obs::names::RETRIEVAL_COUNT, 1);
+        dwqa_obs::counter_add(
+            dwqa_obs::names::RETRIEVAL_DOCS_TOTAL,
+            stats.docs_total as u64,
+        );
+        dwqa_obs::counter_add(
+            dwqa_obs::names::RETRIEVAL_DOCS_CANDIDATE,
+            stats.docs_candidate as u64,
+        );
+        dwqa_obs::counter_add(
+            dwqa_obs::names::RETRIEVAL_DOCS_PRUNED,
+            stats.docs_pruned as u64,
+        );
+        dwqa_obs::counter_add(
+            dwqa_obs::names::RETRIEVAL_WINDOWS_SCORED,
+            stats.windows_scored as u64,
+        );
+        (passages, stats)
+    }
+
+    /// The uninstrumented retrieval core behind
+    /// [`PassageRetriever::retrieve_query`].
+    fn retrieve_query_core(
+        &self,
+        query: &PassageQuery,
+        k: usize,
+    ) -> (Vec<Passage>, RetrievalStats) {
         let mut stats = RetrievalStats {
             docs_total: self.sentences.len(),
             docs_pruned: self.sentences.len(),

@@ -1,0 +1,54 @@
+//! The shared metric-name taxonomy (DESIGN.md §10).
+//!
+//! Every instrumented crate records against these constants so the
+//! engine's `EngineStats` view, the REPL `:stats` table, and the
+//! experiment binaries all read the same names. Dotted segments group
+//! by subsystem: `engine.*` (stage latencies, cache, outcomes),
+//! `retrieval.*` (index pruning), `source.*` (fault layer), `feed.*`
+//! (ETL dispositions).
+
+/// Stage latency histogram: question analysis.
+pub const STAGE_ANALYZE: &str = "engine.stage.analyze";
+/// Stage latency histogram: passage retrieval (incl. acquisition).
+pub const STAGE_PASSAGES: &str = "engine.stage.passages";
+/// Stage latency histogram: answer extraction + validation.
+pub const STAGE_EXTRACT: &str = "engine.stage.extract";
+/// Stage latency histogram: feedback ETL batches.
+pub const STAGE_FEED: &str = "engine.stage.feed";
+
+/// Counter: questions answered (incl. failures).
+pub const QUESTIONS: &str = "engine.questions";
+/// Counter: batches submitted.
+pub const BATCHES: &str = "engine.batches";
+/// Counter: answer-cache hits.
+pub const CACHE_HITS: &str = "engine.cache.hits";
+/// Counter: answer-cache misses.
+pub const CACHE_MISSES: &str = "engine.cache.misses";
+/// Counter prefix for per-outcome totals; the outcome label is
+/// appended, e.g. `engine.outcome.degraded`.
+pub const OUTCOME_PREFIX: &str = "engine.outcome.";
+/// Counter: feedback batches rolled back.
+pub const ROLLBACKS: &str = "engine.feed.rollbacks";
+/// Counter: worker panics caught.
+pub const WORKER_DEATHS: &str = "engine.worker.deaths";
+
+/// Counter: retrieval queries executed against the pruned index.
+pub const RETRIEVAL_COUNT: &str = "retrieval.count";
+/// Counter: documents in the corpus at query time (summed per query).
+pub const RETRIEVAL_DOCS_TOTAL: &str = "retrieval.docs.total";
+/// Counter: candidate documents gathered from postings (summed).
+pub const RETRIEVAL_DOCS_CANDIDATE: &str = "retrieval.docs.candidate";
+/// Counter: documents pruned without scoring (summed).
+pub const RETRIEVAL_DOCS_PRUNED: &str = "retrieval.docs.pruned";
+/// Counter: passage windows actually scored (summed).
+pub const RETRIEVAL_WINDOWS_SCORED: &str = "retrieval.windows.scored";
+
+/// Gauge: retry attempts performed by the resilient source (mirrored
+/// from the source's own cumulative health counters).
+pub const SOURCE_RETRIES: &str = "source.retries";
+/// Gauge: circuit-breaker trips (closed → open).
+pub const SOURCE_BREAKER_TRIPS: &str = "source.breaker.trips";
+/// Gauge: fetches rejected by an open breaker.
+pub const SOURCE_BREAKER_REJECTIONS: &str = "source.breaker.rejections";
+/// Gauge: fetches that exhausted every attempt.
+pub const SOURCE_FAILURES: &str = "source.failures";

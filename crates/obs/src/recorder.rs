@@ -1,0 +1,290 @@
+//! The flight recorder: a bounded ring buffer of the most recently
+//! completed question traces, plus the [`Tracer`] switch that decides
+//! whether traces are collected at all.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::trace::{FieldValue, Trace};
+
+/// Default number of completed traces the recorder keeps.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64;
+
+/// A bounded ring buffer of completed traces: pushing past capacity
+/// evicts the oldest. All methods take `&self`; the buffer is behind a
+/// mutex touched once per *completed question*, never per span.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    traces: Vec<Trace>,
+    start: usize,
+}
+
+fn locked(m: &Mutex<Ring>) -> MutexGuard<'_, Ring> {
+    // Push/iterate never leave the ring inconsistent across a panic
+    // point, so a poisoned guard is safe to recover.
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` traces (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        locked(&self.inner).traces.len()
+    }
+
+    /// True when no trace has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a completed trace, evicting the oldest when full.
+    pub fn push(&self, trace: Trace) {
+        let mut ring = locked(&self.inner);
+        if ring.traces.len() < self.capacity {
+            ring.traces.push(trace);
+        } else {
+            let start = ring.start;
+            ring.traces[start] = trace;
+            ring.start = (start + 1) % self.capacity;
+        }
+    }
+
+    /// All held traces, oldest first.
+    pub fn recent(&self) -> Vec<Trace> {
+        let ring = locked(&self.inner);
+        let n = ring.traces.len();
+        (0..n)
+            .map(|i| ring.traces[(ring.start + i) % n].clone())
+            .collect()
+    }
+
+    /// The most recently completed trace.
+    pub fn last(&self) -> Option<Trace> {
+        let ring = locked(&self.inner);
+        let n = ring.traces.len();
+        if n == 0 {
+            return None;
+        }
+        Some(ring.traces[(ring.start + n - 1) % n].clone())
+    }
+
+    /// The worst-latency trace (largest root `elapsed_us`) among the
+    /// most recent `n` completions.
+    pub fn worst_of_last(&self, n: usize) -> Option<Trace> {
+        let ring = locked(&self.inner);
+        let held = ring.traces.len();
+        if held == 0 || n == 0 {
+            return None;
+        }
+        let take = n.min(held);
+        (0..take)
+            .map(|i| &ring.traces[(ring.start + held - take + i) % held])
+            .max_by_key(|t| t.root().map(|r| r.elapsed_us).unwrap_or(0))
+            .cloned()
+    }
+
+    /// The worst-latency trace held anywhere in the buffer.
+    pub fn worst(&self) -> Option<Trace> {
+        self.worst_of_last(self.capacity)
+    }
+
+    /// Stamps `key=value` onto the root span of each of the last `n`
+    /// traces — how the engine back-annotates the batch-level feedback
+    /// disposition onto per-question traces after the ETL commits.
+    pub fn annotate_last(&self, n: usize, key: &'static str, value: FieldValue) {
+        let mut ring = locked(&self.inner);
+        let held = ring.traces.len();
+        let start = ring.start;
+        let take = n.min(held);
+        for i in 0..take {
+            let idx = (start + held - take + i) % held;
+            if let Some(root) = ring.traces[idx].root_mut() {
+                root.set_field(key, value.clone());
+            }
+        }
+    }
+
+    /// Every held trace as JSON lines (oldest first), ready to write to
+    /// a `--trace-out` file.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for trace in self.recent() {
+            out.push_str(&trace.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drops every held trace.
+    pub fn clear(&self) {
+        let mut ring = locked(&self.inner);
+        ring.traces.clear();
+        ring.start = 0;
+    }
+}
+
+/// The per-engine tracing switch + flight recorder. Cloning shares the
+/// underlying recorder (it is an `Arc` internally).
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: Arc<AtomicBool>,
+    next_id: Arc<AtomicU64>,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer with the given flight-recorder capacity. Starts
+    /// disabled unless the `DWQA_TRACE` environment variable is set to
+    /// something other than `0`/empty.
+    pub fn new(capacity: usize) -> Tracer {
+        let default_on = std::env::var("DWQA_TRACE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        Tracer {
+            enabled: Arc::new(AtomicBool::new(default_on && crate::COMPILED)),
+            next_id: Arc::new(AtomicU64::new(1)),
+            recorder: Arc::new(FlightRecorder::new(capacity)),
+        }
+    }
+
+    /// Turns trace collection on or off. A no-op (stays off) when the
+    /// crate was compiled with the `off` feature.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on && crate::COMPILED, Ordering::Relaxed);
+    }
+
+    /// Whether trace collection is currently on.
+    pub fn enabled(&self) -> bool {
+        crate::COMPILED && self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Allocates the next trace id.
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The shared flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanRecord;
+
+    fn trace(id: u64, elapsed_us: u64) -> Trace {
+        Trace {
+            id,
+            label: format!("q{id}"),
+            spans: vec![SpanRecord {
+                name: "question",
+                parent: None,
+                start_us: 0,
+                elapsed_us,
+                fields: vec![],
+                events: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let rec = FlightRecorder::new(3);
+        for id in 1..=5 {
+            rec.push(trace(id, id * 10));
+        }
+        let ids: Vec<u64> = rec.recent().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.last().map(|t| t.id), Some(5));
+    }
+
+    #[test]
+    fn worst_of_last_scans_only_the_tail() {
+        let rec = FlightRecorder::new(8);
+        rec.push(trace(1, 900)); // outside the window below
+        rec.push(trace(2, 50));
+        rec.push(trace(3, 70));
+        rec.push(trace(4, 60));
+        assert_eq!(rec.worst_of_last(3).map(|t| t.id), Some(3));
+        assert_eq!(rec.worst().map(|t| t.id), Some(1));
+        assert_eq!(FlightRecorder::new(4).worst_of_last(3), None);
+    }
+
+    #[test]
+    fn annotate_last_stamps_roots() {
+        let rec = FlightRecorder::new(4);
+        for id in 1..=3 {
+            rec.push(trace(id, 10));
+        }
+        rec.annotate_last(2, "feed", FieldValue::from("committed"));
+        let traces = rec.recent();
+        assert_eq!(traces[0].root_field("feed"), None);
+        assert_eq!(
+            traces[1].root_field("feed").and_then(|v| v.as_str()),
+            Some("committed")
+        );
+        assert_eq!(
+            traces[2].root_field("feed").and_then(|v| v.as_str()),
+            Some("committed")
+        );
+    }
+
+    #[test]
+    fn dump_jsonl_one_line_per_trace() {
+        let rec = FlightRecorder::new(4);
+        rec.push(trace(1, 10));
+        rec.push(trace(2, 20));
+        let dump = rec.dump_jsonl();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.lines().next().unwrap_or("").contains("\"trace_id\":1"));
+        rec.clear();
+        assert!(rec.is_empty());
+        assert!(rec.dump_jsonl().is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(feature = "off", ignore = "tracing compiled out")]
+    fn tracer_toggles_and_allocates_ids() {
+        let tracer = Tracer::new(4);
+        tracer.set_enabled(true);
+        assert!(tracer.enabled());
+        tracer.set_enabled(false);
+        assert!(!tracer.enabled());
+        let a = tracer.next_trace_id();
+        let b = tracer.next_trace_id();
+        assert!(b > a);
+        let clone = tracer.clone();
+        clone.recorder().push(trace(1, 5));
+        assert_eq!(tracer.recorder().len(), 1);
+    }
+}

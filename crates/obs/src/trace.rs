@@ -1,0 +1,419 @@
+//! The trace model: a completed question trace is a flat arena of
+//! spans (parent links by index), each span carrying wall-time, typed
+//! fields and point-in-time events.
+//!
+//! Traces are plain data — no locks, no globals — so they can be
+//! cloned into the flight recorder, compared in tests, rendered as an
+//! indented tree, or serialised as a JSON line without pulling serde
+//! below the hot path.
+
+use std::fmt;
+
+/// A typed span/event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, sizes, microseconds).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point value (rates, scores).
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A string (question text, outcome labels, URLs).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> FieldValue {
+        FieldValue::I64(i64::from(v))
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl FieldValue {
+    /// The value as a `u64`, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) if v.is_finite() => v.to_string(),
+            FieldValue::F64(_) => "null".to_owned(),
+            FieldValue::Bool(v) => v.to_string(),
+            FieldValue::Str(v) => json_string(v),
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A point-in-time event inside a span (a retry, a breaker trip, an
+/// injected fault), stamped relative to the trace start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name, e.g. `"retry"` or `"breaker.open"`.
+    pub name: &'static str,
+    /// Microseconds since the root span started.
+    pub at_us: u64,
+    /// Event fields, in recording order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// One completed (or still-open, mid-trace) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name from the fixed taxonomy (DESIGN.md §10).
+    pub name: &'static str,
+    /// Index of the parent span in [`Trace::spans`]; `None` for the root.
+    pub parent: Option<usize>,
+    /// Microseconds since the root span started.
+    pub start_us: u64,
+    /// Wall time the span was open, in microseconds.
+    pub elapsed_us: u64,
+    /// Span fields, in recording order (last write wins on lookup).
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Events recorded while this span was innermost.
+    pub events: Vec<EventRecord>,
+}
+
+impl SpanRecord {
+    /// The most recent value recorded for `key`, if any.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Records (or re-records) a field.
+    pub fn set_field(&mut self, key: &'static str, value: FieldValue) {
+        self.fields.push((key, value));
+    }
+}
+
+/// One question's journey through the pipeline: a span arena rooted at
+/// `spans[0]`, in open order (parents always precede children).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Monotonic per-tracer trace id.
+    pub id: u64,
+    /// Human label — by convention the question text.
+    pub label: String,
+    /// Span arena; `spans[0]` is the root when non-empty.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// The root span, when the trace is non-empty.
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.first()
+    }
+
+    /// Mutable root span.
+    pub fn root_mut(&mut self) -> Option<&mut SpanRecord> {
+        self.spans.first_mut()
+    }
+
+    /// The most recent root-span value for `key`.
+    pub fn root_field(&self, key: &str) -> Option<&FieldValue> {
+        self.root().and_then(|r| r.field(key))
+    }
+
+    /// Indices of the direct children of span `idx`, in open order.
+    pub fn children(&self, idx: usize) -> Vec<usize> {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent == Some(idx))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The first span named `name`, if any.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Every span named `name`, in open order.
+    pub fn find_all(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Serialises the whole trace as a single JSON object (one flight-
+    /// recorder line). Spans keep their arena order and parent indices
+    /// so consumers can rebuild the tree without name heuristics.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 128);
+        out.push_str("{\"trace_id\":");
+        out.push_str(&self.id.to_string());
+        out.push_str(",\"label\":");
+        out.push_str(&json_string(&self.label));
+        out.push_str(",\"spans\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            out.push_str(&json_string(span.name));
+            out.push_str(",\"parent\":");
+            match span.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"start_us\":");
+            out.push_str(&span.start_us.to_string());
+            out.push_str(",\"elapsed_us\":");
+            out.push_str(&span.elapsed_us.to_string());
+            out.push_str(",\"fields\":{");
+            push_fields(&mut out, &span.fields);
+            out.push_str("},\"events\":[");
+            for (j, ev) in span.events.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":");
+                out.push_str(&json_string(ev.name));
+                out.push_str(",\"at_us\":");
+                out.push_str(&ev.at_us.to_string());
+                out.push_str(",\"fields\":{");
+                push_fields(&mut out, &ev.fields);
+                out.push_str("}}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the span tree as an indented, human-readable block —
+    /// what `dwqa_repl`'s bare `:trace` prints.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("trace #{} — {}\n", self.id, self.label));
+        if !self.spans.is_empty() {
+            self.render_span(&mut out, 0, 0);
+        }
+        out
+    }
+
+    fn render_span(&self, out: &mut String, idx: usize, depth: usize) {
+        let span = &self.spans[idx];
+        out.push_str(&"  ".repeat(depth + 1));
+        out.push_str(&format!("{} [{} us]", span.name, span.elapsed_us));
+        for (k, v) in &span.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        for ev in &span.events {
+            out.push_str(&"  ".repeat(depth + 2));
+            out.push_str(&format!("! {} @{} us", ev.name, ev.at_us));
+            for (k, v) in &ev.fields {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+        for child in self.children(idx) {
+            self.render_span(out, child, depth + 1);
+        }
+    }
+}
+
+fn push_fields(out: &mut String, fields: &[(&'static str, FieldValue)]) {
+    // Last write wins: skip earlier duplicates so the JSON object has
+    // unique keys matching `SpanRecord::field` semantics.
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if fields[i + 1..].iter().any(|(k2, _)| k2 == k) {
+            continue;
+        }
+        if !out.ends_with('{') {
+            out.push(',');
+        }
+        out.push_str(&json_string(k));
+        out.push(':');
+        out.push_str(&v.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            id: 7,
+            label: "what was the temperature".to_owned(),
+            spans: vec![
+                SpanRecord {
+                    name: "question",
+                    parent: None,
+                    start_us: 0,
+                    elapsed_us: 900,
+                    fields: vec![
+                        ("outcome", FieldValue::from("ok")),
+                        ("cache", FieldValue::from("miss")),
+                    ],
+                    events: vec![],
+                },
+                SpanRecord {
+                    name: "retrieve",
+                    parent: Some(0),
+                    start_us: 10,
+                    elapsed_us: 500,
+                    fields: vec![("docs_candidate", FieldValue::from(9u64))],
+                    events: vec![EventRecord {
+                        name: "retry",
+                        at_us: 120,
+                        fields: vec![("attempt", FieldValue::from(1u64))],
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn field_lookup_is_last_write_wins() {
+        let mut t = sample_trace();
+        if let Some(root) = t.root_mut() {
+            root.set_field("outcome", FieldValue::from("degraded"));
+        }
+        assert_eq!(
+            t.root_field("outcome").and_then(|v| v.as_str()),
+            Some("degraded")
+        );
+        assert_eq!(t.root_field("missing"), None);
+    }
+
+    #[test]
+    fn tree_navigation() {
+        let t = sample_trace();
+        assert_eq!(t.children(0), vec![1]);
+        assert!(t.children(1).is_empty());
+        assert_eq!(t.find("retrieve").map(|s| s.start_us), Some(10));
+        assert_eq!(t.find_all("question").len(), 1);
+    }
+
+    #[test]
+    fn json_round_structure() {
+        let t = sample_trace();
+        let json = t.to_json();
+        assert!(json.starts_with("{\"trace_id\":7,"));
+        assert!(json.contains("\"label\":\"what was the temperature\""));
+        assert!(json.contains("\"name\":\"retrieve\",\"parent\":0"));
+        assert!(json.contains("\"docs_candidate\":9"));
+        assert!(json.contains("\"events\":[{\"name\":\"retry\",\"at_us\":120"));
+        // Duplicate keys collapse to the most recent write.
+        let mut t2 = sample_trace();
+        if let Some(root) = t2.root_mut() {
+            root.set_field("outcome", FieldValue::from("degraded"));
+        }
+        let json2 = t2.to_json();
+        assert!(json2.contains("\"outcome\":\"degraded\""));
+        assert!(!json2.contains("\"outcome\":\"ok\""));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        let t = Trace {
+            id: 1,
+            label: "say \"hi\"".to_owned(),
+            spans: vec![],
+        };
+        assert!(t.to_json().contains("\"say \\\"hi\\\"\""));
+    }
+
+    #[test]
+    fn render_tree_indents_children_and_events() {
+        let t = sample_trace();
+        let tree = t.render_tree();
+        assert!(tree.starts_with("trace #7 — what was the temperature\n"));
+        assert!(tree.contains("  question [900 us] outcome=ok cache=miss\n"));
+        assert!(tree.contains("    retrieve [500 us] docs_candidate=9\n"));
+        assert!(tree.contains("      ! retry @120 us attempt=1\n"));
+    }
+}

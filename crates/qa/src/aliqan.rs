@@ -4,7 +4,7 @@ use crate::analysis::{analyze_question, QuestionAnalysis};
 use crate::extraction::{extract_answers, Answer};
 use crate::index::QaIndex;
 use crate::patterns::{default_patterns, QuestionPattern};
-use dwqa_ir::{DocumentStore, Passage, PassageRetriever, RetrievalStats};
+use dwqa_ir::{DocumentStore, Passage, PassageRetriever};
 use dwqa_nlp::{analyze_sentence, render_annotated, Lexicon};
 use dwqa_ontology::Ontology;
 
@@ -222,30 +222,25 @@ impl AliQAn {
     /// Module 2 on its own. If the main SBs alone retrieve nothing, the
     /// focus noun joins the query as a fallback (the paper\'s "semantic
     /// preference": hyponyms of the focus are likelier near its name).
+    /// The query is compiled once against the retriever's interned
+    /// vocabulary — no term strings are cloned. Index-pruning counters
+    /// (candidate/pruned documents, windows scored) are recorded by the
+    /// retrieval itself as `retrieve` span fields and `retrieval.*`
+    /// registry counters (see `dwqa-obs`), so nothing is hand-threaded
+    /// back to the caller.
     pub fn passages(&self, analysis: &QuestionAnalysis) -> Vec<Passage> {
-        self.passages_with_stats(analysis).0
-    }
-
-    /// Like [`AliQAn::passages`], also returning the index-pruning
-    /// counters of the retrieval that produced the passages (the engine
-    /// surfaces these in `:stats`). The query is compiled once against
-    /// the retriever's interned vocabulary — no term strings are cloned.
-    pub fn passages_with_stats(
-        &self,
-        analysis: &QuestionAnalysis,
-    ) -> (Vec<Passage>, RetrievalStats) {
         let (index, _) = self.indexed();
         let query = index
             .passages
             .compile_query(&index.ir_index, analysis.weighted_term_refs());
-        let (passages, stats) = index
+        let (passages, _) = index
             .passages
             .retrieve_query(&query, self.config.passages_k);
         if !passages.is_empty() {
-            return (passages, stats);
+            return passages;
         }
         let Some(focus) = &analysis.focus else {
-            return (passages, stats);
+            return passages;
         };
         let query = index.passages.compile_query(
             &index.ir_index,
@@ -256,6 +251,7 @@ impl AliQAn {
         index
             .passages
             .retrieve_query(&query, self.config.passages_k)
+            .0
     }
 
     /// Module 3 on its own: extracts typed answers from the passages.

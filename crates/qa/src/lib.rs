@@ -51,7 +51,6 @@ pub mod taxonomy;
 
 pub use aliqan::{AliQAn, AliQAnConfig, AliQAnConfigBuilder, PipelineTrace};
 pub use analysis::{analyze_question, MainSb, QuestionAnalysis};
-pub use dwqa_ir::RetrievalStats;
 pub use extraction::{Answer, AnswerValue};
 pub use ie_baseline::{IeBaseline, IeTemplate};
 pub use index::QaIndex;

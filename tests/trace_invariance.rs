@@ -1,0 +1,96 @@
+//! Tracing must be a pure observer: switching the tracer on cannot
+//! change a single byte of any answer or outcome, and a traced batch
+//! must leave exactly one root span per question in the flight
+//! recorder, reorderable into input order via the `batch_index` root
+//! field even though workers complete in arbitrary order.
+
+use dwqa_bench::{build_fixture, daily_questions, FixtureConfig};
+use dwqa_core::ReadPath;
+use dwqa_corpus::PageStyle;
+use dwqa_engine::QaEngine;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn read_path() -> ReadPath {
+    static FIXTURE: OnceLock<ReadPath> = OnceLock::new();
+    FIXTURE
+        .get_or_init(|| {
+            build_fixture(FixtureConfig {
+                styles: vec![PageStyle::Prose],
+                ..FixtureConfig::default()
+            })
+            .pipeline
+            .read_path()
+        })
+        .clone()
+}
+
+/// The question pool: per-day questions over two cities, plus a few
+/// that retrieval answers with nothing.
+fn pool() -> Vec<String> {
+    let mut qs = daily_questions("Barcelona", 2004, dwqa_common::Month::January);
+    qs.extend(daily_questions("Madrid", 2004, dwqa_common::Month::January));
+    qs.push("What is the population of Atlantis?".to_owned());
+    qs.push("Where does the rain in Spain mainly fall?".to_owned());
+    qs
+}
+
+/// A rendering of everything observable about a batch's results.
+fn fingerprint(reports: &[dwqa_engine::QuestionReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&format!("{:?}|{:?}\n", r.outcome, r.answers));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tracing_changes_no_answer_and_roots_cover_the_batch(
+        picks in proptest::collection::vec(0usize..64, 1..24),
+        workers in 1usize..5,
+    ) {
+        let pool = pool();
+        let questions: Vec<String> =
+            picks.iter().map(|&i| pool[i % pool.len()].clone()).collect();
+
+        let untraced = QaEngine::over(read_path())
+            .with_workers(workers)
+            .with_tracing(false);
+        let traced = QaEngine::over(read_path())
+            .with_workers(workers)
+            .with_tracing(true)
+            .with_trace_capacity(questions.len());
+
+        let plain = untraced.answer_batch_checked(&questions);
+        let observed = traced.answer_batch_checked(&questions);
+
+        // Byte-identical answers and outcomes, in input order.
+        prop_assert_eq!(fingerprint(&plain), fingerprint(&observed));
+
+        // Exactly one root span per question; batch_index reorders the
+        // completion-ordered recorder back into input order.
+        let traces = traced.flight_recorder().recent();
+        prop_assert_eq!(traces.len(), questions.len());
+        let mut by_index: Vec<Option<String>> = vec![None; questions.len()];
+        for trace in &traces {
+            let root = trace.root().expect("every trace has a root span");
+            prop_assert_eq!(root.name, "question");
+            let idx = root
+                .field("batch_index")
+                .and_then(|v| v.as_u64())
+                .expect("root carries batch_index") as usize;
+            prop_assert!(idx < questions.len(), "batch_index out of range");
+            prop_assert!(by_index[idx].is_none(), "duplicate batch_index {idx}");
+            by_index[idx] = Some(trace.label.clone());
+        }
+        for (i, label) in by_index.iter().enumerate() {
+            prop_assert_eq!(label.as_deref(), Some(questions[i].as_str()));
+        }
+
+        // The untraced engine recorded nothing.
+        prop_assert!(untraced.flight_recorder().is_empty());
+    }
+}
