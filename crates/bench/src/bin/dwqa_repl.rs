@@ -16,6 +16,9 @@
 //!   rollbacks);
 //! * `:chaos <rate>` — route document acquisition through a seeded fault
 //!   injector at the given transient-error rate (0 disables);
+//! * `:serve <port>` — hand the pipeline to a `dwqa-server` and serve
+//!   the JSON-lines protocol on `127.0.0.1:<port>` until a client
+//!   sends `drain` (the REPL exits once the drain completes);
 //! * `:quit`.
 //!
 //! Run with: `cargo run --release -p dwqa-bench --bin dwqa_repl`
@@ -26,6 +29,7 @@ use dwqa_core::{questions_for_missing_weather, sales_by_temperature_band};
 use dwqa_corpus::PageStyle;
 use dwqa_engine::QaSession;
 use dwqa_faults::{CorpusSource, FaultInjector, FaultPlan, ResilientSource, RetryPolicy};
+use dwqa_server::{QaServer, ServerConfig};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Duration;
@@ -47,7 +51,7 @@ fn main() {
     println!(
         "Ready: {} documents indexed, {} ontology instances fed, {} sales rows.\n\
          Ask a question (e.g. \"What is the temperature on January 15, 2004 in Barcelona?\"),\n\
-         or :trace [question] / :bands / :missing / :stats / :chaos <rate> / :quit.",
+         or :trace [question] / :bands / :missing / :stats / :chaos <rate> / :serve <port> / :quit.",
         fx.corpus_size,
         fx.pipeline.enrichment.instances_added,
         fx.pipeline
@@ -57,6 +61,7 @@ fn main() {
             .unwrap_or(0),
     );
     let stdin = std::io::stdin();
+    let mut serve_port: Option<u16> = None;
     loop {
         print!("dwqa> ");
         let _ = std::io::stdout().flush();
@@ -139,6 +144,16 @@ fn main() {
             }
             continue;
         }
+        if let Some(port) = line.strip_prefix(":serve ") {
+            match port.trim().parse::<u16>() {
+                Ok(port) => {
+                    serve_port = Some(port);
+                    break;
+                }
+                Err(_) => println!("usage: :serve <port>"),
+            }
+            continue;
+        }
         if line == ":trace" {
             let recorder = session.engine().flight_recorder();
             match recorder.last() {
@@ -177,6 +192,51 @@ fn main() {
                 "  → {} tuple(s) fed into the City Weather star",
                 report.loaded
             );
+        }
+    }
+    if let Some(port) = serve_port {
+        // The session only holds read-path clones, so the pipeline can
+        // move into the server; the REPL becomes the service process.
+        drop(session);
+        let cfg = match ServerConfig::builder().tracing(true).build() {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                println!("server config: {e}");
+                return;
+            }
+        };
+        match QaServer::start(fx.pipeline, cfg, ("127.0.0.1", port)) {
+            Ok(server) => {
+                println!(
+                    "serving on {} — JSON-lines protocol (ask/batch/feedback/stats/drain);\n\
+                     send a drain request to stop, e.g.:\n\
+                     printf '{{\"id\":1,\"kind\":\"drain\"}}\\n' | nc 127.0.0.1 {port}",
+                    server.local_addr()
+                );
+                let registry = std::sync::Arc::clone(server.metrics());
+                // `serve` (not `join`) — block until a client sends
+                // `drain`, rather than initiating the drain ourselves.
+                let drained = server.serve();
+                println!(
+                    "drained: {} request(s), {} admitted, {} shed, {} rate-limited, {} completed",
+                    registry.counter_value(dwqa_obs::names::SERVER_REQUESTS),
+                    registry.counter_value(dwqa_obs::names::SERVER_ADMITTED),
+                    registry.counter_value(dwqa_obs::names::SERVER_SHED),
+                    registry.counter_value(dwqa_obs::names::SERVER_RATE_LIMITED),
+                    registry.counter_value(dwqa_obs::names::SERVER_COMPLETED),
+                );
+                if let Some(pipeline) = drained {
+                    println!(
+                        "warehouse holds {} weather row(s) after the session",
+                        pipeline
+                            .warehouse
+                            .fact("City Weather")
+                            .map(|f| f.len())
+                            .unwrap_or(0)
+                    );
+                }
+            }
+            Err(e) => println!("cannot bind 127.0.0.1:{port}: {e}"),
         }
     }
     println!("bye");

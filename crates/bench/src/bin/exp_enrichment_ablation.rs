@@ -35,7 +35,10 @@ fn main() {
     });
     let without = build_fixture(FixtureConfig {
         styles: vec![PageStyle::Prose],
-        options: PipelineOptions::builder().skip_enrichment(true).build(),
+        options: PipelineOptions::builder()
+            .skip_enrichment(true)
+            .build()
+            .unwrap(),
         ..FixtureConfig::default()
     });
 

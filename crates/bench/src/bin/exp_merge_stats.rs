@@ -49,7 +49,8 @@ fn main() {
                 head_word_fallback: false,
                 ..MergeOptions::default()
             })
-            .build(),
+            .build()
+            .unwrap(),
         ..FixtureConfig::default()
     });
     report("Ablation — head-word fallback disabled", &ablated);

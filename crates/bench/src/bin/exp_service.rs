@@ -1,0 +1,327 @@
+//! E14 — the QA service under multi-client load: saturation, shedding
+//! and the drain guarantee.
+//!
+//! A `dwqa-server` with a deliberately small footprint (2 workers,
+//! 2-slot admission queue, cache off so every request pays the real
+//! pipeline cost) faces a closed-loop client sweep. Three claims are
+//! demonstrated and recorded:
+//!
+//! 1. **Explicit shedding** — at 2× the saturating client count the
+//!    queue overflows and requests are refused with `busy` + a
+//!    retry-after hint, never silently dropped or endlessly queued;
+//! 2. **Bounded admitted latency** — because the queue is bounded,
+//!    the p50 of *admitted* requests at the heaviest load stays within
+//!    2× the unloaded p50 (load shedding converts overload into
+//!    refusals, not latency collapse);
+//! 3. **Drain loses nothing** — a drain fired into in-flight pipelined
+//!    traffic completes every admitted question (`completed ==
+//!    admitted` on the server's own counters) before sockets close.
+//!
+//! Usage: `exp_service [--quick] [--out PATH]`
+
+use dwqa_bench::{build_fixture, daily_questions, section, FixtureConfig};
+use dwqa_common::Month;
+use dwqa_corpus::PageStyle;
+use dwqa_obs::names;
+use dwqa_server::{QaClient, QaServer, Request, ServerConfig, Status};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 2;
+const QUEUE_CAPACITY: usize = 1;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    clients: usize,
+    sent: usize,
+    ok: usize,
+    shed: usize,
+    rate_limited: usize,
+    p50_us: u64,
+    p95_us: u64,
+    throughput_qps: f64,
+}
+
+#[derive(Serialize)]
+struct DrainReport {
+    clients: usize,
+    sent: usize,
+    responded: usize,
+    admitted: u64,
+    completed: u64,
+    lost: u64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    experiment: &'static str,
+    quick: bool,
+    workers: usize,
+    queue_capacity: usize,
+    requests_per_client: usize,
+    unloaded_p50_us: u64,
+    sweep: Vec<SweepPoint>,
+    saturated_clients: usize,
+    shed_under_overload: bool,
+    loaded_p50_us: u64,
+    p50_within_2x: bool,
+    drain: DrainReport,
+}
+
+fn question_pool() -> Vec<String> {
+    let mut pool = Vec::new();
+    for city in ["Barcelona", "Madrid", "New York"] {
+        pool.extend(daily_questions(city, 2004, Month::January));
+    }
+    pool
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig::builder()
+        .workers(WORKERS)
+        .queue_capacity(QUEUE_CAPACITY)
+        // Rate limiting is exercised by the test suite; here the
+        // buckets are opened wide so the sweep isolates queue-driven
+        // shedding.
+        .rate_burst(u32::MAX)
+        .rate_per_sec(1e9)
+        .cache_capacity(0)
+        .drain_grace(Duration::from_secs(60))
+        .build()
+        .unwrap_or_else(|e| panic!("server config: {e}"))
+}
+
+/// One closed-loop client: sends `count` asks one at a time and
+/// reports (latencies of ok responses, shed count, rate-limited
+/// count). A refused request is *not* retried, but the client honours
+/// the server's retry-after hint before its next request — the
+/// protocol's contract, and what keeps refused clients from busy-
+/// spinning the service into the ground.
+fn run_client(
+    addr: std::net::SocketAddr,
+    pool: &[String],
+    offset: usize,
+    count: usize,
+) -> (Vec<u64>, usize, usize) {
+    let mut client = QaClient::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+    let mut latencies = Vec::with_capacity(count);
+    let (mut shed, mut rate_limited) = (0, 0);
+    for i in 0..count {
+        let q = &pool[(offset + i * 7) % pool.len()];
+        let t = Instant::now();
+        let resp = client.ask(q).unwrap_or_else(|e| panic!("ask: {e}"));
+        let us = t.elapsed().as_micros() as u64;
+        match resp.status {
+            Status::Ok => latencies.push(us),
+            Status::Busy => {
+                match resp.reason {
+                    Some(dwqa_server::BusyReason::RateLimited) => rate_limited += 1,
+                    _ => shed += 1,
+                }
+                let hint = resp.retry_after_ms.unwrap_or(10).min(100);
+                std::thread::sleep(Duration::from_millis(hint));
+            }
+            Status::Error => panic!("protocol error: {:?}", resp.detail),
+        }
+    }
+    (latencies, shed, rate_limited)
+}
+
+fn sweep_point(
+    addr: std::net::SocketAddr,
+    pool: &[String],
+    clients: usize,
+    per_client: usize,
+) -> SweepPoint {
+    let t = Instant::now();
+    let results: Vec<(Vec<u64>, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| scope.spawn(move || run_client(addr, pool, c * 11, per_client)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| panic!("client panicked")))
+            .collect()
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|(l, _, _)| l.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let ok = latencies.len();
+    let shed: usize = results.iter().map(|(_, s, _)| s).sum();
+    let rate_limited: usize = results.iter().map(|(_, _, r)| r).sum();
+    SweepPoint {
+        clients,
+        sent: clients * per_client,
+        ok,
+        shed,
+        rate_limited,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        throughput_qps: ok as f64 / elapsed,
+    }
+}
+
+/// Pipelined clients interrupted by a drain: every response the server
+/// wrote is read back; admitted-vs-completed comes from the counters.
+fn drain_phase(quick: bool) -> DrainReport {
+    let fx = build_fixture(FixtureConfig {
+        styles: vec![PageStyle::Prose],
+        ..FixtureConfig::default()
+    });
+    let server = QaServer::start(fx.pipeline, server_config(), "127.0.0.1:0")
+        .unwrap_or_else(|e| panic!("bind: {e}"));
+    let addr = server.local_addr();
+    let metrics = std::sync::Arc::clone(server.metrics());
+    let pool = question_pool();
+    let clients = 4;
+    let per_client = if quick { 8 } else { 16 };
+
+    let responded: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let mut client = QaClient::connect(addr).unwrap_or_else(|e| panic!("{e}"));
+                    for i in 0..per_client {
+                        let q = &pool[(c * 13 + i * 7) % pool.len()];
+                        let id = i as u64 + 1;
+                        if client.send(&Request::ask(id, q)).is_err() {
+                            break;
+                        }
+                    }
+                    // Read until the drained server closes the socket.
+                    let mut seen = 0;
+                    while seen < per_client {
+                        match client.recv() {
+                            Ok(_) => seen += 1,
+                            Err(_) => break,
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        // Let some requests land in-flight, then pull the plug.
+        std::thread::sleep(Duration::from_millis(30));
+        server.drain();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    });
+    assert!(server.join().is_some(), "drain must hand the pipeline back");
+
+    let admitted = metrics.counter_value(names::SERVER_ADMITTED);
+    let completed = metrics.counter_value(names::SERVER_COMPLETED);
+    DrainReport {
+        clients,
+        sent: clients * per_client,
+        responded,
+        admitted,
+        completed,
+        lost: admitted.saturating_sub(completed),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_service.json", String::as_str);
+    let per_client = if quick { 24 } else { 64 };
+    // Closed-loop saturation: WORKERS in flight + QUEUE_CAPACITY
+    // queued. Beyond that, admission must shed.
+    let saturated_clients = WORKERS + QUEUE_CAPACITY;
+    let client_counts: Vec<usize> = vec![1, 2, saturated_clients, 2 * saturated_clients];
+
+    section("E14: multi-client service saturation sweep");
+    let fx = build_fixture(FixtureConfig {
+        styles: vec![PageStyle::Prose],
+        ..FixtureConfig::default()
+    });
+    let server = QaServer::start(fx.pipeline, server_config(), "127.0.0.1:0")
+        .unwrap_or_else(|e| panic!("bind: {e}"));
+    let addr = server.local_addr();
+    let pool = question_pool();
+
+    // Unloaded baseline: one sequential client cannot overrun a
+    // 2-worker service, so nothing may be shed here.
+    let baseline = sweep_point(addr, &pool, 1, per_client);
+    assert_eq!(baseline.shed, 0, "an unloaded service must not shed");
+    let unloaded_p50_us = baseline.p50_us;
+    println!(
+        "unloaded: p50 {unloaded_p50_us} µs, p95 {} µs over {} requests",
+        baseline.p95_us, baseline.sent
+    );
+
+    let mut sweep = Vec::new();
+    for &clients in &client_counts {
+        let point = sweep_point(addr, &pool, clients, per_client);
+        println!(
+            "{:2} clients: {:4} ok, {:4} shed | p50 {:>7} µs, p95 {:>7} µs | {:7.1} q/s",
+            point.clients, point.ok, point.shed, point.p50_us, point.p95_us, point.throughput_qps
+        );
+        sweep.push(point);
+    }
+    server.drain();
+    drop(server.join());
+
+    let overloaded = sweep.last().unwrap_or_else(|| unreachable!());
+    let overloaded_clients = overloaded.clients;
+    let shed_under_overload = overloaded.shed > 0;
+    let loaded_p50_us = overloaded.p50_us;
+    let p50_within_2x = loaded_p50_us <= unloaded_p50_us.saturating_mul(2).max(1);
+
+    section("E14: drain under pipelined load");
+    let drain = drain_phase(quick);
+    println!(
+        "drain: {} sent, {} responded, {} admitted, {} completed, {} lost",
+        drain.sent, drain.responded, drain.admitted, drain.completed, drain.lost
+    );
+
+    let (drain_lost, drain_admitted, drain_completed) =
+        (drain.lost, drain.admitted, drain.completed);
+    let report = BenchReport {
+        experiment: "service_saturation",
+        quick,
+        workers: WORKERS,
+        queue_capacity: QUEUE_CAPACITY,
+        requests_per_client: per_client,
+        unloaded_p50_us,
+        sweep,
+        saturated_clients,
+        shed_under_overload,
+        loaded_p50_us,
+        p50_within_2x,
+        drain,
+    };
+    let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| panic!("json: {e}"));
+    std::fs::write(out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    assert!(
+        shed_under_overload,
+        "2× saturation ({overloaded_clients} clients) must shed with explicit busy responses"
+    );
+    assert!(
+        p50_within_2x,
+        "admitted p50 under overload ({loaded_p50_us} µs) must stay within 2× the \
+         unloaded p50 ({unloaded_p50_us} µs) — the queue bound failed to cap latency"
+    );
+    assert_eq!(
+        drain_lost, 0,
+        "drain abandoned admitted questions (admitted {drain_admitted} vs completed {drain_completed})"
+    );
+    println!("E14 assertions hold: shed under overload, bounded admitted p50, lossless drain");
+}

@@ -21,8 +21,12 @@ fn main() {
         let fx = build_fixture(FixtureConfig {
             styles: vec![PageStyle::Prose],
             options: PipelineOptions::builder()
-                .qa(AliQAnConfig::builder().passage_window(window).build())
-                .build(),
+                .qa(AliQAnConfig::builder()
+                    .passage_window(window)
+                    .build()
+                    .unwrap())
+                .build()
+                .unwrap(),
             ..FixtureConfig::default()
         });
         let read = fx.pipeline.read_path();

@@ -17,9 +17,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod config;
 pub mod date;
 pub mod interner;
 pub mod text;
 
+pub use config::ConfigError;
 pub use date::{Date, Month, Weekday};
 pub use interner::{Interner, Symbol};

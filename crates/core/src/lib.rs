@@ -43,15 +43,18 @@
 pub mod analysis;
 pub mod axioms;
 pub mod dwquery;
+pub mod error;
 pub mod evaluate;
 pub mod feedback;
 pub mod pipeline;
+pub mod prelude;
 pub mod schema;
 pub mod tableprep;
 
 pub use analysis::{sales_by_temperature_band, TemperatureBand};
 pub use axioms::TemperatureAxioms;
 pub use dwquery::questions_for_missing_weather;
+pub use error::Error;
 pub use evaluate::{evaluate_temperatures, ExtractionEval};
 pub use feedback::{feed_weather, FeedError, FeedReport};
 pub use pipeline::{

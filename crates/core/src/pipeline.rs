@@ -87,7 +87,10 @@ impl PipelineOptions {
 ///
 /// ```
 /// use dwqa_core::PipelineOptions;
-/// let options = PipelineOptions::builder().skip_enrichment(true).build();
+/// let options = PipelineOptions::builder()
+///     .skip_enrichment(true)
+///     .build()
+///     .unwrap();
 /// assert!(options.skip_enrichment);
 /// ```
 #[derive(Debug, Clone)]
@@ -120,9 +123,12 @@ impl PipelineOptionsBuilder {
         self
     }
 
-    /// Finishes the builder.
-    pub fn build(self) -> PipelineOptions {
-        self.options
+    /// Finishes the builder, validating every knob's range (currently
+    /// the embedded QA configuration; the merge options and axioms have
+    /// no invalid states).
+    pub fn build(self) -> Result<PipelineOptions, dwqa_common::ConfigError> {
+        self.options.qa.validate()?;
+        Ok(self.options)
     }
 }
 
@@ -397,41 +403,6 @@ impl IntegrationPipeline {
         }
     }
 
-    /// Asks the QA system one question (Steps 1–4 already in place).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `read_path().answer()`, or `dwqa_engine::QaSession` for cached access"
-    )]
-    pub fn ask(&self, question: &str) -> Vec<Answer> {
-        self.qa.answer(question)
-    }
-
-    /// Step 5 for one question: answers are validated and loaded into the
-    /// `City Weather` star.
-    #[deprecated(
-        since = "0.2.0",
-        note = "answer via `read_path()` / `dwqa_engine::QaSession`, then load with `apply_feedback`"
-    )]
-    pub fn ask_and_feed(&mut self, question: &str) -> (Vec<Answer>, FeedReport) {
-        let answers = self.qa.answer(question);
-        let report = self.apply_feedback(&answers);
-        (answers, report)
-    }
-
-    /// Step 5 for a batch of questions; returns the merged feed report.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `dwqa_engine::SubmitBatch::submit_batch`, which answers the batch concurrently"
-    )]
-    pub fn feed_from_questions(&mut self, questions: &[String]) -> FeedReport {
-        let mut merged = FeedReport::default();
-        for q in questions {
-            let answers = self.qa.answer(q);
-            merged.absorb(self.apply_feedback(&answers));
-        }
-        merged
-    }
-
     /// The Table-1 trace for a question.
     pub fn trace(&self, question: &str) -> PipelineTrace {
         self.qa.trace(question)
@@ -459,7 +430,8 @@ mod tests {
         wh.load("Last Minute Sales", rows).unwrap();
         let options = PipelineOptions::builder()
             .skip_enrichment(skip_enrichment)
-            .build();
+            .build()
+            .unwrap();
         let truth = corpus.truth.clone();
         (IntegrationPipeline::build(wh, corpus.store, options), truth)
     }
@@ -522,19 +494,36 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
+    fn blessed_surface_replaces_the_retired_single_shot_wrappers() {
+        // The sequence the deprecated `ask_and_feed` used to hide:
+        // answer through the read path, load through the transactional
+        // feedback API.
         let (mut p, _) = built_pipeline(false);
         let question = "What is the temperature in January of 2004 in El Prat?";
-        let via_read_path = p.read_path().answer(question);
-        assert_eq!(p.ask(question), via_read_path);
-        let (answers, report) = p.ask_and_feed(question);
-        assert_eq!(answers, via_read_path);
+        let answers = p.read_path().answer(question);
+        let report = p.apply_feedback(&answers);
+        assert!(!answers.is_empty());
         assert!(report.loaded > 0);
-        // A second feed of the same question only skips duplicates.
-        let report = p.feed_from_questions(&[question.to_owned()]);
+        // A second feed of the same answers only skips duplicates.
+        let report = p.apply_feedback(&answers);
         assert_eq!(report.loaded, 0);
         assert!(report.duplicates_skipped > 0);
+    }
+
+    #[test]
+    fn builder_validates_the_embedded_qa_config() {
+        let err = PipelineOptions::builder()
+            .qa(dwqa_qa::AliQAnConfig::builder()
+                .passage_window(4)
+                .build()
+                .map(|mut c| {
+                    c.answers_k = 0; // corrupt a knob past the qa builder
+                    c
+                })
+                .unwrap())
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "answers_k");
     }
 
     #[test]

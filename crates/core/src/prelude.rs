@@ -1,0 +1,24 @@
+//! The blessed entry points, in one `use`.
+//!
+//! ```
+//! use dwqa_core::prelude::*;
+//! ```
+//!
+//! This is the supported surface of the integrated system after the
+//! single-shot wrappers (`ask` / `ask_and_feed` / `feed_from_questions`)
+//! were retired: build an [`IntegrationPipeline`], answer through its
+//! [`ReadPath`] (or, one crate up, through `dwqa_engine::QaSession` /
+//! `submit_batch`, or over the wire through `dwqa-server`), and write
+//! through the transactional feedback API.
+
+pub use crate::analysis::{sales_by_temperature_band, TemperatureBand};
+pub use crate::axioms::TemperatureAxioms;
+pub use crate::dwquery::questions_for_missing_weather;
+pub use crate::error::Error;
+pub use crate::feedback::{FeedError, FeedReport};
+pub use crate::pipeline::{
+    FeedFault, IntegrationPipeline, PipelineOptions, PipelineOptionsBuilder, ReadPath,
+};
+pub use crate::schema::integrated_schema;
+pub use dwqa_common::ConfigError;
+pub use dwqa_qa::{AliQAn, AliQAnConfig, Answer, AnswerValue};

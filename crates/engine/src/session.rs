@@ -204,14 +204,29 @@ impl QaEngine {
     /// re-acquisition with answer re-validation. Never panics; the
     /// outcome tag says how the attempt ended.
     pub fn answer_checked(&self, question: &str) -> QuestionReport {
-        self.answer_observed(question, None)
+        self.answer_observed(question, None, None)
+    }
+
+    /// [`QaEngine::answer_checked`] with an explicit wall-clock deadline
+    /// for this one question, overriding the engine-wide budget. `None`
+    /// falls back to the engine's [`QaEngine::with_deadline`] default.
+    /// This is how a service front end propagates a per-request deadline
+    /// down to the pipeline stages without reconfiguring the shared
+    /// engine.
+    pub fn answer_checked_by(&self, question: &str, deadline: Option<Instant>) -> QuestionReport {
+        self.answer_observed(question, None, deadline)
     }
 
     /// [`QaEngine::answer_checked`] under an observation context: the
     /// engine's registry (and, when tracing is on, a fresh trace rooted
     /// at a `question` span) is installed for the duration of the
     /// question, so every layer below records without handle threading.
-    fn answer_observed(&self, question: &str, batch_index: Option<usize>) -> QuestionReport {
+    fn answer_observed(
+        &self,
+        question: &str,
+        batch_index: Option<usize>,
+        deadline: Option<Instant>,
+    ) -> QuestionReport {
         self.stats.record_question();
         let obs = dwqa_obs::observe(
             Some(Arc::clone(self.stats.registry())),
@@ -222,7 +237,7 @@ impl QaEngine {
         if let Some(i) = batch_index {
             obs.root_field("batch_index", i);
         }
-        let deadline = self.deadline.map(|budget| Instant::now() + budget);
+        let deadline = deadline.or_else(|| self.deadline.map(|budget| Instant::now() + budget));
         let report =
             match catch_unwind(AssertUnwindSafe(|| self.answer_guarded(question, deadline))) {
                 Ok(report) => report,
@@ -382,7 +397,7 @@ impl QaEngine {
             return questions
                 .iter()
                 .enumerate()
-                .map(|(i, q)| self.answer_observed(q, Some(i)))
+                .map(|(i, q)| self.answer_observed(q, Some(i), None))
                 .collect();
         }
         let slots: Vec<Mutex<Option<QuestionReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -397,7 +412,7 @@ impl QaEngine {
                     if i >= n {
                         break;
                     }
-                    let report = self.answer_observed(&questions[i], Some(i));
+                    let report = self.answer_observed(&questions[i], Some(i), None);
                     *slots[i].lock() = Some(report);
                 });
             }

@@ -1,8 +1,8 @@
 //! Concurrency tests for the batch engine: batch submission must be
-//! indistinguishable from the deprecated sequential ask-and-feed loop —
-//! same answers, same warehouse — for any subset and order of questions,
-//! and the answer cache must invalidate when feedback mutates the
-//! warehouse.
+//! indistinguishable from a sequential answer-then-feed loop over the
+//! read path — same answers, same warehouse — for any subset and order
+//! of questions, and the answer cache must invalidate when feedback
+//! mutates the warehouse.
 
 use dwqa_bench::{build_fixture, daily_questions, monthly_question, FixtureConfig};
 use dwqa_common::{Date, Month};
@@ -79,10 +79,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     /// `submit_batch(qs)` leaves the warehouse in the same state and
-    /// returns the same answers as the deprecated sequential
-    /// `ask_and_feed`, for any subset of the pool and any order.
+    /// returns the same answers as the sequential answer-then-feed loop
+    /// over the read path, for any subset of the pool and any order.
     #[test]
-    fn submit_batch_equals_sequential_ask_and_feed(
+    fn submit_batch_equals_sequential_answer_then_feed(
         subset in proptest::sample::subsequence(question_pool(), 1..=8),
         seed in 0u64..1_000_000,
     ) {
@@ -94,12 +94,17 @@ proptest! {
         let engine = QaEngine::new(&concurrent).with_workers(4);
         let report = concurrent.submit_batch_with(&engine, &batch);
 
-        // Sequential reference path.
+        // Sequential reference path: one question at a time through the
+        // read path, each answer set fed before the next question runs.
         let mut sequential = small_fixture();
-        #[allow(deprecated)]
+        let read = sequential.read_path();
         let expected: Vec<Vec<dwqa_qa::Answer>> = batch
             .iter()
-            .map(|q| sequential.ask_and_feed(q).0)
+            .map(|q| {
+                let answers = read.answer(q);
+                sequential.apply_feedback(&answers);
+                answers
+            })
             .collect();
 
         prop_assert_eq!(&report.answers, &expected);

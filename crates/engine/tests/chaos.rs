@@ -65,6 +65,7 @@ fn fast_policy() -> RetryPolicy {
         .max_backoff(Duration::from_millis(1))
         .breaker_cooldown(Duration::from_millis(5))
         .build()
+        .unwrap()
 }
 
 proptest! {

@@ -3,6 +3,7 @@
 
 use crate::source::{DocumentSource, Fetched, SourceError, SourceHealth};
 use crate::{hash_str, mix, unit_float};
+use dwqa_common::ConfigError;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,7 +13,8 @@ use std::time::{Duration, Instant};
 ///
 /// Defaults: 4 attempts, 1 ms base backoff doubling to a 50 ms cap with
 /// ±50% seeded jitter; breaker opens after 5 consecutive failures and
-/// half-opens after a 100 ms cooldown. Tune via [`RetryPolicy::builder`].
+/// half-opens after a 100 ms cooldown. Tune via [`RetryPolicy::builder`];
+/// ranges are validated at `build()` (the workspace builder convention).
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Total attempts per fetch (1 = no retries).
@@ -57,6 +59,48 @@ impl RetryPolicy {
         }
     }
 
+    /// Checks every knob's range (the workspace builder convention:
+    /// validation happens once at `build()`, not at first use).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_attempts == 0 {
+            return Err(ConfigError::new(
+                "max_attempts",
+                "must attempt at least once (got 0)",
+            ));
+        }
+        if self.multiplier < 1.0 || !self.multiplier.is_finite() {
+            return Err(ConfigError::new(
+                "multiplier",
+                format!(
+                    "backoff growth must be a finite factor >= 1.0 (got {})",
+                    self.multiplier
+                ),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err(ConfigError::new(
+                "jitter",
+                format!("jitter fraction must lie in [0, 1] (got {})", self.jitter),
+            ));
+        }
+        if self.max_backoff < self.base_backoff {
+            return Err(ConfigError::new(
+                "max_backoff",
+                format!(
+                    "cap ({:?}) must be at least the base backoff ({:?})",
+                    self.max_backoff, self.base_backoff
+                ),
+            ));
+        }
+        if self.breaker_threshold == 0 {
+            return Err(ConfigError::new(
+                "breaker_threshold",
+                "must tolerate at least 1 failure before tripping (got 0)",
+            ));
+        }
+        Ok(())
+    }
+
     /// The backoff before retry number `retry` (1-based), jittered and
     /// capped. Deterministic in (seed, url, retry).
     fn backoff(&self, url: &str, retry: u32) -> Duration {
@@ -79,9 +123,9 @@ pub struct RetryPolicyBuilder {
 }
 
 impl RetryPolicyBuilder {
-    /// Total attempts per fetch (clamped to at least 1).
+    /// Total attempts per fetch (must be at least 1).
     pub fn max_attempts(mut self, n: u32) -> Self {
-        self.policy.max_attempts = n.max(1);
+        self.policy.max_attempts = n;
         self
     }
 
@@ -97,22 +141,23 @@ impl RetryPolicyBuilder {
         self
     }
 
-    /// Backoff growth factor (clamped to at least 1.0).
+    /// Backoff growth factor (must be at least 1.0).
     pub fn multiplier(mut self, m: f64) -> Self {
-        self.policy.multiplier = m.max(1.0);
+        self.policy.multiplier = m;
         self
     }
 
     /// Jitter fraction in `[0, 1]` and the seed of its stream.
     pub fn jitter(mut self, fraction: f64, seed: u64) -> Self {
-        self.policy.jitter = fraction.clamp(0.0, 1.0);
+        self.policy.jitter = fraction;
         self.policy.jitter_seed = seed;
         self
     }
 
-    /// Consecutive failures that trip a URL's breaker open.
+    /// Consecutive failures that trip a URL's breaker open (must be at
+    /// least 1).
     pub fn breaker_threshold(mut self, n: u32) -> Self {
-        self.policy.breaker_threshold = n.max(1);
+        self.policy.breaker_threshold = n;
         self
     }
 
@@ -122,9 +167,10 @@ impl RetryPolicyBuilder {
         self
     }
 
-    /// Finishes the build.
-    pub fn build(self) -> RetryPolicy {
-        self.policy
+    /// Finishes the build, validating every knob's range.
+    pub fn build(self) -> Result<RetryPolicy, ConfigError> {
+        self.policy.validate()?;
+        Ok(self.policy)
     }
 }
 
@@ -378,6 +424,7 @@ mod tests {
             .breaker_threshold(2)
             .breaker_cooldown(Duration::from_millis(20))
             .build()
+            .unwrap()
     }
 
     #[test]
@@ -529,7 +576,8 @@ mod tests {
         let policy = RetryPolicy::builder()
             .max_attempts(1000)
             .base_backoff(Duration::from_millis(1))
-            .build();
+            .build()
+            .unwrap();
         let src = ResilientSource::new(Slow, policy);
         let deadline = Instant::now() + Duration::from_millis(30);
         let start = Instant::now();
@@ -551,7 +599,8 @@ mod tests {
             .max_backoff(Duration::from_millis(20))
             .multiplier(2.0)
             .jitter(0.5, 99)
-            .build();
+            .build()
+            .unwrap();
         let b1 = policy.backoff("u", 1);
         let b2 = policy.backoff("u", 2);
         let b5 = policy.backoff("u", 5);
@@ -565,16 +614,32 @@ mod tests {
     }
 
     #[test]
-    fn builder_clamps_degenerate_knobs() {
-        let p = RetryPolicy::builder()
-            .max_attempts(0)
-            .multiplier(0.1)
-            .jitter(7.0, 1)
-            .breaker_threshold(0)
-            .build();
-        assert_eq!(p.max_attempts, 1);
-        assert!(p.multiplier >= 1.0);
-        assert!(p.jitter <= 1.0);
-        assert_eq!(p.breaker_threshold, 1);
+    fn builder_rejects_degenerate_knobs_at_build() {
+        let cases: Vec<(&str, Result<RetryPolicy, dwqa_common::ConfigError>)> = vec![
+            (
+                "max_attempts",
+                RetryPolicy::builder().max_attempts(0).build(),
+            ),
+            ("multiplier", RetryPolicy::builder().multiplier(0.1).build()),
+            ("jitter", RetryPolicy::builder().jitter(7.0, 1).build()),
+            (
+                "breaker_threshold",
+                RetryPolicy::builder().breaker_threshold(0).build(),
+            ),
+            (
+                "max_backoff",
+                RetryPolicy::builder()
+                    .base_backoff(Duration::from_millis(100))
+                    .max_backoff(Duration::from_millis(1))
+                    .build(),
+            ),
+        ];
+        for (field, result) in cases {
+            let err = result.expect_err(field);
+            assert_eq!(err.field, field, "{err}");
+        }
+        // The defaults themselves pass validation.
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy::builder().build().is_ok());
     }
 }

@@ -13,7 +13,7 @@ use crate::tagger::TaggedToken;
 use dwqa_common::{Date, Month};
 
 /// Temperature scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum TempUnit {
     /// Degrees Celsius.
     Celsius,

@@ -52,3 +52,30 @@ pub const SOURCE_BREAKER_TRIPS: &str = "source.breaker.trips";
 pub const SOURCE_BREAKER_REJECTIONS: &str = "source.breaker.rejections";
 /// Gauge: fetches that exhausted every attempt.
 pub const SOURCE_FAILURES: &str = "source.failures";
+
+/// Counter: requests received by the QA service, every kind and
+/// disposition (`dwqa-server`).
+pub const SERVER_REQUESTS: &str = "server.requests";
+/// Counter: work requests admitted into the service queue.
+pub const SERVER_ADMITTED: &str = "server.admitted";
+/// Counter: work requests shed with `busy` because the admission queue
+/// was at capacity.
+pub const SERVER_SHED: &str = "server.shed";
+/// Counter: work requests rejected by a client's token bucket.
+pub const SERVER_RATE_LIMITED: &str = "server.rate_limited";
+/// Counter: work requests rejected because the server was draining.
+pub const SERVER_DRAINED: &str = "server.drained";
+/// Counter: admitted requests completed (response written).
+pub const SERVER_COMPLETED: &str = "server.completed";
+/// Counter: request lines that failed to parse or validate.
+pub const SERVER_PROTOCOL_ERRORS: &str = "server.protocol_errors";
+/// Histogram: admission-to-dispatch queue wait per admitted request.
+pub const SERVER_QUEUE_WAIT: &str = "server.queue.wait";
+/// Gauge: work requests currently queued (admitted, not yet running).
+pub const SERVER_QUEUE_DEPTH: &str = "server.queue.depth";
+/// Gauge: connected clients.
+pub const SERVER_CLIENTS: &str = "server.clients";
+/// Histogram: admission-to-response-written latency per admitted
+/// request (queue wait + execution), the service-side view of what an
+/// admitted client experiences.
+pub const SERVER_SERVICE_TIME: &str = "server.service_time";

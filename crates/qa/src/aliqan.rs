@@ -4,6 +4,7 @@ use crate::analysis::{analyze_question, QuestionAnalysis};
 use crate::extraction::{extract_answers, Answer};
 use crate::index::QaIndex;
 use crate::patterns::{default_patterns, QuestionPattern};
+use dwqa_common::ConfigError;
 use dwqa_ir::{DocumentStore, Passage, PassageRetriever};
 use dwqa_nlp::{analyze_sentence, render_annotated, Lexicon};
 use dwqa_ontology::Ontology;
@@ -44,15 +45,50 @@ impl AliQAnConfig {
             config: AliQAnConfig::default(),
         }
     }
+
+    /// Checks every knob's range (the workspace builder convention:
+    /// validation happens once at `build()`, not at first use).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.passage_window == 0 {
+            return Err(ConfigError::new(
+                "passage_window",
+                "must be at least 1 sentence (got 0)",
+            ));
+        }
+        if self.passages_k == 0 {
+            return Err(ConfigError::new(
+                "passages_k",
+                "must hand at least 1 passage to Module 3 (got 0)",
+            ));
+        }
+        if self.answers_k == 0 {
+            return Err(ConfigError::new(
+                "answers_k",
+                "must return at least 1 answer (got 0)",
+            ));
+        }
+        if self.index_threads == 0 {
+            return Err(ConfigError::new(
+                "index_threads",
+                "must use at least 1 indexation thread (got 0)",
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Builder for [`AliQAnConfig`].
 ///
 /// ```
 /// use dwqa_qa::AliQAnConfig;
-/// let config = AliQAnConfig::builder().passage_window(4).answers_k(3).build();
+/// let config = AliQAnConfig::builder()
+///     .passage_window(4)
+///     .answers_k(3)
+///     .build()
+///     .unwrap();
 /// assert_eq!(config.passage_window, 4);
 /// assert_eq!(config.answers_k, 3);
+/// assert!(AliQAnConfig::builder().passage_window(0).build().is_err());
 /// ```
 #[derive(Debug, Clone)]
 pub struct AliQAnConfigBuilder {
@@ -84,9 +120,10 @@ impl AliQAnConfigBuilder {
         self
     }
 
-    /// Finishes the builder.
-    pub fn build(self) -> AliQAnConfig {
-        self.config
+    /// Finishes the builder, validating every knob's range.
+    pub fn build(self) -> Result<AliQAnConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 

@@ -25,7 +25,7 @@ use std::fmt;
 pub const TEMP_RANGE_C: (f64, f64) = (-90.0, 60.0);
 
 /// A typed answer value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum AnswerValue {
     /// A temperature (normalised to Celsius, original reading kept).
     Temperature {
@@ -75,7 +75,7 @@ impl fmt::Display for AnswerValue {
 }
 
 /// An extracted answer with provenance.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Answer {
     /// The typed value.
     pub value: AnswerValue,

@@ -1,0 +1,208 @@
+//! Service tunables, built through a validating builder.
+//!
+//! Follows the workspace builder convention (DESIGN.md §11): setters
+//! take raw values, [`ServerConfigBuilder::build`] validates every
+//! range and returns `Result<ServerConfig, ConfigError>` naming the
+//! offending field. Nothing is silently clamped.
+
+use dwqa_common::ConfigError;
+use std::time::Duration;
+
+/// Tunables for [`crate::QaServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Worker threads executing admitted work items (also the engine's
+    /// worker-pool width for feedback batches).
+    pub workers: usize,
+    /// Maximum admitted-but-not-running work items across all clients.
+    /// Admissions beyond this are shed with a `busy` response.
+    pub queue_capacity: usize,
+    /// Per-client token-bucket burst: requests a client may issue
+    /// back-to-back before the refill rate applies.
+    pub rate_burst: u32,
+    /// Per-client token refill rate, tokens (requests) per second.
+    pub rate_per_sec: f64,
+    /// Default per-question wall-clock budget applied when a request
+    /// carries no `deadline_ms` of its own. `None` means unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Base retry-after hint attached to shed responses; scaled by how
+    /// many queue slots each worker would have to clear first.
+    pub shed_retry_after: Duration,
+    /// How long a drain waits for admitted work before abandoning the
+    /// remainder and shutting the worker pool down.
+    pub drain_grace: Duration,
+    /// Maximum questions accepted in one `batch` / `feedback` request.
+    pub max_batch: usize,
+    /// Answer-cache capacity for the service's engine (questions).
+    pub cache_capacity: usize,
+    /// Record per-request and per-question spans into the engine's
+    /// flight recorder.
+    pub tracing: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 32,
+            rate_burst: 32,
+            rate_per_sec: 64.0,
+            default_deadline: None,
+            shed_retry_after: Duration::from_millis(25),
+            drain_grace: Duration::from_secs(10),
+            max_batch: 64,
+            cache_capacity: dwqa_engine::DEFAULT_CACHE_CAPACITY,
+            tracing: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+
+    /// Validates every knob, naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::new("workers", "must be at least 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::new("queue_capacity", "must be at least 1"));
+        }
+        if self.rate_burst == 0 {
+            return Err(ConfigError::new("rate_burst", "must be at least 1"));
+        }
+        if !self.rate_per_sec.is_finite() || self.rate_per_sec <= 0.0 {
+            return Err(ConfigError::new(
+                "rate_per_sec",
+                "must be finite and positive",
+            ));
+        }
+        if self.shed_retry_after.is_zero() {
+            return Err(ConfigError::new("shed_retry_after", "must be non-zero"));
+        }
+        if self.drain_grace.is_zero() {
+            return Err(ConfigError::new("drain_grace", "must be non-zero"));
+        }
+        if self.max_batch == 0 {
+            return Err(ConfigError::new("max_batch", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServerConfig`]; `build()` validates.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Worker threads executing admitted work.
+    pub fn workers(mut self, workers: usize) -> ServerConfigBuilder {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Maximum queued (admitted, not yet running) work items.
+    pub fn queue_capacity(mut self, capacity: usize) -> ServerConfigBuilder {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Per-client token-bucket burst size.
+    pub fn rate_burst(mut self, burst: u32) -> ServerConfigBuilder {
+        self.config.rate_burst = burst;
+        self
+    }
+
+    /// Per-client token refill rate (requests per second).
+    pub fn rate_per_sec(mut self, rate: f64) -> ServerConfigBuilder {
+        self.config.rate_per_sec = rate;
+        self
+    }
+
+    /// Default per-question deadline for requests that set none.
+    pub fn default_deadline(mut self, deadline: Option<Duration>) -> ServerConfigBuilder {
+        self.config.default_deadline = deadline;
+        self
+    }
+
+    /// Base retry-after hint for shed responses.
+    pub fn shed_retry_after(mut self, hint: Duration) -> ServerConfigBuilder {
+        self.config.shed_retry_after = hint;
+        self
+    }
+
+    /// Drain grace period for in-flight work.
+    pub fn drain_grace(mut self, grace: Duration) -> ServerConfigBuilder {
+        self.config.drain_grace = grace;
+        self
+    }
+
+    /// Maximum questions per `batch` / `feedback` request.
+    pub fn max_batch(mut self, max: usize) -> ServerConfigBuilder {
+        self.config.max_batch = max;
+        self
+    }
+
+    /// Answer-cache capacity (0 disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> ServerConfigBuilder {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Record request/question spans into the flight recorder.
+    pub fn tracing(mut self, on: bool) -> ServerConfigBuilder {
+        self.config.tracing = on;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServerConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn degenerate_knobs_are_rejected_at_build_naming_the_field() {
+        let cases: [(&str, ServerConfigBuilder); 6] = [
+            ("workers", ServerConfig::builder().workers(0)),
+            ("queue_capacity", ServerConfig::builder().queue_capacity(0)),
+            ("rate_burst", ServerConfig::builder().rate_burst(0)),
+            (
+                "rate_per_sec",
+                ServerConfig::builder().rate_per_sec(f64::NAN),
+            ),
+            (
+                "drain_grace",
+                ServerConfig::builder().drain_grace(Duration::ZERO),
+            ),
+            ("max_batch", ServerConfig::builder().max_batch(0)),
+        ];
+        for (field, builder) in cases {
+            let err = builder.build().unwrap_err();
+            assert_eq!(err.field, field, "{err}");
+        }
+    }
+
+    #[test]
+    fn zero_cache_capacity_is_legal() {
+        let cfg = ServerConfig::builder().cache_capacity(0).build().unwrap();
+        assert_eq!(cfg.cache_capacity, 0);
+    }
+}

@@ -67,7 +67,8 @@ fn pipeline(store: DocumentStore, skip_enrichment: bool) -> IntegrationPipeline 
         store,
         PipelineOptions::builder()
             .skip_enrichment(skip_enrichment)
-            .build(),
+            .build()
+            .unwrap(),
     )
 }
 
