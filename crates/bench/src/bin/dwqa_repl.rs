@@ -16,6 +16,11 @@
 //!   rollbacks);
 //! * `:chaos <rate>` — route document acquisition through a seeded fault
 //!   injector at the given transient-error rate (0 disables);
+//! * `:persist <path>` — attach a durable feedback store at `path`:
+//!   recovers any existing checkpoint + WAL first, then WAL-logs every
+//!   committed feed before acknowledging it;
+//! * `:recover <path>` — alias of `:persist` that reads more naturally
+//!   after a crash: replay the store at `path` into this session;
 //! * `:serve <port>` — hand the pipeline to a `dwqa-server` and serve
 //!   the JSON-lines protocol on `127.0.0.1:<port>` until a client
 //!   sends `drain` (the REPL exits once the drain completes);
@@ -51,7 +56,8 @@ fn main() {
     println!(
         "Ready: {} documents indexed, {} ontology instances fed, {} sales rows.\n\
          Ask a question (e.g. \"What is the temperature on January 15, 2004 in Barcelona?\"),\n\
-         or :trace [question] / :bands / :missing / :stats / :chaos <rate> / :serve <port> / :quit.",
+         or :trace [question] / :bands / :missing / :stats / :chaos <rate> / :persist <path>\n\
+         / :recover <path> / :serve <port> / :quit.",
         fx.corpus_size,
         fx.pipeline.enrichment.instances_added,
         fx.pipeline
@@ -141,6 +147,49 @@ fn main() {
                     None => println!("no indexed corpus to inject faults into"),
                 },
                 Err(_) => println!("usage: :chaos <rate between 0 and 1>"),
+            }
+            continue;
+        }
+        let persist = line
+            .strip_prefix(":persist ")
+            .or_else(|| line.strip_prefix(":recover "));
+        if let Some(path) = persist {
+            let path = path.trim();
+            if path.is_empty() {
+                println!("usage: :persist <directory>  (or :recover <directory>)");
+                continue;
+            }
+            match fx.pipeline.attach_store_at(path) {
+                Ok(report) => {
+                    if report.checkpoint_loaded || report.transactions_replayed > 0 {
+                        println!(
+                            "recovered from {path}: checkpoint {}, {} transaction(s) replayed, \
+                             {} row(s) loaded (generation {})",
+                            if report.checkpoint_loaded {
+                                "loaded"
+                            } else {
+                                "absent"
+                            },
+                            report.transactions_replayed,
+                            report.rows_loaded,
+                            report.generation,
+                        );
+                    } else {
+                        println!("durable store attached at {path} (fresh)");
+                    }
+                    if report.torn_bytes > 0
+                        || report.stale_skipped > 0
+                        || report.duplicates_skipped > 0
+                    {
+                        println!(
+                            "  WAL hygiene: {} torn byte(s) truncated, {} stale record(s) \
+                             skipped, {} duplicate(s) skipped",
+                            report.torn_bytes, report.stale_skipped, report.duplicates_skipped,
+                        );
+                    }
+                    println!("  feeds are now WAL-logged before being acknowledged");
+                }
+                Err(e) => println!("cannot attach store at {path}: {e}"),
             }
             continue;
         }

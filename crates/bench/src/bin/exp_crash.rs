@@ -1,0 +1,474 @@
+//! E15 — crash recovery of the durable warehouse under injected torn
+//! writes.
+//!
+//! Three sections:
+//!
+//! 1. **Fsync-policy overhead** — raw WAL append latency for the same
+//!    transaction payloads under `Always` / `EveryN(8)` / `Never`, with
+//!    the actual fsync counts, quantifying what the durability
+//!    guarantee costs per acknowledged feed.
+//! 2. **Crash-point sweep** — a seeded kill at every interesting point
+//!    of the write path (mid-record, bit-flipped tail, failed fsync,
+//!    duplicated record, mid-checkpoint, post-checkpoint before the WAL
+//!    truncate, clean post-fsync kill). After every crash, recovery
+//!    must reproduce **exactly** the acknowledged-transaction prefix:
+//!    the recovered warehouse serializes byte-identically to the
+//!    in-memory state the survivors committed.
+//! 3. **Chaos run** — every feed routed through a seeded
+//!    [`TornPlan::chaos`] mix; each wedge is recovered in place and the
+//!    invariant re-checked, then the retry continues under a reseeded
+//!    plan.
+//!
+//! Override the fault seed with `DWQA_CRASH_SEED` (CI derives one from
+//! the run number). Usage: `exp_crash [--quick] [--out PATH]`
+
+use dwqa_bench::{build_fixture, daily_questions, section, FixtureConfig};
+use dwqa_common::Month;
+use dwqa_core::durability::{encode_transaction, LoggedTransaction};
+use dwqa_core::IntegrationPipeline;
+use dwqa_corpus::PageStyle;
+use dwqa_qa::Answer;
+use dwqa_store::{FeedbackStore, FsyncPolicy, StoreConfig, TornPlan};
+use dwqa_warehouse::WarehouseSnapshot;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn crash_seed() -> u64 {
+    match std::env::var("DWQA_CRASH_SEED") {
+        Ok(v) => v.parse().unwrap_or(0xC4A57),
+        Err(_) => 0xC4A57,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dwqa-exp-crash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+    dir
+}
+
+#[derive(Serialize)]
+struct FsyncPoint {
+    policy: String,
+    appends: usize,
+    payload_bytes: usize,
+    p50_us: u64,
+    p95_us: u64,
+    total_ms: f64,
+    fsyncs: u64,
+}
+
+#[derive(Serialize)]
+struct CrashScenario {
+    name: &'static str,
+    acknowledged: usize,
+    feed_failed: bool,
+    recovery_us: u64,
+    transactions_replayed: usize,
+    rows_recovered: usize,
+    torn_bytes: u64,
+    stale_skipped: u64,
+    duplicates_skipped: u64,
+    byte_identical: bool,
+}
+
+#[derive(Serialize)]
+struct ChaosReport {
+    seed: u64,
+    rate: f64,
+    transactions: usize,
+    acknowledged: usize,
+    wedges: usize,
+    recoveries: usize,
+    all_recoveries_byte_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    experiment: &'static str,
+    quick: bool,
+    seed: u64,
+    fsync: Vec<FsyncPoint>,
+    scenarios: Vec<CrashScenario>,
+    chaos: ChaosReport,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Raw store-level append latency per fsync policy, same payloads.
+fn fsync_phase(payload: &[u8], appends: usize) -> Vec<FsyncPoint> {
+    use dwqa_obs::MetricsRegistry;
+    use std::sync::Arc;
+
+    let mut points = Vec::new();
+    for (name, policy) in [
+        ("always", FsyncPolicy::Always),
+        ("every8", FsyncPolicy::EveryN(8)),
+        ("never", FsyncPolicy::Never),
+    ] {
+        let dir = scratch(&format!("fsync-{name}"));
+        let config = StoreConfig::builder()
+            .fsync(policy)
+            .checkpoint_every(None)
+            .build()
+            .unwrap_or_else(|e| panic!("store config: {e}"));
+        let (mut store, _) =
+            FeedbackStore::open(&dir, config).unwrap_or_else(|e| panic!("open: {e}"));
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut lat_us: Vec<u64> = Vec::with_capacity(appends);
+        let start = Instant::now();
+        {
+            let _obs = dwqa_obs::observe(Some(Arc::clone(&registry)), None, "bench", name);
+            for _ in 0..appends {
+                let t = Instant::now();
+                store
+                    .append(payload)
+                    .unwrap_or_else(|e| panic!("append: {e}"));
+                lat_us.push(t.elapsed().as_micros() as u64);
+            }
+        }
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        lat_us.sort_unstable();
+        let point = FsyncPoint {
+            policy: name.to_owned(),
+            appends,
+            payload_bytes: payload.len(),
+            p50_us: percentile(&lat_us, 0.50),
+            p95_us: percentile(&lat_us, 0.95),
+            total_ms,
+            fsyncs: registry.counter_value(dwqa_obs::names::STORE_WAL_FSYNCS),
+        };
+        println!(
+            "  {:7}: p50 {:>5} µs, p95 {:>5} µs, {:>4} fsync(s) over {} appends ({:.1} ms)",
+            point.policy, point.p50_us, point.p95_us, point.fsyncs, appends, total_ms
+        );
+        points.push(point);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    points
+}
+
+/// What to break, and when, during one crash-point scenario.
+struct Crash {
+    name: &'static str,
+    /// Torn plan installed before feeding transaction `fault_at`.
+    plan: Option<TornPlan>,
+    fault_at: Option<usize>,
+    /// Post-feed file surgery simulating a kill inside the checkpoint
+    /// protocol ("tmp" = garbage checkpoint.tmp; "before-truncate" =
+    /// checkpoint then restore the pre-checkpoint WAL bytes).
+    surgery: Option<&'static str>,
+}
+
+fn run_scenario(
+    pipeline: &mut IntegrationPipeline,
+    seed_snap: &WarehouseSnapshot,
+    batches: &[Vec<Answer>],
+    crash: &Crash,
+) -> CrashScenario {
+    // Reset to the seed state and a fresh store directory.
+    drop(pipeline.detach_store());
+    pipeline
+        .restore_warehouse(seed_snap)
+        .unwrap_or_else(|e| panic!("reset: {e}"));
+    let dir = scratch(crash.name);
+    pipeline
+        .attach_store_at(&dir)
+        .unwrap_or_else(|e| panic!("attach: {e}"));
+
+    let mut acknowledged = 0;
+    let mut feed_failed = false;
+    for (i, batch) in batches.iter().enumerate() {
+        let plan = match (crash.fault_at, crash.plan) {
+            (Some(at), Some(plan)) if i == at => Some(plan),
+            _ => None,
+        };
+        pipeline
+            .store_mut()
+            .unwrap_or_else(|| unreachable!())
+            .set_torn(plan);
+        match pipeline.try_apply_feedback(batch) {
+            Ok(_) => acknowledged += 1,
+            Err(_) => {
+                feed_failed = true;
+                break; // the store is wedged: the process is "dead"
+            }
+        }
+    }
+
+    // The pipeline's own memory holds exactly the committed prefix
+    // (failed transactions rolled back) — that is recovery's target.
+    let expected_json = pipeline.warehouse.to_json();
+    let store = pipeline.store().unwrap_or_else(|| unreachable!());
+    let (wal, ckpt_tmp) = (store.wal_path(), store.checkpoint_tmp_path());
+    match crash.surgery {
+        Some("tmp") => {
+            // Killed mid-checkpoint: a partial tmp file, never renamed.
+            drop(pipeline.detach_store());
+            std::fs::write(&ckpt_tmp, b"partial checkpoint garbage")
+                .unwrap_or_else(|e| panic!("surgery: {e}"));
+        }
+        Some("before-truncate") => {
+            // Killed between the checkpoint rename and the WAL
+            // truncate: new-generation checkpoint, old WAL bytes.
+            let old_wal = std::fs::read(&wal).unwrap_or_else(|e| panic!("read wal: {e}"));
+            pipeline
+                .checkpoint_now()
+                .unwrap_or_else(|e| panic!("checkpoint: {e}"));
+            drop(pipeline.detach_store());
+            std::fs::write(&wal, old_wal).unwrap_or_else(|e| panic!("surgery: {e}"));
+        }
+        _ => drop(pipeline.detach_store()),
+    }
+
+    // "Restart": back to the seed state, recover from disk alone.
+    pipeline
+        .restore_warehouse(seed_snap)
+        .unwrap_or_else(|e| panic!("reset: {e}"));
+    let t = Instant::now();
+    let report = pipeline
+        .attach_store_at(&dir)
+        .unwrap_or_else(|e| panic!("recovery: {e}"));
+    let recovery_us = t.elapsed().as_micros() as u64;
+    let byte_identical = pipeline.warehouse.to_json() == expected_json;
+    let _ = std::fs::remove_dir_all(&dir);
+    CrashScenario {
+        name: crash.name,
+        acknowledged,
+        feed_failed,
+        recovery_us,
+        transactions_replayed: report.transactions_replayed,
+        rows_recovered: report.rows_loaded,
+        torn_bytes: report.torn_bytes,
+        stale_skipped: report.stale_skipped,
+        duplicates_skipped: report.duplicates_skipped,
+        byte_identical,
+    }
+}
+
+fn chaos_phase(
+    pipeline: &mut IntegrationPipeline,
+    seed_snap: &WarehouseSnapshot,
+    batches: &[Vec<Answer>],
+    seed: u64,
+) -> ChaosReport {
+    const RATE: f64 = 0.3;
+    drop(pipeline.detach_store());
+    pipeline
+        .restore_warehouse(seed_snap)
+        .unwrap_or_else(|e| panic!("reset: {e}"));
+    let dir = scratch("chaos");
+    let config = StoreConfig::builder()
+        .checkpoint_every(Some(8))
+        .build()
+        .unwrap_or_else(|e| panic!("store config: {e}"));
+    pipeline
+        .attach_store_with(&dir, config.clone())
+        .unwrap_or_else(|e| panic!("attach: {e}"));
+    pipeline
+        .store_mut()
+        .unwrap_or_else(|| unreachable!())
+        .set_torn(Some(TornPlan::chaos(seed, RATE)));
+
+    let mut acknowledged = 0;
+    let mut wedges = 0;
+    let mut recoveries = 0;
+    let mut all_identical = true;
+    for batch in batches {
+        if pipeline.try_apply_feedback(batch).is_ok() {
+            acknowledged += 1;
+            continue;
+        }
+        // Wedged mid-run: the acknowledged prefix lives in memory;
+        // recovery from disk must reproduce it byte-for-byte.
+        wedges += 1;
+        let expected = pipeline.warehouse.to_json();
+        pipeline
+            .attach_store_with(&dir, config.clone())
+            .unwrap_or_else(|e| panic!("chaos recovery: {e}"));
+        recoveries += 1;
+        all_identical &= pipeline.warehouse.to_json() == expected;
+        // Reseed so the retried sequence number rolls a fresh fault.
+        pipeline
+            .store_mut()
+            .unwrap_or_else(|| unreachable!())
+            .set_torn(Some(TornPlan::chaos(
+                seed.wrapping_add(recoveries as u64),
+                RATE,
+            )));
+        if pipeline.try_apply_feedback(batch).is_ok() {
+            acknowledged += 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    ChaosReport {
+        seed,
+        rate: RATE,
+        transactions: batches.len(),
+        acknowledged,
+        wedges,
+        recoveries,
+        all_recoveries_byte_identical: all_identical,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_crash.json", String::as_str);
+    let seed = crash_seed();
+    println!("crash seed: {seed}");
+
+    let mut fx = build_fixture(FixtureConfig {
+        styles: vec![PageStyle::Prose],
+        distractors: 4,
+        ..FixtureConfig::default()
+    });
+    let cities: &[&str] = if quick {
+        &["Barcelona"]
+    } else {
+        &["Barcelona", "Madrid", "New York"]
+    };
+    let read = fx.pipeline.read_path();
+    let batches: Vec<Vec<Answer>> = cities
+        .iter()
+        .flat_map(|city| daily_questions(city, 2004, Month::January))
+        .map(|q| read.answer(&q))
+        .filter(|answers| !answers.is_empty())
+        .collect();
+    assert!(batches.len() >= 8, "fixture yielded too few transactions");
+    let seed_snap = fx.pipeline.warehouse.snapshot();
+
+    section("E15: fsync policy overhead (raw WAL appends)");
+    let sample = LoggedTransaction {
+        batches: vec![batches[0].clone()],
+    };
+    let payload = encode_transaction(&sample).unwrap_or_else(|e| panic!("encode: {e}"));
+    let fsync = fsync_phase(&payload, if quick { 64 } else { 256 });
+
+    section("E15: crash-point sweep");
+    let fault_at = batches.len() / 2;
+    let scenarios_spec = [
+        Crash {
+            name: "clean-kill-post-fsync",
+            plan: None,
+            fault_at: None,
+            surgery: None,
+        },
+        Crash {
+            name: "kill-mid-record",
+            plan: Some(TornPlan::new(seed).with_short_write(1.0)),
+            fault_at: Some(fault_at),
+            surgery: None,
+        },
+        Crash {
+            name: "bit-flip-tail",
+            plan: Some(TornPlan::new(seed).with_bit_flip(1.0)),
+            fault_at: Some(fault_at),
+            surgery: None,
+        },
+        Crash {
+            name: "failed-fsync",
+            plan: Some(TornPlan::new(seed).with_fsync_fail(1.0)),
+            fault_at: Some(fault_at),
+            surgery: None,
+        },
+        Crash {
+            name: "duplicated-record",
+            plan: Some(TornPlan::new(seed).with_duplicate(1.0)),
+            fault_at: Some(fault_at),
+            surgery: None,
+        },
+        Crash {
+            name: "kill-mid-checkpoint",
+            plan: None,
+            fault_at: None,
+            surgery: Some("tmp"),
+        },
+        Crash {
+            name: "kill-before-wal-truncate",
+            plan: None,
+            fault_at: None,
+            surgery: Some("before-truncate"),
+        },
+    ];
+    let mut scenarios = Vec::new();
+    for crash in &scenarios_spec {
+        let outcome = run_scenario(&mut fx.pipeline, &seed_snap, &batches, crash);
+        println!(
+            "  {:26} {} acked, replay {:3}, {:5} torn B, {:2} stale, {:2} dup | \
+             recovery {:>6} µs | identical: {}",
+            outcome.name,
+            outcome.acknowledged,
+            outcome.transactions_replayed,
+            outcome.torn_bytes,
+            outcome.stale_skipped,
+            outcome.duplicates_skipped,
+            outcome.recovery_us,
+            outcome.byte_identical,
+        );
+        assert!(
+            outcome.byte_identical,
+            "{}: recovery diverged from the committed prefix",
+            outcome.name
+        );
+        scenarios.push(outcome);
+    }
+    // Spot-check that each crash point actually exercised its path.
+    let by_name = |n: &str| {
+        scenarios
+            .iter()
+            .find(|s| s.name == n)
+            .unwrap_or_else(|| unreachable!())
+    };
+    assert!(by_name("kill-mid-record").torn_bytes > 0);
+    assert!(by_name("bit-flip-tail").torn_bytes > 0);
+    assert_eq!(by_name("failed-fsync").torn_bytes, 0, "undone, not torn");
+    assert!(by_name("duplicated-record").duplicates_skipped > 0);
+    assert!(by_name("kill-before-wal-truncate").stale_skipped > 0);
+    assert!(
+        !by_name("duplicated-record").feed_failed,
+        "duplicates are benign"
+    );
+
+    section("E15: chaos run (seeded torn-write mix)");
+    let chaos = chaos_phase(&mut fx.pipeline, &seed_snap, &batches, seed);
+    println!(
+        "  {} transactions: {} acked, {} wedge(s), {} recover(ies), all identical: {}",
+        chaos.transactions,
+        chaos.acknowledged,
+        chaos.wedges,
+        chaos.recoveries,
+        chaos.all_recoveries_byte_identical
+    );
+    assert!(chaos.all_recoveries_byte_identical);
+    assert!(
+        chaos.acknowledged > 0,
+        "chaos at rate {} should still commit work",
+        chaos.rate
+    );
+
+    let report = BenchReport {
+        experiment: "crash_recovery",
+        quick,
+        seed,
+        fsync,
+        scenarios,
+        chaos,
+    };
+    let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| panic!("json: {e}"));
+    std::fs::write(out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+    println!("E15 PASS: recovery reproduced the acknowledged prefix at every crash point");
+}

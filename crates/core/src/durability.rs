@@ -1,0 +1,212 @@
+//! Durable feedback: the payloads `dwqa-core` writes through
+//! [`dwqa_store::FeedbackStore`], and the recovery report the pipeline
+//! returns when a store is attached.
+//!
+//! The store itself is payload-agnostic (opaque bytes); this module
+//! owns the two payload shapes:
+//!
+//! * [`LoggedTransaction`] — one committed feed transaction (the exact
+//!   answer batches), appended to the WAL *before* the commit is
+//!   acknowledged;
+//! * [`DurableCheckpoint`] — the full recovery base: a
+//!   `WarehouseSnapshot` plus the `(city, date)` dedup set, written on
+//!   checkpoint so replaying the WAL suffix reproduces the in-memory
+//!   state exactly (including which duplicate points get skipped).
+
+use crate::feedback::FeedError;
+use dwqa_common::Date;
+use dwqa_qa::Answer;
+use dwqa_warehouse::{Value, Warehouse, WarehouseSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One committed feedback transaction, exactly as fed: the per-question
+/// answer batches of a [`crate::IntegrationPipeline::feed_batch`] call.
+///
+/// Every committed transaction is logged — even one that loaded zero
+/// rows — because the `(city, date)` dedup set can still grow on a
+/// zero-row commit (points whose rows the ETL later rejected), and
+/// replay must reproduce that set exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggedTransaction {
+    /// The answer batches, in feed order.
+    pub batches: Vec<Vec<Answer>>,
+}
+
+/// The checkpoint payload: everything recovery needs as a base state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurableCheckpoint {
+    /// The warehouse contents at checkpoint time.
+    pub warehouse: WarehouseSnapshot,
+    /// The fed-point dedup set, sorted for deterministic bytes.
+    pub fed_points: Vec<(String, Date)>,
+}
+
+/// What [`crate::IntegrationPipeline::attach_store_at`] found and
+/// replayed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RecoveryReport {
+    /// True when a checkpoint existed and became the base state
+    /// (replacing the in-memory warehouse).
+    pub checkpoint_loaded: bool,
+    /// Committed WAL transactions replayed on top of the base.
+    pub transactions_replayed: usize,
+    /// Warehouse rows loaded by the replay.
+    pub rows_loaded: usize,
+    /// Bytes truncated from the WAL tail as torn.
+    pub torn_bytes: u64,
+    /// Records skipped as a stale (pre-checkpoint) generation.
+    pub stale_skipped: u64,
+    /// Records skipped as duplicated sequence numbers.
+    pub duplicates_skipped: u64,
+    /// Store generation after recovery.
+    pub generation: u64,
+}
+
+fn durability(what: &str) -> impl FnOnce(String) -> FeedError + '_ {
+    move |why| FeedError::Durability(format!("{what}: {why}"))
+}
+
+/// Serializes a transaction for the WAL.
+pub fn encode_transaction(txn: &LoggedTransaction) -> Result<Vec<u8>, FeedError> {
+    serde_json::to_string(txn)
+        .map(String::into_bytes)
+        .map_err(|e| durability("serialize logged transaction")(e.to_string()))
+}
+
+/// Deserializes a WAL record payload.
+pub fn decode_transaction(payload: &[u8]) -> Result<LoggedTransaction, FeedError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| durability("decode logged transaction")(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| durability("decode logged transaction")(e.to_string()))
+}
+
+/// Serializes the checkpoint payload (snapshot + sorted dedup set).
+pub fn encode_checkpoint_payload(
+    warehouse: &Warehouse,
+    fed_points: &HashSet<(String, Date)>,
+) -> Result<Vec<u8>, FeedError> {
+    let mut points: Vec<(String, Date)> = fed_points.iter().cloned().collect();
+    points.sort();
+    let checkpoint = DurableCheckpoint {
+        warehouse: warehouse.snapshot(),
+        fed_points: points,
+    };
+    serde_json::to_string(&checkpoint)
+        .map(String::into_bytes)
+        .map_err(|e| durability("serialize checkpoint")(e.to_string()))
+}
+
+/// Deserializes a checkpoint payload.
+pub fn decode_checkpoint_payload(payload: &[u8]) -> Result<DurableCheckpoint, FeedError> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| durability("decode checkpoint")(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| durability("decode checkpoint")(e.to_string()))
+}
+
+/// Reconstructs the `(city, date)` dedup set from the `City Weather`
+/// fact of a restored warehouse — used when a bare snapshot (no
+/// checkpointed dedup set) is restored. Points whose rows the ETL
+/// rejected are unrecoverable from the fact alone, so this is the
+/// conservative floor: everything that *is* in the warehouse is marked
+/// fed.
+pub fn fed_points_from(warehouse: &Warehouse) -> HashSet<(String, Date)> {
+    let mut points = HashSet::new();
+    let Ok(fact) = warehouse.fact("City Weather") else {
+        return points;
+    };
+    let (Ok(city_role), Ok(date_role)) = (fact.role_index("City"), fact.role_index("Date")) else {
+        return points;
+    };
+    let (Ok(cities), Ok(dates)) = (warehouse.dimension("City"), warehouse.dimension("Date")) else {
+        return points;
+    };
+    for row in 0..fact.len() {
+        let city_key = fact.role_key(row, city_role);
+        let date_key = fact.role_key(row, date_role);
+        let (Ok(Value::Text(city)), Ok(Value::Date(date))) = (
+            cities.attribute_value(city_key, "City.city_name"),
+            dates.attribute_value(date_key, "date"),
+        ) else {
+            continue;
+        };
+        points.insert((dwqa_common::text::fold(&city), date));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::TemperatureAxioms;
+    use crate::feedback::feed_weather_dedup;
+    use crate::schema::integrated_schema;
+    use dwqa_nlp::TempUnit;
+    use dwqa_qa::AnswerValue;
+
+    fn answer(celsius: f64, day: u32, city: &str) -> Answer {
+        Answer {
+            value: AnswerValue::Temperature {
+                celsius,
+                raw: celsius,
+                unit: TempUnit::Celsius,
+            },
+            score: 1.0,
+            url: "url".to_owned(),
+            sentence: String::new(),
+            context_date: Date::from_ymd(2004, 1, day),
+            context_location: Some(city.to_owned()),
+        }
+    }
+
+    #[test]
+    fn transaction_payload_round_trips() {
+        let txn = LoggedTransaction {
+            batches: vec![vec![answer(8.0, 31, "Barcelona")], vec![]],
+        };
+        let bytes = encode_transaction(&txn).unwrap();
+        assert_eq!(decode_transaction(&bytes).unwrap(), txn);
+        assert!(decode_transaction(b"{broken").is_err());
+        assert!(decode_transaction(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_payload_round_trips_with_sorted_points() {
+        let mut wh = Warehouse::new(integrated_schema());
+        let mut seen = HashSet::new();
+        feed_weather_dedup(
+            &mut wh,
+            &[answer(8.0, 31, "Barcelona"), answer(5.0, 30, "Madrid")],
+            &TemperatureAxioms::default(),
+            &mut seen,
+        )
+        .unwrap();
+        let bytes = encode_checkpoint_payload(&wh, &seen).unwrap();
+        let decoded = decode_checkpoint_payload(&bytes).unwrap();
+        assert_eq!(decoded.fed_points.len(), 2);
+        let mut sorted = decoded.fed_points.clone();
+        sorted.sort();
+        assert_eq!(decoded.fed_points, sorted, "points are stored sorted");
+        let restored = Warehouse::restore(&decoded.warehouse).unwrap();
+        assert_eq!(restored.to_json(), wh.to_json());
+        // Identical inputs serialize byte-identically (determinism).
+        assert_eq!(bytes, encode_checkpoint_payload(&wh, &seen).unwrap());
+    }
+
+    #[test]
+    fn fed_points_reconstruct_from_the_weather_fact() {
+        let mut wh = Warehouse::new(integrated_schema());
+        let mut seen = HashSet::new();
+        feed_weather_dedup(
+            &mut wh,
+            &[answer(8.0, 31, "Barcelona"), answer(5.0, 30, "Madrid")],
+            &TemperatureAxioms::default(),
+            &mut seen,
+        )
+        .unwrap();
+        assert_eq!(fed_points_from(&wh), seen);
+        // A schema without the weather fact yields the empty set.
+        let bare = Warehouse::new(dwqa_mdmodel::last_minute_sales());
+        assert!(fed_points_from(&bare).is_empty());
+    }
+}

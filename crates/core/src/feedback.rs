@@ -29,8 +29,18 @@ pub enum FeedError {
     /// transaction after a partial load.
     Injected(String),
     /// The post-failure rollback itself could not restore the
-    /// pre-transaction snapshot — the warehouse may hold a partial load.
+    /// pre-transaction snapshot — the warehouse may hold a partial load
+    /// and is **poisoned**: further feed transactions are rejected with
+    /// [`FeedError::Poisoned`] until a snapshot/WAL restore clears it.
     RollbackFailed(String),
+    /// The write-ahead log could not make the transaction durable
+    /// before commit; the transaction was rolled back (memory is
+    /// consistent, the acknowledged history on disk is unchanged).
+    Durability(String),
+    /// A previous failed rollback left the warehouse possibly holding a
+    /// partial load; feeds are rejected until a restore clears the
+    /// poison (see `IntegrationPipeline::poisoned`).
+    Poisoned(String),
 }
 
 impl fmt::Display for FeedError {
@@ -45,6 +55,13 @@ impl fmt::Display for FeedError {
             FeedError::Etl(why) => write!(f, "feedback ETL failed: {why}"),
             FeedError::Injected(why) => write!(f, "injected feed fault: {why}"),
             FeedError::RollbackFailed(why) => write!(f, "feed rollback failed: {why}"),
+            FeedError::Durability(why) => {
+                write!(f, "durability write failed, transaction rolled back: {why}")
+            }
+            FeedError::Poisoned(why) => write!(
+                f,
+                "warehouse is poisoned by a failed rollback (restore a snapshot to clear): {why}"
+            ),
         }
     }
 }

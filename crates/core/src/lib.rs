@@ -42,6 +42,7 @@
 
 pub mod analysis;
 pub mod axioms;
+pub mod durability;
 pub mod dwquery;
 pub mod error;
 pub mod evaluate;
@@ -53,6 +54,7 @@ pub mod tableprep;
 
 pub use analysis::{sales_by_temperature_band, TemperatureBand};
 pub use axioms::TemperatureAxioms;
+pub use durability::{DurableCheckpoint, LoggedTransaction, RecoveryReport};
 pub use dwquery::questions_for_missing_weather;
 pub use error::Error;
 pub use evaluate::{evaluate_temperatures, ExtractionEval};

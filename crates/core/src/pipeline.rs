@@ -14,6 +14,10 @@
 //! stale entries.
 
 use crate::axioms::TemperatureAxioms;
+use crate::durability::{
+    decode_checkpoint_payload, decode_transaction, encode_checkpoint_payload, encode_transaction,
+    LoggedTransaction, RecoveryReport,
+};
 use crate::feedback::{feed_weather_dedup, FeedError, FeedReport};
 use dwqa_ir::DocumentStore;
 use dwqa_ontology::{
@@ -21,8 +25,10 @@ use dwqa_ontology::{
     MergeOptions, MergeReport, Ontology,
 };
 use dwqa_qa::{temperature_pattern, AliQAn, AliQAnConfig, Answer, PipelineTrace};
+use dwqa_store::{FeedbackStore, StoreConfig};
 use dwqa_warehouse::{Warehouse, WarehouseSnapshot};
 use std::collections::HashSet;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -159,6 +165,12 @@ pub struct IntegrationPipeline {
     feeds_attempted: u64,
     /// Feed transactions that failed and were rolled back.
     rollbacks: u64,
+    /// Optional durability: committed feed transactions are logged here
+    /// *before* the commit is acknowledged.
+    store: Option<FeedbackStore>,
+    /// Set when a failed rollback left the warehouse possibly holding a
+    /// partial load; all feeds are rejected until a restore clears it.
+    poisoned: Option<String>,
 }
 
 /// The immutable read path: a cheap, cloneable, `Send + Sync` handle over
@@ -238,6 +250,8 @@ impl IntegrationPipeline {
             feed_fault: None,
             feeds_attempted: 0,
             rollbacks: 0,
+            store: None,
+            poisoned: None,
         }
     }
 
@@ -296,6 +310,26 @@ impl IntegrationPipeline {
         Ok(())
     }
 
+    /// Rolls back, and on rollback failure **poisons** the pipeline:
+    /// the warehouse may hold a partial load, so every subsequent feed
+    /// is rejected with [`FeedError::Poisoned`] until a snapshot/WAL
+    /// restore ([`Self::restore_warehouse`] / [`Self::attach_store_at`])
+    /// replaces the state wholesale.
+    fn rollback_or_poison(&mut self, checkpoint: FeedCheckpoint) -> Result<(), FeedError> {
+        match self.rollback(checkpoint) {
+            Ok(()) => {
+                self.rollbacks += 1;
+                Ok(())
+            }
+            Err(err) => {
+                let reason = err.to_string();
+                dwqa_obs::event!("poisoned");
+                self.poisoned = Some(reason);
+                Err(err)
+            }
+        }
+    }
+
     /// Loads every batch, possibly aborting mid-way under an injected
     /// fault. Runs *inside* a transaction: the caller rolls back on error.
     fn feed_all(&mut self, batches: &[&[Answer]]) -> Result<FeedReport, FeedError> {
@@ -338,25 +372,69 @@ impl IntegrationPipeline {
         Ok(merged)
     }
 
+    /// Logs the transaction to the attached store, returning the error
+    /// that must abort the commit when the durability write fails.
+    fn log_transaction(&mut self, batches: &[&[Answer]]) -> Option<FeedError> {
+        self.store.as_ref()?;
+        let txn = LoggedTransaction {
+            batches: batches.iter().map(|b| b.to_vec()).collect(),
+        };
+        let payload = match encode_transaction(&txn) {
+            Ok(payload) => payload,
+            Err(err) => return Some(err),
+        };
+        let store = self.store.as_mut()?;
+        match store.append(&payload) {
+            Ok(_seq) => None,
+            Err(err) => Some(FeedError::Durability(err.to_string())),
+        }
+    }
+
     /// One all-or-nothing feed transaction over `batches`. On success the
     /// revision is bumped once (when rows actually loaded); on failure the
     /// warehouse, the dedup set and the revision are exactly as before.
+    ///
+    /// With a store attached, the transaction is appended to the
+    /// write-ahead log **before** it is acknowledged: if the durability
+    /// write fails, the load is rolled back and the call fails with
+    /// [`FeedError::Durability`] — the caller never observes a commit
+    /// that a crash could lose.
     fn feed_transaction(&mut self, batches: &[&[Answer]]) -> Result<FeedReport, FeedError> {
+        if let Some(reason) = &self.poisoned {
+            return Err(FeedError::Poisoned(reason.clone()));
+        }
         let span = dwqa_obs::span!("feed_transaction", batches = batches.len());
         let checkpoint = self.checkpoint();
         self.feeds_attempted += 1;
         match self.feed_all(batches) {
             Ok(report) => {
+                // Durability barrier: the WAL append must succeed
+                // before the commit is acknowledged.
+                if let Some(durability_err) = self.log_transaction(batches) {
+                    self.rollback_or_poison(checkpoint)?;
+                    dwqa_obs::event!("rollback");
+                    span.record("committed", false);
+                    return Err(durability_err);
+                }
                 if report.loaded > 0 {
                     self.mark_dirty();
                 }
                 dwqa_obs::event!("commit", loaded = report.loaded);
                 span.record("committed", true);
+                // A due checkpoint is opportunistic: failing to write
+                // one costs replay time on recovery, not durability
+                // (the WAL already has the transaction).
+                if self
+                    .store
+                    .as_ref()
+                    .is_some_and(FeedbackStore::checkpoint_due)
+                {
+                    let _ = self.checkpoint_now();
+                }
                 Ok(report)
             }
             Err(err) => {
-                self.rollback(checkpoint)?;
-                self.rollbacks += 1;
+                self.rollback_or_poison(checkpoint)?;
                 dwqa_obs::event!("rollback");
                 span.record("committed", false);
                 Err(err)
@@ -406,6 +484,151 @@ impl IntegrationPipeline {
     /// The Table-1 trace for a question.
     pub fn trace(&self, question: &str) -> PipelineTrace {
         self.qa.trace(question)
+    }
+
+    /// Attaches a durable feedback store at `dir` with the default
+    /// [`StoreConfig`] (fsync on every append). See
+    /// [`Self::attach_store_with`].
+    pub fn attach_store_at(&mut self, dir: impl AsRef<Path>) -> Result<RecoveryReport, FeedError> {
+        self.attach_store_with(dir, StoreConfig::default())
+    }
+
+    /// Attaches a durable feedback store at `dir`, running recovery
+    /// first:
+    ///
+    /// * an existing checkpoint becomes the warehouse state (replacing
+    ///   the in-memory contents) along with its `(city, date)` dedup
+    ///   set;
+    /// * the committed WAL suffix is replayed on top, transaction by
+    ///   transaction, through the normal validated feed path;
+    /// * a fresh store (no checkpoint yet) is seeded with a checkpoint
+    ///   of the *current* in-memory state, so an attached store always
+    ///   has a recovery base.
+    ///
+    /// Recovery is staged on a scratch warehouse: if anything fails
+    /// (corrupt checkpoint payload, unreplayable record), the pipeline
+    /// is left exactly as it was and no store is attached. On success
+    /// the pipeline is un-poisoned — the restored state is trusted
+    /// wholesale — and every subsequent committed feed transaction is
+    /// WAL-logged before it is acknowledged.
+    pub fn attach_store_with(
+        &mut self,
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<RecoveryReport, FeedError> {
+        let (mut store, recovery) =
+            FeedbackStore::open(dir, config).map_err(|e| FeedError::Durability(e.to_string()))?;
+        let mut report = RecoveryReport {
+            torn_bytes: recovery.torn_bytes,
+            stale_skipped: recovery.stale_skipped,
+            duplicates_skipped: recovery.duplicates_skipped,
+            generation: recovery.generation,
+            ..RecoveryReport::default()
+        };
+        // Stage the recovered state on the side so a failure leaves
+        // `self` untouched.
+        let (mut warehouse, mut fed_points) = match &recovery.checkpoint {
+            Some(payload) => {
+                let checkpoint = decode_checkpoint_payload(payload)?;
+                let warehouse = Warehouse::restore(&checkpoint.warehouse)
+                    .map_err(|e| FeedError::Durability(format!("checkpoint restore: {e}")))?;
+                report.checkpoint_loaded = true;
+                (warehouse, checkpoint.fed_points.into_iter().collect())
+            }
+            None => {
+                let warehouse = Warehouse::restore(&self.warehouse.snapshot())
+                    .map_err(|e| FeedError::Durability(format!("state clone: {e}")))?;
+                (warehouse, self.fed_points.clone())
+            }
+        };
+        for record in &recovery.records {
+            let txn = decode_transaction(&record.payload)?;
+            for batch in &txn.batches {
+                let fed = feed_weather_dedup(&mut warehouse, batch, &self.axioms, &mut fed_points)
+                    .map_err(|e| {
+                        FeedError::Durability(format!(
+                            "WAL replay failed at seq {}: {e}",
+                            record.seq
+                        ))
+                    })?;
+                report.rows_loaded += fed.loaded;
+            }
+            report.transactions_replayed += 1;
+        }
+        if recovery.checkpoint.is_none() {
+            // Seed the base checkpoint so the store never depends on
+            // state that exists only in this process.
+            let payload = encode_checkpoint_payload(&warehouse, &fed_points)?;
+            store
+                .checkpoint(&payload)
+                .map_err(|e| FeedError::Durability(format!("initial checkpoint: {e}")))?;
+        }
+        self.warehouse = warehouse;
+        self.fed_points = fed_points;
+        self.poisoned = None;
+        self.store = Some(store);
+        self.mark_dirty();
+        Ok(report)
+    }
+
+    /// Detaches and returns the store (subsequent feeds are no longer
+    /// logged). The in-memory state is untouched.
+    pub fn detach_store(&mut self) -> Option<FeedbackStore> {
+        self.store.take()
+    }
+
+    /// The attached feedback store, if any.
+    pub fn store(&self) -> Option<&FeedbackStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the attached store (for fault injection and
+    /// experiment harnesses).
+    pub fn store_mut(&mut self) -> Option<&mut FeedbackStore> {
+        self.store.as_mut()
+    }
+
+    /// True when feeds are durably logged before being acknowledged.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Why the pipeline is poisoned (rejecting all feeds), if it is.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Checkpoints the current state into the attached store now:
+    /// serializes the warehouse + dedup set, makes it the recovery
+    /// base, and truncates the WAL. Errors when no store is attached or
+    /// the checkpoint write fails (in which case the previous
+    /// checkpoint + WAL remain authoritative — nothing is lost).
+    pub fn checkpoint_now(&mut self) -> Result<(), FeedError> {
+        if self.store.is_none() {
+            return Err(FeedError::Durability("no store attached".to_owned()));
+        }
+        let payload = encode_checkpoint_payload(&self.warehouse, &self.fed_points)?;
+        match self.store.as_mut() {
+            Some(store) => store
+                .checkpoint(&payload)
+                .map_err(|e| FeedError::Durability(e.to_string())),
+            None => Err(FeedError::Durability("no store attached".to_owned())),
+        }
+    }
+
+    /// Replaces the warehouse state wholesale from a snapshot,
+    /// rebuilding the `(city, date)` dedup set from the restored `City
+    /// Weather` fact, clearing any poison, and bumping the revision.
+    /// This is the manual restore path; prefer
+    /// [`Self::attach_store_at`] when a durable store exists.
+    pub fn restore_warehouse(&mut self, snapshot: &WarehouseSnapshot) -> Result<(), FeedError> {
+        let warehouse =
+            Warehouse::restore(snapshot).map_err(|e| FeedError::Durability(e.to_string()))?;
+        self.fed_points = crate::durability::fed_points_from(&warehouse);
+        self.warehouse = warehouse;
+        self.poisoned = None;
+        self.mark_dirty();
+        Ok(())
     }
 }
 
@@ -652,5 +875,132 @@ mod tests {
         // Without Step 2, El Prat never reaches the merged ontology.
         assert!(without.qa.ontology().concepts_for("El Prat").is_empty());
         assert!(!with.qa.ontology().concepts_for("El Prat").is_empty());
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("dwqa-pipeline-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const EL_PRAT: &str = "What is the temperature in January of 2004 in El Prat?";
+
+    #[test]
+    fn durable_feeds_survive_a_restart() {
+        let dir = scratch("reopen");
+        let (mut p, _) = built_pipeline(false);
+        let report = p.attach_store_at(&dir).unwrap();
+        assert!(!report.checkpoint_loaded, "fresh store has no base yet");
+        assert!(p.is_durable());
+        let answers = p.read_path().answer(EL_PRAT);
+        assert!(p.apply_feedback(&answers).loaded > 0);
+        assert_eq!(p.store().unwrap().wal_records(), 1);
+        let expected = p.warehouse.to_json();
+
+        // "Crash": a fresh process starting from the seed state
+        // reattaches and recovers checkpoint + WAL suffix.
+        let (mut q, _) = built_pipeline(false);
+        let report = q.attach_store_at(&dir).unwrap();
+        assert!(
+            report.checkpoint_loaded,
+            "attach seeded the base checkpoint"
+        );
+        assert_eq!(report.transactions_replayed, 1);
+        assert!(report.rows_loaded > 0);
+        assert_eq!(q.warehouse.to_json(), expected, "replay reproduces state");
+        // The dedup set replayed too: re-feeding only skips duplicates.
+        let again = q.apply_feedback(&answers);
+        assert_eq!(again.loaded, 0);
+        assert!(again.duplicates_skipped > 0);
+
+        // An explicit checkpoint truncates the WAL; the next recovery
+        // loads it with nothing left to replay.
+        q.checkpoint_now().unwrap();
+        assert_eq!(q.store().unwrap().wal_records(), 0);
+        let (mut r, _) = built_pipeline(false);
+        let report = r.attach_store_at(&dir).unwrap();
+        assert!(report.checkpoint_loaded);
+        assert_eq!(report.transactions_replayed, 0);
+        assert_eq!(r.warehouse.to_json(), expected);
+    }
+
+    #[test]
+    fn due_checkpoints_are_taken_opportunistically() {
+        let dir = scratch("due");
+        let (mut p, _) = built_pipeline(false);
+        let config = dwqa_store::StoreConfig::builder()
+            .checkpoint_every(Some(1))
+            .build()
+            .unwrap();
+        p.attach_store_with(&dir, config).unwrap();
+        let generation = p.store().unwrap().generation();
+        let answers = p.read_path().answer(EL_PRAT);
+        assert!(p.apply_feedback(&answers).loaded > 0);
+        let store = p.store().unwrap();
+        assert_eq!(store.wal_records(), 0, "commit triggered the checkpoint");
+        assert!(store.generation() > generation);
+    }
+
+    #[test]
+    fn torn_append_fails_the_feed_and_preserves_memory() {
+        let dir = scratch("torn");
+        let (mut p, _) = built_pipeline(false);
+        p.attach_store_at(&dir).unwrap();
+        p.store_mut()
+            .unwrap()
+            .set_torn(Some(dwqa_store::TornPlan::new(11).with_short_write(1.0)));
+        let answers = p.read_path().answer(EL_PRAT);
+        let before = p.warehouse.snapshot();
+        let revision_before = p.revision();
+        let err = p.try_apply_feedback(&answers).unwrap_err();
+        assert!(matches!(err, FeedError::Durability(_)), "{err}");
+        assert_eq!(p.rollbacks(), 1);
+        assert_eq!(p.revision(), revision_before, "no spurious cache bump");
+        assert_eq!(p.warehouse.snapshot(), before, "memory fully rolled back");
+        assert!(p.poisoned().is_none(), "a clean rollback does not poison");
+        assert!(p.store().unwrap().wedged());
+        // The wedged store keeps refusing feeds until it is reopened.
+        let err = p.try_apply_feedback(&answers).unwrap_err();
+        assert!(matches!(err, FeedError::Durability(_)), "{err}");
+        // Reattaching recovers: the torn tail is truncated and dropped.
+        let report = p.attach_store_at(&dir).unwrap();
+        assert!(report.torn_bytes > 0);
+        assert_eq!(report.transactions_replayed, 0);
+        assert!(p.try_apply_feedback(&answers).unwrap().loaded > 0);
+    }
+
+    #[test]
+    fn poisoned_pipeline_rejects_feeds_until_a_restore() {
+        let (mut p, _) = built_pipeline(false);
+        let answers = p.read_path().answer(EL_PRAT);
+        let clean = p.warehouse.snapshot();
+        p.poisoned = Some("simulated failed rollback".to_owned());
+        let err = p.try_apply_feedback(&answers).unwrap_err();
+        assert!(matches!(err, FeedError::Poisoned(_)), "{err}");
+        assert_eq!(p.poisoned(), Some("simulated failed rollback"));
+        // A wholesale snapshot restore clears the poison.
+        p.restore_warehouse(&clean).unwrap();
+        assert!(p.poisoned().is_none());
+        assert!(p.try_apply_feedback(&answers).unwrap().loaded > 0);
+    }
+
+    #[test]
+    fn restore_warehouse_rebuilds_the_dedup_set() {
+        let (mut p, _) = built_pipeline(false);
+        let answers = p.read_path().answer(EL_PRAT);
+        assert!(p.apply_feedback(&answers).loaded > 0);
+        let snap = p.warehouse.snapshot();
+        // A pipeline restored from that snapshot treats the fed points
+        // as already present.
+        let (mut q, _) = built_pipeline(false);
+        let revision = q.revision();
+        q.restore_warehouse(&snap).unwrap();
+        assert!(q.revision() > revision, "restore bumps the revision");
+        let again = q.apply_feedback(&answers);
+        assert_eq!(again.loaded, 0);
+        assert!(again.duplicates_skipped > 0);
     }
 }

@@ -518,6 +518,9 @@ pub struct BatchReport {
     pub rolled_back: bool,
     /// The feed failure, when `rolled_back`.
     pub feed_error: Option<String>,
+    /// True when the pipeline has a durable store attached, so a
+    /// committed feed was WAL-logged before being acknowledged.
+    pub durable: bool,
     /// Worker threads used for the read phase.
     pub workers: usize,
     /// Wall-clock time of the whole submission (read + write phase).
@@ -602,6 +605,7 @@ impl SubmitBatch for IntegrationPipeline {
             feed,
             rolled_back,
             feed_error,
+            durable: self.is_durable(),
             workers: engine.workers(),
             wall: start.elapsed(),
             worst_trace,

@@ -53,6 +53,28 @@ pub const SOURCE_BREAKER_REJECTIONS: &str = "source.breaker.rejections";
 /// Gauge: fetches that exhausted every attempt.
 pub const SOURCE_FAILURES: &str = "source.failures";
 
+/// Counter: WAL records appended by the feedback store (`dwqa-store`).
+pub const STORE_WAL_APPENDS: &str = "store.wal.appends";
+/// Counter: WAL payload + header bytes written.
+pub const STORE_WAL_BYTES: &str = "store.wal.bytes";
+/// Counter: fsync calls issued by the WAL writer.
+pub const STORE_WAL_FSYNCS: &str = "store.wal.fsyncs";
+/// Histogram: wall time of one WAL append (encode + write + policy
+/// fsync).
+pub const STORE_WAL_APPEND_TIME: &str = "store.wal.append_time";
+/// Counter: checkpoints written (snapshot serialized, WAL truncated).
+pub const STORE_CHECKPOINTS: &str = "store.checkpoints";
+/// Counter: checkpoint attempts that failed and left the previous
+/// checkpoint + WAL authoritative.
+pub const STORE_CHECKPOINT_FAILURES: &str = "store.checkpoint.failures";
+/// Histogram: wall time of one checkpoint (serialize + fsync + rename
+/// + truncate).
+pub const STORE_CHECKPOINT_TIME: &str = "store.checkpoint.time";
+/// Counter: torn-write faults injected by the `TornWriter` layer.
+pub const STORE_TORN_FAULTS: &str = "store.torn.faults";
+/// Counter: WAL records dropped on recovery as a torn / stale tail.
+pub const STORE_RECOVERY_TRUNCATED: &str = "store.recovery.truncated";
+
 /// Counter: requests received by the QA service, every kind and
 /// disposition (`dwqa-server`).
 pub const SERVER_REQUESTS: &str = "server.requests";

@@ -38,6 +38,11 @@ pub struct ServerConfig {
     /// Record per-request and per-question spans into the engine's
     /// flight recorder.
     pub tracing: bool,
+    /// Socket read deadline per request line: a connection idle (or
+    /// dribbling bytes slower than a full line per window) for this
+    /// long is disconnected, so hung clients cannot pin connection
+    /// threads or stall a drain. `None` disables the deadline.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +58,7 @@ impl Default for ServerConfig {
             max_batch: 64,
             cache_capacity: dwqa_engine::DEFAULT_CACHE_CAPACITY,
             tracing: false,
+            read_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -90,6 +96,12 @@ impl ServerConfig {
         }
         if self.max_batch == 0 {
             return Err(ConfigError::new("max_batch", "must be at least 1"));
+        }
+        if self.read_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(ConfigError::new(
+                "read_timeout",
+                "must be non-zero (use None to disable)",
+            ));
         }
         Ok(())
     }
@@ -162,6 +174,12 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Socket read deadline per request line (`None` disables).
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> ServerConfigBuilder {
+        self.config.read_timeout = timeout;
+        self
+    }
+
     /// Validates the assembled configuration.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
         self.config.validate()?;
@@ -180,7 +198,7 @@ mod tests {
 
     #[test]
     fn degenerate_knobs_are_rejected_at_build_naming_the_field() {
-        let cases: [(&str, ServerConfigBuilder); 6] = [
+        let cases: [(&str, ServerConfigBuilder); 7] = [
             ("workers", ServerConfig::builder().workers(0)),
             ("queue_capacity", ServerConfig::builder().queue_capacity(0)),
             ("rate_burst", ServerConfig::builder().rate_burst(0)),
@@ -193,6 +211,10 @@ mod tests {
                 ServerConfig::builder().drain_grace(Duration::ZERO),
             ),
             ("max_batch", ServerConfig::builder().max_batch(0)),
+            (
+                "read_timeout",
+                ServerConfig::builder().read_timeout(Some(Duration::ZERO)),
+            ),
         ];
         for (field, builder) in cases {
             let err = builder.build().unwrap_err();

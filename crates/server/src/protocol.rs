@@ -338,6 +338,12 @@ pub struct ServiceStats {
     pub cache_misses: u64,
     /// Warehouse revision visible on the read path.
     pub revision: u64,
+    /// True when the pipeline has a durable feedback store attached,
+    /// so `feedback` commits are WAL-logged before the `ok` response.
+    pub durable: bool,
+    /// WAL record appends observed by this service's feed transactions
+    /// (0 when not durable).
+    pub wal_appends: u64,
 }
 
 /// Why a request line could not be turned into a [`Command`].

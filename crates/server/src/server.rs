@@ -45,6 +45,9 @@ fn relock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
 struct Shared {
     cfg: ServerConfig,
     engine: QaEngine,
+    /// Whether the pipeline had a durable store attached at start
+    /// (ownership cannot change while the service runs).
+    durable: bool,
     /// The write path. `None` once [`QaServer::join`] has reclaimed it.
     pipeline: Mutex<Option<IntegrationPipeline>>,
     queue: AdmissionQueue,
@@ -100,6 +103,8 @@ impl Shared {
             cache_hits: stats.cache_hits(),
             cache_misses: stats.cache_misses(),
             revision: self.engine.read_path().revision(),
+            durable: self.durable,
+            wal_appends: self.registry.counter_value(names::STORE_WAL_APPENDS),
         }
     }
 }
@@ -132,6 +137,7 @@ impl QaServer {
             queue: AdmissionQueue::new(cfg.queue_capacity),
             cfg,
             engine,
+            durable: pipeline.is_durable(),
             pipeline: Mutex::new(Some(pipeline)),
             registry,
             drain_flag: AtomicBool::new(false),
@@ -252,6 +258,11 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 }
 
 fn connection_loop(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
+    // A hung (or slow-loris) client must not pin this thread or stall
+    // the drain sequence's connection join: reads carry a deadline, and
+    // a read that times out before a full request line arrives breaks
+    // the loop and disconnects the client.
+    let _ = stream.set_read_timeout(shared.cfg.read_timeout);
     let mut bucket = TokenBucket::new(
         shared.cfg.rate_burst,
         shared.cfg.rate_per_sec,

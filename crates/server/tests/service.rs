@@ -393,3 +393,81 @@ fn work_during_drain_is_refused_with_draining() {
         }
     );
 }
+
+/// The read deadline drops idle (or hung) clients: the connection
+/// thread exits, the client gauge falls back to zero, and a drain is
+/// never stalled by a socket that will not speak.
+#[test]
+fn idle_clients_are_disconnected_by_the_read_deadline() {
+    let cfg = ServerConfig::builder()
+        .workers(1)
+        .read_timeout(Some(Duration::from_millis(100)))
+        .build()
+        .unwrap();
+    let server = QaServer::start(small_fixture(), cfg, "127.0.0.1:0").unwrap();
+    let mut idle = QaClient::connect(server.local_addr()).unwrap();
+    let q = monthly_question("Barcelona", 2004, Month::January);
+    assert_eq!(idle.ask(&q).unwrap().status, Status::Ok);
+
+    // Go silent. The server must hang up on its own.
+    let clients = || {
+        server
+            .metrics()
+            .gauge_value(dwqa_obs::names::SERVER_CLIENTS)
+    };
+    assert_eq!(clients(), 1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while clients() != 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(clients(), 0, "idle connection was not disconnected");
+    // A fresh client is served normally afterwards.
+    let mut fresh = QaClient::connect(server.local_addr()).unwrap();
+    assert_eq!(fresh.ask(&q).unwrap().status, Status::Ok);
+    assert!(server.join().is_some());
+}
+
+/// Durability across a restart: feedback acknowledged `ok` by a
+/// durable service survives losing the process — a fresh pipeline
+/// recovering from the same store directory holds the fed rows and
+/// treats a replayed feedback request as pure duplicates.
+#[test]
+fn durable_feedback_survives_a_service_restart() {
+    let dir = std::env::temp_dir().join(format!("dwqa-service-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut pipeline = small_fixture();
+    pipeline.attach_store_at(&dir).unwrap();
+    let cfg = ServerConfig::builder().workers(2).build().unwrap();
+    let server = QaServer::start(pipeline, cfg.clone(), "127.0.0.1:0").unwrap();
+    let mut client = QaClient::connect(server.local_addr()).unwrap();
+    let questions = vec![monthly_question("Barcelona", 2004, Month::January)];
+    let resp = client.feedback(&questions).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert!(resp.loaded.unwrap() > 0);
+    let stats = client.stats().unwrap().stats.unwrap();
+    assert!(stats.durable, "service should report the attached store");
+    assert!(stats.wal_appends >= 1, "the commit was WAL-logged");
+    let fed_json = server.join().unwrap().warehouse.to_json();
+
+    // "Crash": a brand-new process rebuilds the seed fixture and
+    // recovers checkpoint + WAL from the store directory.
+    let mut fresh = small_fixture();
+    let report = fresh.attach_store_at(&dir).unwrap();
+    assert!(report.checkpoint_loaded);
+    assert_eq!(report.transactions_replayed, 1);
+    assert_eq!(
+        fresh.warehouse.to_json(),
+        fed_json,
+        "recovery reproduces state"
+    );
+
+    // The recovered service sees the same feedback as duplicates only.
+    let server = QaServer::start(fresh, cfg, "127.0.0.1:0").unwrap();
+    let mut client = QaClient::connect(server.local_addr()).unwrap();
+    let resp = client.feedback(&questions).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.loaded, Some(0));
+    assert!(resp.duplicates.unwrap() > 0);
+    assert!(server.join().is_some());
+}

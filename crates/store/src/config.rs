@@ -1,0 +1,155 @@
+//! Durability tunables, built through a validating builder.
+//!
+//! Follows the workspace builder convention (DESIGN.md §6): setters
+//! take raw values, [`StoreConfigBuilder::build`] validates every range
+//! and returns `Result<StoreConfig, ConfigError>` naming the offending
+//! field. Nothing is silently clamped.
+
+use dwqa_common::ConfigError;
+
+/// When the WAL writer calls `fsync` (really `fdatasync` via
+/// `File::sync_data`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every append. The committed-transaction-prefix
+    /// recovery invariant holds even across power loss; slowest.
+    Always,
+    /// Fsync after every N appends. A crash can lose at most the last
+    /// N−1 acknowledged transactions (recovery still never yields a
+    /// partial one).
+    EveryN(u32),
+    /// Never fsync from the append path; the OS flushes when it
+    /// pleases. Fastest, weakest: a crash loses whatever the kernel
+    /// had not written back.
+    Never,
+}
+
+/// Tunables for [`crate::FeedbackStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreConfig {
+    /// Durability/latency trade-off for WAL appends.
+    pub fsync: FsyncPolicy,
+    /// Auto-checkpoint cadence: after this many WAL records the store
+    /// reports [`crate::FeedbackStore::checkpoint_due`] so the owner
+    /// can serialize a snapshot and truncate the log. `None` disables
+    /// the hint (checkpoints still work on demand).
+    pub checkpoint_every: Option<u64>,
+    /// Per-record payload ceiling; appends beyond it are rejected
+    /// without writing. Also bounds how far recovery will trust a
+    /// length prefix when hunting for a torn tail.
+    pub max_record_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: Some(256),
+            max_record_bytes: 16 << 20,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> StoreConfigBuilder {
+        StoreConfigBuilder {
+            config: StoreConfig::default(),
+        }
+    }
+
+    /// Validates every knob, naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let FsyncPolicy::EveryN(0) = self.fsync {
+            return Err(ConfigError::new(
+                "fsync",
+                "EveryN interval must be at least 1",
+            ));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(ConfigError::new(
+                "checkpoint_every",
+                "must be at least 1 record (or None to disable)",
+            ));
+        }
+        if self.max_record_bytes == 0 {
+            return Err(ConfigError::new("max_record_bytes", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`StoreConfig`]; `build()` validates.
+#[derive(Debug, Clone)]
+pub struct StoreConfigBuilder {
+    config: StoreConfig,
+}
+
+impl StoreConfigBuilder {
+    /// Fsync policy for WAL appends.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> StoreConfigBuilder {
+        self.config.fsync = policy;
+        self
+    }
+
+    /// Auto-checkpoint cadence in WAL records (`None` disables).
+    pub fn checkpoint_every(mut self, every: Option<u64>) -> StoreConfigBuilder {
+        self.config.checkpoint_every = every;
+        self
+    }
+
+    /// Per-record payload ceiling in bytes.
+    pub fn max_record_bytes(mut self, max: usize) -> StoreConfigBuilder {
+        self.config.max_record_bytes = max;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    pub fn build(self) -> Result<StoreConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(StoreConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn degenerate_knobs_are_rejected_at_build_naming_the_field() {
+        let cases: [(&str, StoreConfigBuilder); 3] = [
+            (
+                "fsync",
+                StoreConfig::builder().fsync(FsyncPolicy::EveryN(0)),
+            ),
+            (
+                "checkpoint_every",
+                StoreConfig::builder().checkpoint_every(Some(0)),
+            ),
+            (
+                "max_record_bytes",
+                StoreConfig::builder().max_record_bytes(0),
+            ),
+        ];
+        for (field, builder) in cases {
+            let err = builder.build().unwrap_err();
+            assert_eq!(err.field, field, "{err}");
+        }
+    }
+
+    #[test]
+    fn disabled_checkpoint_cadence_is_legal() {
+        let cfg = StoreConfig::builder()
+            .checkpoint_every(None)
+            .fsync(FsyncPolicy::Never)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.checkpoint_every, None);
+        assert_eq!(cfg.fsync, FsyncPolicy::Never);
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed failures of the durability layer.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong opening, appending to, or
+/// checkpointing a [`crate::FeedbackStore`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An OS-level file operation failed. `context` names the step
+    /// (e.g. `"append wal record"`).
+    Io {
+        /// Which store operation was underway.
+        context: &'static str,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The checkpoint file exists but fails validation (bad magic,
+    /// implausible length, CRC mismatch). The store refuses to open
+    /// rather than half-load: restore from a trusted snapshot instead.
+    CorruptCheckpoint(String),
+    /// An append payload exceeds `StoreConfig::max_record_bytes`.
+    /// Nothing was written; the store stays usable.
+    TooLarge {
+        /// Offered payload size in bytes.
+        len: usize,
+        /// Configured per-record ceiling.
+        max: usize,
+    },
+    /// An injected torn write fired (or a real write failed partway):
+    /// the on-disk log may end mid-record and the store is now
+    /// *wedged* — it refuses further appends, modelling a process that
+    /// died at that point. Reopen the store to recover.
+    Torn(&'static str),
+    /// The store was wedged by an earlier torn write and cannot accept
+    /// work until it is reopened (recovered).
+    Wedged,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => {
+                write!(f, "store io failure ({context}): {source}")
+            }
+            StoreError::CorruptCheckpoint(why) => {
+                write!(
+                    f,
+                    "checkpoint file is corrupt, refusing to half-load: {why}"
+                )
+            }
+            StoreError::TooLarge { len, max } => {
+                write!(
+                    f,
+                    "record of {len} bytes exceeds the {max}-byte record ceiling"
+                )
+            }
+            StoreError::Torn(kind) => {
+                write!(f, "torn write ({kind}); store is wedged until reopened")
+            }
+            StoreError::Wedged => {
+                write!(
+                    f,
+                    "store is wedged by an earlier torn write; reopen to recover"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for StoreError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Wraps an [`io::Error`] with the store step that hit it.
+pub(crate) fn io_err(context: &'static str) -> impl FnOnce(io::Error) -> StoreError {
+    move |source| StoreError::Io { context, source }
+}

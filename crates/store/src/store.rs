@@ -1,0 +1,466 @@
+//! The feedback store proper: open-with-recovery, append, checkpoint.
+//!
+//! A store directory holds two files:
+//!
+//! * `feedback.wal` — the append-only record log;
+//! * `checkpoint.bin` — the latest snapshot, written `checkpoint.tmp`
+//!   → fsync → atomic rename so a crash mid-checkpoint can never
+//!   destroy the previous one.
+//!
+//! Payloads are opaque bytes to this crate — `dwqa-core` serializes
+//! its transactions and `WarehouseSnapshot`s into them, keeping the
+//! dependency arrow pointing the right way.
+
+use crate::config::{FsyncPolicy, StoreConfig};
+use crate::error::{io_err, StoreError};
+use crate::torn::{TornDecision, TornFault, TornPlan, TornWriter};
+use crate::wal;
+use dwqa_obs::names;
+use std::fs::{self, File, OpenOptions};
+use std::io::{ErrorKind, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const WAL_FILE: &str = "feedback.wal";
+const WAL_TMP: &str = "feedback.wal.tmp";
+const CHECKPOINT_FILE: &str = "checkpoint.bin";
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// One committed WAL record as recovery hands it back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotonic sequence number (never reused, even across
+    /// checkpoints).
+    pub seq: u64,
+    /// The opaque transaction payload exactly as appended.
+    pub payload: Vec<u8>,
+}
+
+/// What [`FeedbackStore::open`] found and repaired on disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The checkpoint payload, if a checkpoint file existed.
+    pub checkpoint: Option<Vec<u8>>,
+    /// Generation the store resumed at.
+    pub generation: u64,
+    /// Committed current-generation WAL records in sequence order —
+    /// the suffix to replay on top of the checkpoint.
+    pub records: Vec<WalRecord>,
+    /// Bytes truncated from the log tail as torn (unfinished or
+    /// corrupted writes).
+    pub torn_bytes: u64,
+    /// Valid records skipped because they predate the checkpoint
+    /// generation (crash between checkpoint rename and log truncate).
+    pub stale_skipped: u64,
+    /// Valid records skipped as duplicated sequence numbers.
+    pub duplicates_skipped: u64,
+    /// True when the on-disk log was rewritten to just the live
+    /// records (any of the three counts above was non-zero).
+    pub compacted: bool,
+}
+
+/// Append-only durability for committed feedback transactions; see the
+/// crate docs for the format and invariants.
+#[derive(Debug)]
+pub struct FeedbackStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    wal: File,
+    wal_len: u64,
+    generation: u64,
+    next_seq: u64,
+    wal_records: u64,
+    unsynced: u32,
+    wedged: bool,
+    torn: Option<TornWriter>,
+}
+
+fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(io_err("fsync store directory"))
+}
+
+fn remove_if_present(path: &Path) -> Result<(), StoreError> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(StoreError::Io {
+            context: "remove leftover tmp file",
+            source: e,
+        }),
+    }
+}
+
+impl FeedbackStore {
+    /// Opens (creating if absent) the store in `dir`, running recovery:
+    /// load + validate the checkpoint, replay the committed WAL suffix,
+    /// truncate any torn tail, skip stale generations, deduplicate
+    /// repeated sequence numbers. A corrupt checkpoint is an error —
+    /// the store refuses to half-load.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<(FeedbackStore, Recovery), StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(io_err("create store directory"))?;
+        remove_if_present(&dir.join(CHECKPOINT_TMP))?;
+        remove_if_present(&dir.join(WAL_TMP))?;
+
+        let (generation, ckpt_next_seq, checkpoint) = match fs::read(dir.join(CHECKPOINT_FILE)) {
+            Ok(bytes) => {
+                let (generation, next_seq, payload) =
+                    wal::decode_checkpoint(&bytes).map_err(StoreError::CorruptCheckpoint)?;
+                (generation, next_seq, Some(payload))
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => (0, 0, None),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    context: "read checkpoint",
+                    source: e,
+                })
+            }
+        };
+
+        let wal_path = dir.join(WAL_FILE);
+        let image = match fs::read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    context: "read wal",
+                    source: e,
+                })
+            }
+        };
+        let decoded = wal::decode_wal(&image, generation, config.max_record_bytes);
+        let compacted = decoded.needs_compaction();
+        if compacted {
+            // Rewrite the log as exactly the live records (tmp → fsync
+            // → rename, so a crash mid-compaction keeps the old log,
+            // which recovers identically next time).
+            let mut clean = Vec::new();
+            for record in &decoded.live {
+                clean.extend(wal::encode_record(generation, record.seq, &record.payload));
+            }
+            let tmp = dir.join(WAL_TMP);
+            {
+                let mut f = File::create(&tmp).map_err(io_err("create wal compaction tmp"))?;
+                f.write_all(&clean)
+                    .map_err(io_err("write wal compaction tmp"))?;
+                f.sync_all().map_err(io_err("fsync wal compaction tmp"))?;
+            }
+            fs::rename(&tmp, &wal_path).map_err(io_err("rename compacted wal"))?;
+            sync_dir(&dir)?;
+            let dropped = decoded.stale_skipped
+                + decoded.duplicates_skipped
+                + u64::from(decoded.torn_bytes > 0);
+            dwqa_obs::counter_add(names::STORE_RECOVERY_TRUNCATED, dropped);
+        }
+
+        let mut wal = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&wal_path)
+            .map_err(io_err("open wal"))?;
+        let wal_len = wal.seek(SeekFrom::End(0)).map_err(io_err("seek wal end"))?;
+
+        let next_seq = decoded
+            .live
+            .last()
+            .map(|r| r.seq + 1)
+            .unwrap_or(ckpt_next_seq)
+            .max(ckpt_next_seq);
+        let wal_records = decoded.live.len() as u64;
+        let store = FeedbackStore {
+            dir,
+            config,
+            wal,
+            wal_len,
+            generation,
+            next_seq,
+            wal_records,
+            unsynced: 0,
+            wedged: false,
+            torn: None,
+        };
+        let recovery = Recovery {
+            checkpoint,
+            generation,
+            records: decoded.live,
+            torn_bytes: decoded.torn_bytes,
+            stale_skipped: decoded.stale_skipped,
+            duplicates_skipped: decoded.duplicates_skipped,
+            compacted,
+        };
+        Ok((store, recovery))
+    }
+
+    /// Arms (or disarms) the torn-write fault layer for subsequent
+    /// appends.
+    pub fn set_torn(&mut self, plan: Option<TornPlan>) {
+        self.torn = plan.map(TornWriter::new);
+    }
+
+    /// Appends one committed-transaction payload, returning its
+    /// sequence number once the bytes are on disk under the configured
+    /// [`FsyncPolicy`]. A torn-write fault (injected or a real I/O
+    /// failure mid-append) wedges the store — the record must be
+    /// considered *not committed* and the caller should roll back.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        if self.wedged {
+            return Err(StoreError::Wedged);
+        }
+        if payload.len() > self.config.max_record_bytes {
+            return Err(StoreError::TooLarge {
+                len: payload.len(),
+                max: self.config.max_record_bytes,
+            });
+        }
+        let started = Instant::now();
+        let seq = self.next_seq;
+        let frame = wal::encode_record(self.generation, seq, payload);
+        let _span = dwqa_obs::span!("wal", seq, bytes = frame.len() as u64);
+
+        let decision = match &self.torn {
+            Some(writer) => writer.decide(seq, frame.len()),
+            None => TornDecision::default(),
+        };
+        if let Some(fault) = decision.fault {
+            return Err(self.inject_fault(fault, &frame));
+        }
+
+        if let Err(e) = self.write_frame(&frame) {
+            // A real write failure may have left a partial frame on
+            // disk — same shape as a torn write, same response: wedge.
+            self.wedged = true;
+            return Err(e);
+        }
+        let mut written = frame.len() as u64;
+        if decision.duplicate {
+            // Benign fault: the frame lands twice (a retried write
+            // that succeeded both times). Recovery keeps one copy.
+            dwqa_obs::counter_add(names::STORE_TORN_FAULTS, 1);
+            dwqa_obs::event!("torn_duplicate", seq);
+            if let Err(e) = self.write_frame(&frame) {
+                self.wedged = true;
+                return Err(e);
+            }
+            written += frame.len() as u64;
+        }
+        self.wal_len += written;
+        if let Err(e) = self.policy_sync() {
+            self.wedged = true;
+            return Err(e);
+        }
+        self.next_seq = seq + 1;
+        self.wal_records += 1;
+        dwqa_obs::counter_add(names::STORE_WAL_APPENDS, 1);
+        dwqa_obs::counter_add(names::STORE_WAL_BYTES, written);
+        dwqa_obs::histogram_record_us(
+            names::STORE_WAL_APPEND_TIME,
+            started.elapsed().as_micros() as u64,
+        );
+        Ok(seq)
+    }
+
+    /// Acts out a process death mid-append: leave the file exactly as
+    /// the dying process would have, then wedge.
+    fn inject_fault(&mut self, fault: TornFault, frame: &[u8]) -> StoreError {
+        dwqa_obs::counter_add(names::STORE_TORN_FAULTS, 1);
+        self.wedged = true;
+        let pre_len = self.wal_len;
+        match fault {
+            TornFault::ShortWrite(cut) => {
+                dwqa_obs::event!("torn_short_write", bytes = cut as u64);
+                let cut = cut.min(frame.len().saturating_sub(1)).max(1);
+                if let Err(e) = self.write_frame(&frame[..cut]) {
+                    return e;
+                }
+                let _ = self.wal.sync_data();
+                StoreError::Torn("short write")
+            }
+            TornFault::BitFlip(bit) => {
+                dwqa_obs::event!("torn_bit_flip", bit = bit as u64);
+                let mut bad = frame.to_vec();
+                let idx = (bit / 8).min(bad.len() - 1);
+                bad[idx] ^= 1 << (bit % 8);
+                if let Err(e) = self.write_frame(&bad) {
+                    return e;
+                }
+                let _ = self.wal.sync_data();
+                StoreError::Torn("bit flip")
+            }
+            TornFault::FsyncFail => {
+                dwqa_obs::event!("torn_fsync_fail");
+                // The write reached the page cache but the flush
+                // "failed": those bytes never hit the platter, so undo
+                // them to model the post-crash file.
+                if let Err(e) = self.write_frame(frame) {
+                    return e;
+                }
+                if let Err(e) = self
+                    .wal
+                    .set_len(pre_len)
+                    .map_err(io_err("undo unsynced append"))
+                {
+                    return e;
+                }
+                let _ = self.wal.seek(SeekFrom::Start(pre_len));
+                let _ = self.wal.sync_data();
+                StoreError::Torn("fsync failed")
+            }
+        }
+    }
+
+    fn write_frame(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.wal
+            .write_all(bytes)
+            .map_err(io_err("append wal record"))
+    }
+
+    fn policy_sync(&mut self) -> Result<(), StoreError> {
+        match self.config.fsync {
+            FsyncPolicy::Always => self.do_sync(),
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n {
+                    self.do_sync()?;
+                }
+                Ok(())
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    fn do_sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync_data().map_err(io_err("fsync wal"))?;
+        self.unsynced = 0;
+        dwqa_obs::counter_add(names::STORE_WAL_FSYNCS, 1);
+        Ok(())
+    }
+
+    /// Writes a checkpoint: the serialized snapshot becomes the new
+    /// recovery base (tmp → fsync → atomic rename), the generation is
+    /// bumped, and the WAL is truncated. On any failure the *previous*
+    /// checkpoint + WAL stay authoritative and the store keeps
+    /// accepting appends — a missed checkpoint costs replay time, not
+    /// durability.
+    pub fn checkpoint(&mut self, snapshot: &[u8]) -> Result<(), StoreError> {
+        if self.wedged {
+            return Err(StoreError::Wedged);
+        }
+        let started = Instant::now();
+        let _span = dwqa_obs::span!(
+            "checkpoint",
+            generation = self.generation + 1,
+            bytes = snapshot.len() as u64
+        );
+        match self.write_checkpoint(snapshot) {
+            Ok(()) => {
+                dwqa_obs::counter_add(names::STORE_CHECKPOINTS, 1);
+                dwqa_obs::histogram_record_us(
+                    names::STORE_CHECKPOINT_TIME,
+                    started.elapsed().as_micros() as u64,
+                );
+                Ok(())
+            }
+            Err(e) => {
+                dwqa_obs::counter_add(names::STORE_CHECKPOINT_FAILURES, 1);
+                Err(e)
+            }
+        }
+    }
+
+    fn write_checkpoint(&mut self, snapshot: &[u8]) -> Result<(), StoreError> {
+        let new_gen = self.generation + 1;
+        let body = wal::encode_checkpoint(new_gen, self.next_seq, snapshot);
+        let tmp = self.checkpoint_tmp_path();
+        {
+            let mut f = File::create(&tmp).map_err(io_err("create checkpoint tmp"))?;
+            f.write_all(&body).map_err(io_err("write checkpoint tmp"))?;
+            f.sync_all().map_err(io_err("fsync checkpoint tmp"))?;
+        }
+        fs::rename(&tmp, self.checkpoint_path()).map_err(io_err("rename checkpoint"))?;
+        sync_dir(&self.dir)?;
+        // The new checkpoint is authoritative from here on; truncating
+        // the log is reclamation. If it fails, the old-generation
+        // records linger and recovery skips them as stale.
+        self.generation = new_gen;
+        self.wal
+            .set_len(0)
+            .map_err(io_err("truncate wal after checkpoint"))?;
+        self.wal
+            .seek(SeekFrom::Start(0))
+            .map_err(io_err("rewind wal after checkpoint"))?;
+        self.wal
+            .sync_data()
+            .map_err(io_err("fsync truncated wal"))?;
+        self.wal_len = 0;
+        self.wal_records = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// True once `checkpoint_every` records have accumulated since the
+    /// last checkpoint (always false when the cadence is `None`).
+    pub fn checkpoint_due(&self) -> bool {
+        self.config
+            .checkpoint_every
+            .map(|every| self.wal_records >= every)
+            .unwrap_or(false)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the record log (`feedback.wal`).
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Path of the checkpoint file (`checkpoint.bin`).
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join(CHECKPOINT_FILE)
+    }
+
+    /// Path of the checkpoint staging file (`checkpoint.tmp`).
+    pub fn checkpoint_tmp_path(&self) -> PathBuf {
+        self.dir.join(CHECKPOINT_TMP)
+    }
+
+    /// Current checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Committed records currently in the WAL (since the last
+    /// checkpoint).
+    pub fn wal_records(&self) -> u64 {
+        self.wal_records
+    }
+
+    /// Bytes currently in the WAL file.
+    pub fn wal_len(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// True when a torn write has wedged the store; reopen to recover.
+    pub fn wedged(&self) -> bool {
+        self.wedged
+    }
+}

@@ -1,0 +1,296 @@
+//! WAL record / checkpoint codec: length-prefixed, CRC-32-checksummed,
+//! generation-stamped frames.
+//!
+//! Record layout (all little-endian):
+//!
+//! ```text
+//! [magic "DWA1" u32][payload_len u32][crc u32][generation u64][seq u64][payload]
+//! ```
+//!
+//! with `crc = CRC-32/IEEE(generation ‖ seq ‖ payload)`. The checkpoint
+//! file uses the same shape under magic `"DWK1"`, carrying `next_seq`
+//! where a record carries `seq`, so recovery can restore the sequence
+//! counter even after the log was truncated.
+//!
+//! Decoding is deliberately paranoid: the first frame whose magic,
+//! length, generation or CRC fails validation ends the log — everything
+//! from that offset on is a *torn tail* to be truncated, never
+//! half-loaded. Frames from an older generation (crash between
+//! checkpoint rename and log truncation) are skipped; repeated sequence
+//! numbers (duplicated writes) keep only the first copy.
+
+use crate::store::WalRecord;
+use std::collections::HashSet;
+
+/// First four bytes of every WAL record.
+pub(crate) const WAL_MAGIC: u32 = u32::from_le_bytes(*b"DWA1");
+/// First four bytes of the checkpoint file.
+pub(crate) const CKPT_MAGIC: u32 = u32::from_le_bytes(*b"DWK1");
+/// Fixed bytes before the payload in both frame kinds.
+pub(crate) const FRAME_HEADER: usize = 28;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE reflected polynomial) over the concatenation of
+/// `chunks`, table-driven and std-only.
+pub(crate) fn crc32(chunks: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for chunk in chunks {
+        for &byte in *chunk {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+        }
+    }
+    !crc
+}
+
+fn encode_frame(magic: u32, generation: u64, counter: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER + payload.len());
+    buf.extend_from_slice(&magic.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = crc32(&[&generation.to_le_bytes(), &counter.to_le_bytes(), payload]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(&generation.to_le_bytes());
+    buf.extend_from_slice(&counter.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Encodes one WAL record frame.
+pub(crate) fn encode_record(generation: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
+    encode_frame(WAL_MAGIC, generation, seq, payload)
+}
+
+/// Encodes the checkpoint file body.
+pub(crate) fn encode_checkpoint(generation: u64, next_seq: u64, payload: &[u8]) -> Vec<u8> {
+    encode_frame(CKPT_MAGIC, generation, next_seq, payload)
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(raw)
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
+
+/// Validates and unpacks the checkpoint file:
+/// `(generation, next_seq, payload)` or the reason it is corrupt.
+pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<(u64, u64, Vec<u8>), String> {
+    if bytes.len() < FRAME_HEADER {
+        return Err(format!(
+            "file is {} bytes, shorter than the {FRAME_HEADER}-byte header",
+            bytes.len()
+        ));
+    }
+    if read_u32(bytes, 0) != CKPT_MAGIC {
+        return Err("bad magic (not a checkpoint file)".to_string());
+    }
+    let len = read_u32(bytes, 4) as usize;
+    if FRAME_HEADER + len != bytes.len() {
+        return Err(format!(
+            "length prefix {len} disagrees with file size {}",
+            bytes.len()
+        ));
+    }
+    let crc = read_u32(bytes, 8);
+    let generation = read_u64(bytes, 12);
+    let next_seq = read_u64(bytes, 20);
+    let payload = &bytes[FRAME_HEADER..];
+    let expect = crc32(&[&generation.to_le_bytes(), &next_seq.to_le_bytes(), payload]);
+    if crc != expect {
+        return Err(format!(
+            "CRC mismatch (stored {crc:#010x}, computed {expect:#010x})"
+        ));
+    }
+    Ok((generation, next_seq, payload.to_vec()))
+}
+
+/// What a WAL scan found.
+pub(crate) struct DecodedWal {
+    /// Committed current-generation records, deduplicated, in log
+    /// (= sequence) order.
+    pub live: Vec<WalRecord>,
+    /// Valid records from an older generation, skipped: their effects
+    /// are already inside the checkpoint.
+    pub stale_skipped: u64,
+    /// Valid records whose sequence number repeated an earlier one
+    /// (a duplicated torn write); only the first copy is kept.
+    pub duplicates_skipped: u64,
+    /// Bytes from the first invalid frame to end-of-file — the torn
+    /// tail that recovery truncates.
+    pub torn_bytes: u64,
+}
+
+impl DecodedWal {
+    /// True when the on-disk log differs from the clean encoding of
+    /// `live` (recovery should compact it).
+    pub(crate) fn needs_compaction(&self) -> bool {
+        self.stale_skipped > 0 || self.duplicates_skipped > 0 || self.torn_bytes > 0
+    }
+}
+
+/// Scans a WAL image, stopping (and counting the remainder as a torn
+/// tail) at the first frame that fails any validation: short header,
+/// bad magic, implausible length, future generation, or CRC mismatch.
+pub(crate) fn decode_wal(bytes: &[u8], generation: u64, max_record: usize) -> DecodedWal {
+    let mut live: Vec<WalRecord> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stale_skipped = 0u64;
+    let mut duplicates_skipped = 0u64;
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < FRAME_HEADER || read_u32(rest, 0) != WAL_MAGIC {
+            break;
+        }
+        let len = read_u32(rest, 4) as usize;
+        if len > max_record || FRAME_HEADER + len > rest.len() {
+            break;
+        }
+        let crc = read_u32(rest, 8);
+        let gen = read_u64(rest, 12);
+        let seq = read_u64(rest, 20);
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        let expect = crc32(&[&gen.to_le_bytes(), &seq.to_le_bytes(), payload]);
+        if crc != expect || gen > generation {
+            break;
+        }
+        if gen < generation {
+            stale_skipped += 1;
+        } else if !seen.insert(seq) {
+            duplicates_skipped += 1;
+        } else {
+            live.push(WalRecord {
+                seq,
+                payload: payload.to_vec(),
+            });
+        }
+        offset += FRAME_HEADER + len;
+    }
+    DecodedWal {
+        live,
+        stale_skipped,
+        duplicates_skipped,
+        torn_bytes: (bytes.len() - offset) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: usize = 1 << 20;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The classic CRC-32 check: crc32("123456789") == 0xCBF43926.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let mut log = encode_record(3, 7, b"hello");
+        log.extend(encode_record(3, 8, b""));
+        let decoded = decode_wal(&log, 3, MAX);
+        assert_eq!(decoded.live.len(), 2);
+        assert_eq!(decoded.live[0].seq, 7);
+        assert_eq!(decoded.live[0].payload, b"hello");
+        assert_eq!(decoded.live[1].seq, 8);
+        assert!(decoded.live[1].payload.is_empty());
+        assert!(!decoded.needs_compaction());
+    }
+
+    #[test]
+    fn every_single_byte_corruption_truncates_at_that_record() {
+        let good = encode_record(1, 0, b"alpha");
+        for pos in 0..good.len() {
+            for flip in [0x01u8, 0x80u8] {
+                let mut log = good.clone();
+                log[pos] ^= flip;
+                log.extend(encode_record(1, 1, b"beta"));
+                let decoded = decode_wal(&log, 1, MAX);
+                assert!(
+                    decoded.live.iter().all(|r| r.seq != 0),
+                    "corrupt byte {pos} survived"
+                );
+                assert!(
+                    decoded.torn_bytes > 0,
+                    "corrupt byte {pos} not treated as torn"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_generations_are_skipped_and_future_ones_are_torn() {
+        let mut log = encode_record(1, 0, b"old");
+        log.extend(encode_record(2, 5, b"new"));
+        let decoded = decode_wal(&log, 2, MAX);
+        assert_eq!(decoded.stale_skipped, 1);
+        assert_eq!(decoded.live.len(), 1);
+        assert_eq!(decoded.live[0].seq, 5);
+
+        let mut log = encode_record(2, 5, b"new");
+        log.extend(encode_record(3, 6, b"future"));
+        let decoded = decode_wal(&log, 2, MAX);
+        assert_eq!(decoded.live.len(), 1);
+        assert!(decoded.torn_bytes > 0);
+    }
+
+    #[test]
+    fn duplicate_sequence_numbers_keep_the_first_copy() {
+        let mut log = encode_record(1, 4, b"first");
+        log.extend(encode_record(1, 4, b"first"));
+        log.extend(encode_record(1, 5, b"second"));
+        let decoded = decode_wal(&log, 1, MAX);
+        assert_eq!(decoded.duplicates_skipped, 1);
+        assert_eq!(
+            decoded.live.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_corruption() {
+        let file = encode_checkpoint(9, 41, b"snapshot-bytes");
+        let (generation, next_seq, payload) = decode_checkpoint(&file).unwrap();
+        assert_eq!((generation, next_seq), (9, 41));
+        assert_eq!(payload, b"snapshot-bytes");
+
+        for pos in 0..file.len() {
+            let mut bad = file.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                decode_checkpoint(&bad).is_err(),
+                "corrupt byte {pos} accepted"
+            );
+        }
+        assert!(decode_checkpoint(&file[..file.len() - 1]).is_err());
+        assert!(decode_checkpoint(b"").is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! End-to-end recovery tests for the feedback store: every torn-write
+//! shape the `TornWriter` can inject (plus raw file surgery for the
+//! crash points it can't) must recover to exactly the committed-record
+//! prefix — never a partial record, never a lost committed one.
+
+use dwqa_store::{FeedbackStore, FsyncPolicy, StoreConfig, StoreError, TornPlan};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fresh, collision-free scratch directory under the OS temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("dwqa-store-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn default_config() -> StoreConfig {
+    StoreConfig::builder()
+        .checkpoint_every(None)
+        .build()
+        .unwrap()
+}
+
+fn payload(i: u64) -> Vec<u8> {
+    format!("txn-{i}-{}", "x".repeat((i as usize % 7) * 11)).into_bytes()
+}
+
+#[test]
+fn fresh_store_opens_empty_and_reopens_with_committed_records() {
+    let dir = scratch("fresh");
+    let (mut store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert!(recovery.checkpoint.is_none());
+    assert!(recovery.records.is_empty());
+    assert_eq!(recovery.generation, 0);
+    assert!(!recovery.compacted);
+
+    for i in 0..5 {
+        assert_eq!(store.append(&payload(i)).unwrap(), i);
+    }
+    assert_eq!(store.wal_records(), 5);
+    drop(store);
+
+    let (store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(recovery.records.len(), 5);
+    for (i, record) in recovery.records.iter().enumerate() {
+        assert_eq!(record.seq, i as u64);
+        assert_eq!(record.payload, payload(i as u64));
+    }
+    assert_eq!(store.next_seq(), 5);
+    assert!(!recovery.compacted);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_truncates_the_log_and_recovery_replays_only_the_suffix() {
+    let dir = scratch("checkpoint");
+    let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+    for i in 0..3 {
+        store.append(&payload(i)).unwrap();
+    }
+    store.checkpoint(b"snapshot-at-3").unwrap();
+    assert_eq!(store.wal_records(), 0);
+    assert_eq!(store.generation(), 1);
+    for i in 3..5 {
+        store.append(&payload(i)).unwrap();
+    }
+    drop(store);
+
+    let (store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(recovery.checkpoint.as_deref(), Some(&b"snapshot-at-3"[..]));
+    assert_eq!(recovery.generation, 1);
+    assert_eq!(
+        recovery.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        vec![3, 4]
+    );
+    assert_eq!(store.next_seq(), 5, "sequence survives the checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_write_fault_wedges_the_store_and_recovery_drops_the_partial_record() {
+    let dir = scratch("short");
+    let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+    for i in 0..3 {
+        store.append(&payload(i)).unwrap();
+    }
+    store.set_torn(Some(TornPlan::new(11).with_short_write(1.0)));
+    assert!(matches!(
+        store.append(&payload(3)),
+        Err(StoreError::Torn("short write"))
+    ));
+    assert!(store.wedged());
+    assert!(matches!(store.append(&payload(4)), Err(StoreError::Wedged)));
+    assert!(matches!(store.checkpoint(b"s"), Err(StoreError::Wedged)));
+    drop(store);
+
+    let (_store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(recovery.records.len(), 3, "partial record must not surface");
+    assert!(recovery.torn_bytes > 0);
+    assert!(recovery.compacted);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_fault_is_detected_and_truncated_on_recovery() {
+    let dir = scratch("flip");
+    let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+    for i in 0..4 {
+        store.append(&payload(i)).unwrap();
+    }
+    store.set_torn(Some(TornPlan::new(23).with_bit_flip(1.0)));
+    assert!(matches!(
+        store.append(&payload(4)),
+        Err(StoreError::Torn("bit flip"))
+    ));
+    drop(store);
+
+    let (_store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(recovery.records.len(), 4);
+    assert!(recovery.records.iter().all(|r| r.payload == payload(r.seq)));
+    assert!(recovery.torn_bytes > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsync_fail_fault_undoes_the_append_cleanly() {
+    let dir = scratch("fsync");
+    let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+    for i in 0..2 {
+        store.append(&payload(i)).unwrap();
+    }
+    let len_before = store.wal_len();
+    store.set_torn(Some(TornPlan::new(5).with_fsync_fail(1.0)));
+    assert!(matches!(
+        store.append(&payload(2)),
+        Err(StoreError::Torn("fsync failed"))
+    ));
+    assert!(store.wedged());
+    drop(store);
+
+    let (store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(recovery.records.len(), 2);
+    assert_eq!(recovery.torn_bytes, 0, "undone append leaves no torn tail");
+    assert!(!recovery.compacted);
+    assert_eq!(store.wal_len(), len_before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_fault_is_benign_and_deduplicated_on_recovery() {
+    let dir = scratch("dup");
+    let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+    store.set_torn(Some(TornPlan::new(9).with_duplicate(1.0)));
+    for i in 0..3 {
+        assert_eq!(
+            store.append(&payload(i)).unwrap(),
+            i,
+            "duplicates are benign"
+        );
+    }
+    assert!(!store.wedged());
+    drop(store);
+
+    let (_store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(recovery.duplicates_skipped, 3);
+    assert_eq!(
+        recovery.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+    assert!(recovery.compacted);
+
+    // Recovery compacted the log: a second open is pristine.
+    let (_store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(recovery.records.len(), 3);
+    assert!(!recovery.compacted);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_generation_records_are_skipped_after_an_interrupted_checkpoint() {
+    let dir = scratch("stale");
+    let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+    for i in 0..2 {
+        store.append(&payload(i)).unwrap();
+    }
+    // Simulate a crash between checkpoint rename and WAL truncation:
+    // save the generation-0 log bytes and put them back afterwards.
+    let old_log = std::fs::read(store.wal_path()).unwrap();
+    store.checkpoint(b"snapshot-at-2").unwrap();
+    std::fs::write(store.wal_path(), &old_log).unwrap();
+    drop(store);
+
+    let (mut store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(recovery.stale_skipped, 2);
+    assert!(recovery.records.is_empty());
+    assert_eq!(recovery.checkpoint.as_deref(), Some(&b"snapshot-at-2"[..]));
+    assert!(recovery.compacted);
+    // The store still appends fine at the new generation.
+    assert_eq!(store.append(&payload(2)).unwrap(), 2);
+    drop(store);
+    let (_store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(
+        recovery.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        vec![2]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_refuses_to_open() {
+    let dir = scratch("badckpt");
+    let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+    store.append(&payload(0)).unwrap();
+    store.checkpoint(b"good").unwrap();
+    let path = store.checkpoint_path();
+    drop(store);
+
+    // Flipped byte inside the checkpoint payload.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        FeedbackStore::open(&dir, default_config()),
+        Err(StoreError::CorruptCheckpoint(_))
+    ));
+
+    // Truncated checkpoint file.
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(
+        FeedbackStore::open(&dir, default_config()),
+        Err(StoreError::CorruptCheckpoint(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn leftover_checkpoint_tmp_garbage_is_discarded_on_open() {
+    let dir = scratch("tmpjunk");
+    let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+    store.append(&payload(0)).unwrap();
+    store.checkpoint(b"real").unwrap();
+    let tmp = store.checkpoint_tmp_path();
+    drop(store);
+    std::fs::write(&tmp, b"garbage from a crashed checkpoint").unwrap();
+
+    let (_store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+    assert_eq!(recovery.checkpoint.as_deref(), Some(&b"real"[..]));
+    assert!(!tmp.exists(), "stale tmp file should be removed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_append_is_rejected_without_wedging() {
+    let dir = scratch("oversize");
+    let config = StoreConfig::builder()
+        .max_record_bytes(64)
+        .checkpoint_every(None)
+        .build()
+        .unwrap();
+    let (mut store, _) = FeedbackStore::open(&dir, config.clone()).unwrap();
+    let big = vec![7u8; 65];
+    assert!(matches!(
+        store.append(&big),
+        Err(StoreError::TooLarge { len: 65, max: 64 })
+    ));
+    assert!(!store.wedged());
+    assert_eq!(store.append(b"small").unwrap(), 0);
+    drop(store);
+    let (_store, recovery) = FeedbackStore::open(&dir, config).unwrap();
+    assert_eq!(recovery.records.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_n_policy_amortizes_fsyncs() {
+    use dwqa_obs::MetricsRegistry;
+    use std::sync::Arc;
+
+    let dir = scratch("everyn");
+    let config = StoreConfig::builder()
+        .fsync(FsyncPolicy::EveryN(4))
+        .checkpoint_every(None)
+        .build()
+        .unwrap();
+    let (mut store, _) = FeedbackStore::open(&dir, config).unwrap();
+    let registry = Arc::new(MetricsRegistry::new());
+    {
+        let _obs = dwqa_obs::observe(Some(Arc::clone(&registry)), None, "test", "everyn");
+        for i in 0..10 {
+            store.append(&payload(i)).unwrap();
+        }
+    }
+    assert_eq!(
+        registry.counter_value(dwqa_obs::names::STORE_WAL_FSYNCS),
+        2,
+        "10 appends at EveryN(4) => fsync at the 4th and 8th"
+    );
+    assert_eq!(
+        registry.counter_value(dwqa_obs::names::STORE_WAL_APPENDS),
+        10
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_due_follows_the_configured_cadence() {
+    let dir = scratch("due");
+    let config = StoreConfig::builder()
+        .checkpoint_every(Some(3))
+        .build()
+        .unwrap();
+    let (mut store, _) = FeedbackStore::open(&dir, config).unwrap();
+    for i in 0..2 {
+        store.append(&payload(i)).unwrap();
+        assert!(!store.checkpoint_due());
+    }
+    store.append(&payload(2)).unwrap();
+    assert!(store.checkpoint_due());
+    store.checkpoint(b"s").unwrap();
+    assert!(!store.checkpoint_due());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chop the WAL at ANY byte length: recovery must yield exactly a
+    /// prefix of the committed records, with every payload intact.
+    #[test]
+    fn prop_arbitrary_truncation_recovers_a_committed_prefix(
+        count in 1usize..8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dir = scratch("prop-trunc");
+        let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+        for i in 0..count as u64 {
+            store.append(&payload(i)).unwrap();
+        }
+        let wal_path = store.wal_path();
+        let full = store.wal_len();
+        drop(store);
+        let cut = (full as f64 * cut_frac) as u64;
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..cut as usize]).unwrap();
+
+        let (_store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+        prop_assert!(recovery.records.len() <= count);
+        for (i, record) in recovery.records.iter().enumerate() {
+            prop_assert_eq!(record.seq, i as u64);
+            prop_assert_eq!(&record.payload, &payload(i as u64));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flip any single byte of the WAL: recovery still yields a prefix
+    /// of the committed records with intact payloads (the flipped
+    /// record and everything after it are truncated).
+    #[test]
+    fn prop_single_byte_corruption_never_surfaces_a_wrong_payload(
+        count in 1usize..8,
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let dir = scratch("prop-flip");
+        let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+        for i in 0..count as u64 {
+            store.append(&payload(i)).unwrap();
+        }
+        let wal_path = store.wal_path();
+        drop(store);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let (_store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+        prop_assert!(recovery.records.len() <= count);
+        for (i, record) in recovery.records.iter().enumerate() {
+            prop_assert_eq!(record.seq, i as u64);
+            prop_assert_eq!(&record.payload, &payload(i as u64));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Under any chaos seed/rate, appends either succeed (and survive
+    /// reopen) or wedge the store (and the failed record never
+    /// surfaces): recovered records == exactly the acknowledged ones.
+    #[test]
+    fn prop_chaos_appends_recover_exactly_the_acknowledged_records(
+        seed in 0u64..1_000_000,
+        rate in 0.0f64..0.6,
+    ) {
+        let dir = scratch("prop-chaos");
+        let (mut store, _) = FeedbackStore::open(&dir, default_config()).unwrap();
+        store.set_torn(Some(TornPlan::chaos(seed, rate)));
+        let mut acknowledged = Vec::new();
+        for i in 0..16u64 {
+            match store.append(&payload(i)) {
+                Ok(seq) => acknowledged.push(seq),
+                Err(StoreError::Torn(_)) | Err(StoreError::Wedged) => break,
+                Err(other) => prop_assert!(false, "unexpected append error: {}", other),
+            }
+        }
+        drop(store);
+        let (_store, recovery) = FeedbackStore::open(&dir, default_config()).unwrap();
+        prop_assert_eq!(
+            recovery.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            acknowledged
+        );
+        prop_assert!(recovery.records.iter().all(|r| r.payload == payload(r.seq)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

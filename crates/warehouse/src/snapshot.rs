@@ -109,7 +109,7 @@ impl Warehouse {
                 .schema
                 .dimension(&dim_snap.name)
                 .ok_or_else(|| WarehouseError::UnknownDimension(dim_snap.name.clone()))?;
-            for row in &dim_snap.rows {
+            for (expected_key, row) in dim_snap.rows.iter().enumerate() {
                 if row.len() != dim_snap.columns.len() {
                     return Err(WarehouseError::IncompleteRow(format!(
                         "dimension {:?}: row width {} vs {} columns",
@@ -125,7 +125,19 @@ impl Warehouse {
                     .zip(row.iter().cloned())
                     .filter(|(_, v)| !v.is_null())
                     .collect();
-                wh.dimension_table_mut(dim_id).lookup_or_insert(&spec)?;
+                // Replaying rows in storage order must reproduce the
+                // snapshot's surrogate keys exactly — a duplicated or
+                // reordered member row would silently remap every fact
+                // key pointing at it, so reject the snapshot instead.
+                let key = wh.dimension_table_mut(dim_id).lookup_or_insert(&spec)?;
+                if key.index() != expected_key {
+                    return Err(WarehouseError::IncompleteRow(format!(
+                        "dimension {:?}: row {expected_key} restored as surrogate key {} \
+                         (duplicated or out-of-order member row)",
+                        dim_snap.name,
+                        key.index()
+                    )));
+                }
             }
         }
         for fact_snap in &snapshot.facts {
@@ -273,6 +285,44 @@ mod tests {
         let mut snap = wh.snapshot();
         snap.dimensions[0].rows[0].pop();
         assert!(Warehouse::restore(&snap).is_err());
+        // Truncated JSON (a torn write that cut the dump short).
+        let json = wh.to_json();
+        assert!(Warehouse::from_json(&json[..json.len() / 2]).is_err());
+        // Schema mismatch: the tables no longer match the schema.
+        let mut snap = wh.snapshot();
+        snap.dimensions[0].name = "Imaginary".to_owned();
+        assert!(matches!(
+            Warehouse::restore(&snap),
+            Err(WarehouseError::UnknownDimension(_))
+        ));
+        let mut snap = wh.snapshot();
+        snap.facts[0].name = "Imaginary".to_owned();
+        assert!(matches!(
+            Warehouse::restore(&snap),
+            Err(WarehouseError::UnknownFact(_))
+        ));
+    }
+
+    #[test]
+    fn duplicated_or_reordered_member_rows_are_rejected() {
+        let wh = loaded();
+        // A duplicated member row would collapse into one key on
+        // replay and shift every later surrogate key down by one.
+        let mut snap = wh.snapshot();
+        let dup = snap.dimensions[0].rows[0].clone();
+        snap.dimensions[0].rows.insert(1, dup);
+        let err = Warehouse::restore(&snap).unwrap_err();
+        assert!(
+            matches!(err, WarehouseError::IncompleteRow(ref m) if m.contains("surrogate key")),
+            "{err}"
+        );
+        // Appending a stray member row past the originals also breaks
+        // the row-per-key correspondence once anything collides; a
+        // *duplicate* of an earlier row is the detectable case.
+        let mut snap = wh.snapshot();
+        let last = snap.dimensions[0].rows.last().cloned().unwrap();
+        snap.dimensions[0].rows.push(last);
+        assert!(Warehouse::restore(&snap).is_err());
     }
 
     proptest! {
@@ -299,6 +349,37 @@ mod tests {
             }
             let restored = Warehouse::from_json(&wh.to_json()).unwrap();
             prop_assert_eq!(query(&wh), query(&restored));
+        }
+
+        /// Stronger than query equivalence: `snapshot → restore →
+        /// snapshot` is byte-identical, so recovery comparisons (and
+        /// the durable store's checkpoints) can use the serialized
+        /// form directly.
+        #[test]
+        fn prop_snapshot_restore_snapshot_is_byte_identical(
+            prices in proptest::collection::vec(0.0f64..500.0, 1..20),
+        ) {
+            let mut wh = Warehouse::new(last_minute_sales());
+            for (i, p) in prices.iter().enumerate() {
+                let mut b = FactRowBuilder::new();
+                b.measure("price", Value::Float(*p))
+                    .measure("miles", Value::Float(1.0))
+                    .measure("traveler_rate", Value::Float(0.5))
+                    .role_member("Origin", &[("airport_name", Value::text("O"))])
+                    .role_member(
+                        "Destination",
+                        &[("airport_name", Value::text(format!("D{}", i % 4)))],
+                    )
+                    .role_member("Customer", &[("customer_name", Value::text("Ann"))])
+                    .role_member(
+                        "Date",
+                        &[("date", Value::date(2004, 1, (i % 28 + 1) as u32).unwrap())],
+                    );
+                wh.load("Last Minute Sales", vec![b.build()]).unwrap();
+            }
+            let json = wh.to_json();
+            let restored = Warehouse::from_json(&json).unwrap();
+            prop_assert_eq!(json, restored.to_json());
         }
     }
 }
