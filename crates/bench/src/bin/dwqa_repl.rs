@@ -30,7 +30,6 @@
 
 use dwqa_bench::{build_fixture, FixtureConfig};
 use dwqa_common::Month;
-use dwqa_core::{questions_for_missing_weather, sales_by_temperature_band};
 use dwqa_corpus::PageStyle;
 use dwqa_engine::QaSession;
 use dwqa_faults::{CorpusSource, FaultInjector, FaultPlan, ResilientSource, RetryPolicy};
@@ -84,7 +83,15 @@ fn main() {
             break;
         }
         if line == ":bands" {
-            match sales_by_temperature_band(&fx.pipeline.warehouse, 5.0) {
+            // Observe against the session registry so the roll-up
+            // counters land in `:stats`.
+            let _obs = dwqa_obs::observe(
+                Some(Arc::clone(session.stats().registry())),
+                None,
+                "analysis",
+                ":bands",
+            );
+            match fx.pipeline.sales_by_temperature_band(5.0) {
                 Ok(bands) if bands.is_empty() => {
                     println!("(no weather rows yet — ask some temperature questions first)")
                 }
@@ -94,7 +101,13 @@ fn main() {
             continue;
         }
         if line == ":missing" {
-            match questions_for_missing_weather(&fx.pipeline.warehouse, 2004, Month::January) {
+            let _obs = dwqa_obs::observe(
+                Some(Arc::clone(session.stats().registry())),
+                None,
+                "analysis",
+                ":missing",
+            );
+            match fx.pipeline.missing_weather_questions(2004, Month::January) {
                 Ok(qs) if qs.is_empty() => println!("(weather coverage is complete)"),
                 Ok(qs) => {
                     for q in qs {

@@ -6,7 +6,7 @@
 //! no weather data. After feeding, it is a join of the two stars over the
 //! conformed City and Date levels.
 
-use dwqa_warehouse::{AggFn, CubeQuery, Result, Value, Warehouse, WarehouseError};
+use dwqa_warehouse::{AggFn, CubeQuery, Result, ResultSet, Value, Warehouse, WarehouseError};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -35,6 +35,16 @@ pub fn sales_by_temperature_band(
     warehouse: &Warehouse,
     band_width: f64,
 ) -> Result<Vec<TemperatureBand>> {
+    sales_by_temperature_band_with(|q| q.run(warehouse), band_width)
+}
+
+/// [`sales_by_temperature_band`] with a pluggable query runner, so the
+/// pipeline can route both roll-ups through its revision-tagged result
+/// cache ([`crate::RollupCache`]) instead of executing directly.
+pub fn sales_by_temperature_band_with(
+    mut run: impl FnMut(&CubeQuery) -> Result<ResultSet>,
+    band_width: f64,
+) -> Result<Vec<TemperatureBand>> {
     if band_width <= 0.0 || !band_width.is_finite() {
         return Err(WarehouseError::IllegalAggregate {
             measure: "temperature_c".to_owned(),
@@ -42,17 +52,15 @@ pub fn sales_by_temperature_band(
         });
     }
     // Weather per (city, date).
-    let weather = CubeQuery::on("City Weather")
+    let weather = run(&CubeQuery::on("City Weather")
         .group_by("City", "City")
         .group_by("Date", "Date")
-        .aggregate("temperature_c", AggFn::Avg)
-        .run(warehouse)?;
+        .aggregate("temperature_c", AggFn::Avg))?;
     // Sales per (destination city, date).
-    let sales = CubeQuery::on("Last Minute Sales")
+    let sales = run(&CubeQuery::on("Last Minute Sales")
         .group_by("Destination", "City")
         .group_by("Date", "Date")
-        .aggregate("price", AggFn::Count)
-        .run(warehouse)?;
+        .aggregate("price", AggFn::Count))?;
     // Drill-across over the conformed (city, date) coordinates. The join
     // keys use the weather side as driver; city names are folded into a
     // map first so "barcelona" from the feed matches "Barcelona" from the

@@ -8,7 +8,7 @@
 //! closing the loop from Step 5 back to Step 4.
 
 use dwqa_common::Month;
-use dwqa_warehouse::{AggFn, CubeQuery, Predicate, Result, Value, Warehouse};
+use dwqa_warehouse::{AggFn, CubeQuery, Predicate, Result, ResultSet, Value, Warehouse};
 use std::collections::BTreeSet;
 
 /// Destination cities with last-minute sales in `(year, month)` but no
@@ -19,24 +19,33 @@ pub fn questions_for_missing_weather(
     year: i32,
     month: Month,
 ) -> Result<Vec<String>> {
+    questions_for_missing_weather_with(|q| q.run(warehouse), year, month)
+}
+
+/// [`questions_for_missing_weather`] with a pluggable query runner, so
+/// the pipeline can route both roll-ups through its revision-tagged
+/// result cache ([`crate::RollupCache`]) instead of executing directly.
+pub fn questions_for_missing_weather_with(
+    mut run: impl FnMut(&CubeQuery) -> Result<ResultSet>,
+    year: i32,
+    month: Month,
+) -> Result<Vec<String>> {
     let month_key = Value::text(format!("{:04}-{:02}", year, month.number()));
 
-    let sold_to = CubeQuery::on("Last Minute Sales")
+    let sold_to = run(&CubeQuery::on("Last Minute Sales")
         .filter("Date", "Month", Predicate::Eq(month_key.clone()))
         .group_by("Destination", "City")
-        .aggregate("price", AggFn::Count)
-        .run(warehouse)?;
+        .aggregate("price", AggFn::Count))?;
     let destinations: BTreeSet<String> = sold_to
         .rows
         .iter()
         .filter_map(|r| r[0].as_text().map(str::to_owned))
         .collect();
 
-    let covered = CubeQuery::on("City Weather")
+    let covered = run(&CubeQuery::on("City Weather")
         .filter("Date", "Month", Predicate::Eq(month_key))
         .group_by("City", "City")
-        .aggregate("temperature_c", AggFn::Count)
-        .run(warehouse)?;
+        .aggregate("temperature_c", AggFn::Count))?;
     let covered: BTreeSet<String> = covered
         .rows
         .iter()

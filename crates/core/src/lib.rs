@@ -49,18 +49,20 @@ pub mod evaluate;
 pub mod feedback;
 pub mod pipeline;
 pub mod prelude;
+pub mod rollup;
 pub mod schema;
 pub mod tableprep;
 
-pub use analysis::{sales_by_temperature_band, TemperatureBand};
+pub use analysis::{sales_by_temperature_band, sales_by_temperature_band_with, TemperatureBand};
 pub use axioms::TemperatureAxioms;
 pub use durability::{DurableCheckpoint, LoggedTransaction, RecoveryReport};
-pub use dwquery::questions_for_missing_weather;
+pub use dwquery::{questions_for_missing_weather, questions_for_missing_weather_with};
 pub use error::Error;
 pub use evaluate::{evaluate_temperatures, ExtractionEval};
 pub use feedback::{feed_weather, FeedError, FeedReport};
 pub use pipeline::{
     FeedFault, IntegrationPipeline, PipelineOptions, PipelineOptionsBuilder, ReadPath,
 };
+pub use rollup::RollupCache;
 pub use schema::integrated_schema;
 pub use tableprep::preprocess_tables;

@@ -19,6 +19,7 @@ use crate::durability::{
     LoggedTransaction, RecoveryReport,
 };
 use crate::feedback::{feed_weather_dedup, FeedError, FeedReport};
+use crate::rollup::RollupCache;
 use dwqa_ir::DocumentStore;
 use dwqa_ontology::{
     enrich_from_warehouse, merge_into_upper, schema_to_ontology, upper_ontology, EnrichmentReport,
@@ -26,7 +27,7 @@ use dwqa_ontology::{
 };
 use dwqa_qa::{temperature_pattern, AliQAn, AliQAnConfig, Answer, PipelineTrace};
 use dwqa_store::{FeedbackStore, StoreConfig};
-use dwqa_warehouse::{Warehouse, WarehouseSnapshot};
+use dwqa_warehouse::{CubeQuery, ResultSet, Warehouse, WarehouseSnapshot};
 use std::collections::HashSet;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -171,6 +172,9 @@ pub struct IntegrationPipeline {
     /// Set when a failed rollback left the warehouse possibly holding a
     /// partial load; all feeds are rejected until a restore clears it.
     poisoned: Option<String>,
+    /// Revision-tagged cache of roll-up results; committed feed
+    /// transactions invalidate it via [`Self::mark_dirty`].
+    rollups: RollupCache,
 }
 
 /// The immutable read path: a cheap, cloneable, `Send + Sync` handle over
@@ -252,6 +256,7 @@ impl IntegrationPipeline {
             rollbacks: 0,
             store: None,
             poisoned: None,
+            rollups: RollupCache::default(),
         }
     }
 
@@ -274,7 +279,41 @@ impl IntegrationPipeline {
     /// automatically; call it yourself after mutating
     /// [`Self::warehouse`] directly.
     pub fn mark_dirty(&self) {
-        self.revision.fetch_add(1, Ordering::AcqRel);
+        let revision = self.revision.fetch_add(1, Ordering::AcqRel) + 1;
+        // Eagerly drop result sets computed against older revisions;
+        // lookups would skip them anyway, this just frees the memory.
+        self.rollups.purge_stale(revision);
+    }
+
+    /// Runs a cube query against the warehouse through the revision-
+    /// tagged result cache: repeated queries between feed commits are
+    /// served without re-scanning the fact tables.
+    pub fn rollup(&self, query: &CubeQuery) -> dwqa_warehouse::Result<ResultSet> {
+        self.rollups.run(&self.warehouse, self.revision(), query)
+    }
+
+    /// The roll-up result cache (hit/miss statistics, manual purge).
+    pub fn rollup_cache(&self) -> &RollupCache {
+        &self.rollups
+    }
+
+    /// [`crate::questions_for_missing_weather`] routed through the
+    /// result cache.
+    pub fn missing_weather_questions(
+        &self,
+        year: i32,
+        month: dwqa_common::Month,
+    ) -> dwqa_warehouse::Result<Vec<String>> {
+        crate::dwquery::questions_for_missing_weather_with(|q| self.rollup(q), year, month)
+    }
+
+    /// [`crate::sales_by_temperature_band`] routed through the result
+    /// cache.
+    pub fn sales_by_temperature_band(
+        &self,
+        band_width: f64,
+    ) -> dwqa_warehouse::Result<Vec<crate::TemperatureBand>> {
+        crate::analysis::sales_by_temperature_band_with(|q| self.rollup(q), band_width)
     }
 
     /// Enables (or disables, with `None`) deterministic feed-fault
@@ -825,6 +864,46 @@ mod tests {
         let again = p.feed_batch(&refs).unwrap();
         assert_eq!(again.loaded, 0);
         assert!(again.duplicates_skipped > 0);
+    }
+
+    #[test]
+    fn rollup_cache_serves_reads_and_commits_invalidate_it() {
+        let (mut p, _) = built_pipeline(false);
+        let read = p.read_path();
+        let answers = read.answer(EL_PRAT);
+
+        // Two identical analyses: the second is served from cache.
+        let first = p.sales_by_temperature_band(5.0).unwrap();
+        let second = p.sales_by_temperature_band(5.0).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(p.rollup_cache().misses(), 2, "two roll-ups executed");
+        assert_eq!(p.rollup_cache().hits(), 2, "both served from cache");
+
+        // A *rolled-back* transaction must not invalidate: the state did
+        // not change, so cached results stay valid and keep hitting.
+        p.set_feed_fault(Some(FeedFault { seed: 7, rate: 1.0 }));
+        assert!(p.try_apply_feedback(&answers).is_err());
+        assert_eq!(p.rollbacks(), 1);
+        let after_rollback = p.sales_by_temperature_band(5.0).unwrap();
+        assert_eq!(after_rollback, first);
+        assert_eq!(p.rollup_cache().hits(), 4, "rollback kept entries hot");
+        assert_eq!(p.rollup_cache().misses(), 2);
+
+        // A *committed* transaction bumps the revision: stale results
+        // are purged eagerly and the next analysis re-executes.
+        p.set_feed_fault(None);
+        assert!(p.try_apply_feedback(&answers).unwrap().loaded > 0);
+        assert!(p.rollup_cache().is_empty(), "commit purged stale results");
+        let after_commit = p.sales_by_temperature_band(5.0).unwrap();
+        assert_ne!(after_commit, first, "fed weather changed the analysis");
+        assert_eq!(p.rollup_cache().misses(), 4);
+
+        // The DW-query → question generation path shares the cache.
+        let questions = p.missing_weather_questions(2004, Month::January).unwrap();
+        let again = p.missing_weather_questions(2004, Month::January).unwrap();
+        assert_eq!(questions, again);
+        assert_eq!(p.rollup_cache().misses(), 6);
+        assert_eq!(p.rollup_cache().hits(), 6);
     }
 
     #[test]

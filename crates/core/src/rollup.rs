@@ -1,0 +1,279 @@
+//! Revision-invalidated cache of roll-up **results**.
+//!
+//! The warehouse's plan cache (in `dwqa-warehouse`) avoids re-*compiling*
+//! a query; this cache avoids re-*executing* it. Entries are tagged with
+//! the pipeline revision they were computed against: a committed feed
+//! transaction bumps the revision ([`crate::IntegrationPipeline`
+//! `::mark_dirty`]), so stale results are invisible immediately and
+//! evicted on sight, while a rolled-back transaction leaves the revision
+//! — and therefore every cached result — untouched.
+
+use dwqa_obs::names as obs;
+use dwqa_warehouse::{CubeQuery, Result, ResultSet, Warehouse};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Default number of cached result sets (the BI workloads reuse a
+/// handful of query shapes per dashboard refresh).
+pub const DEFAULT_ROLLUP_CAPACITY: usize = 64;
+
+struct CachedResult {
+    revision: u64,
+    result: ResultSet,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<String, CachedResult>,
+    tick: u64,
+}
+
+/// An LRU cache of [`ResultSet`]s keyed by the query's canonical form
+/// and invalidated by revision.
+pub struct RollupCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for RollupCache {
+    fn default() -> RollupCache {
+        RollupCache::new(DEFAULT_ROLLUP_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for RollupCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollupCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl RollupCache {
+    /// Creates a cache holding up to `capacity` result sets. Capacity 0
+    /// disables caching (every run executes).
+    pub fn new(capacity: usize) -> RollupCache {
+        RollupCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn inner(&self) -> MutexGuard<'_, Inner> {
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the map itself is always structurally sound.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Runs `query` against `warehouse`, serving the result from cache
+    /// when one was computed at the same `revision`. Errors are never
+    /// cached (they are cheap to reproduce and carry no scan cost).
+    pub fn run(
+        &self,
+        warehouse: &Warehouse,
+        revision: u64,
+        query: &CubeQuery,
+    ) -> Result<ResultSet> {
+        let Ok(key) = serde_json::to_string(query) else {
+            return query.run(warehouse);
+        };
+        {
+            let mut inner = self.inner();
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.map.get_mut(&key) {
+                Some(entry) if entry.revision == revision => {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    dwqa_obs::counter_add(obs::WAREHOUSE_ROLLUP_HITS, 1);
+                    return Ok(entry.result.clone());
+                }
+                Some(_) => {
+                    inner.map.remove(&key);
+                }
+                None => {}
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        dwqa_obs::counter_add(obs::WAREHOUSE_ROLLUP_MISSES, 1);
+        let result = query.run(warehouse)?;
+        if self.capacity > 0 {
+            let mut inner = self.inner();
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.map.insert(
+                key,
+                CachedResult {
+                    revision,
+                    result: result.clone(),
+                    last_used: tick,
+                },
+            );
+            while inner.map.len() > self.capacity {
+                let Some(oldest) = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                inner.map.remove(&oldest);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Drops every entry computed against a revision other than
+    /// `revision`.
+    pub fn purge_stale(&self, revision: u64) {
+        self.inner().map.retain(|_, e| e.revision == revision);
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.inner().map.clear();
+    }
+
+    /// Number of cached result sets.
+    pub fn len(&self) -> usize {
+        self.inner().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (queries actually executed) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwqa_warehouse::{AggFn, FactRowBuilder, Value};
+
+    fn loaded() -> Warehouse {
+        let mut wh = Warehouse::new(crate::schema::integrated_schema());
+        let mut b = FactRowBuilder::new();
+        b.measure("price", Value::Float(100.0))
+            .measure("miles", Value::Float(500.0))
+            .measure("traveler_rate", Value::Float(0.5))
+            .role_member("Origin", &[("airport_name", Value::text("Elsewhere"))])
+            .role_member(
+                "Destination",
+                &[
+                    ("airport_name", Value::text("El Prat")),
+                    ("city_name", Value::text("Barcelona")),
+                ],
+            )
+            .role_member("Customer", &[("customer_name", Value::text("Ann"))])
+            .role_member("Date", &[("date", Value::date(2004, 1, 5).unwrap())]);
+        wh.load("Last Minute Sales", vec![b.build()]).unwrap();
+        wh
+    }
+
+    fn count_query() -> CubeQuery {
+        CubeQuery::on("Last Minute Sales")
+            .group_by("Destination", "City")
+            .aggregate("price", AggFn::Count)
+    }
+
+    #[test]
+    fn second_run_at_same_revision_is_a_hit() {
+        let wh = loaded();
+        let cache = RollupCache::new(8);
+        let q = count_query();
+        let a = cache.run(&wh, 0, &q).unwrap();
+        let b = cache.run(&wh, 0, &q).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn revision_change_invalidates() {
+        let wh = loaded();
+        let cache = RollupCache::new(8);
+        let q = count_query();
+        cache.run(&wh, 0, &q).unwrap();
+        cache.run(&wh, 1, &q).unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        // The stale entry was evicted on sight, not left behind.
+        assert_eq!(cache.len(), 1);
+        cache.purge_stale(1);
+        assert_eq!(cache.len(), 1);
+        cache.purge_stale(2);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let wh = loaded();
+        let cache = RollupCache::new(2);
+        let queries: Vec<CubeQuery> = [AggFn::Count, AggFn::Min, AggFn::Max]
+            .iter()
+            .map(|&f| {
+                CubeQuery::on("Last Minute Sales")
+                    .group_by("Destination", "City")
+                    .aggregate("price", f)
+            })
+            .collect();
+        cache.run(&wh, 0, &queries[0]).unwrap();
+        cache.run(&wh, 0, &queries[1]).unwrap();
+        // Touch the first so the second is the LRU victim.
+        cache.run(&wh, 0, &queries[0]).unwrap();
+        cache.run(&wh, 0, &queries[2]).unwrap();
+        assert_eq!(cache.len(), 2);
+        cache.run(&wh, 0, &queries[0]).unwrap();
+        assert_eq!(cache.hits(), 2, "first query stayed cached");
+        cache.run(&wh, 0, &queries[1]).unwrap();
+        assert_eq!(cache.misses(), 4, "second query was evicted");
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let wh = loaded();
+        let cache = RollupCache::new(0);
+        let q = count_query();
+        cache.run(&wh, 0, &q).unwrap();
+        cache.run(&wh, 0, &q).unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let wh = loaded();
+        let cache = RollupCache::new(8);
+        let q = CubeQuery::on("Ghost").aggregate("price", AggFn::Count);
+        assert!(cache.run(&wh, 0, &q).is_err());
+        assert!(cache.run(&wh, 0, &q).is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -320,6 +320,31 @@ impl EngineStats {
         }
     }
 
+    /// Roll-up plans compiled against a fresh warehouse revision.
+    pub fn warehouse_plans_compiled(&self) -> u64 {
+        self.registry.counter_value(names::WAREHOUSE_PLANS_COMPILED)
+    }
+
+    /// Roll-up plans served from the warehouse plan cache.
+    pub fn warehouse_plans_reused(&self) -> u64 {
+        self.registry.counter_value(names::WAREHOUSE_PLANS_REUSED)
+    }
+
+    /// Fact rows walked by compiled roll-up scans (summed).
+    pub fn warehouse_rows_scanned(&self) -> u64 {
+        self.registry.counter_value(names::WAREHOUSE_ROWS_SCANNED)
+    }
+
+    /// Roll-up result-cache hits recorded by the pipeline.
+    pub fn warehouse_rollup_hits(&self) -> u64 {
+        self.registry.counter_value(names::WAREHOUSE_ROLLUP_HITS)
+    }
+
+    /// Roll-up result-cache misses (queries actually executed).
+    pub fn warehouse_rollup_misses(&self) -> u64 {
+        self.registry.counter_value(names::WAREHOUSE_ROLLUP_MISSES)
+    }
+
     /// Renders the statistics as a fixed-width table.
     pub fn render(&self) -> String {
         fn us(v: u64) -> String {
@@ -369,6 +394,14 @@ impl EngineStats {
             self.mean_candidate_docs(),
             self.pruned_fraction() * 100.0,
             self.retrieval_windows_scored(),
+        ));
+        out.push_str(&format!(
+            "warehouse: {} plans compiled / {} reused   {} rows scanned   rollup cache: {} hits / {} misses\n",
+            self.warehouse_plans_compiled(),
+            self.warehouse_plans_reused(),
+            self.warehouse_rows_scanned(),
+            self.warehouse_rollup_hits(),
+            self.warehouse_rollup_misses(),
         ));
         out.push_str(&format!(
             "resilience: {} retries   {} breaker trips   {} breaker rejections   {} source failures   {} rollbacks   {} worker deaths\n",
@@ -425,6 +458,7 @@ mod tests {
             "hit rate",
             "outcomes",
             "retrieval",
+            "warehouse",
             "resilience",
         ] {
             assert!(table.contains(name), "missing {name} in:\n{table}");
@@ -453,6 +487,27 @@ mod tests {
         assert!((stats.pruned_fraction() - 0.95).abs() < 1e-12);
         let table = stats.render();
         assert!(table.contains("95% of corpus pruned"), "{table}");
+    }
+
+    /// The warehouse getters read the counters that `dwqa-warehouse` and
+    /// the pipeline's rollup cache write through the observation context.
+    #[test]
+    fn warehouse_counters_read_the_shared_registry() {
+        let stats = EngineStats::default();
+        let reg = Arc::clone(stats.registry());
+        reg.counter(names::WAREHOUSE_PLANS_COMPILED).add(2);
+        reg.counter(names::WAREHOUSE_PLANS_REUSED).add(5);
+        reg.counter(names::WAREHOUSE_ROWS_SCANNED).add(1000);
+        reg.counter(names::WAREHOUSE_ROLLUP_HITS).add(3);
+        reg.counter(names::WAREHOUSE_ROLLUP_MISSES).add(4);
+        assert_eq!(stats.warehouse_plans_compiled(), 2);
+        assert_eq!(stats.warehouse_plans_reused(), 5);
+        assert_eq!(stats.warehouse_rows_scanned(), 1000);
+        assert_eq!(stats.warehouse_rollup_hits(), 3);
+        assert_eq!(stats.warehouse_rollup_misses(), 4);
+        let table = stats.render();
+        assert!(table.contains("2 plans compiled / 5 reused"), "{table}");
+        assert!(table.contains("3 hits / 4 misses"), "{table}");
     }
 
     #[test]

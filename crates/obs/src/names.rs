@@ -75,6 +75,20 @@ pub const STORE_TORN_FAULTS: &str = "store.torn.faults";
 /// Counter: WAL records dropped on recovery as a torn / stale tail.
 pub const STORE_RECOVERY_TRUNCATED: &str = "store.recovery.truncated";
 
+/// Counter: roll-up plans compiled against a fresh warehouse revision
+/// (`dwqa-warehouse`).
+pub const WAREHOUSE_PLANS_COMPILED: &str = "warehouse.plans.compiled";
+/// Counter: roll-up plans served from the warehouse plan cache.
+pub const WAREHOUSE_PLANS_REUSED: &str = "warehouse.plans.reused";
+/// Counter: fact rows walked by compiled roll-up scans (summed).
+pub const WAREHOUSE_ROWS_SCANNED: &str = "warehouse.rows.scanned";
+/// Counter: groups materialised by compiled roll-up scans (summed).
+pub const WAREHOUSE_GROUPS: &str = "warehouse.groups";
+/// Counter: roll-up *result* cache hits (`dwqa-core`).
+pub const WAREHOUSE_ROLLUP_HITS: &str = "warehouse.rollup.hits";
+/// Counter: roll-up result cache misses (query executed).
+pub const WAREHOUSE_ROLLUP_MISSES: &str = "warehouse.rollup.misses";
+
 /// Counter: requests received by the QA service, every kind and
 /// disposition (`dwqa-server`).
 pub const SERVER_REQUESTS: &str = "server.requests";

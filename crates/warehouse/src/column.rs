@@ -157,6 +157,41 @@ impl Column {
             _ => None,
         }
     }
+
+    /// A borrowed numeric view over the column, resolved once so the
+    /// compiled roll-up scan avoids re-matching the enum per row.
+    pub fn numeric(&self) -> NumericSlice<'_> {
+        match self {
+            Column::Int(v) => NumericSlice::Int(v),
+            Column::Float(v) => NumericSlice::Float(v),
+            _ => NumericSlice::Opaque,
+        }
+    }
+}
+
+/// A borrowed numeric view of a [`Column`]; non-numeric columns yield
+/// [`NumericSlice::Opaque`], which reads as `None` everywhere — the same
+/// answer [`Column::get_f64`] gives.
+#[derive(Debug, Clone, Copy)]
+pub enum NumericSlice<'a> {
+    /// Integers, widened to `f64` on read.
+    Int(&'a [Option<i64>]),
+    /// Floats, read natively.
+    Float(&'a [Option<f64>]),
+    /// Text/date/bool — never numeric.
+    Opaque,
+}
+
+impl NumericSlice<'_> {
+    /// The numeric value at `row`, or `None` for null or non-numeric.
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<f64> {
+        match self {
+            NumericSlice::Int(v) => v[row].map(|i| i as f64),
+            NumericSlice::Float(v) => v[row],
+            NumericSlice::Opaque => None,
+        }
+    }
 }
 
 #[cfg(test)]

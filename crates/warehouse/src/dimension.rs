@@ -96,6 +96,19 @@ impl DimensionTable {
             .expect("every level has a descriptor column")
     }
 
+    /// The storage column of a level's descriptor (for plan compilation,
+    /// which resolves the column once instead of per fact row).
+    pub(crate) fn descriptor_column(&self, level_idx: usize) -> &Column {
+        &self.columns[self.descriptor_position(level_idx)]
+    }
+
+    /// The storage column of an attribute (qualified or unqualified
+    /// name), resolved with the same precedence as
+    /// [`DimensionTable::attribute_value`].
+    pub(crate) fn attribute_column(&self, name: &str) -> Option<&Column> {
+        self.position_of(name).map(|pos| &self.columns[pos])
+    }
+
     /// Looks up a member by its base descriptor value.
     pub fn lookup(&self, base_descriptor: &Value) -> Option<MemberKey> {
         self.index.get(base_descriptor).copied()

@@ -113,6 +113,13 @@ impl FactTable {
         MemberKey(self.role_keys[role_idx][row])
     }
 
+    /// The whole surrogate-key column of a role — the compiled roll-up
+    /// scan walks this slice directly instead of calling
+    /// [`FactTable::role_key`] per row.
+    pub fn role_key_column(&self, role_idx: usize) -> &[u32] {
+        &self.role_keys[role_idx]
+    }
+
     /// The measure column at `measure_idx`.
     pub fn measure_column(&self, measure_idx: usize) -> &Column {
         &self.measures[measure_idx]

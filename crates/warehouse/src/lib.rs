@@ -50,6 +50,7 @@ mod dimension;
 mod error;
 mod etl;
 mod fact;
+mod plan;
 mod query;
 mod snapshot;
 mod value;
@@ -60,6 +61,7 @@ pub use dimension::{DimensionTable, MemberKey};
 pub use error::{Result, WarehouseError};
 pub use etl::{EtlReport, FactRow, FactRowBuilder, Rejection};
 pub use fact::FactTable;
+pub use plan::CompiledRollup;
 pub use query::{AggFn, Aggregate, CubeQuery, Filter, FilterTarget, Predicate, ResultSet};
 pub use snapshot::{DimensionSnapshot, FactSnapshot, WarehouseSnapshot};
 pub use value::Value;

@@ -1,0 +1,425 @@
+//! Compiled roll-up plans: the columnar fast path of
+//! [`CubeQuery`](crate::query::CubeQuery).
+//!
+//! The reference executor re-resolves role and level names, clones a
+//! `Vec<Value>` group key and hashes it *per fact row*. A
+//! [`CompiledRollup`] does all of that once per (query, warehouse
+//! revision):
+//!
+//! * every filter becomes a per-member **pass mask** — the predicate is
+//!   evaluated once per dimension member, never per fact row;
+//! * every group-by coordinate becomes a surrogate-key →
+//!   **group-ordinal** mapping array materialised from the dimension's
+//!   level column, plus the ordinal → value table used at
+//!   materialisation;
+//! * the composed group ordinal (per-coordinate ordinals folded through
+//!   strides) indexes a flat `Vec<Accumulator>` — no per-row hashing and
+//!   no `Value` clones until the result is materialised.
+//!
+//! The scan itself then touches only `u32` key slices, `bool` masks and
+//! numeric measure slices. When the composed ordinal space is too large
+//! to materialise densely the scan degrades to hashing the (cheap,
+//! integer) composed ordinal; when it cannot even be composed without
+//! overflow the plan asks the caller to fall back to the reference
+//! executor. Results are byte-identical to
+//! [`CubeQuery::execute_reference`](crate::query::CubeQuery::execute_reference)
+//! in every mode (a proptest in `tests/compiled_parity.rs` holds this).
+
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+
+use crate::column::NumericSlice;
+use crate::error::{Result, WarehouseError};
+use crate::query::{Accumulator, AggFn, CubeQuery, FilterTarget, ResultSet};
+use crate::value::Value;
+use crate::warehouse::Warehouse;
+use dwqa_obs::names as obs;
+use std::collections::HashMap;
+
+/// Largest composed-ordinal space the scan materialises as a flat
+/// accumulator table; beyond it, grouping hashes the composed ordinal
+/// instead (still no `Value` work per row).
+const DENSE_GROUP_LIMIT: u128 = 1 << 20;
+
+/// One filter, compiled to a per-member verdict.
+#[derive(Debug)]
+struct CompiledFilter {
+    role_idx: usize,
+    /// `pass[member_key]` — whether the member satisfies every filter
+    /// on this role (filters sharing a role are AND-merged).
+    pass: Vec<bool>,
+}
+
+/// One group-by coordinate, compiled to an ordinal mapping.
+#[derive(Debug)]
+struct CompiledGroup {
+    role_idx: usize,
+    /// Surrogate key → ordinal of the member's level value. Distinct
+    /// members sharing a level value (the roll-up) share an ordinal.
+    ordinal_of_member: Vec<u32>,
+    /// Ordinal → level value, for materialisation only.
+    values: Vec<Value>,
+}
+
+/// A [`CubeQuery`] resolved and validated against one warehouse
+/// revision. Obtain one via [`CubeQuery::compile`] or (cached) through
+/// [`Warehouse::plan`]; execute it with [`CompiledRollup::execute`].
+#[derive(Debug)]
+pub struct CompiledRollup {
+    revision: u64,
+    fact: String,
+    agg_cols: Vec<usize>,
+    agg_fns: Vec<AggFn>,
+    filters: Vec<CompiledFilter>,
+    groups: Vec<CompiledGroup>,
+    /// Stride of each coordinate in the composed ordinal (little-endian:
+    /// `strides[0] == 1`).
+    strides: Vec<u128>,
+    /// Product of coordinate cardinalities — the composed ordinal space.
+    total_groups: u128,
+    /// Composing ordinals overflowed `u128`; callers must use the
+    /// reference executor (results stay correct, just slower).
+    overflowed: bool,
+    columns: Vec<String>,
+    order: Option<(usize, bool)>,
+    limit: Option<usize>,
+}
+
+impl CompiledRollup {
+    /// The warehouse revision this plan was compiled against; the plan
+    /// cache drops the plan when the warehouse moves past it.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Whether the composed ordinal space overflowed and execution must
+    /// fall back to the reference scan.
+    pub(crate) fn needs_reference(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Resolves and validates `query` against `wh`. Performs exactly the
+    /// checks of the reference executor, in the same order, so a failing
+    /// query reports the identical error from either path.
+    pub(crate) fn compile(query: &CubeQuery, wh: &Warehouse) -> Result<CompiledRollup> {
+        let fact = wh.fact(&query.fact)?;
+
+        // Aggregates: measure resolution + additivity legality.
+        let mut agg_cols = Vec::with_capacity(query.aggregates.len());
+        let mut agg_fns = Vec::with_capacity(query.aggregates.len());
+        for a in &query.aggregates {
+            let idx = fact.measure_index(&a.measure)?;
+            let measure = &fact.model().measures[idx];
+            match a.func {
+                AggFn::Sum if !measure.additivity.allows_sum() => {
+                    return Err(WarehouseError::IllegalAggregate {
+                        measure: a.measure.clone(),
+                        reason: format!("{} measures cannot be summed", measure.additivity),
+                    });
+                }
+                AggFn::Avg if !measure.additivity.allows_avg() => {
+                    return Err(WarehouseError::IllegalAggregate {
+                        measure: a.measure.clone(),
+                        reason: format!("{} measures cannot be averaged", measure.additivity),
+                    });
+                }
+                _ => {}
+            }
+            agg_cols.push(idx);
+            agg_fns.push(a.func);
+        }
+
+        // Filters: resolve the tested column once, evaluate the
+        // predicate once per *member*, AND-merge masks sharing a role.
+        let mut filters: Vec<CompiledFilter> = Vec::new();
+        for f in &query.filters {
+            let role_idx = fact.role_index(&f.role)?;
+            let dim = wh.dimension_table_for_role(fact, role_idx);
+            let column = match &f.target {
+                FilterTarget::Level(level) => {
+                    let (level_id, _) =
+                        dim.model()
+                            .level(level)
+                            .ok_or_else(|| WarehouseError::UnknownLevel {
+                                dimension: dim.model().name.clone(),
+                                level: level.clone(),
+                            })?;
+                    dim.descriptor_column(level_id.index())
+                }
+                FilterTarget::Attribute(attr) => {
+                    dim.attribute_column(attr)
+                        .ok_or_else(|| WarehouseError::UnknownAttribute {
+                            level: dim.model().name.clone(),
+                            attribute: attr.clone(),
+                        })?
+                }
+            };
+            let pass: Vec<bool> = (0..dim.len())
+                .map(|m| f.predicate.matches(&column.get(m)))
+                .collect();
+            match filters.iter_mut().find(|c| c.role_idx == role_idx) {
+                Some(existing) => {
+                    for (e, p) in existing.pass.iter_mut().zip(&pass) {
+                        *e = *e && *p;
+                    }
+                }
+                None => filters.push(CompiledFilter { role_idx, pass }),
+            }
+        }
+
+        // Group-by coordinates: the surrogate-key → ordinal arrays.
+        let mut groups = Vec::with_capacity(query.group_by.len());
+        for (role, level) in &query.group_by {
+            let role_idx = fact.role_index(role)?;
+            let dim = wh.dimension_table_for_role(fact, role_idx);
+            let (level_id, _) =
+                dim.model()
+                    .level(level)
+                    .ok_or_else(|| WarehouseError::UnknownLevel {
+                        dimension: dim.model().name.clone(),
+                        level: level.clone(),
+                    })?;
+            let column = dim.descriptor_column(level_id.index());
+            let mut ordinal_of_member = Vec::with_capacity(dim.len());
+            let mut values: Vec<Value> = Vec::new();
+            let mut seen: HashMap<Value, u32> = HashMap::new();
+            for m in 0..dim.len() {
+                let v = column.get(m);
+                let ordinal = match seen.get(&v) {
+                    Some(&o) => o,
+                    None => {
+                        // A dimension holds at most u32::MAX members, so
+                        // distinct level values fit in u32 too.
+                        let o = values.len() as u32;
+                        seen.insert(v.clone(), o);
+                        values.push(v);
+                        o
+                    }
+                };
+                ordinal_of_member.push(ordinal);
+            }
+            groups.push(CompiledGroup {
+                role_idx,
+                ordinal_of_member,
+                values,
+            });
+        }
+
+        // Strides compose per-coordinate ordinals into one flat ordinal.
+        let mut strides = Vec::with_capacity(groups.len());
+        let mut total: u128 = 1;
+        let mut overflowed = false;
+        for g in &groups {
+            strides.push(total);
+            match total.checked_mul(g.values.len() as u128) {
+                Some(t) => total = t,
+                None => {
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+
+        // Output shape and the (post-scan, in the reference) order-by
+        // resolution — nothing between group validation and this check
+        // can fail, so validating here reports identical errors.
+        let mut columns: Vec<String> = query
+            .group_by
+            .iter()
+            .map(|(role, level)| format!("{role}.{level}"))
+            .collect();
+        for a in &query.aggregates {
+            columns.push(format!("{}({})", a.func.label(), a.measure));
+        }
+        let order = match &query.order {
+            Some((column, desc)) => {
+                let idx = columns.iter().position(|c| c == column).ok_or_else(|| {
+                    WarehouseError::UnknownMeasure {
+                        fact: query.fact.clone(),
+                        measure: column.clone(),
+                    }
+                })?;
+                Some((idx, *desc))
+            }
+            None => None,
+        };
+
+        Ok(CompiledRollup {
+            revision: wh.revision(),
+            fact: query.fact.clone(),
+            agg_cols,
+            agg_fns,
+            filters,
+            groups,
+            strides,
+            total_groups: total,
+            overflowed,
+            columns,
+            order,
+            limit: query.limit,
+        })
+    }
+
+    /// Runs the tight scan against `wh`. The warehouse must be at the
+    /// revision the plan was compiled for (callers going through
+    /// [`Warehouse::plan`] get that guarantee from the plan cache).
+    pub fn execute(&self, wh: &Warehouse) -> Result<ResultSet> {
+        let fact = wh.fact(&self.fact)?;
+        let n_rows = fact.len();
+        let n_aggs = self.agg_cols.len();
+        dwqa_obs::counter_add(obs::WAREHOUSE_ROWS_SCANNED, n_rows as u64);
+
+        let filters: Vec<(&[u32], &[bool])> = self
+            .filters
+            .iter()
+            .map(|f| (fact.role_key_column(f.role_idx), f.pass.as_slice()))
+            .collect();
+        let measures: Vec<NumericSlice<'_>> = self
+            .agg_cols
+            .iter()
+            .map(|&mi| fact.measure_column(mi).numeric())
+            .collect();
+
+        // Zero-group fast path: one accumulator row, no key work at all.
+        if self.groups.is_empty() {
+            let mut accs = vec![Accumulator::default(); n_aggs];
+            let mut any = false;
+            'rows: for row in 0..n_rows {
+                for (keys, pass) in &filters {
+                    if !pass[keys[row] as usize] {
+                        continue 'rows;
+                    }
+                }
+                any = true;
+                for (acc, m) in accs.iter_mut().zip(&measures) {
+                    if let Some(v) = m.get(row) {
+                        acc.push(v);
+                    }
+                }
+            }
+            let rows = if any {
+                vec![accs
+                    .iter()
+                    .zip(&self.agg_fns)
+                    .map(|(acc, &f)| acc.finish(f))
+                    .collect()]
+            } else {
+                Vec::new()
+            };
+            return self.finish(rows);
+        }
+
+        let group_keys: Vec<(&[u32], &[u32])> = self
+            .groups
+            .iter()
+            .map(|g| {
+                (
+                    fact.role_key_column(g.role_idx),
+                    g.ordinal_of_member.as_slice(),
+                )
+            })
+            .collect();
+
+        let rows = if !self.overflowed && self.total_groups <= DENSE_GROUP_LIMIT {
+            // Dense: flat accumulator table indexed by composed ordinal.
+            let total = self.total_groups as usize;
+            let strides: Vec<usize> = self.strides.iter().map(|&s| s as usize).collect();
+            let mut accs = vec![Accumulator::default(); total * n_aggs];
+            let mut touched = vec![false; total];
+            'rows: for row in 0..n_rows {
+                for (keys, pass) in &filters {
+                    if !pass[keys[row] as usize] {
+                        continue 'rows;
+                    }
+                }
+                let mut flat = 0usize;
+                for ((keys, ordinals), &stride) in group_keys.iter().zip(&strides) {
+                    flat += ordinals[keys[row] as usize] as usize * stride;
+                }
+                touched[flat] = true;
+                let slot = &mut accs[flat * n_aggs..(flat + 1) * n_aggs];
+                for (acc, m) in slot.iter_mut().zip(&measures) {
+                    if let Some(v) = m.get(row) {
+                        acc.push(v);
+                    }
+                }
+            }
+            let mut rows = Vec::new();
+            for (flat, hit) in touched.iter().enumerate() {
+                if *hit {
+                    rows.push(
+                        self.materialize(flat as u128, &accs[flat * n_aggs..(flat + 1) * n_aggs]),
+                    );
+                }
+            }
+            rows
+        } else {
+            // Sparse: the ordinal space is too large to materialise, but
+            // hashing the composed *integer* ordinal still avoids every
+            // per-row `Value` clone of the reference scan.
+            let mut table: HashMap<u128, Vec<Accumulator>> = HashMap::new();
+            'rows: for row in 0..n_rows {
+                for (keys, pass) in &filters {
+                    if !pass[keys[row] as usize] {
+                        continue 'rows;
+                    }
+                }
+                let mut flat = 0u128;
+                for ((keys, ordinals), &stride) in group_keys.iter().zip(&self.strides) {
+                    flat += ordinals[keys[row] as usize] as u128 * stride;
+                }
+                let accs = table
+                    .entry(flat)
+                    .or_insert_with(|| vec![Accumulator::default(); n_aggs]);
+                for (acc, m) in accs.iter_mut().zip(&measures) {
+                    if let Some(v) = m.get(row) {
+                        acc.push(v);
+                    }
+                }
+            }
+            table
+                .iter()
+                .map(|(&flat, accs)| self.materialize(flat, accs))
+                .collect()
+        };
+        self.finish(rows)
+    }
+
+    /// Rebuilds one output row from a composed ordinal + its
+    /// accumulators — the only place `Value`s are cloned.
+    fn materialize(&self, flat: u128, accs: &[Accumulator]) -> Vec<Value> {
+        let mut row = Vec::with_capacity(self.groups.len() + accs.len());
+        for (g, &stride) in self.groups.iter().zip(&self.strides) {
+            let ordinal = (flat / stride) % g.values.len() as u128;
+            row.push(g.values[ordinal as usize].clone());
+        }
+        for (acc, &f) in accs.iter().zip(&self.agg_fns) {
+            row.push(acc.finish(f));
+        }
+        row
+    }
+
+    /// The shared materialisation tail: deterministic base sort, the
+    /// optional stable order-by, the limit — exactly the reference path.
+    fn finish(&self, mut rows: Vec<Vec<Value>>) -> Result<ResultSet> {
+        dwqa_obs::counter_add(obs::WAREHOUSE_GROUPS, rows.len() as u64);
+        rows.sort();
+        if let Some((idx, desc)) = self.order {
+            rows.sort_by(|a, b| {
+                let ord = a[idx].cmp(&b[idx]);
+                if desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+        Ok(ResultSet {
+            columns: self.columns.clone(),
+            rows,
+        })
+    }
+}

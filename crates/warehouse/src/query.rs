@@ -243,7 +243,7 @@ impl ResultSet {
 }
 
 #[derive(Debug, Default, Clone)]
-struct Accumulator {
+pub(crate) struct Accumulator {
     count: u64,
     sum: f64,
     min: Option<f64>,
@@ -251,14 +251,14 @@ struct Accumulator {
 }
 
 impl Accumulator {
-    fn push(&mut self, v: f64) {
+    pub(crate) fn push(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
         self.min = Some(self.min.map_or(v, |m| m.min(v)));
         self.max = Some(self.max.map_or(v, |m| m.max(v)));
     }
 
-    fn finish(&self, f: AggFn) -> Value {
+    pub(crate) fn finish(&self, f: AggFn) -> Value {
         match f {
             AggFn::Sum => Value::Float(self.sum),
             AggFn::Avg => {
@@ -278,12 +278,12 @@ impl Accumulator {
 /// A declarative OLAP query over one fact table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CubeQuery {
-    fact: String,
-    filters: Vec<Filter>,
-    group_by: Vec<(String, String)>,
-    aggregates: Vec<Aggregate>,
-    order: Option<(String, bool)>,
-    limit: Option<usize>,
+    pub(crate) fact: String,
+    pub(crate) filters: Vec<Filter>,
+    pub(crate) group_by: Vec<(String, String)>,
+    pub(crate) aggregates: Vec<Aggregate>,
+    pub(crate) order: Option<(String, bool)>,
+    pub(crate) limit: Option<usize>,
 }
 
 impl CubeQuery {
@@ -349,7 +349,33 @@ impl CubeQuery {
     }
 
     /// Executes against a warehouse.
+    ///
+    /// This is the fast path: the query is compiled into a
+    /// [`CompiledRollup`](crate::plan::CompiledRollup) (served from the
+    /// warehouse's revision-keyed plan cache when possible) and run as a
+    /// columnar scan. Results are byte-identical to
+    /// [`CubeQuery::execute_reference`].
     pub fn run(&self, wh: &Warehouse) -> Result<ResultSet> {
+        let plan = wh.plan(self)?;
+        if plan.needs_reference() {
+            return self.execute_reference(wh);
+        }
+        plan.execute(wh)
+    }
+
+    /// Compiles this query against `wh` without consulting the plan
+    /// cache — useful for benchmarking compile cost and for callers that
+    /// manage plan lifetime themselves.
+    pub fn compile(&self, wh: &Warehouse) -> Result<crate::plan::CompiledRollup> {
+        crate::plan::CompiledRollup::compile(self, wh)
+    }
+
+    /// The original row-at-a-time executor, kept as the semantic
+    /// reference: it re-resolves member values and hashes a
+    /// `Vec<Value>` group key per fact row. `run` must produce exactly
+    /// the same rows, ordering and column names (proptest-enforced in
+    /// `tests/compiled_parity.rs`).
+    pub fn execute_reference(&self, wh: &Warehouse) -> Result<ResultSet> {
         let fact = wh.fact(&self.fact)?;
 
         // Resolve and validate everything up front.

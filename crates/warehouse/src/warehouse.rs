@@ -4,15 +4,46 @@ use crate::dimension::DimensionTable;
 use crate::error::{Result, WarehouseError};
 use crate::etl::{autofill_date_levels, EtlReport, FactRow, Rejection};
 use crate::fact::FactTable;
+use crate::plan::CompiledRollup;
+use crate::query::CubeQuery;
 use dwqa_mdmodel::Schema;
+use dwqa_obs::names as obs;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Upper bound on cached compiled plans; the workloads the engine sees
+/// (dwquery, analysis, the REPL) reuse a handful of query shapes, so the
+/// cache is simply cleared when it fills rather than tracking LRU order.
+const PLAN_CACHE_CAPACITY: usize = 128;
 
 /// A data warehouse materialising one multidimensional [`Schema`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Warehouse {
     schema: Schema,
     dimensions: Vec<DimensionTable>,
     facts: Vec<FactTable>,
+    /// Bumped on every mutation; compiled plans and cached roll-up
+    /// results are tagged with the revision they were built against and
+    /// discarded when it moves.
+    revision: u64,
+    /// Compiled-plan cache, keyed by the query's canonical (serialized)
+    /// form. Interior mutability so `CubeQuery::run(&Warehouse)` can
+    /// populate it through a shared reference.
+    plans: Mutex<HashMap<String, Arc<CompiledRollup>>>,
+}
+
+impl Clone for Warehouse {
+    /// Clones the data; the plan cache starts empty in the clone (plans
+    /// are revision-tagged derivations, cheap to recompile on demand).
+    fn clone(&self) -> Warehouse {
+        Warehouse {
+            schema: self.schema.clone(),
+            dimensions: self.dimensions.clone(),
+            facts: self.facts.clone(),
+            revision: self.revision,
+            plans: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl Warehouse {
@@ -28,7 +59,57 @@ impl Warehouse {
             schema,
             dimensions,
             facts,
+            revision: 0,
+            plans: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The warehouse's mutation counter. Every change that could affect
+    /// query results (loads, restores) bumps it; caches key on it.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    fn plans(&self) -> MutexGuard<'_, HashMap<String, Arc<CompiledRollup>>> {
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the map itself is always in a usable state.
+        match self.plans.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns a compiled plan for `query` at the current revision,
+    /// reusing a cached one when the warehouse has not changed since it
+    /// was compiled.
+    pub fn plan(&self, query: &CubeQuery) -> Result<Arc<CompiledRollup>> {
+        let Ok(key) = serde_json::to_string(query) else {
+            // Unserializable queries (shouldn't happen for well-formed
+            // values) just compile uncached.
+            return Ok(Arc::new(CompiledRollup::compile(query, self)?));
+        };
+        {
+            let mut plans = self.plans();
+            match plans.get(&key) {
+                Some(plan) if plan.revision() == self.revision => {
+                    dwqa_obs::counter_add(obs::WAREHOUSE_PLANS_REUSED, 1);
+                    return Ok(Arc::clone(plan));
+                }
+                Some(_) => {
+                    plans.remove(&key);
+                }
+                None => {}
+            }
+        }
+        // Compile outside the lock; duplicated work on a race is benign.
+        let plan = Arc::new(CompiledRollup::compile(query, self)?);
+        dwqa_obs::counter_add(obs::WAREHOUSE_PLANS_COMPILED, 1);
+        let mut plans = self.plans();
+        if plans.len() >= PLAN_CACHE_CAPACITY {
+            plans.clear();
+        }
+        plans.insert(key, Arc::clone(&plan));
+        Ok(plan)
     }
 
     /// The schema this warehouse materialises.
@@ -58,10 +139,12 @@ impl Warehouse {
         &mut self,
         id: dwqa_mdmodel::DimensionId,
     ) -> &mut DimensionTable {
+        self.revision += 1;
         &mut self.dimensions[id.index()]
     }
 
     pub(crate) fn fact_table_mut(&mut self, id: dwqa_mdmodel::FactId) -> &mut FactTable {
+        self.revision += 1;
         &mut self.facts[id.index()]
     }
 
@@ -105,6 +188,9 @@ impl Warehouse {
             .fact(fact_name)
             .ok_or_else(|| WarehouseError::UnknownFact(fact_name.to_owned()))?;
         let fact_model = fact_model.clone();
+        // Even an all-rejected batch is a conservative invalidation: the
+        // revision moves and stale plans get recompiled, which is cheap.
+        self.revision += 1;
         let mut report = EtlReport::default();
         let mut created: HashMap<String, usize> = HashMap::new();
 
@@ -288,6 +374,61 @@ mod tests {
         let report = wh.load("Last Minute Sales", vec![row]).unwrap();
         assert_eq!(report.inserted, 0);
         assert!(report.rejected[0].reason.contains("unknown measure"));
+    }
+
+    #[test]
+    fn plan_cache_reuses_until_warehouse_changes() {
+        use crate::query::{AggFn, CubeQuery};
+        let mut wh = Warehouse::new(last_minute_sales());
+        wh.load(
+            "Last Minute Sales",
+            vec![sale("El Prat", "Barcelona", (2004, 1, 30), 120.0)],
+        )
+        .unwrap();
+        let q = CubeQuery::on("Last Minute Sales")
+            .group_by("Destination", "City")
+            .aggregate("price", AggFn::Sum);
+        let p1 = wh.plan(&q).unwrap();
+        let p2 = wh.plan(&q).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "unchanged warehouse reuses plan");
+        // A different query compiles its own plan.
+        let q2 = CubeQuery::on("Last Minute Sales")
+            .group_by("Destination", "Airport")
+            .aggregate("price", AggFn::Sum);
+        let p3 = wh.plan(&q2).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        // Loading bumps the revision and evicts stale plans.
+        let rev = wh.revision();
+        wh.load(
+            "Last Minute Sales",
+            vec![sale("JFK", "New York", (2004, 1, 31), 320.0)],
+        )
+        .unwrap();
+        assert!(wh.revision() > rev);
+        let p4 = wh.plan(&q).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p4), "stale plan recompiled after load");
+        assert_eq!(p4.revision(), wh.revision());
+    }
+
+    #[test]
+    fn clone_preserves_revision_with_fresh_plan_cache() {
+        use crate::query::{AggFn, CubeQuery};
+        let mut wh = Warehouse::new(last_minute_sales());
+        wh.load(
+            "Last Minute Sales",
+            vec![sale("El Prat", "Barcelona", (2004, 1, 30), 120.0)],
+        )
+        .unwrap();
+        let q = CubeQuery::on("Last Minute Sales")
+            .group_by("Destination", "City")
+            .aggregate("price", AggFn::Sum);
+        let p1 = wh.plan(&q).unwrap();
+        let copy = wh.clone();
+        assert_eq!(copy.revision(), wh.revision());
+        // The clone compiles independently but produces identical rows.
+        let p2 = copy.plan(&q).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p2));
+        assert_eq!(q.run(&wh).unwrap(), q.run(&copy).unwrap());
     }
 
     #[test]
