@@ -15,7 +15,8 @@
 
 use dwqa_bench::section;
 use dwqa_engine::AnswerCache;
-use dwqa_warehouse::{AggFn, CubeQuery, FactRowBuilder, Predicate, Value, Warehouse};
+use dwqa_warehouse::testing::synthetic_warehouse;
+use dwqa_warehouse::{AggFn, CubeQuery, Predicate, Value, Warehouse};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,73 +66,6 @@ fn time_us<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
         std::hint::black_box(f());
     }
     start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
-}
-
-/// splitmix64: a deterministic word stream for synthesizing fact rows.
-struct Mix(u64);
-
-impl Mix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-const CITIES: [&str; 5] = ["Barcelona", "Madrid", "Paris", "Rome", "Berlin"];
-const COUNTRIES: [&str; 3] = ["Spain", "France", "Italy"];
-
-fn airport_spec(idx: usize) -> Vec<(&'static str, Value)> {
-    vec![
-        ("airport_name", Value::text(format!("AP{idx}"))),
-        ("city_name", Value::text(CITIES[idx % CITIES.len()])),
-        (
-            "country_name",
-            Value::text(COUNTRIES[idx % COUNTRIES.len()]),
-        ),
-    ]
-}
-
-/// Builds a warehouse with `rows` synthetic sales over `airports`
-/// distinct airports (deterministic — same seed, same warehouse).
-fn build_warehouse(rows: usize, airports: usize) -> Warehouse {
-    let mut wh = Warehouse::new(dwqa_mdmodel::last_minute_sales());
-    let mut m = Mix(0x5EED);
-    let batch: Vec<_> = (0..rows)
-        .map(|_| {
-            let origin = m.below(airports as u64) as usize;
-            let dest = m.below(airports as u64) as usize;
-            let customer = m.below(16);
-            let day = m.below(27) as u32 + 1;
-            let mut b = FactRowBuilder::new();
-            b.measure("price", Value::Float(m.below(50_000) as f64 / 100.0))
-                .measure("miles", Value::Float(m.below(200_000) as f64 / 100.0))
-                .measure(
-                    "traveler_rate",
-                    Value::Float(m.below(1_000) as f64 / 1_000.0),
-                )
-                .role_member("Origin", &airport_spec(origin))
-                .role_member("Destination", &airport_spec(dest))
-                .role_member(
-                    "Customer",
-                    &[("customer_name", Value::text(format!("C{customer}")))],
-                )
-                .role_member(
-                    "Date",
-                    &[("date", Value::date(2004, 1, day).expect("valid date"))],
-                );
-            b.build()
-        })
-        .collect();
-    let report = wh.load("Last Minute Sales", batch).expect("load fixture");
-    assert!(report.rejected.is_empty(), "fixture rows must all load");
-    wh
 }
 
 /// The group-cardinality sweep: zero groups (the global-aggregate fast
@@ -282,7 +216,7 @@ fn main() {
     let cache_ops: u32 = if quick { 2_000 } else { 20_000 };
 
     section("warehouse bench: reference executor vs compiled columnar path");
-    let wh = build_warehouse(rows, airports);
+    let wh = synthetic_warehouse(rows, airports, 0x5EED);
     let mut rollups = Vec::new();
     for (name, query) in sweep_queries() {
         let m = measure_rollup(name, &wh, &query, iters);

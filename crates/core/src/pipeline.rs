@@ -10,8 +10,10 @@
 //! crate). The write path — Step 5, loading validated answers into the
 //! `City Weather` star — needs `&mut` and stays on
 //! [`IntegrationPipeline::apply_feedback`]. Every warehouse mutation bumps
-//! a monotonically increasing *revision* that caches key off to discard
-//! stale entries.
+//! a monotonically increasing *revision* that caches key off; a committed
+//! feed additionally yields a typed append delta that live materialized
+//! roll-ups absorb in place (see [`crate::rollup::RollupCache`]), so a
+//! commit maintains cached analyses instead of discarding them.
 
 use crate::axioms::TemperatureAxioms;
 use crate::durability::{
@@ -172,8 +174,10 @@ pub struct IntegrationPipeline {
     /// Set when a failed rollback left the warehouse possibly holding a
     /// partial load; all feeds are rejected until a restore clears it.
     poisoned: Option<String>,
-    /// Revision-tagged cache of roll-up results; committed feed
-    /// transactions invalidate it via [`Self::mark_dirty`].
+    /// Revision-tagged cache of roll-up results with live materialized
+    /// state: committed feed transactions fold their append delta into
+    /// every entry ([`RollupCache::apply_delta`]) instead of purging;
+    /// only non-append mutations fall back to [`Self::mark_dirty`].
     rollups: RollupCache,
 }
 
@@ -445,6 +449,9 @@ impl IntegrationPipeline {
         let span = dwqa_obs::span!("feed_transaction", batches = batches.len());
         let checkpoint = self.checkpoint();
         self.feeds_attempted += 1;
+        // Capture the pre-transaction table extents: on commit, the
+        // difference is a typed append delta the live roll-ups absorb.
+        let tracker = self.warehouse.delta_tracker();
         match self.feed_all(batches) {
             Ok(report) => {
                 // Durability barrier: the WAL append must succeed
@@ -455,8 +462,27 @@ impl IntegrationPipeline {
                     span.record("committed", false);
                     return Err(durability_err);
                 }
-                if report.loaded > 0 {
-                    self.mark_dirty();
+                match self.warehouse.delta_since(&tracker) {
+                    Some(delta) if delta.fact_rows_added() > 0 => {
+                        // Commit with new fact rows: bump the revision
+                        // and fold the delta into every live roll-up
+                        // instead of purging the cache.
+                        let revision = self.revision.fetch_add(1, Ordering::AcqRel) + 1;
+                        self.rollups.apply_delta(&self.warehouse, &delta, revision);
+                    }
+                    Some(delta) if delta.members_added() > 0 => {
+                        // New members without fact rows change no
+                        // result (no revision bump), but live masks and
+                        // ordinal maps must track the new extents.
+                        self.rollups
+                            .apply_delta(&self.warehouse, &delta, self.revision());
+                    }
+                    Some(_) => {} // nothing appended: caches stay valid
+                    None => {
+                        // Not a pure append (shouldn't happen on the
+                        // feed path): fall back to a full purge.
+                        self.mark_dirty();
+                    }
                 }
                 dwqa_obs::event!("commit", loaded = report.loaded);
                 span.record("committed", true);
@@ -867,7 +893,7 @@ mod tests {
     }
 
     #[test]
-    fn rollup_cache_serves_reads_and_commits_invalidate_it() {
+    fn rollup_cache_serves_reads_and_commits_fold_deltas_in_place() {
         let (mut p, _) = built_pipeline(false);
         let read = p.read_path();
         let answers = read.answer(EL_PRAT);
@@ -889,21 +915,24 @@ mod tests {
         assert_eq!(p.rollup_cache().hits(), 4, "rollback kept entries hot");
         assert_eq!(p.rollup_cache().misses(), 2);
 
-        // A *committed* transaction bumps the revision: stale results
-        // are purged eagerly and the next analysis re-executes.
+        // A *committed* transaction folds its append delta into the live
+        // materialized entries instead of purging: both entries survive
+        // at the new revision, the next analysis is served from them —
+        // already reflecting the fed weather — and nothing re-executes.
         p.set_feed_fault(None);
         assert!(p.try_apply_feedback(&answers).unwrap().loaded > 0);
-        assert!(p.rollup_cache().is_empty(), "commit purged stale results");
+        assert_eq!(p.rollup_cache().len(), 2, "commit maintained entries");
         let after_commit = p.sales_by_temperature_band(5.0).unwrap();
         assert_ne!(after_commit, first, "fed weather changed the analysis");
-        assert_eq!(p.rollup_cache().misses(), 4);
+        assert_eq!(p.rollup_cache().misses(), 2, "no re-scan after commit");
+        assert_eq!(p.rollup_cache().hits(), 6, "maintained entries hit");
 
         // The DW-query → question generation path shares the cache.
         let questions = p.missing_weather_questions(2004, Month::January).unwrap();
         let again = p.missing_weather_questions(2004, Month::January).unwrap();
         assert_eq!(questions, again);
-        assert_eq!(p.rollup_cache().misses(), 6);
-        assert_eq!(p.rollup_cache().hits(), 6);
+        assert_eq!(p.rollup_cache().misses(), 4);
+        assert_eq!(p.rollup_cache().hits(), 8);
     }
 
     #[test]

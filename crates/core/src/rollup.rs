@@ -1,15 +1,28 @@
-//! Revision-invalidated cache of roll-up **results**.
+//! Revision-invalidated registry of **live** roll-up results.
 //!
 //! The warehouse's plan cache (in `dwqa-warehouse`) avoids re-*compiling*
 //! a query; this cache avoids re-*executing* it. Entries are tagged with
-//! the pipeline revision they were computed against: a committed feed
-//! transaction bumps the revision ([`crate::IntegrationPipeline`
-//! `::mark_dirty`]), so stale results are invisible immediately and
-//! evicted on sight, while a rolled-back transaction leaves the revision
-//! — and therefore every cached result — untouched.
+//! the pipeline revision they were computed against and — where the
+//! query permits — retain a [`MaterializedRollup`]: the per-group
+//! accumulator state alongside the result.
+//!
+//! That state is what makes commits cheap. A committed feed transaction
+//! no longer purges the cache; it folds its typed [`WarehouseDelta`]
+//! into every live entry ([`RollupCache::apply_delta`]) — appended fact
+//! rows route through a tight scan over just the delta, new dimension
+//! members extend the pass masks and key→ordinal maps — and re-tags the
+//! entries with the new revision. Entries that cannot absorb a delta
+//! (no materialized state, mismatched extents, group-table overflow)
+//! are **demoted**: dropped and recomputed on next read, so incremental
+//! maintenance is always an optimization, never a correctness risk. A
+//! rolled-back transaction leaves the revision — and therefore every
+//! cached result — untouched.
 
 use dwqa_obs::names as obs;
-use dwqa_warehouse::{CubeQuery, Result, ResultSet, Warehouse};
+use dwqa_warehouse::{
+    CubeQuery, MaterializedRollup, Result, ResultSet, Warehouse, WarehouseDelta,
+    DEFAULT_MATERIALIZED_GROUP_LIMIT,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -21,6 +34,9 @@ pub const DEFAULT_ROLLUP_CAPACITY: usize = 64;
 struct CachedResult {
     revision: u64,
     result: ResultSet,
+    /// Live accumulator state, when the query shape supports
+    /// incremental maintenance; `None` entries always demote on commit.
+    materialized: Option<MaterializedRollup>,
     last_used: u64,
 }
 
@@ -29,10 +45,14 @@ struct Inner {
     tick: u64,
 }
 
-/// An LRU cache of [`ResultSet`]s keyed by the query's canonical form
-/// and invalidated by revision.
+/// An LRU cache of [`ResultSet`]s keyed by the query's canonical form,
+/// invalidated by revision, and — for materializable queries — kept
+/// consistent across commits by folding deltas instead of purging.
 pub struct RollupCache {
     capacity: usize,
+    /// Demotion threshold for materialized entries; tests shrink it to
+    /// force the demote-and-rebuild path.
+    group_limit: usize,
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -59,8 +79,16 @@ impl RollupCache {
     /// Creates a cache holding up to `capacity` result sets. Capacity 0
     /// disables caching (every run executes).
     pub fn new(capacity: usize) -> RollupCache {
+        RollupCache::with_group_limit(capacity, DEFAULT_MATERIALIZED_GROUP_LIMIT)
+    }
+
+    /// Like [`RollupCache::new`] with an explicit bound on live groups
+    /// per materialized entry; entries growing past it demote to
+    /// recompute-on-next-read.
+    pub fn with_group_limit(capacity: usize, group_limit: usize) -> RollupCache {
         RollupCache {
             capacity,
+            group_limit,
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
@@ -80,8 +108,10 @@ impl RollupCache {
     }
 
     /// Runs `query` against `warehouse`, serving the result from cache
-    /// when one was computed at the same `revision`. Errors are never
-    /// cached (they are cheap to reproduce and carry no scan cost).
+    /// when one was computed at the same `revision`. Misses build live
+    /// accumulator state where the query shape permits, so later
+    /// commits can maintain the entry in place. Errors are never cached
+    /// (they are cheap to reproduce and carry no scan cost).
     pub fn run(
         &self,
         warehouse: &Warehouse,
@@ -110,8 +140,18 @@ impl RollupCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         dwqa_obs::counter_add(obs::WAREHOUSE_ROLLUP_MISSES, 1);
-        let result = query.run(warehouse)?;
-        if self.capacity > 0 {
+        if self.capacity == 0 {
+            return query.run(warehouse);
+        }
+        // Build validates exactly like `query.run` (both go through
+        // plan compilation first), so error behaviour is identical on
+        // either branch.
+        let (result, materialized) =
+            match MaterializedRollup::build(query, warehouse, self.group_limit)? {
+                Some(mat) => (mat.result_set().clone(), Some(mat)),
+                None => (query.run(warehouse)?, None),
+            };
+        {
             let mut inner = self.inner();
             inner.tick += 1;
             let tick = inner.tick;
@@ -120,6 +160,7 @@ impl RollupCache {
                 CachedResult {
                     revision,
                     result: result.clone(),
+                    materialized,
                     last_used: tick,
                 },
             );
@@ -136,6 +177,35 @@ impl RollupCache {
             }
         }
         Ok(result)
+    }
+
+    /// Folds a committed transaction's pure-append delta into every
+    /// live entry and re-tags survivors with `revision`; entries that
+    /// cannot absorb it are demoted (dropped, recomputed on next read).
+    ///
+    /// `warehouse` must already be at the delta's after-extents — the
+    /// pipeline calls this right after a successful commit, before any
+    /// further mutation.
+    pub fn apply_delta(&self, warehouse: &Warehouse, delta: &WarehouseDelta, revision: u64) {
+        let rows_added = delta.fact_rows_added() as u64;
+        let mut inner = self.inner();
+        inner.map.retain(|_, entry| {
+            let absorbed = entry
+                .materialized
+                .as_mut()
+                .is_some_and(|mat| mat.apply_delta(warehouse, delta));
+            if absorbed {
+                if let Some(mat) = entry.materialized.as_ref() {
+                    entry.result = mat.result_set().clone();
+                }
+                entry.revision = revision;
+                dwqa_obs::counter_add(obs::WAREHOUSE_DELTA_APPLIED, 1);
+                dwqa_obs::counter_add(obs::WAREHOUSE_DELTA_ROWS, rows_added);
+            } else {
+                dwqa_obs::counter_add(obs::WAREHOUSE_DELTA_DEMOTED, 1);
+            }
+            absorbed
+        });
     }
 
     /// Drops every entry computed against a revision other than
@@ -175,23 +245,31 @@ mod tests {
     use super::*;
     use dwqa_warehouse::{AggFn, FactRowBuilder, Value};
 
-    fn loaded() -> Warehouse {
-        let mut wh = Warehouse::new(crate::schema::integrated_schema());
+    fn sale(airport: &str, city: &str, day: u32, price: f64) -> dwqa_warehouse::FactRow {
         let mut b = FactRowBuilder::new();
-        b.measure("price", Value::Float(100.0))
+        b.measure("price", Value::Float(price))
             .measure("miles", Value::Float(500.0))
             .measure("traveler_rate", Value::Float(0.5))
             .role_member("Origin", &[("airport_name", Value::text("Elsewhere"))])
             .role_member(
                 "Destination",
                 &[
-                    ("airport_name", Value::text("El Prat")),
-                    ("city_name", Value::text("Barcelona")),
+                    ("airport_name", Value::text(airport)),
+                    ("city_name", Value::text(city)),
                 ],
             )
             .role_member("Customer", &[("customer_name", Value::text("Ann"))])
-            .role_member("Date", &[("date", Value::date(2004, 1, 5).unwrap())]);
-        wh.load("Last Minute Sales", vec![b.build()]).unwrap();
+            .role_member("Date", &[("date", Value::date(2004, 1, day).unwrap())]);
+        b.build()
+    }
+
+    fn loaded() -> Warehouse {
+        let mut wh = Warehouse::new(crate::schema::integrated_schema());
+        wh.load(
+            "Last Minute Sales",
+            vec![sale("El Prat", "Barcelona", 5, 100.0)],
+        )
+        .unwrap();
         wh
     }
 
@@ -275,5 +353,59 @@ mod tests {
         assert!(cache.run(&wh, 0, &q).is_err());
         assert!(cache.run(&wh, 0, &q).is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn apply_delta_maintains_entries_in_place() {
+        let mut wh = loaded();
+        let cache = RollupCache::new(8);
+        let q = count_query();
+        let before = cache.run(&wh, 0, &q).unwrap();
+        assert_eq!(cache.misses(), 1);
+
+        // Commit two more sales, one to a brand-new city.
+        let tracker = wh.delta_tracker();
+        wh.load(
+            "Last Minute Sales",
+            vec![
+                sale("El Prat", "Barcelona", 6, 140.0),
+                sale("JFK", "New York", 7, 320.0),
+            ],
+        )
+        .unwrap();
+        let delta = wh.delta_since(&tracker).unwrap();
+        cache.apply_delta(&wh, &delta, 1);
+
+        // The entry survived the commit and serves the *new* answer as
+        // a hit at the new revision, with no re-execution.
+        assert_eq!(cache.len(), 1);
+        let after = cache.run(&wh, 1, &q).unwrap();
+        assert_eq!(cache.misses(), 1, "maintained entry needs no recompute");
+        assert_eq!(cache.hits(), 1);
+        assert_ne!(before, after);
+        assert_eq!(after, q.execute_reference(&wh).unwrap());
+    }
+
+    #[test]
+    fn unabsorbable_entries_demote_on_delta() {
+        let mut wh = loaded();
+        // Group limit 1: the two-city roll-up below outgrows it on
+        // commit, so the entry must demote rather than absorb.
+        let cache = RollupCache::with_group_limit(8, 1);
+        let q = count_query();
+        cache.run(&wh, 0, &q).unwrap();
+        assert_eq!(cache.len(), 1);
+
+        let tracker = wh.delta_tracker();
+        wh.load("Last Minute Sales", vec![sale("JFK", "New York", 7, 320.0)])
+            .unwrap();
+        let delta = wh.delta_since(&tracker).unwrap();
+        cache.apply_delta(&wh, &delta, 1);
+        assert!(cache.is_empty(), "overgrown entry demoted, not kept stale");
+
+        // The next read recomputes correctly.
+        let fresh = cache.run(&wh, 1, &q).unwrap();
+        assert_eq!(fresh, q.execute_reference(&wh).unwrap());
+        assert_eq!(cache.misses(), 2);
     }
 }

@@ -345,6 +345,24 @@ impl EngineStats {
         self.registry.counter_value(names::WAREHOUSE_ROLLUP_MISSES)
     }
 
+    /// Materialized roll-up entries that absorbed a commit's delta in
+    /// place (incremental maintenance).
+    pub fn warehouse_deltas_applied(&self) -> u64 {
+        self.registry.counter_value(names::WAREHOUSE_DELTA_APPLIED)
+    }
+
+    /// Materialized entries demoted to recompute-on-next-read because a
+    /// delta could not be absorbed.
+    pub fn warehouse_deltas_demoted(&self) -> u64 {
+        self.registry.counter_value(names::WAREHOUSE_DELTA_DEMOTED)
+    }
+
+    /// Fact rows folded incrementally into live materialized roll-ups
+    /// (summed over entries).
+    pub fn warehouse_delta_rows(&self) -> u64 {
+        self.registry.counter_value(names::WAREHOUSE_DELTA_ROWS)
+    }
+
     /// Renders the statistics as a fixed-width table.
     pub fn render(&self) -> String {
         fn us(v: u64) -> String {
@@ -396,12 +414,15 @@ impl EngineStats {
             self.retrieval_windows_scored(),
         ));
         out.push_str(&format!(
-            "warehouse: {} plans compiled / {} reused   {} rows scanned   rollup cache: {} hits / {} misses\n",
+            "warehouse: {} plans compiled / {} reused   {} rows scanned   rollup cache: {} hits / {} misses   deltas: {} applied / {} demoted ({} rows folded)\n",
             self.warehouse_plans_compiled(),
             self.warehouse_plans_reused(),
             self.warehouse_rows_scanned(),
             self.warehouse_rollup_hits(),
             self.warehouse_rollup_misses(),
+            self.warehouse_deltas_applied(),
+            self.warehouse_deltas_demoted(),
+            self.warehouse_delta_rows(),
         ));
         out.push_str(&format!(
             "resilience: {} retries   {} breaker trips   {} breaker rejections   {} source failures   {} rollbacks   {} worker deaths\n",
@@ -500,14 +521,24 @@ mod tests {
         reg.counter(names::WAREHOUSE_ROWS_SCANNED).add(1000);
         reg.counter(names::WAREHOUSE_ROLLUP_HITS).add(3);
         reg.counter(names::WAREHOUSE_ROLLUP_MISSES).add(4);
+        reg.counter(names::WAREHOUSE_DELTA_APPLIED).add(6);
+        reg.counter(names::WAREHOUSE_DELTA_DEMOTED).inc();
+        reg.counter(names::WAREHOUSE_DELTA_ROWS).add(42);
         assert_eq!(stats.warehouse_plans_compiled(), 2);
         assert_eq!(stats.warehouse_plans_reused(), 5);
         assert_eq!(stats.warehouse_rows_scanned(), 1000);
         assert_eq!(stats.warehouse_rollup_hits(), 3);
         assert_eq!(stats.warehouse_rollup_misses(), 4);
+        assert_eq!(stats.warehouse_deltas_applied(), 6);
+        assert_eq!(stats.warehouse_deltas_demoted(), 1);
+        assert_eq!(stats.warehouse_delta_rows(), 42);
         let table = stats.render();
         assert!(table.contains("2 plans compiled / 5 reused"), "{table}");
         assert!(table.contains("3 hits / 4 misses"), "{table}");
+        assert!(
+            table.contains("6 applied / 1 demoted (42 rows folded)"),
+            "{table}"
+        );
     }
 
     #[test]

@@ -88,6 +88,15 @@ pub const WAREHOUSE_GROUPS: &str = "warehouse.groups";
 pub const WAREHOUSE_ROLLUP_HITS: &str = "warehouse.rollup.hits";
 /// Counter: roll-up result cache misses (query executed).
 pub const WAREHOUSE_ROLLUP_MISSES: &str = "warehouse.rollup.misses";
+/// Counter: materialized roll-up entries that absorbed a commit's delta
+/// in place (incremental maintenance, `dwqa-core`).
+pub const WAREHOUSE_DELTA_APPLIED: &str = "warehouse.delta.applied";
+/// Counter: materialized roll-up entries demoted to recompute-on-next-
+/// read because a delta could not be absorbed.
+pub const WAREHOUSE_DELTA_DEMOTED: &str = "warehouse.delta.demoted";
+/// Counter: fact rows folded incrementally into live materialized
+/// roll-ups (summed over entries).
+pub const WAREHOUSE_DELTA_ROWS: &str = "warehouse.delta.rows";
 
 /// Counter: requests received by the QA service, every kind and
 /// disposition (`dwqa-server`).

@@ -53,6 +53,7 @@ mod fact;
 mod plan;
 mod query;
 mod snapshot;
+pub mod testing;
 mod value;
 mod warehouse;
 
@@ -61,8 +62,8 @@ pub use dimension::{DimensionTable, MemberKey};
 pub use error::{Result, WarehouseError};
 pub use etl::{EtlReport, FactRow, FactRowBuilder, Rejection};
 pub use fact::FactTable;
-pub use plan::CompiledRollup;
+pub use plan::{CompiledRollup, MaterializedRollup, DEFAULT_MATERIALIZED_GROUP_LIMIT};
 pub use query::{AggFn, Aggregate, CubeQuery, Filter, FilterTarget, Predicate, ResultSet};
 pub use snapshot::{DimensionSnapshot, FactSnapshot, WarehouseSnapshot};
 pub use value::Value;
-pub use warehouse::Warehouse;
+pub use warehouse::{DeltaTracker, Warehouse, WarehouseDelta};

@@ -28,11 +28,12 @@
 #![warn(clippy::unwrap_used)]
 #![warn(clippy::expect_used)]
 
-use crate::column::NumericSlice;
+use crate::column::{Column, NumericSlice};
+use crate::dimension::DimensionTable;
 use crate::error::{Result, WarehouseError};
-use crate::query::{Accumulator, AggFn, CubeQuery, FilterTarget, ResultSet};
+use crate::query::{Accumulator, AggFn, CubeQuery, Filter, FilterTarget, ResultSet};
 use crate::value::Value;
-use crate::warehouse::Warehouse;
+use crate::warehouse::{Warehouse, WarehouseDelta};
 use dwqa_obs::names as obs;
 use std::collections::HashMap;
 
@@ -401,25 +402,399 @@ impl CompiledRollup {
 
     /// The shared materialisation tail: deterministic base sort, the
     /// optional stable order-by, the limit — exactly the reference path.
-    fn finish(&self, mut rows: Vec<Vec<Value>>) -> Result<ResultSet> {
-        dwqa_obs::counter_add(obs::WAREHOUSE_GROUPS, rows.len() as u64);
-        rows.sort();
-        if let Some((idx, desc)) = self.order {
-            rows.sort_by(|a, b| {
-                let ord = a[idx].cmp(&b[idx]);
-                if desc {
-                    ord.reverse()
-                } else {
-                    ord
+    fn finish(&self, rows: Vec<Vec<Value>>) -> Result<ResultSet> {
+        Ok(finalize(&self.columns, self.order, self.limit, rows))
+    }
+}
+
+/// The materialisation tail shared by the compiled executor and the
+/// incremental [`MaterializedRollup`]: deterministic base sort, the
+/// optional stable order-by, the limit — exactly the reference path.
+fn finalize(
+    columns: &[String],
+    order: Option<(usize, bool)>,
+    limit: Option<usize>,
+    mut rows: Vec<Vec<Value>>,
+) -> ResultSet {
+    dwqa_obs::counter_add(obs::WAREHOUSE_GROUPS, rows.len() as u64);
+    rows.sort();
+    if let Some((idx, desc)) = order {
+        rows.sort_by(|a, b| {
+            let ord = a[idx].cmp(&b[idx]);
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(n) = limit {
+        rows.truncate(n);
+    }
+    ResultSet {
+        columns: columns.to_vec(),
+        rows,
+    }
+}
+
+/// Maximum group-by coordinates a materialized roll-up can carry: each
+/// coordinate's ordinal occupies one 32-bit lane of the `u128` group key.
+///
+/// Lanes — not the compiled plan's strides — because strides are composed
+/// from the coordinates' *current* cardinalities: one new distinct level
+/// value would renumber every composed ordinal and invalidate the whole
+/// accumulator table. A fixed 32-bit lane per coordinate is stable under
+/// cardinality growth, which is exactly what incremental maintenance
+/// needs to absorb new dimension members.
+const MAX_LANES: usize = 4;
+
+/// Default bound on live groups per materialized entry; past it the
+/// entry demotes to recompute-on-next-read (the incremental analogue of
+/// the compiled executor's dense→sparse migration).
+pub const DEFAULT_MATERIALIZED_GROUP_LIMIT: usize = 1 << 20;
+
+/// One filter role with its live pass mask plus the original query
+/// filters needed to extend the mask over new members.
+#[derive(Debug, Clone)]
+struct MatFilter {
+    role_idx: usize,
+    dim_idx: usize,
+    /// The query's filters on this role (one or more; AND-merged), kept
+    /// so a new member's verdict can be computed exactly as compilation
+    /// would have.
+    specs: Vec<Filter>,
+    /// `pass[member_key]`, extended as the dimension gains members.
+    pass: Vec<bool>,
+}
+
+/// One group-by coordinate with its live ordinal mapping.
+#[derive(Debug, Clone)]
+struct MatGroup {
+    role_idx: usize,
+    dim_idx: usize,
+    /// Level name, re-resolved against the dimension model when new
+    /// members arrive.
+    level: String,
+    /// Surrogate key → ordinal, extended as the dimension gains members.
+    ordinal_of_member: Vec<u32>,
+    /// Ordinal → level value, for materialisation.
+    values: Vec<Value>,
+    /// Level value → ordinal — the compiled plan's first-seen assignment,
+    /// retained so extension reuses existing ordinals for known values.
+    seen: HashMap<Value, u32>,
+}
+
+/// A roll-up result kept **live**: the per-group accumulator state of a
+/// [`CubeQuery`] plus everything needed to fold a pure-append
+/// [`WarehouseDelta`] into it — new dimension members extend the pass
+/// masks and key→ordinal maps, appended fact rows route through the
+/// tight scan over just the delta. The maintained [`ResultSet`] is
+/// byte-identical to a cold
+/// [`execute_reference`](CubeQuery::execute_reference) recompute
+/// (proptest-enforced in `tests/incremental_parity.rs`): rows are folded
+/// in ascending row order across commits, reproducing the exact
+/// accumulation order of a full scan.
+///
+/// Incremental maintenance is an optimization, never a correctness
+/// risk: [`MaterializedRollup::build`] declines queries the scheme
+/// cannot carry (reference-executor fallback, more than [`MAX_LANES`]
+/// coordinates), and [`MaterializedRollup::apply_delta`] returns `false`
+/// — demote me — whenever a delta doesn't line up with the folded state
+/// or the group table outgrows its limit.
+#[derive(Debug, Clone)]
+pub struct MaterializedRollup {
+    query: CubeQuery,
+    fact_idx: usize,
+    /// Fact rows folded so far; the next delta must start exactly here.
+    rows_folded: usize,
+    agg_cols: Vec<usize>,
+    agg_fns: Vec<AggFn>,
+    filters: Vec<MatFilter>,
+    groups: Vec<MatGroup>,
+    /// Lane-packed group key → accumulators, one per requested aggregate.
+    accs: HashMap<u128, Vec<Accumulator>>,
+    group_limit: usize,
+    columns: Vec<String>,
+    order: Option<(usize, bool)>,
+    limit: Option<usize>,
+    result: ResultSet,
+}
+
+/// Resolves the column a filter tests, against the *current* dimension
+/// table (columns cannot be stored across mutations).
+fn filter_column<'a>(dim: &'a DimensionTable, target: &FilterTarget) -> Option<&'a Column> {
+    match target {
+        FilterTarget::Level(level) => {
+            let (level_id, _) = dim.model().level(level)?;
+            Some(dim.descriptor_column(level_id.index()))
+        }
+        FilterTarget::Attribute(attr) => dim.attribute_column(attr),
+    }
+}
+
+impl MaterializedRollup {
+    /// Builds live accumulator state for `query` over the warehouse's
+    /// current contents.
+    ///
+    /// Returns `Ok(None)` when the query cannot be maintained
+    /// incrementally — it needs the reference executor, groups on more
+    /// than [`MAX_LANES`] coordinates, or materialises more than
+    /// `group_limit` groups — in which case callers run it per-read as
+    /// before. Invalid queries report the identical error a
+    /// [`CubeQuery::run`] would, so caching never changes error
+    /// behaviour.
+    pub fn build(
+        query: &CubeQuery,
+        wh: &Warehouse,
+        group_limit: usize,
+    ) -> Result<Option<MaterializedRollup>> {
+        // Compile first: validation happens in exactly the reference
+        // order, so error parity is inherited rather than re-implemented.
+        let plan = CompiledRollup::compile(query, wh)?;
+        if plan.needs_reference() || plan.groups.len() > MAX_LANES {
+            return Ok(None);
+        }
+        let fact = wh.fact(&query.fact)?;
+        let Some((fact_id, fact_model)) = wh.schema().fact(&query.fact) else {
+            return Ok(None); // unreachable: compile resolved the fact
+        };
+        let filters = plan
+            .filters
+            .iter()
+            .map(|f| MatFilter {
+                role_idx: f.role_idx,
+                dim_idx: fact_model.roles[f.role_idx].dimension.index(),
+                specs: query
+                    .filters
+                    .iter()
+                    .filter(|qf| fact.role_index(&qf.role).ok() == Some(f.role_idx))
+                    .cloned()
+                    .collect(),
+                pass: f.pass.clone(),
+            })
+            .collect();
+        let groups = plan
+            .groups
+            .iter()
+            .zip(&query.group_by)
+            .map(|(g, (_, level))| {
+                let mut seen = HashMap::with_capacity(g.values.len());
+                for (o, v) in g.values.iter().enumerate() {
+                    seen.insert(v.clone(), o as u32);
                 }
-            });
+                MatGroup {
+                    role_idx: g.role_idx,
+                    dim_idx: fact_model.roles[g.role_idx].dimension.index(),
+                    level: level.clone(),
+                    ordinal_of_member: g.ordinal_of_member.clone(),
+                    values: g.values.clone(),
+                    seen,
+                }
+            })
+            .collect();
+        let mut mat = MaterializedRollup {
+            query: query.clone(),
+            fact_idx: fact_id.index(),
+            rows_folded: 0,
+            agg_cols: plan.agg_cols.clone(),
+            agg_fns: plan.agg_fns.clone(),
+            filters,
+            groups,
+            accs: HashMap::new(),
+            group_limit,
+            columns: plan.columns.clone(),
+            order: plan.order,
+            limit: plan.limit,
+            result: ResultSet {
+                columns: plan.columns.clone(),
+                rows: Vec::new(),
+            },
+        };
+        mat.fold_rows(wh, 0, fact.len())?;
+        if mat.accs.len() > group_limit {
+            return Ok(None);
         }
-        if let Some(n) = self.limit {
-            rows.truncate(n);
+        mat.result = mat.materialize_all();
+        Ok(Some(mat))
+    }
+
+    /// The maintained result — identical to what running the query
+    /// against the warehouse at the folded extent would return.
+    pub fn result_set(&self) -> &ResultSet {
+        &self.result
+    }
+
+    /// The query this roll-up materialises.
+    pub fn query(&self) -> &CubeQuery {
+        &self.query
+    }
+
+    /// Fact rows folded into the accumulators so far.
+    pub fn rows_folded(&self) -> usize {
+        self.rows_folded
+    }
+
+    /// Folds a pure-append delta into the live state and refreshes the
+    /// maintained result.
+    ///
+    /// Returns `false` — the caller must demote this entry to
+    /// recompute-on-next-read — when the delta cannot be absorbed: its
+    /// before-extents don't match the folded state, the warehouse isn't
+    /// at the delta's after-extents, a filter/level no longer resolves,
+    /// or the group table outgrows the limit. On `false` the entry's
+    /// state may be partially extended and must be discarded, never
+    /// read.
+    pub fn apply_delta(&mut self, wh: &Warehouse, delta: &WarehouseDelta) -> bool {
+        let Some(&(fact_before, fact_after)) = delta.fact_rows.get(self.fact_idx) else {
+            return false;
+        };
+        if fact_before != self.rows_folded {
+            return false;
         }
-        Ok(ResultSet {
-            columns: self.columns.clone(),
-            rows,
-        })
+        let Ok(fact) = wh.fact(&self.query.fact) else {
+            return false;
+        };
+        if fact.len() != fact_after {
+            return false;
+        }
+        // Extend filter pass masks over new members: each new member's
+        // verdict is the AND of every query filter on that role,
+        // evaluated exactly as compilation would have.
+        for f in &mut self.filters {
+            let Some(&(before, after)) = delta.dim_members.get(f.dim_idx) else {
+                return false;
+            };
+            if f.pass.len() != before {
+                return false;
+            }
+            let dim = wh.dimension_table_for_role(fact, f.role_idx);
+            if dim.len() != after {
+                return false;
+            }
+            for m in before..after {
+                let mut verdict = true;
+                for spec in &f.specs {
+                    let Some(column) = filter_column(dim, &spec.target) else {
+                        return false;
+                    };
+                    verdict = verdict && spec.predicate.matches(&column.get(m));
+                }
+                f.pass.push(verdict);
+            }
+        }
+        // Extend key→ordinal maps: known level values reuse their
+        // ordinal (the roll-up), new distinct values take fresh lanes-
+        // local ordinals. Assignment order differs from a cold recompile
+        // but cannot be observed: materialisation sorts rows by value.
+        for g in &mut self.groups {
+            let Some(&(before, after)) = delta.dim_members.get(g.dim_idx) else {
+                return false;
+            };
+            if g.ordinal_of_member.len() != before {
+                return false;
+            }
+            let dim = wh.dimension_table_for_role(fact, g.role_idx);
+            if dim.len() != after {
+                return false;
+            }
+            let Some((level_id, _)) = dim.model().level(&g.level) else {
+                return false;
+            };
+            let column = dim.descriptor_column(level_id.index());
+            for m in before..after {
+                let v = column.get(m);
+                let ordinal = match g.seen.get(&v) {
+                    Some(&o) => o,
+                    None => {
+                        let o = g.values.len() as u32;
+                        g.seen.insert(v.clone(), o);
+                        g.values.push(v);
+                        o
+                    }
+                };
+                g.ordinal_of_member.push(ordinal);
+            }
+        }
+        if self.fold_rows(wh, fact_before, fact_after).is_err() {
+            return false;
+        }
+        if self.accs.len() > self.group_limit {
+            return false;
+        }
+        self.result = self.materialize_all();
+        true
+    }
+
+    /// The tight scan over rows `from..to`, accumulating into the lane-
+    /// packed group table. Folding strictly ascending row ranges across
+    /// commits reproduces the accumulation order — and therefore the
+    /// float results, bit for bit — of one cold scan over `0..to`.
+    fn fold_rows(&mut self, wh: &Warehouse, from: usize, to: usize) -> Result<()> {
+        let fact = wh.fact(&self.query.fact)?;
+        let n_aggs = self.agg_cols.len();
+        dwqa_obs::counter_add(obs::WAREHOUSE_ROWS_SCANNED, (to - from) as u64);
+        let filters: Vec<(&[u32], &[bool])> = self
+            .filters
+            .iter()
+            .map(|f| (fact.role_key_column(f.role_idx), f.pass.as_slice()))
+            .collect();
+        let group_keys: Vec<(&[u32], &[u32])> = self
+            .groups
+            .iter()
+            .map(|g| {
+                (
+                    fact.role_key_column(g.role_idx),
+                    g.ordinal_of_member.as_slice(),
+                )
+            })
+            .collect();
+        let measures: Vec<NumericSlice<'_>> = self
+            .agg_cols
+            .iter()
+            .map(|&mi| fact.measure_column(mi).numeric())
+            .collect();
+        'rows: for row in from..to {
+            for (keys, pass) in &filters {
+                if !pass[keys[row] as usize] {
+                    continue 'rows;
+                }
+            }
+            let mut packed = 0u128;
+            for (lane, (keys, ordinals)) in group_keys.iter().enumerate() {
+                packed |= (ordinals[keys[row] as usize] as u128) << (32 * lane);
+            }
+            let accs = self
+                .accs
+                .entry(packed)
+                .or_insert_with(|| vec![Accumulator::default(); n_aggs]);
+            for (acc, m) in accs.iter_mut().zip(&measures) {
+                if let Some(v) = m.get(row) {
+                    acc.push(v);
+                }
+            }
+        }
+        self.rows_folded = to;
+        Ok(())
+    }
+
+    /// Rebuilds the full result from the live accumulators through the
+    /// same materialisation tail as both executors.
+    fn materialize_all(&self) -> ResultSet {
+        let rows: Vec<Vec<Value>> = self
+            .accs
+            .iter()
+            .map(|(&packed, accs)| {
+                let mut row = Vec::with_capacity(self.groups.len() + accs.len());
+                for (lane, g) in self.groups.iter().enumerate() {
+                    let ordinal = ((packed >> (32 * lane)) & 0xFFFF_FFFF) as usize;
+                    row.push(g.values[ordinal].clone());
+                }
+                for (acc, &f) in accs.iter().zip(&self.agg_fns) {
+                    row.push(acc.finish(f));
+                }
+                row
+            })
+            .collect();
+        finalize(&self.columns, self.order, self.limit, rows)
     }
 }

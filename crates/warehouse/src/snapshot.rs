@@ -129,7 +129,7 @@ impl Warehouse {
                 // snapshot's surrogate keys exactly — a duplicated or
                 // reordered member row would silently remap every fact
                 // key pointing at it, so reject the snapshot instead.
-                let key = wh.dimension_table_mut(dim_id).lookup_or_insert(&spec)?;
+                let key = wh.dimension_table_raw_mut(dim_id).lookup_or_insert(&spec)?;
                 if key.index() != expected_key {
                     return Err(WarehouseError::IncompleteRow(format!(
                         "dimension {:?}: row {expected_key} restored as surrogate key {} \
@@ -166,9 +166,12 @@ impl Warehouse {
                     }
                 }
                 let keys: Vec<MemberKey> = keys.iter().map(|&k| MemberKey(k)).collect();
-                wh.fact_table_mut(fact_id).insert(&keys, measures)?;
+                wh.fact_table_raw_mut(fact_id).insert(&keys, measures)?;
             }
         }
+        // One bump for the whole replay: a restore is one logical
+        // mutation, not one per row.
+        wh.bump_revision();
         Ok(wh)
     }
 
@@ -267,6 +270,15 @@ mod tests {
         let dest_role = 1; // Origin, Destination, Customer, Date
         assert_eq!(fact.role_keys[0][dest_role], fact.role_keys[2][dest_role]);
         assert_ne!(fact.role_keys[0][dest_role], fact.role_keys[1][dest_role]);
+    }
+
+    #[test]
+    fn restore_bumps_the_revision_exactly_once() {
+        let wh = loaded();
+        let restored = Warehouse::restore(&wh.snapshot()).unwrap();
+        // A restore is a single logical mutation regardless of row
+        // count: replaying N rows must not look like N commits.
+        assert_eq!(restored.revision(), 1);
     }
 
     #[test]

@@ -135,17 +135,73 @@ impl Warehouse {
         Ok(&self.facts[id.index()])
     }
 
-    pub(crate) fn dimension_table_mut(
+    /// Raw mutable table access **without** a revision bump. Mutation
+    /// paths (load, restore) bump the revision once per logical commit
+    /// via [`Self::bump_revision`] instead of once per borrowed table —
+    /// per-borrow bumping evicted every cached plan N times during a
+    /// restore and made read-modify helpers look like N mutations.
+    pub(crate) fn dimension_table_raw_mut(
         &mut self,
         id: dwqa_mdmodel::DimensionId,
     ) -> &mut DimensionTable {
-        self.revision += 1;
         &mut self.dimensions[id.index()]
     }
 
-    pub(crate) fn fact_table_mut(&mut self, id: dwqa_mdmodel::FactId) -> &mut FactTable {
-        self.revision += 1;
+    /// See [`Self::dimension_table_raw_mut`].
+    pub(crate) fn fact_table_raw_mut(&mut self, id: dwqa_mdmodel::FactId) -> &mut FactTable {
         &mut self.facts[id.index()]
+    }
+
+    /// Records one logical mutation: caches keyed on the revision treat
+    /// everything computed before this call as stale.
+    pub(crate) fn bump_revision(&mut self) {
+        self.revision += 1;
+    }
+
+    /// Captures the current table extents so a later
+    /// [`Self::delta_since`] can describe what a commit appended.
+    pub fn delta_tracker(&self) -> DeltaTracker {
+        DeltaTracker {
+            revision: self.revision,
+            fact_rows: self.facts.iter().map(FactTable::len).collect(),
+            dim_members: self.dimensions.iter().map(DimensionTable::len).collect(),
+        }
+    }
+
+    /// Describes the mutations since `tracker` as a typed, pure-append
+    /// [`WarehouseDelta`]: per-table row/member counts before and after.
+    ///
+    /// Returns `None` when the change is *not* a pure append — a table
+    /// shrank or the schema arity changed (e.g. the warehouse object was
+    /// replaced wholesale) — in which case callers must fall back to
+    /// full invalidation.
+    pub fn delta_since(&self, tracker: &DeltaTracker) -> Option<WarehouseDelta> {
+        if tracker.fact_rows.len() != self.facts.len()
+            || tracker.dim_members.len() != self.dimensions.len()
+        {
+            return None;
+        }
+        let fact_rows: Vec<(usize, usize)> = tracker
+            .fact_rows
+            .iter()
+            .zip(&self.facts)
+            .map(|(&before, t)| (before, t.len()))
+            .collect();
+        let dim_members: Vec<(usize, usize)> = tracker
+            .dim_members
+            .iter()
+            .zip(&self.dimensions)
+            .map(|(&before, t)| (before, t.len()))
+            .collect();
+        if fact_rows.iter().any(|&(b, a)| a < b) || dim_members.iter().any(|&(b, a)| a < b) {
+            return None;
+        }
+        Some(WarehouseDelta {
+            base_revision: tracker.revision,
+            new_revision: self.revision,
+            fact_rows,
+            dim_members,
+        })
     }
 
     pub(crate) fn dimension_table_for_role(
@@ -264,6 +320,51 @@ impl Warehouse {
         new_members.sort();
         report.new_members = new_members;
         Ok(report)
+    }
+}
+
+/// Table extents captured before a mutation; see
+/// [`Warehouse::delta_tracker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaTracker {
+    revision: u64,
+    fact_rows: Vec<usize>,
+    dim_members: Vec<usize>,
+}
+
+/// A typed description of a pure-append mutation: for each fact table the
+/// `(rows_before, rows_after)` extent and for each dimension table the
+/// `(members_before, members_after)` extent, in schema order.
+///
+/// Produced by [`Warehouse::delta_since`] and consumed by
+/// [`crate::MaterializedRollup::apply_delta`], which folds exactly the
+/// appended rows/members into a live materialized aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarehouseDelta {
+    /// Warehouse revision when the tracker was captured.
+    pub base_revision: u64,
+    /// Warehouse revision when the delta was taken.
+    pub new_revision: u64,
+    /// `(before, after)` row counts per fact table, schema order.
+    pub fact_rows: Vec<(usize, usize)>,
+    /// `(before, after)` member counts per dimension table, schema order.
+    pub dim_members: Vec<(usize, usize)>,
+}
+
+impl WarehouseDelta {
+    /// Total fact rows appended across all fact tables.
+    pub fn fact_rows_added(&self) -> usize {
+        self.fact_rows.iter().map(|&(b, a)| a - b).sum()
+    }
+
+    /// Total dimension members created across all dimension tables.
+    pub fn members_added(&self) -> usize {
+        self.dim_members.iter().map(|&(b, a)| a - b).sum()
+    }
+
+    /// True when the delta appended nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.fact_rows_added() == 0 && self.members_added() == 0
     }
 }
 
@@ -429,6 +530,81 @@ mod tests {
         let p2 = copy.plan(&q).unwrap();
         assert!(!Arc::ptr_eq(&p1, &p2));
         assert_eq!(q.run(&wh).unwrap(), q.run(&copy).unwrap());
+    }
+
+    #[test]
+    fn read_only_access_keeps_the_plan_cache_warm() {
+        use crate::query::{AggFn, CubeQuery};
+        let mut wh = Warehouse::new(last_minute_sales());
+        wh.load(
+            "Last Minute Sales",
+            vec![sale("El Prat", "Barcelona", (2004, 1, 30), 120.0)],
+        )
+        .unwrap();
+        let q = CubeQuery::on("Last Minute Sales")
+            .group_by("Destination", "City")
+            .aggregate("price", AggFn::Sum);
+        let p1 = wh.plan(&q).unwrap();
+        let rev = wh.revision();
+        // Exercise every read path: table accessors, stats, snapshot,
+        // query execution, delta capture. None of these mutate, so none
+        // may move the revision or evict the cached plan.
+        let _ = wh.fact("Last Minute Sales").unwrap().len();
+        let _ = wh.dimension("Airport").unwrap().len();
+        let _ = wh.stats();
+        let _ = wh.snapshot();
+        let _ = q.run(&wh).unwrap();
+        let tracker = wh.delta_tracker();
+        assert!(wh.delta_since(&tracker).unwrap().is_empty());
+        assert_eq!(wh.revision(), rev, "read-only access bumped revision");
+        let p2 = wh.plan(&q).unwrap();
+        assert!(
+            Arc::ptr_eq(&p1, &p2),
+            "read-only access evicted the cached plan"
+        );
+    }
+
+    #[test]
+    fn delta_since_describes_a_pure_append() {
+        let mut wh = Warehouse::new(last_minute_sales());
+        wh.load(
+            "Last Minute Sales",
+            vec![sale("El Prat", "Barcelona", (2004, 1, 30), 120.0)],
+        )
+        .unwrap();
+        let tracker = wh.delta_tracker();
+        wh.load(
+            "Last Minute Sales",
+            vec![
+                sale("JFK", "New York", (2004, 1, 31), 320.0),
+                sale("El Prat", "Barcelona", (2004, 2, 1), 80.0),
+            ],
+        )
+        .unwrap();
+        let delta = wh.delta_since(&tracker).unwrap();
+        assert_eq!(delta.fact_rows_added(), 2);
+        // JFK airport + New York-side members + one new date... at least
+        // something was created, and nothing shrank.
+        assert!(delta.members_added() >= 2);
+        assert!(!delta.is_empty());
+        assert!(delta.new_revision > delta.base_revision);
+        // The fact extent is (1, 3) for the single fact table.
+        assert_eq!(delta.fact_rows[0], (1, 3));
+    }
+
+    #[test]
+    fn delta_since_rejects_non_append_histories() {
+        let mut wh = Warehouse::new(last_minute_sales());
+        wh.load(
+            "Last Minute Sales",
+            vec![sale("El Prat", "Barcelona", (2004, 1, 30), 120.0)],
+        )
+        .unwrap();
+        let tracker = wh.delta_tracker();
+        // A wholesale replacement with a *smaller* warehouse shrinks the
+        // tables: not a pure append, so no delta.
+        let smaller = Warehouse::new(last_minute_sales());
+        assert!(smaller.delta_since(&tracker).is_none());
     }
 
     #[test]

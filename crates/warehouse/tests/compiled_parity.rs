@@ -3,188 +3,16 @@
 //! same ordering, same column names, and the same error on invalid
 //! queries — for arbitrary corpora and arbitrary query shapes.
 //!
-//! The vendored proptest stand-in only offers primitive strategies, so
-//! each case is seeded from raw `u64`s and decoded into a corpus and a
-//! query spec with a splitmix64 stream; a failing case prints the seeds,
-//! which reproduce deterministically.
+//! The corpus and query decoders live in [`dwqa_warehouse::testing`] and
+//! are shared with the incremental-maintenance suite and the experiment
+//! binaries; each case is seeded from raw `u64`s, and a failing case
+//! prints the seeds, which reproduce deterministically.
 
+use dwqa_warehouse::testing::{airport_spec, build_query, build_warehouse};
 use dwqa_warehouse::{
     AggFn, CubeQuery, FactRowBuilder, Predicate, ResultSet, Value, Warehouse, WarehouseError,
 };
 use proptest::prelude::*;
-
-const CITIES: [&str; 5] = ["Barcelona", "Madrid", "Paris", "Rome", "Berlin"];
-const COUNTRIES: [&str; 3] = ["Spain", "France", "Italy"];
-const MEASURES: [&str; 3] = ["price", "miles", "traveler_rate"];
-const FNS: [AggFn; 5] = [AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max, AggFn::Count];
-
-/// Group-by coordinates the decoder draws from; every hierarchy depth
-/// appears so roll-up merging is exercised.
-const COORDS: [(&str, &str); 8] = [
-    ("Destination", "Airport"),
-    ("Destination", "City"),
-    ("Destination", "Country"),
-    ("Origin", "City"),
-    ("Customer", "Customer"),
-    ("Date", "Date"),
-    ("Date", "Month"),
-    ("Date", "Year"),
-];
-
-/// Deterministic word stream for decoding seeds into structure.
-struct Mix(u64);
-
-impl Mix {
-    fn next(&mut self) -> u64 {
-        // splitmix64
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-
-    fn chance(&mut self, one_in: u64) -> bool {
-        self.below(one_in) == 0
-    }
-}
-
-fn airport_spec(idx: usize) -> Vec<(&'static str, Value)> {
-    let city = CITIES[idx % CITIES.len()];
-    let country = COUNTRIES[idx % COUNTRIES.len()];
-    let mut spec = vec![
-        ("airport_name", Value::text(format!("AP{idx}"))),
-        ("city_name", Value::text(city)),
-        ("country_name", Value::text(country)),
-    ];
-    // Some cities carry a population attribute, some stay Null — the
-    // attribute-filter paths must agree on both.
-    if idx % 3 != 0 {
-        spec.push(("population", Value::Int(500_000 * (idx as i64 + 1))));
-    }
-    spec
-}
-
-/// One synthetic sale decoded from a seed word.
-fn build_warehouse(row_seeds: &[u64]) -> Warehouse {
-    let mut wh = Warehouse::new(dwqa_mdmodel::last_minute_sales());
-    let batch: Vec<_> = row_seeds
-        .iter()
-        .map(|&seed| {
-            let mut m = Mix(seed);
-            let origin = m.below(10) as usize;
-            let dest = m.below(10) as usize;
-            let customer = m.below(4);
-            let day = m.below(27) as u32 + 1;
-            let price = if m.chance(8) {
-                Value::Null
-            } else {
-                Value::Float(m.below(50_000) as f64 / 100.0)
-            };
-            let miles = m.below(200_000) as f64 / 100.0;
-            let rate = m.below(1_000) as f64 / 1_000.0;
-            let mut b = FactRowBuilder::new();
-            b.measure("price", price)
-                .measure("miles", Value::Float(miles))
-                .measure("traveler_rate", Value::Float(rate))
-                .role_member("Origin", &airport_spec(origin))
-                .role_member("Destination", &airport_spec(dest))
-                .role_member(
-                    "Customer",
-                    &[("customer_name", Value::text(format!("C{customer}")))],
-                )
-                .role_member("Date", &[("date", Value::date(2004, 1, day).unwrap())]);
-            b.build()
-        })
-        .collect();
-    let report = wh.load("Last Minute Sales", batch).unwrap();
-    assert!(report.rejected.is_empty());
-    wh
-}
-
-/// Decodes a query spec: group-bys, aggregates (including combinations
-/// that must fail additivity checks), level / attribute / date filters,
-/// order-by (sometimes on an unknown column), and a limit.
-fn build_query(seed: u64) -> CubeQuery {
-    let mut m = Mix(seed);
-    let mut q = CubeQuery::on("Last Minute Sales");
-
-    // Filters first, as a caller would build them.
-    if m.chance(2) {
-        let p = match m.below(3) {
-            0 => Predicate::Eq(Value::text(CITIES[m.below(5) as usize])),
-            1 => {
-                let n = m.below(3) as usize;
-                Predicate::In(
-                    (0..n)
-                        .map(|_| Value::text(CITIES[m.below(5) as usize]))
-                        .collect(),
-                )
-            }
-            _ => {
-                let a = m.below(5) as usize;
-                let b = m.below(5) as usize;
-                Predicate::Between(Value::text(CITIES[a.min(b)]), Value::text(CITIES[a.max(b)]))
-            }
-        };
-        q = q.filter("Destination", "City", p);
-    }
-    if m.chance(3) {
-        let a = m.below(6_000_000) as i64;
-        let b = m.below(6_000_000) as i64;
-        q = q.filter_attribute(
-            "Destination",
-            "population",
-            Predicate::Between(Value::Int(a.min(b)), Value::Int(a.max(b))),
-        );
-    }
-    if m.chance(3) {
-        let a = m.below(27) as u32 + 1;
-        let b = m.below(27) as u32 + 1;
-        q = q.filter(
-            "Date",
-            "Date",
-            Predicate::Between(
-                Value::date(2004, 1, a.min(b)).unwrap(),
-                Value::date(2004, 1, b.max(a)).unwrap(),
-            ),
-        );
-    }
-    // Occasionally an invalid level: error parity.
-    if m.chance(16) {
-        q = q.filter("Origin", "Galaxy", Predicate::Eq(Value::text("x")));
-    }
-
-    let mut columns: Vec<String> = Vec::new();
-    let n_groups = m.below(4) as usize; // 0..=3 coordinates
-    for _ in 0..n_groups {
-        let (role, level) = COORDS[m.below(COORDS.len() as u64) as usize];
-        q = q.group_by(role, level);
-        columns.push(format!("{role}.{level}"));
-    }
-    let n_aggs = m.below(2) as usize + 1; // 1..=2 aggregates
-    for _ in 0..n_aggs {
-        let measure = MEASURES[m.below(3) as usize];
-        let f = FNS[m.below(5) as usize];
-        q = q.aggregate(measure, f);
-        columns.push(format!("{}({measure})", f.label()));
-    }
-
-    if m.chance(16) {
-        q = q.order_by("no_such_column", false);
-    } else if m.chance(2) {
-        let idx = m.below(columns.len() as u64) as usize;
-        q = q.order_by(&columns[idx], m.chance(2));
-    }
-    if m.chance(3) {
-        q = q.limit(m.below(6) as usize);
-    }
-    q
-}
 
 /// Both executors must agree exactly — on success, the same `ResultSet`
 /// (columns, rows, ordering); on failure, the same error.

@@ -65,6 +65,18 @@ impl Content {
     }
 }
 
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
 /// Deserialization error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(pub String);
