@@ -142,6 +142,29 @@ fn check_report(root: &Content) -> Vec<String> {
             require(root, "scenarios", Kind::NonEmptySeq, &mut out);
             require(root, "chaos", Kind::Map, &mut out);
         }
+        "failover" => {
+            require(root, "seed", Kind::Number, &mut out);
+            require(root, "link_chaos_rate", Kind::Number, &mut out);
+            require(root, "scenarios", Kind::NonEmptySeq, &mut out);
+            require_each(root, "scenarios", "promotion_ms", &mut out);
+            require(root, "async_mode", Kind::Map, &mut out);
+            require(root, "zero_loss_all", Kind::Bool, &mut out);
+            require(root, "max_promotion_ms", Kind::Number, &mut out);
+            require(root, "promotion_budget_ms", Kind::Number, &mut out);
+            if matches!(root.get("zero_loss_all"), Some(Content::Bool(false))) {
+                out.push("self-gate violated: zero_loss_all is false".to_owned());
+            }
+            if let (Some(max), Some(budget)) = (
+                root.get("max_promotion_ms").and_then(as_f64),
+                root.get("promotion_budget_ms").and_then(as_f64),
+            ) {
+                if max > budget {
+                    out.push(format!(
+                        "self-gate violated: max_promotion_ms {max:.1} > budget {budget:.1}"
+                    ));
+                }
+            }
+        }
         other => out.push(format!("unknown experiment `{other}`")),
     }
     out

@@ -24,6 +24,10 @@
 //! * `:serve <port>` — hand the pipeline to a `dwqa-server` and serve
 //!   the JSON-lines protocol on `127.0.0.1:<port>` until a client
 //!   sends `drain` (the REPL exits once the drain completes);
+//! * `:replicas <addr>` — ask a running server for its replication
+//!   topology (role, mode, generation, per-peer ack positions and lag);
+//! * `:promote <addr>` — promote the standby at `addr` to primary
+//!   (fences the old primary's generation);
 //! * `:quit`.
 //!
 //! Run with: `cargo run --release -p dwqa-bench --bin dwqa_repl`
@@ -33,7 +37,7 @@ use dwqa_common::Month;
 use dwqa_corpus::PageStyle;
 use dwqa_engine::QaSession;
 use dwqa_faults::{CorpusSource, FaultInjector, FaultPlan, ResilientSource, RetryPolicy};
-use dwqa_server::{QaServer, ServerConfig};
+use dwqa_server::{QaClient, QaServer, ServerConfig};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Duration;
@@ -56,7 +60,7 @@ fn main() {
         "Ready: {} documents indexed, {} ontology instances fed, {} sales rows.\n\
          Ask a question (e.g. \"What is the temperature on January 15, 2004 in Barcelona?\"),\n\
          or :trace [question] / :bands / :missing / :stats / :chaos <rate> / :persist <path>\n\
-         / :recover <path> / :serve <port> / :quit.",
+         / :recover <path> / :serve <port> / :replicas <addr> / :promote <addr> / :quit.",
         fx.corpus_size,
         fx.pipeline.enrichment.instances_added,
         fx.pipeline
@@ -216,6 +220,64 @@ fn main() {
             }
             continue;
         }
+        if let Some(addr) = line.strip_prefix(":replicas ") {
+            let addr = addr.trim();
+            match QaClient::connect(addr).and_then(|mut c| {
+                c.replicas()
+                    .map_err(|e| std::io::Error::other(e.to_string()))
+            }) {
+                Ok(resp) => match resp.replicas {
+                    Some(r) => {
+                        println!(
+                            "  {} ({}), generation {}, position {}{}{}",
+                            r.role,
+                            r.mode,
+                            r.generation,
+                            r.next_seq,
+                            r.lag
+                                .map(|l| format!(", lag {l} frame(s)"))
+                                .unwrap_or_default(),
+                            r.primary
+                                .map(|p| format!(", primary at {p}"))
+                                .unwrap_or_default(),
+                        );
+                        for peer in &r.peers {
+                            println!(
+                                "    peer {}: acked {}, lag {} frame(s), {}",
+                                peer.addr,
+                                peer.acked_seq,
+                                peer.lag,
+                                if peer.connected {
+                                    "connected"
+                                } else {
+                                    "disconnected"
+                                },
+                            );
+                        }
+                        if r.peers.is_empty() && r.role == "primary" {
+                            println!("    (no standbys subscribed)");
+                        }
+                    }
+                    None => println!("no replication state at {addr}"),
+                },
+                Err(e) => println!("replicas {addr}: {e}"),
+            }
+            continue;
+        }
+        if let Some(addr) = line.strip_prefix(":promote ") {
+            let addr = addr.trim();
+            match QaClient::connect(addr).and_then(|mut c| {
+                c.promote()
+                    .map_err(|e| std::io::Error::other(e.to_string()))
+            }) {
+                Ok(resp) => match resp.detail {
+                    Some(detail) => println!("  {addr}: {detail}"),
+                    None => println!("  {addr}: {:?}", resp.status),
+                },
+                Err(e) => println!("promote {addr}: {e}"),
+            }
+            continue;
+        }
         if line == ":trace" {
             let recorder = session.engine().flight_recorder();
             match recorder.last() {
@@ -280,12 +342,14 @@ fn main() {
                 // `drain`, rather than initiating the drain ourselves.
                 let drained = server.serve();
                 println!(
-                    "drained: {} request(s), {} admitted, {} shed, {} rate-limited, {} completed",
+                    "drained: {} request(s), {} admitted, {} shed, {} rate-limited, {} completed, \
+                     {} idle disconnect(s)",
                     registry.counter_value(dwqa_obs::names::SERVER_REQUESTS),
                     registry.counter_value(dwqa_obs::names::SERVER_ADMITTED),
                     registry.counter_value(dwqa_obs::names::SERVER_SHED),
                     registry.counter_value(dwqa_obs::names::SERVER_RATE_LIMITED),
                     registry.counter_value(dwqa_obs::names::SERVER_COMPLETED),
+                    registry.counter_value(dwqa_obs::names::SERVER_DISCONNECTS_TIMEOUT),
                 );
                 if let Some(pipeline) = drained {
                     println!(

@@ -695,6 +695,65 @@ impl IntegrationPipeline {
         self.mark_dirty();
         Ok(())
     }
+
+    /// The replica apply path for one shipped WAL record: decodes the
+    /// [`LoggedTransaction`] payload and feeds it through the normal
+    /// transactional path. A standby therefore gets everything the
+    /// primary's write path has — rollback on failure, `(city, date)`
+    /// dedup, revision bump, roll-up delta folding, and (when its own
+    /// store is attached) local durability, so a promoted standby is
+    /// immediately crash-safe.
+    pub fn apply_replicated_transaction(
+        &mut self,
+        payload: &[u8],
+    ) -> Result<FeedReport, FeedError> {
+        let txn = decode_transaction(payload)?;
+        let batches: Vec<&[Answer]> = txn.batches.iter().map(Vec::as_slice).collect();
+        self.feed_transaction(&batches)
+    }
+
+    /// The replica apply path for a shipped checkpoint frame (a full
+    /// sync, sent when a standby subscribes from before the primary's
+    /// WAL horizon): the checkpoint's warehouse snapshot and dedup set
+    /// replace the local state wholesale, poison is cleared, and — when
+    /// a local store is attached — the same payload becomes the local
+    /// recovery base (truncating the now-superseded local WAL).
+    pub fn apply_replicated_checkpoint(&mut self, payload: &[u8]) -> Result<(), FeedError> {
+        let checkpoint = decode_checkpoint_payload(payload)?;
+        let warehouse = Warehouse::restore(&checkpoint.warehouse)
+            .map_err(|e| FeedError::Durability(format!("replicated checkpoint restore: {e}")))?;
+        self.warehouse = warehouse;
+        self.fed_points = checkpoint.fed_points.into_iter().collect();
+        self.poisoned = None;
+        if let Some(store) = self.store.as_mut() {
+            store
+                .checkpoint(payload)
+                .map_err(|e| FeedError::Durability(format!("replicated checkpoint: {e}")))?;
+        }
+        self.mark_dirty();
+        Ok(())
+    }
+
+    /// The promotion fence: raises the attached store's generation
+    /// above both its local value and `floor` (the highest primary
+    /// generation this replica has seen) and checkpoints the current
+    /// state as the new recovery base. Frames a resurrected old
+    /// primary still carries are stamped at or below `floor`, so the
+    /// existing stale-generation logic rejects them everywhere.
+    /// Without a store the fence is purely logical: the caller's
+    /// advertised generation becomes `floor + 1`.
+    pub fn promote_generation(&mut self, floor: u64) -> Result<u64, FeedError> {
+        if self.store.is_none() {
+            return Ok(floor + 1);
+        }
+        let payload = encode_checkpoint_payload(&self.warehouse, &self.fed_points)?;
+        match self.store.as_mut() {
+            Some(store) => store
+                .promote(&payload, floor)
+                .map_err(|e| FeedError::Durability(e.to_string())),
+            None => Ok(floor + 1),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1093,6 +1152,69 @@ mod tests {
         p.restore_warehouse(&clean).unwrap();
         assert!(p.poisoned().is_none());
         assert!(p.try_apply_feedback(&answers).unwrap().loaded > 0);
+    }
+
+    #[test]
+    fn replicated_frames_reproduce_the_primary_and_promotion_fences_it() {
+        use dwqa_store::{FrameKind, FrameStream, FrameTap};
+        use std::sync::{Arc, Mutex};
+
+        let dir = scratch("repl");
+        let (mut primary, _) = built_pipeline(false);
+        let (mut standby, _) = built_pipeline(false);
+        primary.attach_store_at(&dir).unwrap();
+        let shipped: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&shipped);
+        primary
+            .store_mut()
+            .unwrap()
+            .set_tap(Some(FrameTap::new(move |_seq, frame| {
+                sink.lock().unwrap().push(frame.to_vec());
+            })));
+
+        let answers = primary.read_path().answer(EL_PRAT);
+        assert!(primary.apply_feedback(&answers).loaded > 0);
+
+        // Ship the tapped bytes through the wire decoder into the
+        // standby, exactly as a follower thread would.
+        let mut stream = FrameStream::new(16 << 20);
+        for frame in shipped.lock().unwrap().iter() {
+            stream.push(frame);
+        }
+        let mut applied = 0;
+        while let Some(frame) = stream.next().unwrap() {
+            match frame.kind {
+                FrameKind::Record => {
+                    standby
+                        .apply_replicated_transaction(&frame.payload)
+                        .unwrap();
+                    applied += 1;
+                }
+                FrameKind::Checkpoint => {
+                    standby.apply_replicated_checkpoint(&frame.payload).unwrap()
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(applied, 1);
+        assert_eq!(standby.warehouse.to_json(), primary.warehouse.to_json());
+        // The dedup set replicated too: re-feeding only skips.
+        let again = standby.apply_feedback(&answers);
+        assert_eq!(again.loaded, 0);
+        assert!(again.duplicates_skipped > 0);
+
+        // Promotion fences: with its own store attached, the promoted
+        // standby's generation lands strictly above the floor (the old
+        // primary's generation), so the old primary's frames are stale.
+        let standby_dir = scratch("repl-standby");
+        standby.attach_store_at(&standby_dir).unwrap();
+        let old_gen = primary.store().unwrap().generation();
+        let new_gen = standby.promote_generation(old_gen).unwrap();
+        assert!(new_gen > old_gen);
+        assert_eq!(standby.store().unwrap().generation(), new_gen);
+        // Without a store the fence is logical: floor + 1.
+        let (mut bare, _) = built_pipeline(false);
+        assert_eq!(bare.promote_generation(7).unwrap(), 8);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   seeded jitter, plus a per-URL circuit breaker (open after N
 //!   consecutive failures, half-open probe after a cooldown). All knobs
 //!   live on the [`RetryPolicy`] builder.
+//! * [`LinkFault`] — the same seeded-chaos discipline for the
+//!   *replication link*: drops, delays, torn frames, duplicated frames
+//!   and half-open connections at [`LinkPlan`] rates, so the WAL
+//!   shipping protocol can prove it survives an unreliable network.
 //!
 //! ```
 //! use dwqa_faults::{CorpusSource, DocumentSource, FaultInjector, FaultPlan,
@@ -35,13 +39,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod inject;
+pub mod link;
 pub mod retry;
 pub mod source;
 
 pub use inject::{FaultInjector, FaultPlan};
+pub use link::{LinkAction, LinkDecision, LinkFault, LinkPlan};
 pub use retry::{BreakerState, ResilientSource, RetryPolicy, RetryPolicyBuilder};
 pub use source::{CorpusSource, DocumentSource, Fetched, Integrity, SourceError, SourceHealth};
 

@@ -124,3 +124,48 @@ pub const SERVER_CLIENTS: &str = "server.clients";
 /// request (queue wait + execution), the service-side view of what an
 /// admitted client experiences.
 pub const SERVER_SERVICE_TIME: &str = "server.service_time";
+/// Counter: client connections dropped because a read timed out before
+/// a full request line arrived (slow-loris defence).
+pub const SERVER_DISCONNECTS_TIMEOUT: &str = "server.disconnects.timeout";
+
+/// Counter: WAL/checkpoint frames shipped to replication peers
+/// (`dwqa-server`'s primary hub; one count per peer per frame).
+pub const REPL_FRAMES_SHIPPED: &str = "repl.frames.shipped";
+/// Counter: replicated frames applied by a standby's pipeline.
+pub const REPL_FRAMES_APPLIED: &str = "repl.frames.applied";
+/// Counter: replicated frames skipped by a standby as already-applied
+/// sequence numbers (link duplicates, resends after resubscribe).
+pub const REPL_FRAMES_DUPLICATE: &str = "repl.frames.duplicate";
+/// Counter: replication streams abandoned on an undecodable (torn or
+/// corrupted) frame; the follower resubscribes from its own offset.
+pub const REPL_FRAMES_TORN: &str = "repl.frames.torn";
+/// Counter: replicated frames ignored as a stale (fenced-out)
+/// generation.
+pub const REPL_FRAMES_STALE: &str = "repl.frames.stale";
+/// Counter: ack frames received by the primary from standbys.
+pub const REPL_ACKS: &str = "repl.acks";
+/// Counter: heartbeat frames received by a standby.
+pub const REPL_HEARTBEATS: &str = "repl.heartbeats";
+/// Counter: frames dropped by the seeded link-fault layer.
+pub const REPL_LINK_DROPS: &str = "repl.link.drops";
+/// Counter: frames torn mid-write by the seeded link-fault layer.
+pub const REPL_LINK_TEARS: &str = "repl.link.tears";
+/// Counter: half-open stalls injected by the seeded link-fault layer.
+pub const REPL_LINK_HALF_OPEN: &str = "repl.link.half_open";
+/// Counter: follower reconnect + resubscribe cycles (after the first
+/// connect).
+pub const REPL_RECONNECTS: &str = "repl.reconnects";
+/// Counter: backlog frames shipped on subscribe (catch-up reads from
+/// the primary's checkpoint + WAL).
+pub const REPL_CATCHUP_FRAMES: &str = "repl.catchup.frames";
+/// Counter: standby promotions to primary (drain-handoff or failure
+/// detector).
+pub const REPL_PROMOTIONS: &str = "repl.promotions";
+/// Counter: sync-mode feedback commits that timed out waiting for the
+/// ack quorum (committed locally, reported `busy` for the client to
+/// retry).
+pub const REPL_QUORUM_TIMEOUTS: &str = "repl.quorum.timeouts";
+/// Gauge: replication lag in frames — on the primary, the worst
+/// connected peer's unacked span; on a standby, the primary's position
+/// minus its own.
+pub const REPL_LAG: &str = "repl.lag.frames";

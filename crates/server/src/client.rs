@@ -119,10 +119,45 @@ impl QaClient {
         self.request(&Request::feedback(id, questions))
     }
 
+    /// Answers the questions and feeds them, honouring `busy`
+    /// backpressure (shed, rate-limit, or replication lag): sleeps the
+    /// server's retry-after hint and retries, up to `max_retries`
+    /// times. Feed deduplication makes retries of an already-committed
+    /// transaction no-ops, so this is the safe way to drive a
+    /// replicating primary to an acknowledged commit.
+    pub fn feedback_with_retry(
+        &mut self,
+        questions: &[String],
+        max_retries: usize,
+    ) -> Result<Response, Error> {
+        let mut response = self.feedback(questions)?;
+        for _ in 0..max_retries {
+            if !response.is_busy() {
+                break;
+            }
+            let wait = response.retry_after_ms.unwrap_or(10);
+            std::thread::sleep(Duration::from_millis(wait.min(250)));
+            response = self.feedback(questions)?;
+        }
+        Ok(response)
+    }
+
     /// Fetches service counters.
     pub fn stats(&mut self) -> Result<Response, Error> {
         let id = self.next_id();
         self.request(&Request::stats(id))
+    }
+
+    /// Fetches the replication role, position, and peer status.
+    pub fn replicas(&mut self) -> Result<Response, Error> {
+        let id = self.next_id();
+        self.request(&Request::replicas(id))
+    }
+
+    /// Asks a standby to promote itself to primary.
+    pub fn promote(&mut self) -> Result<Response, Error> {
+        let id = self.next_id();
+        self.request(&Request::promote(id))
     }
 
     /// Asks the server to drain gracefully.

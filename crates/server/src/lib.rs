@@ -12,6 +12,8 @@
 //! * **`feedback`** — answer *and* feed the results into the warehouse
 //!   through the serialized transactional write path;
 //! * **`stats`** — service counters, cache and outcome taxonomy;
+//! * **`replicas`** — replication role, position, and peer status;
+//! * **`promote`** — promote a warm standby to primary;
 //! * **`drain`** — begin graceful shutdown.
 //!
 //! The service degrades explicitly instead of collapsing under load:
@@ -31,6 +33,11 @@
 //! Every admission decision (admitted / shed / rate-limited / drained)
 //! is a `dwqa-obs` counter, and each request runs under a `request`
 //! span when tracing is enabled.
+//!
+//! For high availability, a primary [`QaServer`] can ship its durable
+//! WAL frames to warm standbys that serve reads and take over —
+//! losslessly, under sync replication — when the primary dies: see
+//! [`repl`] and DESIGN.md §15.
 //!
 //! ```no_run
 //! use dwqa_server::{QaClient, QaServer, ServerConfig};
@@ -55,10 +62,15 @@ pub mod client;
 pub mod config;
 pub mod protocol;
 pub mod queue;
+pub mod repl;
 pub mod server;
 
 pub use bucket::TokenBucket;
 pub use client::QaClient;
 pub use config::{ServerConfig, ServerConfigBuilder};
-pub use protocol::{BusyReason, Command, ProtocolError, Request, Response, ServiceStats, Status};
+pub use protocol::{
+    BusyReason, Command, PeerStatus, ProtocolError, ReplicasReport, Request, Response,
+    ServiceStats, Status,
+};
+pub use repl::{ReplicationConfig, ReplicationConfigBuilder, ReplicationMode, Role};
 pub use server::QaServer;

@@ -13,6 +13,8 @@
 //! | `feedback` | `questions`                  | answer *and* feed the warehouse |
 //! | `stats`    | —                            | service counters                |
 //! | `drain`    | —                            | begin graceful shutdown         |
+//! | `replicas` | —                            | replication role/peer report    |
+//! | `promote`  | —                            | promote this standby to primary |
 //!
 //! Responses carry a [`Status`]: `Ok` (work done), `Busy` (explicit
 //! backpressure with a [`BusyReason`] and a `retry_after_ms` hint), or
@@ -86,6 +88,18 @@ impl Request {
         Request::bare(id, "drain")
     }
 
+    /// A `replicas` request: report the server's replication role,
+    /// position and peer status.
+    pub fn replicas(id: u64) -> Request {
+        Request::bare(id, "replicas")
+    }
+
+    /// A `promote` request: promote this standby to primary (fencing
+    /// the old primary's generation out).
+    pub fn promote(id: u64) -> Request {
+        Request::bare(id, "promote")
+    }
+
     /// Attaches a per-question deadline in milliseconds.
     pub fn with_deadline_ms(mut self, ms: u64) -> Request {
         self.deadline_ms = Some(ms);
@@ -138,6 +152,8 @@ impl Request {
             }
             "stats" => Ok(Command::Stats),
             "drain" => Ok(Command::Drain),
+            "replicas" => Ok(Command::Replicas),
+            "promote" => Ok(Command::Promote),
             other => Err(ProtocolError::UnknownKind(other.to_owned())),
         }
     }
@@ -169,6 +185,10 @@ pub enum Command {
     Stats,
     /// Begin graceful shutdown.
     Drain,
+    /// Report replication role, position and peers.
+    Replicas,
+    /// Promote this standby to primary.
+    Promote,
 }
 
 /// How a request was disposed of.
@@ -191,6 +211,13 @@ pub enum BusyReason {
     RateLimited,
     /// The server is draining and admits no new work.
     Draining,
+    /// This server is a read-only standby; `redirect` names the
+    /// primary to send `feedback` to.
+    NotPrimary,
+    /// Sync replication could not confirm the quorum in time (the
+    /// transaction is committed locally but **not acknowledged**; a
+    /// retry deduplicates and re-awaits the quorum).
+    ReplicationLag,
 }
 
 /// One response line, correlated to its request by `id`.
@@ -218,6 +245,13 @@ pub struct Response {
     pub duplicates: Option<u64>,
     /// Service counters (`stats` only).
     pub stats: Option<ServiceStats>,
+    /// Where to send writes instead (`Busy`/`NotPrimary` only): the
+    /// primary's advertised client address, when known. (The vendored
+    /// deserializer treats a missing key as `None`, so older peers
+    /// parse fine.)
+    pub redirect: Option<String>,
+    /// Replication role/peer report (`replicas` only).
+    pub replicas: Option<ReplicasReport>,
 }
 
 impl Response {
@@ -233,6 +267,8 @@ impl Response {
             loaded: None,
             duplicates: None,
             stats: None,
+            redirect: None,
+            replicas: None,
         }
     }
 
@@ -287,6 +323,24 @@ impl Response {
             reason: Some(reason),
             retry_after_ms,
             ..Response::bare(id, Status::Busy)
+        }
+    }
+
+    /// A `Busy`/`NotPrimary` refusal from a read-only standby, with
+    /// the primary's advertised address when the standby knows it.
+    pub fn not_primary(id: u64, redirect: Option<String>) -> Response {
+        Response {
+            reason: Some(BusyReason::NotPrimary),
+            redirect,
+            ..Response::bare(id, Status::Busy)
+        }
+    }
+
+    /// An `Ok` response carrying the replication report.
+    pub fn replicas(id: u64, report: ReplicasReport) -> Response {
+        Response {
+            replicas: Some(report),
+            ..Response::bare(id, Status::Ok)
         }
     }
 
@@ -348,6 +402,46 @@ pub struct ServiceStats {
     /// WAL record appends observed by this service's feed transactions
     /// (0 when not durable).
     pub wal_appends: u64,
+    /// Client connections dropped because a read timed out before a
+    /// full request line arrived (slow-loris defence).
+    pub disconnects_timeout: u64,
+}
+
+/// The `replicas` verb's report: this server's replication role and
+/// position, plus (on a primary) per-peer shipping status.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ReplicasReport {
+    /// `primary`, `standby`, or `none` (replication not configured).
+    pub role: String,
+    /// `sync(quorum)`, `async(budget)`, or `none`.
+    pub mode: String,
+    /// Highest store generation this server is at (the fencing token).
+    pub generation: u64,
+    /// Replication position: the primary's WAL `next_seq`, or a
+    /// standby's applied-from-primary `next_seq`.
+    pub next_seq: u64,
+    /// Frames behind: on a standby, the primary's advertised position
+    /// minus its own; on a primary, the worst connected peer's unacked
+    /// span. `None` when unknown (no heartbeat yet / no peers).
+    pub lag: Option<u64>,
+    /// The primary's advertised client address (standby only, learned
+    /// from heartbeats).
+    pub primary: Option<String>,
+    /// Connected/known standbys (primary only).
+    pub peers: Vec<PeerStatus>,
+}
+
+/// One standby as the primary's hub sees it.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PeerStatus {
+    /// The peer's replication-link address.
+    pub addr: String,
+    /// The peer's last acknowledged applied position (`next_seq`).
+    pub acked_seq: u64,
+    /// Frames the peer is behind the primary's position.
+    pub lag: u64,
+    /// Whether the replication link to the peer is currently up.
+    pub connected: bool,
 }
 
 /// Why a request line could not be turned into a [`Command`].
@@ -426,6 +520,8 @@ mod tests {
             Request::feedback(3, &qs),
             Request::stats(4),
             Request::drain(5),
+            Request::replicas(6),
+            Request::promote(7),
         ] {
             assert_eq!(round_trip_request(&req), req);
         }
@@ -442,6 +538,26 @@ mod tests {
             Response::error(6, "unknown request kind `sing`"),
             Response::stats(7, ServiceStats::default()),
             Response::ack(8),
+            Response::not_primary(9, Some("127.0.0.1:4040".to_owned())),
+            Response::not_primary(10, None),
+            Response::busy(11, BusyReason::ReplicationLag, Some(50)),
+            Response::replicas(
+                12,
+                ReplicasReport {
+                    role: "primary".to_owned(),
+                    mode: "sync(1)".to_owned(),
+                    generation: 3,
+                    next_seq: 41,
+                    lag: Some(2),
+                    primary: None,
+                    peers: vec![PeerStatus {
+                        addr: "127.0.0.1:9100".to_owned(),
+                        acked_seq: 39,
+                        lag: 2,
+                        connected: true,
+                    }],
+                },
+            ),
         ] {
             assert_eq!(round_trip_response(&resp), resp);
         }
@@ -464,6 +580,14 @@ mod tests {
         ));
         assert!(matches!(Request::stats(1).validate(8), Ok(Command::Stats)));
         assert!(matches!(Request::drain(1).validate(8), Ok(Command::Drain)));
+        assert!(matches!(
+            Request::replicas(1).validate(8),
+            Ok(Command::Replicas)
+        ));
+        assert!(matches!(
+            Request::promote(1).validate(8),
+            Ok(Command::Promote)
+        ));
 
         assert_eq!(
             Request::bare(1, "ask").validate(8),

@@ -1,0 +1,263 @@
+//! The standby's replication follower: subscribes to the primary from
+//! its own applied position, replays shipped frames into the local
+//! pipeline, acknowledges progress, and — when the seeded failure
+//! detector fires — promotes itself.
+
+use super::{promote, relock, ReplState, Role, MAX_LINK_FRAME};
+use dwqa_core::IntegrationPipeline;
+use dwqa_obs::names;
+use dwqa_store::{Frame, FrameKind, FrameStream};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Why a replication session ended.
+enum SessionEnd {
+    /// Socket closed, I/O error, or torn stream: reconnect after
+    /// backoff.
+    Reconnect,
+    /// A sequence gap was detected (dropped frame): resubscribe
+    /// immediately from the applied position.
+    Gap,
+    /// Stop flag or role change: exit the follower.
+    Done,
+}
+
+/// Runs the follower until shutdown or promotion.
+pub(crate) fn follower_loop(
+    state: Arc<ReplState>,
+    pipeline: Arc<Mutex<Option<IntegrationPipeline>>>,
+    primary: String,
+) {
+    let mut last_contact: Option<Instant> = None;
+    let mut connected_once = false;
+    loop {
+        if state.stopping() || state.role() != Role::Standby {
+            return;
+        }
+        // Suspicion needs *sustained* silence — never promote before
+        // hearing from the primary at least once.
+        let suspect = matches!(
+            last_contact,
+            Some(t) if t.elapsed() > state.cfg.heartbeat_timeout
+        );
+        match connect(&state, &primary) {
+            Some(socket) => {
+                if connected_once {
+                    state.counter(names::REPL_RECONNECTS);
+                }
+                connected_once = true;
+                last_contact = Some(Instant::now());
+                match run_session(&state, &pipeline, socket, &mut last_contact) {
+                    SessionEnd::Done => return,
+                    SessionEnd::Gap => {}
+                    SessionEnd::Reconnect => {
+                        std::thread::sleep(state.cfg.reconnect_backoff);
+                    }
+                }
+            }
+            None => {
+                // Sustained silence AND a failed reconnect probe: a
+                // live primary behind a flaky link still accepts
+                // connects, so chaos alone never lands here.
+                if suspect && state.cfg.auto_promote {
+                    let _ = promote(&state, &pipeline);
+                    return;
+                }
+                std::thread::sleep(state.cfg.reconnect_backoff);
+            }
+        }
+    }
+}
+
+fn connect(state: &ReplState, primary: &str) -> Option<TcpStream> {
+    let addr = primary.to_socket_addrs().ok()?.next()?;
+    TcpStream::connect_timeout(&addr, state.cfg.heartbeat_timeout).ok()
+}
+
+/// One subscribe-and-replay session over a connected socket.
+fn run_session(
+    state: &Arc<ReplState>,
+    pipeline: &Arc<Mutex<Option<IntegrationPipeline>>>,
+    mut socket: TcpStream,
+    last_contact: &mut Option<Instant>,
+) -> SessionEnd {
+    let _ = socket.set_nodelay(true);
+    let _ = socket.set_read_timeout(Some(state.cfg.heartbeat_timeout));
+    let subscribe = Frame::subscribe(
+        state.generation.load(Ordering::SeqCst),
+        state.next_seq.load(Ordering::SeqCst),
+    )
+    .encode();
+    if socket.write_all(&subscribe).is_err() {
+        return SessionEnd::Reconnect;
+    }
+
+    let mut stream = FrameStream::new(MAX_LINK_FRAME);
+    let mut buf = [0u8; 16384];
+    loop {
+        if state.stopping() || state.role() != Role::Standby {
+            return SessionEnd::Done;
+        }
+        loop {
+            match stream.next() {
+                Ok(Some(frame)) => {
+                    *last_contact = Some(Instant::now());
+                    match handle_frame(state, pipeline, &mut socket, frame) {
+                        Ok(true) => {}
+                        Ok(false) => return SessionEnd::Gap,
+                        Err(end) => return end,
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Torn or corrupted stream: abandon and renegotiate
+                    // from our applied offset — never apply past junk.
+                    state.counter(names::REPL_FRAMES_TORN);
+                    return SessionEnd::Reconnect;
+                }
+            }
+        }
+        match socket.read(&mut buf) {
+            Ok(0) => return SessionEnd::Reconnect,
+            Ok(n) => stream.push(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                let silent = matches!(
+                    last_contact,
+                    Some(t) if t.elapsed() > state.cfg.heartbeat_timeout
+                );
+                if silent {
+                    // Hand back to the outer loop, whose reconnect
+                    // probe doubles as the liveness check.
+                    return SessionEnd::Reconnect;
+                }
+            }
+            Err(_) => return SessionEnd::Reconnect,
+        }
+    }
+}
+
+/// Applies one received frame. `Ok(true)` continues the session,
+/// `Ok(false)` forces a resubscribe (sequence gap), `Err` ends it.
+fn handle_frame(
+    state: &Arc<ReplState>,
+    pipeline: &Arc<Mutex<Option<IntegrationPipeline>>>,
+    socket: &mut TcpStream,
+    frame: Frame,
+) -> Result<bool, SessionEnd> {
+    let next = state.next_seq.load(Ordering::SeqCst);
+    match frame.kind {
+        FrameKind::Record => {
+            if frame.generation < state.generation.load(Ordering::SeqCst) {
+                // A fenced-out old primary resurfacing; ignore it.
+                state.counter(names::REPL_FRAMES_STALE);
+                return Ok(true);
+            }
+            if frame.counter < next {
+                // Link duplicate or post-resubscribe resend: already
+                // applied — re-ack so the primary's view advances.
+                state.counter(names::REPL_FRAMES_DUPLICATE);
+                send_ack(state, socket, next)?;
+                return Ok(true);
+            }
+            if frame.counter > next {
+                // A frame between `next` and this one was dropped.
+                return Ok(false);
+            }
+            {
+                let mut guard = relock(pipeline);
+                // Re-check under the lock: promotion flips the role
+                // first, so a frame from the old primary can never
+                // land after we became one ourselves.
+                if state.stopping() || state.role() != Role::Standby {
+                    return Err(SessionEnd::Done);
+                }
+                let Some(p) = guard.as_mut() else {
+                    return Err(SessionEnd::Done);
+                };
+                if p.apply_replicated_transaction(&frame.payload).is_err() {
+                    // An unreplayable frame: back off and resubscribe
+                    // rather than hot-looping on the same payload.
+                    return Err(SessionEnd::Reconnect);
+                }
+                state.next_seq.store(frame.counter + 1, Ordering::SeqCst);
+                state
+                    .generation
+                    .fetch_max(frame.generation, Ordering::SeqCst);
+            }
+            state.counter(names::REPL_FRAMES_APPLIED);
+            update_follower_lag(state);
+            send_ack(state, socket, frame.counter + 1)?;
+            Ok(true)
+        }
+        FrameKind::Checkpoint => {
+            // A checkpoint's counter is the next_seq it covers up to.
+            // Apply when it moves us forward or fences a generation;
+            // otherwise it is a duplicate.
+            let ours = state.generation.load(Ordering::SeqCst);
+            if frame.counter > next || frame.generation > ours {
+                let mut guard = relock(pipeline);
+                if state.stopping() || state.role() != Role::Standby {
+                    return Err(SessionEnd::Done);
+                }
+                let Some(p) = guard.as_mut() else {
+                    return Err(SessionEnd::Done);
+                };
+                if p.apply_replicated_checkpoint(&frame.payload).is_err() {
+                    return Err(SessionEnd::Reconnect);
+                }
+                state.next_seq.store(frame.counter, Ordering::SeqCst);
+                state
+                    .generation
+                    .fetch_max(frame.generation, Ordering::SeqCst);
+                drop(guard);
+                state.counter(names::REPL_FRAMES_APPLIED);
+                update_follower_lag(state);
+                send_ack(state, socket, frame.counter)?;
+            } else {
+                state.counter(names::REPL_FRAMES_DUPLICATE);
+                send_ack(state, socket, next)?;
+            }
+            Ok(true)
+        }
+        FrameKind::Heartbeat => {
+            state.counter(names::REPL_HEARTBEATS);
+            state
+                .primary_next_seq
+                .fetch_max(frame.counter, Ordering::SeqCst);
+            if let Ok(addr) = String::from_utf8(frame.payload) {
+                if !addr.is_empty() {
+                    *relock(&state.primary_addr) = Some(addr);
+                }
+            }
+            update_follower_lag(state);
+            if frame.counter > next {
+                // The primary is ahead of us yet no record arrived:
+                // something was dropped — resubscribe to re-read it.
+                return Ok(false);
+            }
+            Ok(true)
+        }
+        FrameKind::Subscribe | FrameKind::Ack => Ok(true),
+    }
+}
+
+fn send_ack(state: &ReplState, socket: &mut TcpStream, applied: u64) -> Result<(), SessionEnd> {
+    let ack = Frame::ack(state.generation.load(Ordering::SeqCst), applied).encode();
+    if socket.write_all(&ack).is_err() {
+        return Err(SessionEnd::Reconnect);
+    }
+    Ok(())
+}
+
+/// Standby lag gauge: primary's advertised position minus ours.
+fn update_follower_lag(state: &ReplState) {
+    let primary = state.primary_next_seq.load(Ordering::SeqCst);
+    let ours = state.next_seq.load(Ordering::SeqCst);
+    state
+        .registry
+        .gauge(names::REPL_LAG)
+        .set(primary.saturating_sub(ours));
+}

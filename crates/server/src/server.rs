@@ -1,31 +1,41 @@
 //! The service itself: accept loop, connection threads, worker pool,
-//! and the graceful drain sequence.
+//! replication wiring, and the graceful drain sequence.
 //!
 //! Thread layout:
 //!
 //! * **accept loop** (one thread) — non-blocking accept, polls the
 //!   drain flag; on drain it stops accepting, waits the queue idle,
-//!   joins the workers, shuts every client socket, joins the
-//!   connection threads;
+//!   joins the workers, flushes and stops replication, shuts every
+//!   client socket, joins the connection threads;
 //! * **connection threads** (one per client) — read request lines,
 //!   decide admission *inline* (drain check → token bucket → queue
-//!   capacity) and answer `stats`/`drain` directly, so backpressure
-//!   responses never wait behind queued work;
+//!   capacity) and answer `stats`/`drain`/`replicas`/`promote`
+//!   directly, so backpressure responses never wait behind queued
+//!   work;
 //! * **workers** (`ServerConfig::workers` threads) — execute admitted
 //!   jobs against the shared [`QaEngine`]; feedback jobs additionally
-//!   take the pipeline lock for one serialized transaction.
+//!   take the pipeline lock for one serialized transaction, and on a
+//!   replicating primary block (outside the lock) until the
+//!   replication policy lets the commit be acknowledged;
+//! * **replication threads** (primary: hub accept + per-peer writer
+//!   and ack-reader pairs; standby: one follower) — see
+//!   [`crate::repl`].
 //!
 //! Responses are written wherever they are produced: each client has
 //! one write handle behind a mutex, every response is a single
 //! `write_all` of one JSON line, so interleaving is line-atomic.
 
 use crate::config::ServerConfig;
-use crate::protocol::{BusyReason, Command, ProtocolError, Request, Response, ServiceStats};
+use crate::protocol::{
+    BusyReason, Command, ProtocolError, ReplicasReport, Request, Response, ServiceStats,
+};
 use crate::queue::{AdmissionQueue, AdmitError, Job, Work};
+use crate::repl::{self, ReplState, ReplicationConfig, Role};
 use crate::TokenBucket;
 use dwqa_core::IntegrationPipeline;
 use dwqa_engine::{QaEngine, QuestionReport, SubmitBatch};
 use dwqa_obs::{names, MetricsRegistry};
+use dwqa_store::FrameTap;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -37,8 +47,24 @@ use std::time::{Duration, Instant};
 /// How often the accept loop polls for new connections / drain.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
-fn relock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+pub(crate) fn relock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// How a replicated server comes up (internal to the `start_*`
+/// constructors).
+enum ReplInit {
+    /// Ship WAL frames from this server's store to subscribers on
+    /// `listener`.
+    Primary {
+        cfg: ReplicationConfig,
+        listener: TcpListener,
+    },
+    /// Follow the primary's replication endpoint at `primary`.
+    Standby {
+        cfg: ReplicationConfig,
+        primary: String,
+    },
 }
 
 /// State shared by every service thread.
@@ -49,13 +75,20 @@ struct Shared {
     /// (ownership cannot change while the service runs).
     durable: bool,
     /// The write path. `None` once [`QaServer::join`] has reclaimed it.
-    pipeline: Mutex<Option<IntegrationPipeline>>,
+    /// Shared with the replication threads (hub backlog reads, frame
+    /// applies), hence the `Arc`.
+    pipeline: Arc<Mutex<Option<IntegrationPipeline>>>,
     queue: AdmissionQueue,
     registry: Arc<MetricsRegistry>,
     /// Set by [`QaServer::drain`] or a wire `drain`; the accept loop
     /// polls it and runs the drain sequence.
     drain_flag: AtomicBool,
+    /// Set by [`QaServer::kill`]: skip every grace period in the drain
+    /// sequence (crash simulation for failover experiments).
+    killed: AtomicBool,
     next_client: AtomicU64,
+    /// Replication state, when this server is a primary or standby.
+    repl: Option<Arc<ReplState>>,
     /// Per-client write handles; doubles as the connection registry
     /// the drain sequence closes.
     writers: Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>,
@@ -97,6 +130,9 @@ impl Shared {
             drained: self.registry.counter_value(names::SERVER_DRAINED),
             completed: self.registry.counter_value(names::SERVER_COMPLETED),
             protocol_errors: self.registry.counter_value(names::SERVER_PROTOCOL_ERRORS),
+            disconnects_timeout: self
+                .registry
+                .counter_value(names::SERVER_DISCONNECTS_TIMEOUT),
             queue_depth: self.queue.depth() as u64,
             clients: self.registry.gauge_value(names::SERVER_CLIENTS),
             questions: stats.questions(),
@@ -108,12 +144,46 @@ impl Shared {
             wal_appends: self.registry.counter_value(names::STORE_WAL_APPENDS),
         }
     }
+
+    /// The `replicas` report: role, mode, position, and peer status.
+    fn replicas_report(&self) -> ReplicasReport {
+        let Some(state) = &self.repl else {
+            return ReplicasReport {
+                role: "none".to_owned(),
+                mode: "none".to_owned(),
+                ..ReplicasReport::default()
+            };
+        };
+        let role = state.role();
+        let next_seq = state.next_seq.load(Ordering::SeqCst);
+        let lag = match role {
+            Role::Standby => Some(
+                state
+                    .primary_next_seq
+                    .load(Ordering::SeqCst)
+                    .saturating_sub(next_seq),
+            ),
+            // A primary's lag story is per-peer; see `peers`.
+            Role::Primary => None,
+        };
+        ReplicasReport {
+            role: role.label().to_owned(),
+            mode: state.cfg.mode.label(),
+            generation: state.generation.load(Ordering::SeqCst),
+            next_seq,
+            lag,
+            primary: relock(&state.primary_addr).clone(),
+            peers: state.peer_statuses(),
+        }
+    }
 }
 
 /// The long-lived multi-client QA service. See the crate docs for the
-/// protocol and the degradation model.
+/// protocol and the degradation model, and [`crate::repl`] for the
+/// warm-standby replication layer.
 pub struct QaServer {
     addr: SocketAddr,
+    repl_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
 }
@@ -126,27 +196,157 @@ impl QaServer {
         cfg: ServerConfig,
         addr: impl ToSocketAddrs,
     ) -> io::Result<QaServer> {
+        QaServer::start_inner(pipeline, cfg, addr, None)
+    }
+
+    /// Starts a replicating **primary**: like [`QaServer::start`], plus
+    /// a replication hub on `repl_addr` that ships the store's durable
+    /// WAL frames to subscribed standbys. Requires a durable pipeline.
+    pub fn start_primary(
+        pipeline: IntegrationPipeline,
+        cfg: ServerConfig,
+        addr: impl ToSocketAddrs,
+        repl_addr: impl ToSocketAddrs,
+        repl_cfg: ReplicationConfig,
+    ) -> io::Result<QaServer> {
+        let listener = TcpListener::bind(repl_addr)?;
+        listener.set_nonblocking(true)?;
+        let init = ReplInit::Primary {
+            cfg: repl_cfg,
+            listener,
+        };
+        QaServer::start_inner(pipeline, cfg, addr, Some(init))
+    }
+
+    /// Starts a warm **standby**: serves read-only `ask`/`batch`/`stats`
+    /// from its own pipeline, refuses `feedback` with a `NotPrimary`
+    /// redirect, and follows `primary` (a replication-endpoint address)
+    /// to stay current. The pipeline starts empty — the first subscribe
+    /// full-syncs via the primary's checkpoint + WAL backlog.
+    pub fn start_standby(
+        pipeline: IntegrationPipeline,
+        cfg: ServerConfig,
+        addr: impl ToSocketAddrs,
+        primary: &str,
+        repl_cfg: ReplicationConfig,
+    ) -> io::Result<QaServer> {
+        let init = ReplInit::Standby {
+            cfg: repl_cfg,
+            primary: primary.to_owned(),
+        };
+        QaServer::start_inner(pipeline, cfg, addr, Some(init))
+    }
+
+    fn start_inner(
+        mut pipeline: IntegrationPipeline,
+        cfg: ServerConfig,
+        addr: impl ToSocketAddrs,
+        repl_init: Option<ReplInit>,
+    ) -> io::Result<QaServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        if let Some(init) = &repl_init {
+            let rcfg = match init {
+                ReplInit::Primary { cfg, .. } | ReplInit::Standby { cfg, .. } => cfg,
+            };
+            rcfg.validate()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            if matches!(init, ReplInit::Primary { .. }) && !pipeline.is_durable() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "a replication primary requires a durable pipeline (WAL frames are what ship)",
+                ));
+            }
+        }
         let engine = QaEngine::new(&pipeline)
             .with_workers(cfg.workers)
             .with_cache_capacity(cfg.cache_capacity)
             .with_tracing(cfg.tracing);
         let registry = Arc::clone(engine.stats().registry());
+
+        let mut repl_state = None;
+        let mut repl_listener = None;
+        let mut follower_primary = None;
+        let mut repl_addr = None;
+        match repl_init {
+            None => {}
+            Some(ReplInit::Primary {
+                cfg: rcfg,
+                listener: rlistener,
+            }) => {
+                repl_addr = Some(rlistener.local_addr()?);
+                let (generation, next_seq) = pipeline
+                    .store()
+                    .map(|s| (s.generation(), s.next_seq()))
+                    .unwrap_or((0, 0));
+                let state = Arc::new(ReplState::new(
+                    rcfg,
+                    Role::Primary,
+                    true,
+                    addr.to_string(),
+                    generation,
+                    next_seq,
+                    Arc::clone(&registry),
+                ));
+                // The tap fires inside the store's append/checkpoint,
+                // i.e. under the pipeline lock — only durable frames
+                // ship, and the hub's subscribe-time backlog reads are
+                // race-free against it.
+                let tap_state = Arc::clone(&state);
+                if let Some(store) = pipeline.store_mut() {
+                    store.set_tap(Some(FrameTap::new(move |next_seq, frame| {
+                        tap_state.broadcast(next_seq, frame);
+                    })));
+                }
+                repl_listener = Some(rlistener);
+                repl_state = Some(state);
+            }
+            Some(ReplInit::Standby { cfg: rcfg, primary }) => {
+                // Position 0 in the *primary's* sequence space: the
+                // standby's own store seqs are unrelated, and seq 0
+                // asks the primary for a full sync.
+                let state = Arc::new(ReplState::new(
+                    rcfg,
+                    Role::Standby,
+                    false,
+                    addr.to_string(),
+                    0,
+                    0,
+                    Arc::clone(&registry),
+                ));
+                follower_primary = Some(primary);
+                repl_state = Some(state);
+            }
+        }
+
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(cfg.queue_capacity),
             cfg,
             engine,
             durable: pipeline.is_durable(),
-            pipeline: Mutex::new(Some(pipeline)),
+            pipeline: Arc::new(Mutex::new(Some(pipeline))),
             registry,
             drain_flag: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
             next_client: AtomicU64::new(1),
+            repl: repl_state,
             writers: Mutex::new(HashMap::new()),
             conn_threads: Mutex::new(Vec::new()),
             worker_threads: Mutex::new(Vec::new()),
         });
+        if let Some(state) = &shared.repl {
+            if let Some(rlistener) = repl_listener {
+                let s = Arc::clone(state);
+                let p = Arc::clone(&shared.pipeline);
+                state.spawn(move || repl::hub::hub_loop(s, p, rlistener));
+            }
+            if let Some(primary) = follower_primary {
+                let s = Arc::clone(state);
+                let p = Arc::clone(&shared.pipeline);
+                state.spawn(move || repl::follower::follower_loop(s, p, primary));
+            }
+        }
         {
             let mut workers = relock(&shared.worker_threads);
             for _ in 0..shared.cfg.workers {
@@ -160,6 +360,7 @@ impl QaServer {
         };
         Ok(QaServer {
             addr,
+            repl_addr,
             shared,
             accept: Some(accept),
         })
@@ -168,6 +369,17 @@ impl QaServer {
     /// The bound address (resolves port 0 to the actual port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The replication hub's bound address (primaries only).
+    pub fn replication_addr(&self) -> Option<SocketAddr> {
+        self.repl_addr
+    }
+
+    /// This server's current replication role, `None` when replication
+    /// is not configured.
+    pub fn role(&self) -> Option<Role> {
+        self.shared.repl.as_ref().map(|s| s.role())
     }
 
     /// The engine's metrics registry (admission counters included).
@@ -188,10 +400,32 @@ impl QaServer {
     }
 
     /// Drains (if not already draining) and blocks until the service
-    /// has fully stopped, handing the warehouse pipeline back.
+    /// has fully stopped, handing the warehouse pipeline back. On a
+    /// replicating primary the drain sequence flushes connected
+    /// standbys first, so a drain-handoff promotion loses nothing.
     pub fn join(self) -> Option<IntegrationPipeline> {
         self.drain();
         self.serve()
+    }
+
+    /// Stops the service *abruptly*: no queue grace, no replication
+    /// flush — the closest a test harness gets to `kill -9` without a
+    /// separate process. In-flight work is abandoned mid-commit;
+    /// whatever the WAL made durable (and whatever standbys already
+    /// applied) is the surviving truth. Failover experiments crash
+    /// primaries with this.
+    pub fn kill(mut self) -> Option<IntegrationPipeline> {
+        self.shared.killed.store(true, Ordering::SeqCst);
+        if let Some(state) = &self.shared.repl {
+            // Stop replication first so workers blocked in a quorum
+            // wait wake immediately instead of timing out.
+            state.shutdown();
+        }
+        self.shared.drain_flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        relock(&self.shared.pipeline).take()
     }
 
     /// Blocks until the service is stopped *by someone else* — a wire
@@ -242,12 +476,26 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 
     // Drain sequence: refuse new admissions, let every admitted job
     // finish (feedback transactions commit or roll back inside the
-    // jobs themselves), stop the workers, then close client sockets.
+    // jobs themselves), stop the workers, wind down replication, then
+    // close client sockets. A kill() skips every grace period.
+    let killed = shared.killed.load(Ordering::SeqCst);
     shared.queue.begin_drain();
-    let _idle = shared.queue.await_idle(shared.cfg.drain_grace);
+    if !killed {
+        let _idle = shared.queue.await_idle(shared.cfg.drain_grace);
+    }
     shared.queue.shutdown();
     for handle in relock(&shared.worker_threads).drain(..) {
         let _ = handle.join();
+    }
+    if let Some(state) = &shared.repl {
+        if !killed {
+            // Drain-handoff: give connected standbys one ack_timeout
+            // to confirm everything shipped, so promoting one of them
+            // immediately afterwards loses nothing.
+            state.flush(state.cfg.ack_timeout);
+        }
+        state.shutdown();
+        state.join_threads();
     }
     for (_client, writer) in relock(&shared.writers).drain() {
         let _ = relock(&writer).shutdown(Shutdown::Both);
@@ -262,16 +510,29 @@ fn connection_loop(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
     // A hung (or slow-loris) client must not pin this thread or stall
     // the drain sequence's connection join: reads carry a deadline, and
     // a read that times out before a full request line arrives breaks
-    // the loop and disconnects the client.
+    // the loop and disconnects the client (counted, so operators can
+    // tell timeouts from ordinary hangups).
     let _ = stream.set_read_timeout(shared.cfg.read_timeout);
     let mut bucket = TokenBucket::new(
         shared.cfg.rate_burst,
         shared.cfg.rate_per_sec,
         Instant::now(),
     );
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client hung up
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                shared.counter(names::SERVER_DISCONNECTS_TIMEOUT);
+                break;
+            }
+            Err(_) => break,
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -307,6 +568,15 @@ fn connection_loop(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
             Command::Stats => {
                 shared.respond(client, &Response::stats(request.id, shared.service_stats()));
             }
+            Command::Replicas => {
+                shared.respond(
+                    client,
+                    &Response::replicas(request.id, shared.replicas_report()),
+                );
+            }
+            Command::Promote => {
+                shared.respond(client, &promote_response(shared, request.id));
+            }
             Command::Drain => {
                 shared.respond(client, &Response::ack(request.id));
                 shared.drain_flag.store(true, Ordering::SeqCst);
@@ -326,6 +596,16 @@ fn connection_loop(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
                 admit(shared, client, &mut bucket, request.id, work, deadline_ms);
             }
             Command::Feedback { questions } => {
+                // A standby owns no write path: refuse before admission
+                // with the primary's address (learned from heartbeats)
+                // so clients can redirect instead of retrying here.
+                if let Some(state) = &shared.repl {
+                    if state.role() != Role::Primary {
+                        let redirect = relock(&state.primary_addr).clone();
+                        shared.respond(client, &Response::not_primary(request.id, redirect));
+                        continue;
+                    }
+                }
                 let work = Work::Feedback { questions };
                 admit(shared, client, &mut bucket, request.id, work, None);
             }
@@ -333,6 +613,29 @@ fn connection_loop(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
     }
     relock(&shared.writers).remove(&client);
     shared.set_clients_gauge();
+}
+
+/// Handles a wire `promote`: flips a standby to primary (fencing the
+/// old primary's generation), idempotent on an existing primary.
+fn promote_response(shared: &Shared, request_id: u64) -> Response {
+    let Some(state) = &shared.repl else {
+        return Response::error(request_id, "replication not configured");
+    };
+    match state.role() {
+        Role::Primary => {
+            let mut response = Response::ack(request_id);
+            response.detail = Some("already primary".to_owned());
+            response
+        }
+        Role::Standby => match repl::promote(state, &shared.pipeline) {
+            Ok(generation) => {
+                let mut response = Response::ack(request_id);
+                response.detail = Some(format!("promoted at generation {generation}"));
+                response
+            }
+            Err(e) => Response::error(request_id, format!("promotion failed: {e}")),
+        },
+    }
 }
 
 /// The inline admission decision: drain check → token bucket → queue
@@ -448,29 +751,46 @@ fn execute(shared: &Shared, job: &Job) -> Response {
             Response::answers(job.request_id, answers, outcomes, detail)
         }
         Work::Feedback { questions } => {
-            let mut guard = relock(&shared.pipeline);
-            match guard.as_mut() {
-                Some(pipeline) => {
-                    let report = pipeline.submit_batch_with(&shared.engine, questions);
-                    let outcomes = report
-                        .outcomes
-                        .iter()
-                        .map(|o| o.label().to_owned())
-                        .collect();
-                    let mut response = Response::fed(
-                        job.request_id,
-                        report.answers,
-                        outcomes,
-                        report.feed.loaded as u64,
-                        report.feed.duplicates_skipped as u64,
-                    );
-                    if report.rolled_back {
-                        response.detail = Some("feed transaction rolled back".to_owned());
+            // The commit happens under the pipeline lock; the
+            // replication wait happens *outside* it, so standby
+            // catch-up never blocks other workers.
+            let (response, target) = {
+                let mut guard = relock(&shared.pipeline);
+                match guard.as_mut() {
+                    Some(pipeline) => {
+                        let report = pipeline.submit_batch_with(&shared.engine, questions);
+                        let outcomes = report
+                            .outcomes
+                            .iter()
+                            .map(|o| o.label().to_owned())
+                            .collect();
+                        let mut response = Response::fed(
+                            job.request_id,
+                            report.answers,
+                            outcomes,
+                            report.feed.loaded as u64,
+                            report.feed.duplicates_skipped as u64,
+                        );
+                        if report.rolled_back {
+                            response.detail = Some("feed transaction rolled back".to_owned());
+                        }
+                        let target = pipeline.store().map(|s| s.next_seq());
+                        (response, target)
                     }
-                    response
+                    None => (Response::error(job.request_id, "service stopped"), None),
                 }
-                None => Response::error(job.request_id, "service stopped"),
+            };
+            if let (Some(state), Some(target)) = (&shared.repl, target) {
+                if response.is_ok() && !state.replication_wait(target) {
+                    // Committed locally but not replicated to policy:
+                    // answer busy so the client retries — the retry
+                    // deduplicates, and sync mode thus never
+                    // acknowledges what a failover could lose.
+                    shared.counter(names::REPL_QUORUM_TIMEOUTS);
+                    return Response::busy(job.request_id, BusyReason::ReplicationLag, Some(50));
+                }
             }
+            response
         }
     }
 }

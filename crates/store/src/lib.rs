@@ -41,10 +41,12 @@
 pub mod config;
 pub mod error;
 pub mod store;
+pub mod stream;
 pub mod torn;
 mod wal;
 
 pub use config::{FsyncPolicy, StoreConfig, StoreConfigBuilder};
 pub use error::StoreError;
-pub use store::{FeedbackStore, Recovery, WalRecord};
+pub use store::{FeedbackStore, FrameTap, Recovery, WalRecord};
+pub use stream::{Frame, FrameKind, FrameStream, FrameStreamError};
 pub use torn::{TornDecision, TornFault, TornPlan, TornWriter};

@@ -59,6 +59,33 @@ pub struct Recovery {
     pub compacted: bool,
 }
 
+/// Observer invoked with every durable frame — record appends and
+/// checkpoint bodies — *after* the bytes are safely on disk, in the
+/// exact wire encoding. This is the replication shipping hook: a
+/// primary's hub registers a tap and forwards the frames verbatim to
+/// its standbys, so only committed frames ever leave the process.
+pub struct FrameTap(TapFn);
+
+/// The boxed `(next_seq, frame_bytes)` callback a [`FrameTap`] wraps.
+type TapFn = Box<dyn FnMut(u64, &[u8]) + Send>;
+
+impl FrameTap {
+    /// Wraps a callback receiving `(next_seq, frame_bytes)` — the
+    /// store's sequence position *after* the frame (a record's
+    /// `seq + 1`, or the `next_seq` a checkpoint covers up to), so a
+    /// replication hub can track its shipped position uniformly; the
+    /// frame kind is self-described by the frame's magic.
+    pub fn new(tap: impl FnMut(u64, &[u8]) + Send + 'static) -> FrameTap {
+        FrameTap(Box::new(tap))
+    }
+}
+
+impl std::fmt::Debug for FrameTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FrameTap(..)")
+    }
+}
+
 /// Append-only durability for committed feedback transactions; see the
 /// crate docs for the format and invariants.
 #[derive(Debug)]
@@ -73,6 +100,7 @@ pub struct FeedbackStore {
     unsynced: u32,
     wedged: bool,
     torn: Option<TornWriter>,
+    tap: Option<FrameTap>,
 }
 
 fn sync_dir(dir: &Path) -> Result<(), StoreError> {
@@ -185,6 +213,7 @@ impl FeedbackStore {
             unsynced: 0,
             wedged: false,
             torn: None,
+            tap: None,
         };
         let recovery = Recovery {
             checkpoint,
@@ -202,6 +231,12 @@ impl FeedbackStore {
     /// appends.
     pub fn set_torn(&mut self, plan: Option<TornPlan>) {
         self.torn = plan.map(TornWriter::new);
+    }
+
+    /// Registers (or removes) the [`FrameTap`] that observes every
+    /// durable frame in wire encoding — the replication shipping hook.
+    pub fn set_tap(&mut self, tap: Option<FrameTap>) {
+        self.tap = tap;
     }
 
     /// Appends one committed-transaction payload, returning its
@@ -257,6 +292,11 @@ impl FeedbackStore {
         }
         self.next_seq = seq + 1;
         self.wal_records += 1;
+        // Ship the committed frame (once, even when the torn layer
+        // duplicated it locally): taps only ever see durable bytes.
+        if let Some(FrameTap(tap)) = self.tap.as_mut() {
+            tap(seq + 1, &frame);
+        }
         dwqa_obs::counter_add(names::STORE_WAL_APPENDS, 1);
         dwqa_obs::counter_add(names::STORE_WAL_BYTES, written);
         dwqa_obs::histogram_record_us(
@@ -401,7 +441,84 @@ impl FeedbackStore {
         self.wal_len = 0;
         self.wal_records = 0;
         self.unsynced = 0;
+        if let Some(FrameTap(tap)) = self.tap.as_mut() {
+            tap(self.next_seq, &body);
+        }
         Ok(())
+    }
+
+    /// Promotion fence: raises the generation floor to at least
+    /// `floor`, then checkpoints `snapshot` (which bumps one further
+    /// and truncates the WAL). The returned generation is therefore
+    /// strictly above both the local one and `floor` — any frame a
+    /// resurrected old primary still carries is stamped at or below
+    /// `floor` and will be skipped as stale by the existing recovery
+    /// and replication paths. The floor raise and checkpoint are one
+    /// operation on purpose: a raised floor without a fresh checkpoint
+    /// would orphan the WAL records already on disk.
+    pub fn promote(&mut self, snapshot: &[u8], floor: u64) -> Result<u64, StoreError> {
+        self.generation = self.generation.max(floor);
+        self.checkpoint(snapshot)?;
+        Ok(self.generation)
+    }
+
+    /// The sequence number of the oldest record still in the WAL (the
+    /// checkpoint covers everything below it). Equal to
+    /// [`Self::next_seq`] when the WAL is empty.
+    pub fn first_live_seq(&self) -> u64 {
+        self.next_seq - self.wal_records
+    }
+
+    /// The segmented catch-up reader for replication: every committed
+    /// frame a standby at `from_seq` is missing, in apply order and in
+    /// wire encoding.
+    ///
+    /// When `from_seq` predates the WAL's oldest record, the current
+    /// checkpoint frame is shipped first (a full sync), then the whole
+    /// WAL suffix; otherwise just the records from `from_seq` on. Both
+    /// segments are re-read from disk and re-validated, so only frames
+    /// that would survive recovery are ever shipped.
+    pub fn replication_backlog(&self, from_seq: u64) -> Result<Vec<Vec<u8>>, StoreError> {
+        let mut frames = Vec::new();
+        let first_live = self.first_live_seq();
+        if from_seq < first_live {
+            let bytes = match fs::read(self.checkpoint_path()) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == ErrorKind::NotFound && first_live == 0 => Vec::new(),
+                Err(e) => {
+                    return Err(StoreError::Io {
+                        context: "read checkpoint for backlog",
+                        source: e,
+                    })
+                }
+            };
+            if !bytes.is_empty() {
+                wal::decode_checkpoint(&bytes).map_err(StoreError::CorruptCheckpoint)?;
+                frames.push(bytes);
+            }
+        }
+        let image = match fs::read(self.wal_path()) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    context: "read wal for backlog",
+                    source: e,
+                })
+            }
+        };
+        let decoded = wal::decode_wal(&image, self.generation, self.config.max_record_bytes);
+        for record in &decoded.live {
+            if from_seq >= first_live && record.seq < from_seq {
+                continue;
+            }
+            frames.push(wal::encode_record(
+                self.generation,
+                record.seq,
+                &record.payload,
+            ));
+        }
+        Ok(frames)
     }
 
     /// True once `checkpoint_every` records have accumulated since the

@@ -63,7 +63,7 @@ pub(crate) fn crc32(chunks: &[&[u8]]) -> u32 {
     !crc
 }
 
-fn encode_frame(magic: u32, generation: u64, counter: u64, payload: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_frame(magic: u32, generation: u64, counter: u64, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(FRAME_HEADER + payload.len());
     buf.extend_from_slice(&magic.to_le_bytes());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
